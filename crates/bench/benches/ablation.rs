@@ -1,0 +1,88 @@
+//! Recording-throughput benches under swept design parameters: how much
+//! simulated work per second each recorder configuration sustains, and the
+//! cost of the design choices DESIGN.md calls out (Base vs Opt, snoopy vs
+//! directory, interval sizes, number of attached recorder variants).
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use relaxreplay::Design;
+use rr_bench::bench_workload;
+use rr_sim::{record, MachineConfig, RecorderSpec};
+
+fn bench_design_and_interval(c: &mut Criterion) {
+    let w = bench_workload("barnes");
+    let cfg = MachineConfig::splash_default(2);
+    let mut group = c.benchmark_group("record_by_variant");
+    for (label, spec) in [
+        ("base_4k", RecorderSpec { design: Design::Base, max_interval: Some(4096) }),
+        ("opt_4k", RecorderSpec { design: Design::Opt, max_interval: Some(4096) }),
+        ("base_inf", RecorderSpec { design: Design::Base, max_interval: None }),
+        ("opt_inf", RecorderSpec { design: Design::Opt, max_interval: None }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            b.iter(|| {
+                black_box(
+                    record(
+                        &w.programs,
+                        &w.initial_mem,
+                        &cfg,
+                        std::slice::from_ref(spec),
+                    )
+                    .expect("records"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_coherence_mode(c: &mut Criterion) {
+    let w = bench_workload("ocean");
+    let specs = vec![RecorderSpec {
+        design: Design::Opt,
+        max_interval: Some(4096),
+    }];
+    let mut group = c.benchmark_group("record_by_coherence");
+    let snoopy = MachineConfig::splash_default(2);
+    let directory = MachineConfig::splash_default(2).with_directory();
+    for (label, cfg) in [("snoopy", &snoopy), ("directory", &directory)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(record(&w.programs, &w.initial_mem, cfg, &specs).expect("records"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_attached_variants(c: &mut Criterion) {
+    // Cost of observing one execution with 0/1/4 recorders attached —
+    // recorders are passive, so this measures pure observer overhead.
+    let w = bench_workload("fft");
+    let cfg = MachineConfig::splash_default(2);
+    let mut group = c.benchmark_group("record_by_recorder_count");
+    for n in [0usize, 1, 4] {
+        let specs: Vec<RecorderSpec> = RecorderSpec::paper_matrix().into_iter().take(n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &specs, |b, specs| {
+            b.iter(|| {
+                black_box(record(&w.programs, &w.initial_mem, &cfg, specs).expect("records"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = ablation;
+    config = config();
+    targets = bench_design_and_interval, bench_coherence_mode, bench_attached_variants
+}
+criterion_main!(ablation);

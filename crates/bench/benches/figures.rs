@@ -1,0 +1,115 @@
+//! One bench per paper table/figure: each times the scaled-down pipeline
+//! that regenerates that figure's data (2 threads, size 1 — the full-scale
+//! tables come from the `rr-experiments` binaries) and prints the
+//! resulting rows once so `cargo bench` output doubles as a smoke-test of
+//! every experiment.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rr_experiments::{figures, runner::run_scalability, run_suite, ExperimentConfig};
+use rr_replay::CostModel;
+use rr_sim::MachineConfig;
+
+fn small_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        threads: 2,
+        size: 1,
+        cost: CostModel::splash_default(),
+        replay: true,
+    }
+}
+
+/// The suite is recorded once and shared by the per-figure benches (the
+/// benches then time the figure computation itself plus one fresh
+/// recording for the recording-bound figures).
+fn shared_runs() -> &'static Vec<rr_experiments::WorkloadRun> {
+    static RUNS: OnceLock<Vec<rr_experiments::WorkloadRun>> = OnceLock::new();
+    RUNS.get_or_init(|| run_suite(&small_cfg()))
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = MachineConfig::splash_default(2);
+    let t = figures::table1(&cfg);
+    t.print();
+    c.bench_function("table1", |b| b.iter(|| black_box(figures::table1(&cfg))));
+}
+
+fn bench_fig01(c: &mut Criterion) {
+    let runs = shared_runs();
+    figures::fig01(runs).print();
+    c.bench_function("fig01_ooo_fraction", |b| {
+        b.iter(|| black_box(figures::fig01(runs)))
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let runs = shared_runs();
+    figures::fig09(runs).print();
+    c.bench_function("fig09_reordered", |b| {
+        b.iter(|| black_box(figures::fig09(runs)))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let runs = shared_runs();
+    figures::fig10(runs).print();
+    c.bench_function("fig10_inorder_blocks", |b| {
+        b.iter(|| black_box(figures::fig10(runs)))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let runs = shared_runs();
+    figures::fig11(runs).print();
+    c.bench_function("fig11_log_size", |b| {
+        b.iter(|| black_box(figures::fig11(runs)))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let runs = shared_runs();
+    figures::fig12(runs).print();
+    c.bench_function("fig12_traq", |b| b.iter(|| black_box(figures::fig12(runs))));
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let runs = shared_runs();
+    figures::fig13(runs).print();
+    c.bench_function("fig13_replay", |b| {
+        b.iter(|| black_box(figures::fig13(runs)))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    // The scalability sweep re-records at several core counts; bench the
+    // whole pipeline at a tiny scale.
+    let cfg = ExperimentConfig {
+        replay: false,
+        ..small_cfg()
+    };
+    let results = run_scalability(&cfg, &[2, 4]);
+    figures::fig14(&results).print();
+    c.bench_function("fig14_scalability_pipeline", |b| {
+        b.iter(|| {
+            let results = run_scalability(&cfg, &[2]);
+            black_box(figures::fig14(&results))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = figures_group;
+    config = config();
+    targets = bench_table1, bench_fig01, bench_fig09, bench_fig10,
+        bench_fig11, bench_fig12, bench_fig13, bench_fig14
+}
+criterion_main!(figures_group);

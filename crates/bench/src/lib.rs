@@ -1,0 +1,61 @@
+//! # rr-bench — benchmark support for the RelaxReplay reproduction
+//!
+//! The Criterion benches live in `benches/`:
+//!
+//! * `components` — microbenchmarks of every RelaxReplay hardware
+//!   structure (H3 hashing, Bloom signatures, Snoop Table, TRAQ, log
+//!   codec, patching, replay and simulation throughput);
+//! * `figures` — one bench per paper table/figure, timing a scaled-down
+//!   version of the experiment that regenerates it (the full-scale tables
+//!   come from the `rr-experiments` binaries);
+//! * `ablation` — recording throughput under swept hardware parameters
+//!   (Base vs Opt, snoopy vs directory, interval sizes).
+//!
+//! This library crate only hosts shared setup helpers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rr_isa::MemImage;
+use rr_sim::{record, MachineConfig, RecorderSpec, RunResult};
+use rr_workloads::{by_name, Workload};
+
+/// A small, deterministic workload used by the benches (2 threads, size 1
+/// — a few tens of thousands of instructions).
+#[must_use]
+pub fn bench_workload(name: &str) -> Workload {
+    by_name(name, 2, 1).expect("known workload name")
+}
+
+/// Records `workload` on a small machine with the paper's four recorder
+/// variants attached; panics on any simulation error.
+#[must_use]
+pub fn bench_record(workload: &Workload) -> RunResult {
+    let cfg = MachineConfig::splash_default(workload.programs.len());
+    record(
+        &workload.programs,
+        &workload.initial_mem,
+        &cfg,
+        &RecorderSpec::paper_matrix(),
+    )
+    .expect("bench recording")
+}
+
+/// An empty initial memory (helper so benches avoid the import).
+#[must_use]
+pub fn empty_mem() -> MemImage {
+    MemImage::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_setup_works() {
+        let w = bench_workload("fft");
+        let r = bench_record(&w);
+        assert!(r.total_instrs() > 0);
+        assert_eq!(r.variants.len(), 4);
+    }
+}

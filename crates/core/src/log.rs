@@ -1,0 +1,391 @@
+use core::fmt;
+
+use rr_mem::CoreId;
+
+/// One entry of a per-processor interval log (paper Figure 6(c)).
+///
+/// Entries appear in counting (program) order within an interval; an
+/// [`LogEntry::IntervalFrame`] closes each interval and carries its global
+/// ordering timestamp (the QuickRec-style scalar clock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogEntry {
+    /// A run of `instrs` consecutive instructions (memory and non-memory
+    /// alike) to be replayed natively in order.
+    InorderBlock {
+        /// Number of instructions in the block (the *Current InorderBlock
+        /// Size* count, 32 bits).
+        instrs: u32,
+    },
+    /// The next instruction in program order is a load that was reordered;
+    /// replay must inject `value` into its destination register instead of
+    /// accessing memory (paper §3.3.1).
+    ReorderedLoad {
+        /// The value the load obtained when it performed.
+        value: u64,
+    },
+    /// The next instruction in program order is a store that was reordered;
+    /// before replay, a patching step moves this entry `offset` intervals
+    /// back — to the interval where the store performed — and leaves a
+    /// dummy here (paper §3.3.2).
+    ReorderedStore {
+        /// Byte address written.
+        addr: u64,
+        /// Value written.
+        value: u64,
+        /// `CISN - PISN`: how many intervals before this one the store
+        /// performed.
+        offset: u16,
+    },
+    /// The next instruction in program order is an atomic read-modify-write
+    /// that was reordered. Replay injects `loaded` into the destination
+    /// register here; the store half (if the RMW wrote — a failed CAS does
+    /// not) is patched back like a reordered store.
+    ///
+    /// The paper does not discuss atomics explicitly; this entry is the
+    /// natural composition of its reordered-load and reordered-store
+    /// treatments (see DESIGN.md).
+    ReorderedRmw {
+        /// Value the RMW read.
+        loaded: u64,
+        /// Byte address accessed.
+        addr: u64,
+        /// Value written, or `None` for a failed compare-and-swap.
+        stored: Option<u64>,
+        /// `CISN - PISN` for the store half.
+        offset: u16,
+    },
+    /// Closes the current interval.
+    IntervalFrame {
+        /// The interval's sequence number (16-bit, wrapping).
+        cisn: u16,
+        /// Global timestamp at termination; the total order of intervals
+        /// across processors (QuickRec ordering, paper §4.1).
+        timestamp: u64,
+    },
+}
+
+impl LogEntry {
+    /// The entry's size in bits, used for the paper's log-size metric
+    /// (Figure 11: "uncompressed log size ... in bits per 1K instructions").
+    ///
+    /// Widths follow Figure 6(c) and Table 1: a 2-bit type tag; 32-bit
+    /// block size; 64-bit values/addresses; 16-bit offset; 16-bit CISN;
+    /// 64-bit global timestamp. A reordered RMW is charged as a reordered
+    /// load plus a reordered store.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        match self {
+            LogEntry::InorderBlock { .. } => 2 + 32,
+            LogEntry::ReorderedLoad { .. } => 2 + 64,
+            LogEntry::ReorderedStore { .. } => 2 + 64 + 64 + 16,
+            LogEntry::ReorderedRmw { .. } => (2 + 64) + (2 + 64 + 64 + 16),
+            LogEntry::IntervalFrame { .. } => 2 + 16 + 64,
+        }
+    }
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogEntry::InorderBlock { instrs } => write!(f, "IB({instrs})"),
+            LogEntry::ReorderedLoad { value } => write!(f, "RL(val={value:#x})"),
+            LogEntry::ReorderedStore {
+                addr,
+                value,
+                offset,
+            } => write!(f, "RS(addr={addr:#x}, val={value:#x}, off={offset})"),
+            LogEntry::ReorderedRmw {
+                loaded,
+                addr,
+                stored,
+                offset,
+            } => write!(
+                f,
+                "RRMW(loaded={loaded:#x}, addr={addr:#x}, stored={stored:?}, off={offset})"
+            ),
+            LogEntry::IntervalFrame { cisn, timestamp } => {
+                write!(f, "FRAME(cisn={cisn}, ts={timestamp})")
+            }
+        }
+    }
+}
+
+/// The complete recording of one processor: its log entries in counting
+/// order, interval by interval.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalLog {
+    /// The recorded processor.
+    pub core: CoreId,
+    /// Entries in counting order; each interval ends with an
+    /// [`LogEntry::IntervalFrame`].
+    pub entries: Vec<LogEntry>,
+}
+
+impl IntervalLog {
+    /// Creates an empty log for `core`.
+    #[must_use]
+    pub fn new(core: CoreId) -> Self {
+        IntervalLog {
+            core,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Total log size in bits (Figure 11 metric).
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.entries.iter().map(LogEntry::bits).sum()
+    }
+
+    /// Number of intervals (frames).
+    #[must_use]
+    pub fn intervals(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, LogEntry::IntervalFrame { .. }))
+            .count()
+    }
+
+    /// Number of `InorderBlock` entries (Figure 10 metric).
+    #[must_use]
+    pub fn inorder_blocks(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, LogEntry::InorderBlock { .. }))
+            .count()
+    }
+
+    /// Serializes the log to a compact byte stream.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.entries.len() * 8 + 8);
+        out.push(self.core.index() as u8);
+        for e in &self.entries {
+            match e {
+                LogEntry::InorderBlock { instrs } => {
+                    out.push(0);
+                    out.extend_from_slice(&instrs.to_le_bytes());
+                }
+                LogEntry::ReorderedLoad { value } => {
+                    out.push(1);
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+                LogEntry::ReorderedStore {
+                    addr,
+                    value,
+                    offset,
+                } => {
+                    out.push(2);
+                    out.extend_from_slice(&addr.to_le_bytes());
+                    out.extend_from_slice(&value.to_le_bytes());
+                    out.extend_from_slice(&offset.to_le_bytes());
+                }
+                LogEntry::ReorderedRmw {
+                    loaded,
+                    addr,
+                    stored,
+                    offset,
+                } => {
+                    out.push(if stored.is_some() { 3 } else { 4 });
+                    out.extend_from_slice(&loaded.to_le_bytes());
+                    out.extend_from_slice(&addr.to_le_bytes());
+                    if let Some(s) = stored {
+                        out.extend_from_slice(&s.to_le_bytes());
+                    }
+                    out.extend_from_slice(&offset.to_le_bytes());
+                }
+                LogEntry::IntervalFrame { cisn, timestamp } => {
+                    out.push(5);
+                    out.extend_from_slice(&cisn.to_le_bytes());
+                    out.extend_from_slice(&timestamp.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a log produced by [`IntervalLog::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogDecodeError`] on truncated input or an unknown entry
+    /// tag.
+    pub fn decode(bytes: &[u8]) -> Result<Self, LogDecodeError> {
+        let mut i = 0usize;
+        let take = |i: &mut usize, n: usize| -> Result<&[u8], LogDecodeError> {
+            let s = bytes
+                .get(*i..*i + n)
+                .ok_or(LogDecodeError::Truncated { at: *i })?;
+            *i += n;
+            Ok(s)
+        };
+        let core = CoreId::new(take(&mut i, 1)?[0]);
+        let mut entries = Vec::new();
+        while i < bytes.len() {
+            let tag = take(&mut i, 1)?[0];
+            let u64_at = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("8 bytes"));
+            let entry = match tag {
+                0 => LogEntry::InorderBlock {
+                    instrs: u32::from_le_bytes(take(&mut i, 4)?.try_into().expect("4 bytes")),
+                },
+                1 => LogEntry::ReorderedLoad {
+                    value: u64_at(take(&mut i, 8)?),
+                },
+                2 => LogEntry::ReorderedStore {
+                    addr: u64_at(take(&mut i, 8)?),
+                    value: u64_at(take(&mut i, 8)?),
+                    offset: u16::from_le_bytes(take(&mut i, 2)?.try_into().expect("2 bytes")),
+                },
+                3 | 4 => {
+                    let loaded = u64_at(take(&mut i, 8)?);
+                    let addr = u64_at(take(&mut i, 8)?);
+                    let stored = if tag == 3 {
+                        Some(u64_at(take(&mut i, 8)?))
+                    } else {
+                        None
+                    };
+                    let offset =
+                        u16::from_le_bytes(take(&mut i, 2)?.try_into().expect("2 bytes"));
+                    LogEntry::ReorderedRmw {
+                        loaded,
+                        addr,
+                        stored,
+                        offset,
+                    }
+                }
+                5 => LogEntry::IntervalFrame {
+                    cisn: u16::from_le_bytes(take(&mut i, 2)?.try_into().expect("2 bytes")),
+                    timestamp: u64_at(take(&mut i, 8)?),
+                },
+                other => return Err(LogDecodeError::UnknownTag { tag: other, at: i }),
+            };
+            entries.push(entry);
+        }
+        Ok(IntervalLog { core, entries })
+    }
+}
+
+/// Errors from [`IntervalLog::decode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogDecodeError {
+    /// The byte stream ended mid-entry.
+    Truncated {
+        /// Offset at which more bytes were needed.
+        at: usize,
+    },
+    /// An entry tag byte was not recognized.
+    UnknownTag {
+        /// The offending tag.
+        tag: u8,
+        /// Offset just past the tag.
+        at: usize,
+    },
+}
+
+impl fmt::Display for LogDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogDecodeError::Truncated { at } => write!(f, "log truncated at byte {at}"),
+            LogDecodeError::UnknownTag { tag, at } => {
+                write!(f, "unknown log entry tag {tag} at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> IntervalLog {
+        IntervalLog {
+            core: CoreId::new(3),
+            entries: vec![
+                LogEntry::InorderBlock { instrs: 2 },
+                LogEntry::ReorderedLoad { value: 0xdead },
+                LogEntry::InorderBlock { instrs: 2 },
+                LogEntry::ReorderedStore {
+                    addr: 0x100,
+                    value: 7,
+                    offset: 5,
+                },
+                LogEntry::ReorderedRmw {
+                    loaded: 1,
+                    addr: 0x200,
+                    stored: None,
+                    offset: 2,
+                },
+                LogEntry::InorderBlock { instrs: 2 },
+                LogEntry::IntervalFrame {
+                    cisn: 15,
+                    timestamp: 123_456,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let log = sample_log();
+        let decoded = IntervalLog::decode(&log.encode()).expect("round trip");
+        assert_eq!(decoded, log);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample_log().encode();
+        for cut in 2..bytes.len() - 1 {
+            // Some prefixes decode fine (cut at an entry boundary); the
+            // rest must error, never panic.
+            let _ = IntervalLog::decode(&bytes[..cut]);
+        }
+        assert!(matches!(
+            IntervalLog::decode(&bytes[..bytes.len() - 1]),
+            Err(LogDecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_detected() {
+        let mut bytes = sample_log().encode();
+        bytes.push(99);
+        assert!(matches!(
+            IntervalLog::decode(&bytes),
+            Err(LogDecodeError::UnknownTag { tag: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn bit_accounting_matches_figure_6c() {
+        assert_eq!(LogEntry::InorderBlock { instrs: 1 }.bits(), 34);
+        assert_eq!(LogEntry::ReorderedLoad { value: 0 }.bits(), 66);
+        assert_eq!(
+            LogEntry::ReorderedStore {
+                addr: 0,
+                value: 0,
+                offset: 0
+            }
+            .bits(),
+            146
+        );
+        assert_eq!(
+            LogEntry::IntervalFrame {
+                cisn: 0,
+                timestamp: 0
+            }
+            .bits(),
+            82
+        );
+        let log = sample_log();
+        assert_eq!(log.bits(), 34 + 66 + 34 + 146 + 212 + 34 + 82);
+    }
+
+    #[test]
+    fn counters_count() {
+        let log = sample_log();
+        assert_eq!(log.intervals(), 1);
+        assert_eq!(log.inorder_blocks(), 3);
+    }
+}

@@ -1,0 +1,694 @@
+use rr_cpu::{CoreObserver, PerformRecord};
+use rr_mem::{AccessKind, CoreId, LineAddr};
+
+use crate::log::{IntervalLog, LogEntry};
+use crate::signature::Signature;
+use crate::snoop_table::SnoopTable;
+use crate::traq::{Traq, TraqEntry, TraqKind};
+
+/// Which RelaxReplay design the recorder implements (paper §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Design {
+    /// RelaxReplay_Base: an access whose perform and counting events fall
+    /// in different intervals (PISN ≠ CISN) is always logged as reordered.
+    Base,
+    /// RelaxReplay_Opt: additionally consults the Snoop Table, logging the
+    /// access as reordered only if a conflicting coherence transaction was
+    /// actually observed between the two events.
+    Opt,
+}
+
+impl std::fmt::Display for Design {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Design::Base => write!(f, "Base"),
+            Design::Opt => write!(f, "Opt"),
+        }
+    }
+}
+
+/// Why an interval terminated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Termination {
+    Conflict,
+    MaxSize,
+    Final,
+}
+
+/// A per-processor partial order of intervals, recorded alongside the
+/// total-order timestamps (the Cyrus-style pairing the paper's §3.6
+/// describes: "RelaxReplay can be paired with any chunk-based MRR scheme";
+/// a scheme that records a partial order admits **parallel replay**).
+///
+/// For each interval (by ordinal, matching the log's frame order):
+///
+/// * `preds` — intervals of *other* cores that must replay first. An edge
+///   is created whenever this core's coherence transaction was observed by
+///   another core: the observer replies with its latest closed interval
+///   (the conflicting one if the snoop terminated it, conservatively the
+///   previous one otherwise), exactly the information Cyrus piggybacks on
+///   coherence replies.
+/// * `barrier` — the interval was closed by a dirty eviction (directory
+///   mode): after it, this core stops observing the line, so the interval
+///   must conservatively precede every later-timestamped interval.
+/// * `timestamps` — the frame timestamps, for barrier ordering.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalOrdering {
+    /// Cross-core predecessor sets, one per interval.
+    pub preds: Vec<Vec<(CoreId, u64)>>,
+    /// Barrier flags, one per interval.
+    pub barriers: Vec<bool>,
+    /// Frame timestamps, one per interval.
+    pub timestamps: Vec<u64>,
+}
+
+/// Recorder configuration (paper Table 1, "RelaxReplay Parameters").
+#[derive(Clone, Debug)]
+pub struct RecorderConfig {
+    /// Base or Opt design.
+    pub design: Design,
+    /// Maximum interval size in instructions (`None` = unbounded, the
+    /// paper's "INF" configuration; `Some(4096)` is its "4K").
+    pub max_interval_instrs: Option<u32>,
+    /// TRAQ capacity (Table 1: 176).
+    pub traq_entries: usize,
+    /// Bloom banks per signature (Table 1: 4).
+    pub sig_banks: usize,
+    /// Bits per Bloom bank (Table 1: 256).
+    pub sig_bits: u32,
+    /// Counters per Snoop Table array (Table 1: 64). Only used by Opt.
+    pub snoop_entries: usize,
+    /// Maximum value of the NMI field (4 bits ⇒ 15).
+    pub nmi_max: u32,
+    /// TRAQ entries counted per cycle (Table 1: the TRAQ is read twice per
+    /// cycle at counting events).
+    pub count_per_cycle: usize,
+    /// Seed for the H3 hash functions.
+    pub seed: u64,
+}
+
+impl RecorderConfig {
+    /// The paper's parameters for the given design and maximum interval
+    /// size.
+    #[must_use]
+    pub fn splash_default(design: Design, max_interval_instrs: Option<u32>) -> Self {
+        RecorderConfig {
+            design,
+            max_interval_instrs,
+            traq_entries: 176,
+            sig_banks: 4,
+            sig_bits: 256,
+            snoop_entries: 64,
+            nmi_max: 15,
+            count_per_cycle: 2,
+            seed: 0x5e1a_c4e9_1a97_0001,
+        }
+    }
+}
+
+/// Counters the recorder accumulates, feeding Figures 9–12 and 14.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Memory-access instructions counted (loads).
+    pub counted_loads: u64,
+    /// Memory-access instructions counted (stores).
+    pub counted_stores: u64,
+    /// Memory-access instructions counted (RMWs).
+    pub counted_rmws: u64,
+    /// Total instructions counted (including non-memory ones via NMI).
+    pub counted_instrs: u64,
+    /// Loads logged as reordered.
+    pub reordered_loads: u64,
+    /// Stores logged as reordered.
+    pub reordered_stores: u64,
+    /// RMWs logged as reordered.
+    pub reordered_rmws: u64,
+    /// Accesses whose perform event was moved **across intervals** to the
+    /// counting event (PISN ≠ CISN but declared in order — Opt only).
+    pub moved_across_intervals: u64,
+    /// Interval terminations due to a conflicting snoop.
+    pub term_conflict: u64,
+    /// Interval terminations due to the maximum interval size.
+    pub term_max_size: u64,
+    /// The final termination at thread end.
+    pub term_final: u64,
+    /// Sum of TRAQ occupancy over all samples (for the average).
+    pub traq_occupancy_sum: u64,
+    /// Number of TRAQ occupancy samples.
+    pub traq_samples: u64,
+    /// Histogram of TRAQ occupancy in bins of 10 entries (Figure 12(b)).
+    pub traq_hist: Vec<u64>,
+    /// Highest TRAQ occupancy seen.
+    pub traq_peak: usize,
+}
+
+impl RecorderStats {
+    /// Memory-access instructions counted in total.
+    #[must_use]
+    pub fn counted_mem(&self) -> u64 {
+        self.counted_loads + self.counted_stores + self.counted_rmws
+    }
+
+    /// Memory-access instructions logged as reordered.
+    #[must_use]
+    pub fn reordered(&self) -> u64 {
+        self.reordered_loads + self.reordered_stores + self.reordered_rmws
+    }
+
+    /// Fraction of memory-access instructions logged as reordered
+    /// (Figure 9's metric).
+    #[must_use]
+    pub fn reordered_fraction(&self) -> f64 {
+        let mem = self.counted_mem();
+        if mem == 0 {
+            return 0.0;
+        }
+        self.reordered() as f64 / mem as f64
+    }
+
+    /// Average TRAQ occupancy (Figure 12(a)).
+    #[must_use]
+    pub fn traq_avg(&self) -> f64 {
+        if self.traq_samples == 0 {
+            return 0.0;
+        }
+        self.traq_occupancy_sum as f64 / self.traq_samples as f64
+    }
+}
+
+/// A per-processor RelaxReplay Memory Race Recorder (paper Figure 6(a)).
+///
+/// Attach it to a core as its [`CoreObserver`]; route coherence snoops from
+/// the memory system through [`Recorder::on_snoop`] (and dirty evictions
+/// through [`Recorder::on_dirty_eviction`] in directory mode); call
+/// [`Recorder::tick`] once per cycle after the core's tick so counting
+/// proceeds; call [`Recorder::finish`] when the thread completes. The
+/// resulting [`IntervalLog`] replays with `rr-replay`.
+///
+/// The recorder is a pure observer: attaching several (Base/Opt × interval
+/// sizes) to one execution records the same run under every design at once.
+pub struct Recorder {
+    cfg: RecorderConfig,
+    cisn: u16,
+    /// The *Current InorderBlock Size* count (instructions, not just
+    /// memory accesses — eases replay; paper §3.3.3).
+    block_size: u32,
+    /// Instructions counted in the current interval (for max-size
+    /// termination).
+    instrs_in_interval: u32,
+    /// Entries logged since the last frame (to know the final interval is
+    /// non-empty).
+    entries_since_frame: usize,
+    read_sig: Signature,
+    write_sig: Signature,
+    snoop_table: Option<SnoopTable>,
+    traq: Traq,
+    /// Non-memory instructions dispatched since the last TRAQ allocation.
+    nmi_pending: u32,
+    /// Sequence number of the newest TRAQ allocation (or last counted
+    /// entry), `-1` before any. Used to recompute `nmi_pending` after a
+    /// squash.
+    alloc_boundary: i64,
+    /// Sequence number of the last counted entry.
+    counted_up_to: i64,
+    log: IntervalLog,
+    ordering: IntervalOrdering,
+    /// Cross-core predecessors accumulated for the interval currently
+    /// being recorded.
+    current_preds: Vec<(CoreId, u64)>,
+    /// Set when the current interval is being closed by a dirty eviction.
+    closing_is_barrier: bool,
+    stats: RecorderStats,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("core", &self.log.core)
+            .field("design", &self.cfg.design)
+            .field("cisn", &self.cisn)
+            .field("traq_len", &self.traq.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder for `core`.
+    #[must_use]
+    pub fn new(core: CoreId, cfg: RecorderConfig) -> Self {
+        let read_sig = Signature::new(cfg.sig_banks, cfg.sig_bits, cfg.seed ^ 0x0ead);
+        let write_sig = Signature::new(cfg.sig_banks, cfg.sig_bits, cfg.seed ^ 0x317e);
+        let snoop_table = match cfg.design {
+            Design::Opt => Some(SnoopTable::new(cfg.snoop_entries, cfg.seed ^ 0x5009)),
+            Design::Base => None,
+        };
+        let traq = Traq::new(cfg.traq_entries);
+        Recorder {
+            cisn: 0,
+            block_size: 0,
+            instrs_in_interval: 0,
+            entries_since_frame: 0,
+            read_sig,
+            write_sig,
+            snoop_table,
+            traq,
+            nmi_pending: 0,
+            alloc_boundary: -1,
+            counted_up_to: -1,
+            log: IntervalLog::new(core),
+            ordering: IntervalOrdering::default(),
+            current_preds: Vec::new(),
+            closing_is_barrier: false,
+            stats: RecorderStats {
+                traq_hist: vec![0; cfg.traq_entries / 10 + 1],
+                ..RecorderStats::default()
+            },
+            finished: false,
+            cfg,
+        }
+    }
+
+    /// The recorder's configuration.
+    #[must_use]
+    pub fn config(&self) -> &RecorderConfig {
+        &self.cfg
+    }
+
+    /// The log produced so far.
+    #[must_use]
+    pub fn log(&self) -> &IntervalLog {
+        &self.log
+    }
+
+    /// Consumes the recorder, returning its log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Recorder::finish`] has not been called.
+    #[must_use]
+    pub fn into_log(self) -> IntervalLog {
+        assert!(self.finished, "finish() must be called before into_log()");
+        self.log
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &RecorderStats {
+        &self.stats
+    }
+
+    /// Current TRAQ occupancy (entries in use).
+    #[must_use]
+    pub fn traq_len(&self) -> usize {
+        self.traq.len()
+    }
+
+    /// Configured TRAQ capacity.
+    #[must_use]
+    pub fn traq_capacity(&self) -> usize {
+        self.traq.capacity()
+    }
+
+    // ----- coherence-side events ----------------------------------------
+
+    /// Reports a coherence transaction observed from another processor.
+    ///
+    /// Updates the Snoop Table (Opt) and terminates the current interval if
+    /// the transaction conflicts with the read/write signatures: a remote
+    /// write conflicts with both sets; a remote read conflicts with local
+    /// writes only.
+    pub fn on_snoop(&mut self, line: LineAddr, is_write: bool, cycle: u64) {
+        if let Some(t) = &mut self.snoop_table {
+            t.record(line);
+        }
+        let conflict = if is_write {
+            self.read_sig.test(line) || self.write_sig.test(line)
+        } else {
+            self.write_sig.test(line)
+        };
+        if conflict {
+            self.terminate_interval(cycle, Termination::Conflict);
+        }
+    }
+
+    /// Reports that this core's L1 evicted a dirty line (directory mode,
+    /// paper §4.3). Two conservative actions keep recording sound once the
+    /// core stops observing the line's coherence traffic:
+    ///
+    /// * the Snoop Table counters are bumped, so any performed-but-
+    ///   uncounted access to the line is declared reordered (the paper's
+    ///   fix), and
+    /// * if the line is in the current interval's signatures, the interval
+    ///   is terminated — otherwise an unobserved later remote write could
+    ///   end up ordered *before* this interval even though this core's
+    ///   accesses performed first (the interval-ordering side of §4.3,
+    ///   which the paper delegates to a directory-aware chunk scheme).
+    pub fn on_dirty_eviction(&mut self, line: LineAddr, cycle: u64) {
+        if let Some(t) = &mut self.snoop_table {
+            t.record(line);
+        }
+        if self.read_sig.test(line) || self.write_sig.test(line) {
+            // For the partial order (parallel replay), an eviction-closed
+            // interval must precede every later-timestamped interval: this
+            // core stops observing the line, so no more edges can be
+            // generated for it.
+            self.closing_is_barrier = true;
+            self.terminate_interval(cycle, Termination::Conflict);
+        }
+    }
+
+    /// Records a cross-core ordering predecessor for the interval currently
+    /// being recorded: this core's latest coherence transaction was
+    /// observed by `src_core`, whose interval `src_interval` (an ordinal,
+    /// not a wrapping CISN) must replay before this one. In hardware this
+    /// is the ordering information Cyrus-style recorders piggyback on
+    /// coherence replies (paper §2, §3.6); the simulator delivers it when
+    /// it routes the snoop.
+    pub fn on_predecessor(&mut self, src_core: CoreId, src_interval: u64) {
+        self.current_preds.push((src_core, src_interval));
+    }
+
+    /// Number of intervals closed so far (the next frame gets this
+    /// ordinal).
+    #[must_use]
+    pub fn intervals_completed(&self) -> u64 {
+        self.ordering.timestamps.len() as u64
+    }
+
+    /// The recorded partial order of this core's intervals (parallel
+    /// replay, paper §3.6). Parallel to the log's frames.
+    #[must_use]
+    pub fn ordering(&self) -> &IntervalOrdering {
+        &self.ordering
+    }
+
+    // ----- counting ------------------------------------------------------
+
+    /// Advances the counting machinery by one cycle: counts up to
+    /// `count_per_cycle` ready TRAQ-head entries and samples TRAQ
+    /// occupancy.
+    pub fn tick(&mut self, cycle: u64) {
+        let occupancy = self.traq.len();
+        self.stats.traq_occupancy_sum += occupancy as u64;
+        self.stats.traq_samples += 1;
+        let bin = (occupancy / 10).min(self.stats.traq_hist.len() - 1);
+        self.stats.traq_hist[bin] += 1;
+        self.stats.traq_peak = self.stats.traq_peak.max(occupancy);
+        for _ in 0..self.cfg.count_per_cycle {
+            let Some(entry) = self.traq.pop_ready() else {
+                break;
+            };
+            self.count_entry(entry, cycle);
+        }
+    }
+
+    /// Flushes remaining state when the thread completes: groups any
+    /// trailing non-memory instructions, drains the TRAQ and terminates the
+    /// final interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core has not actually finished (some TRAQ entry is not
+    /// ready to count).
+    pub fn finish(&mut self, cycle: u64) {
+        if self.finished {
+            return;
+        }
+        if self.nmi_pending > 0 {
+            let seq = (self.alloc_boundary + i64::from(self.nmi_pending)) as u64;
+            let nmi = self.nmi_pending;
+            self.push_traq(TraqEntry {
+                seq,
+                kind: TraqKind::Filler,
+                nmi,
+                pisn: None,
+                performed: false,
+                retired: true,
+                addr: 0,
+                line: LineAddr::containing(0),
+                loaded: None,
+                stored: None,
+                sample: Default::default(),
+            });
+            self.nmi_pending = 0;
+        }
+        while let Some(entry) = self.traq.pop_ready() {
+            self.count_entry(entry, cycle);
+        }
+        assert_eq!(
+            self.traq.len(),
+            0,
+            "finish() on a core that is still executing"
+        );
+        if self.entries_since_frame > 0 || self.block_size > 0 {
+            self.terminate_interval(cycle, Termination::Final);
+        }
+        self.finished = true;
+    }
+
+    fn push_traq(&mut self, entry: TraqEntry) {
+        self.alloc_boundary = entry.seq as i64;
+        self.traq.push(entry);
+    }
+
+    fn count_entry(&mut self, entry: TraqEntry, cycle: u64) {
+        self.counted_up_to = entry.seq as i64;
+        match entry.kind {
+            TraqKind::Filler => {
+                self.block_size += entry.nmi;
+                self.note_counted(entry.nmi, cycle);
+            }
+            TraqKind::Mem(kind) => {
+                let pisn = entry.pisn.expect("counted access has performed");
+                let same_interval = pisn == self.cisn;
+                let reordered = if same_interval {
+                    false
+                } else {
+                    match &self.snoop_table {
+                        // Base: a different interval means reordered.
+                        None => true,
+                        // Opt: only if a conflicting transaction was seen.
+                        Some(t) => t.is_reordered(entry.line, entry.sample),
+                    }
+                };
+                match kind {
+                    AccessKind::Load => self.stats.counted_loads += 1,
+                    AccessKind::Store => self.stats.counted_stores += 1,
+                    AccessKind::Rmw => self.stats.counted_rmws += 1,
+                }
+                if !reordered {
+                    if !same_interval {
+                        // The perform event moves across intervals to the
+                        // counting event; re-insert the address into the
+                        // current interval's signature so later conflicts
+                        // still order intervals correctly (paper §4.2).
+                        self.stats.moved_across_intervals += 1;
+                        match kind {
+                            AccessKind::Load => self.read_sig.insert(entry.line),
+                            AccessKind::Store => self.write_sig.insert(entry.line),
+                            AccessKind::Rmw => {
+                                self.read_sig.insert(entry.line);
+                                self.write_sig.insert(entry.line);
+                            }
+                        }
+                    }
+                    self.block_size += entry.nmi + 1;
+                } else {
+                    // The NMI instructions preceding the access are still
+                    // in order; they close the current block.
+                    self.block_size += entry.nmi;
+                    self.flush_block();
+                    let offset = self.cisn.wrapping_sub(pisn);
+                    let log_entry = match kind {
+                        AccessKind::Load => {
+                            self.stats.reordered_loads += 1;
+                            LogEntry::ReorderedLoad {
+                                value: entry.loaded.expect("performed load has a value"),
+                            }
+                        }
+                        AccessKind::Store => {
+                            self.stats.reordered_stores += 1;
+                            LogEntry::ReorderedStore {
+                                addr: entry.addr,
+                                value: entry.stored.expect("performed store has a value"),
+                                offset,
+                            }
+                        }
+                        AccessKind::Rmw => {
+                            self.stats.reordered_rmws += 1;
+                            LogEntry::ReorderedRmw {
+                                loaded: entry.loaded.expect("performed RMW has a loaded value"),
+                                addr: entry.addr,
+                                stored: entry.stored,
+                                offset,
+                            }
+                        }
+                    };
+                    self.log.entries.push(log_entry);
+                    self.entries_since_frame += 1;
+                }
+                self.note_counted(entry.nmi + 1, cycle);
+            }
+        }
+    }
+
+    fn note_counted(&mut self, instrs: u32, cycle: u64) {
+        self.stats.counted_instrs += u64::from(instrs);
+        self.instrs_in_interval += instrs;
+        if let Some(max) = self.cfg.max_interval_instrs {
+            if self.instrs_in_interval >= max {
+                self.terminate_interval(cycle, Termination::MaxSize);
+            }
+        }
+    }
+
+    fn flush_block(&mut self) {
+        if self.block_size > 0 {
+            self.log.entries.push(LogEntry::InorderBlock {
+                instrs: self.block_size,
+            });
+            self.entries_since_frame += 1;
+            self.block_size = 0;
+        }
+    }
+
+    fn terminate_interval(&mut self, cycle: u64, why: Termination) {
+        match why {
+            Termination::Conflict => self.stats.term_conflict += 1,
+            Termination::MaxSize => self.stats.term_max_size += 1,
+            Termination::Final => self.stats.term_final += 1,
+        }
+        self.flush_block();
+        self.log.entries.push(LogEntry::IntervalFrame {
+            cisn: self.cisn,
+            timestamp: cycle,
+        });
+        self.ordering.preds.push(std::mem::take(&mut self.current_preds));
+        self.ordering.barriers.push(self.closing_is_barrier);
+        self.ordering.timestamps.push(cycle);
+        self.closing_is_barrier = false;
+        self.entries_since_frame = 0;
+        self.cisn = self.cisn.wrapping_add(1);
+        self.instrs_in_interval = 0;
+        self.read_sig.clear();
+        self.write_sig.clear();
+    }
+}
+
+impl CoreObserver for Recorder {
+    fn on_dispatch(&mut self, seq: u64, is_mem: bool) -> bool {
+        debug_assert!(!self.finished, "dispatch after finish()");
+        if is_mem {
+            if self.traq.is_full() {
+                return false;
+            }
+            let nmi = self.nmi_pending;
+            self.nmi_pending = 0;
+            self.push_traq(TraqEntry {
+                seq,
+                // The access kind is refined at perform time; dispatch only
+                // needs a slot. Use Load as a placeholder.
+                kind: TraqKind::Mem(AccessKind::Load),
+                nmi,
+                pisn: None,
+                performed: false,
+                retired: false,
+                addr: 0,
+                line: LineAddr::containing(0),
+                loaded: None,
+                stored: None,
+                sample: Default::default(),
+            });
+            true
+        } else {
+            // After a squash, `nmi_pending` is recomputed and may exceed
+            // `nmi_max`; the excess is simply absorbed by the next TRAQ
+            // allocation (real hardware would emit extra fillers — the
+            // block-size arithmetic is identical either way).
+            if self.nmi_pending + 1 == self.cfg.nmi_max && self.traq.is_full() {
+                return false; // need a filler slot; stall
+            }
+            self.nmi_pending += 1;
+            if self.nmi_pending == self.cfg.nmi_max {
+                let nmi = self.nmi_pending;
+                self.push_traq(TraqEntry {
+                    seq,
+                    kind: TraqKind::Filler,
+                    nmi,
+                    pisn: None,
+                    performed: false,
+                    retired: false,
+                    addr: 0,
+                    line: LineAddr::containing(0),
+                    loaded: None,
+                    stored: None,
+                    sample: Default::default(),
+                });
+                self.nmi_pending = 0;
+            }
+            true
+        }
+    }
+
+    fn on_perform(&mut self, rec: &PerformRecord) {
+        let cisn = self.cisn;
+        // Soundness extension over the paper (see DESIGN.md §2.2): the
+        // Snoop Table must also observe this core's *own* store performs.
+        // Otherwise a load whose perform is moved across intervals can
+        // slide past its own core's younger same-address store — the store
+        // performs in the earlier interval and is patched to its end, so
+        // replay would execute the (program-order-older) load after it.
+        // Remote conflicts alone cannot reveal this local anti-dependence.
+        // Recording before sampling keeps a store from flagging itself.
+        if matches!(rec.kind, AccessKind::Store | AccessKind::Rmw) {
+            if let Some(t) = &mut self.snoop_table {
+                t.record(rec.line);
+            }
+        }
+        let sample = self
+            .snoop_table
+            .as_ref()
+            .map(|t| t.sample(rec.line))
+            .unwrap_or_default();
+        let entry = self
+            .traq
+            .find_mut(rec.seq)
+            .expect("perform for an instruction not in the TRAQ");
+        entry.kind = TraqKind::Mem(rec.kind);
+        entry.pisn = Some(cisn);
+        entry.performed = true;
+        entry.addr = rec.addr;
+        entry.line = rec.line;
+        entry.loaded = rec.loaded;
+        entry.stored = rec.stored;
+        entry.sample = sample;
+        // Insert the line into the current interval's signatures so
+        // conflicting snoops terminate the interval (paper §4.1).
+        match rec.kind {
+            AccessKind::Load => self.read_sig.insert(rec.line),
+            AccessKind::Store => self.write_sig.insert(rec.line),
+            AccessKind::Rmw => {
+                self.read_sig.insert(rec.line);
+                self.write_sig.insert(rec.line);
+            }
+        }
+    }
+
+    fn on_retire(&mut self, seq: u64, _is_mem: bool, _cycle: u64) {
+        // Both memory entries and fillers key retirement off their seq.
+        if let Some(entry) = self.traq.find_mut(seq) {
+            entry.retired = true;
+        }
+    }
+
+    fn on_squash_after(&mut self, bseq: u64) {
+        self.traq.squash_after(bseq);
+        let boundary = self
+            .traq
+            .newest_seq()
+            .map_or(self.counted_up_to, |s| (s as i64).max(self.counted_up_to));
+        self.alloc_boundary = boundary;
+        self.nmi_pending = (bseq as i64 - boundary).max(0) as u32;
+    }
+}

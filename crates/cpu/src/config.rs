@@ -1,0 +1,99 @@
+/// The memory consistency model the core implements.
+///
+/// RelaxReplay's claim (paper §1, §3.6) is that one recorder design works
+/// for *any* model with write atomicity; the simulator therefore supports
+/// the three classic points so the claim can be tested, not just stated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsistencyModel {
+    /// Sequential consistency: memory operations issue and perform strictly
+    /// in program order (each access waits for every older access,
+    /// including buffered stores).
+    Sc,
+    /// Total store ordering: loads may bypass buffered stores (with
+    /// forwarding) but stay ordered among themselves; stores drain FIFO,
+    /// one at a time.
+    Tso,
+    /// Release consistency (the paper's evaluation model): loads and
+    /// stores reorder freely; fences and atomics restore order.
+    Rc,
+}
+
+/// Configuration of one out-of-order core, mirroring the paper's Table 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Instructions dispatched and retired per cycle (Table 1: 4-way).
+    pub issue_width: usize,
+    /// Reorder-buffer capacity (Table 1: 176 entries).
+    pub rob_entries: usize,
+    /// Load/store queue capacity (Table 1: 128 entries).
+    pub lsq_entries: usize,
+    /// Number of load/store units — memory operations issued per cycle
+    /// (Table 1: 2).
+    pub ldst_units: usize,
+    /// Write-buffer capacity (retired stores awaiting their coherence
+    /// transaction).
+    pub write_buffer_entries: usize,
+    /// Maximum store transactions in flight from the write buffer at once
+    /// (release consistency lets independent stores overlap).
+    pub write_buffer_inflight: usize,
+    /// Cycles between a mispredicted branch resolving and the corrected
+    /// path dispatching.
+    pub mispredict_penalty: u64,
+    /// Execution latency of simple ALU operations.
+    pub alu_latency: u64,
+    /// Execution latency of multiplies.
+    pub mul_latency: u64,
+    /// Entries in the branch predictor's 2-bit counter table (power of
+    /// two).
+    pub predictor_entries: usize,
+    /// The memory consistency model (Table 1: RC).
+    pub consistency: ConsistencyModel,
+}
+
+impl CpuConfig {
+    /// The paper's core parameters (Table 1).
+    #[must_use]
+    pub fn splash_default() -> Self {
+        CpuConfig {
+            issue_width: 4,
+            rob_entries: 176,
+            lsq_entries: 128,
+            ldst_units: 2,
+            write_buffer_entries: 16,
+            write_buffer_inflight: 8,
+            mispredict_penalty: 3,
+            alu_latency: 1,
+            mul_latency: 3,
+            predictor_entries: 4096,
+            consistency: ConsistencyModel::Rc,
+        }
+    }
+
+    /// The same core under a different consistency model.
+    #[must_use]
+    pub fn with_consistency(mut self, model: ConsistencyModel) -> Self {
+        self.consistency = model;
+        self
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::splash_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let c = CpuConfig::splash_default();
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.rob_entries, 176);
+        assert_eq!(c.lsq_entries, 128);
+        assert_eq!(c.ldst_units, 2);
+        assert!(c.predictor_entries.is_power_of_two());
+    }
+}

@@ -1,0 +1,82 @@
+/// A classic table of 2-bit saturating counters indexed by PC.
+///
+/// Mispredictions squash the ROB — and with it the recorder's TRAQ — so the
+/// predictor's accuracy shapes how often RelaxReplay's flush path is
+/// exercised.
+#[derive(Clone, Debug)]
+pub struct Predictor {
+    counters: Vec<u8>, // 0..=3; >=2 predicts taken
+}
+
+impl Predictor {
+    /// Creates a predictor with `entries` counters, initialized to weakly
+    /// taken (backward branches in loops warm up fast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        Predictor {
+            counters: vec![2; entries],
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        (pc as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    #[must_use]
+    pub fn predict(&self, pc: u32) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Trains the predictor with the branch's actual direction.
+    pub fn update(&mut self, pc: u32, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_taken_and_not_taken() {
+        let mut p = Predictor::new(16);
+        for _ in 0..4 {
+            p.update(5, false);
+        }
+        assert!(!p.predict(5));
+        for _ in 0..4 {
+            p.update(5, true);
+        }
+        assert!(p.predict(5));
+    }
+
+    #[test]
+    fn hysteresis_requires_two_flips() {
+        let mut p = Predictor::new(16);
+        for _ in 0..4 {
+            p.update(1, true);
+        }
+        p.update(1, false); // 3 -> 2: still predicts taken
+        assert!(p.predict(1));
+        p.update(1, false); // 2 -> 1: now predicts not taken
+        assert!(!p.predict(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Predictor::new(10);
+    }
+}

@@ -1,0 +1,94 @@
+/// Per-core execution statistics.
+///
+/// `ooo_loads` / `ooo_stores` count accesses that performed while an older
+/// memory instruction was still unperformed — the quantity Figure 1 of the
+/// paper reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Atomic RMWs retired.
+    pub rmws: u64,
+    /// Loads that performed out of program order (an older memory access
+    /// was still pending at their perform time).
+    pub ooo_loads: u64,
+    /// Stores that performed out of program order.
+    pub ooo_stores: u64,
+    /// Loads serviced by store-to-load forwarding (LSQ or write buffer).
+    pub forwarded_loads: u64,
+    /// Pipeline squashes (branch mispredictions plus memory-order
+    /// violations; each flushes the ROB and TRAQ).
+    pub squashes: u64,
+    /// Squashes caused by a load speculatively bypassing an older store to
+    /// the same address (memory-dependence misspeculation).
+    pub memory_order_squashes: u64,
+    /// Cycles in which dispatch was stalled because the observer (TRAQ)
+    /// refused an instruction.
+    pub traq_stall_cycles: u64,
+    /// Cycles in which dispatch was stalled because the ROB was full.
+    pub rob_stall_cycles: u64,
+    /// Cycles in which dispatch was stalled because the LSQ was full.
+    pub lsq_stall_cycles: u64,
+    /// Cycles in which a store could not retire because the write buffer
+    /// was full.
+    pub wb_stall_cycles: u64,
+    /// Cycles from the first tick until the core finished.
+    pub active_cycles: u64,
+}
+
+impl CoreStats {
+    /// Total memory-access instructions retired.
+    #[must_use]
+    pub fn mem_instrs(&self) -> u64 {
+        self.loads + self.stores + self.rmws
+    }
+
+    /// Fraction of memory accesses that performed out of order, in
+    /// `[0, 1]` (Figure 1's metric).
+    #[must_use]
+    pub fn ooo_fraction(&self) -> f64 {
+        let mem = self.mem_instrs();
+        if mem == 0 {
+            return 0.0;
+        }
+        (self.ooo_loads + self.ooo_stores) as f64 / mem as f64
+    }
+
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.active_cycles == 0 {
+            return 0.0;
+        }
+        self.retired as f64 / self.active_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_handle_zero() {
+        let s = CoreStats::default();
+        assert_eq!(s.ooo_fraction(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn ooo_fraction_counts_loads_and_stores() {
+        let s = CoreStats {
+            loads: 6,
+            stores: 3,
+            rmws: 1,
+            ooo_loads: 4,
+            ooo_stores: 1,
+            ..CoreStats::default()
+        };
+        assert!((s.ooo_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Ablation studies of RelaxReplay's hardware parameters (the design
+//! choices DESIGN.md calls out): Snoop Table size, signature size, TRAQ
+//! depth, counting bandwidth, and the NMI field width.
+//!
+//! Each sweep records the same workloads under custom recorder
+//! configurations and reports the recorder-visible consequences.
+
+use relaxreplay::{Design, RecorderConfig};
+use rr_cpu::ConsistencyModel;
+use rr_experiments::report::{pct, results_dir, Table};
+use rr_experiments::ExperimentConfig;
+use rr_sim::{record_custom, MachineConfig};
+use rr_workloads::by_name;
+
+const WORKLOADS: [&str; 3] = ["fft", "barnes", "radix"];
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let machine = MachineConfig::splash_default(cfg.threads);
+    let dir = results_dir();
+
+    // --- Consistency model: the same recorder under SC / TSO / RC -------
+    // (the paper's central claim: one design for any model with write
+    // atomicity; reordering collapses under stricter models but recording
+    // works unchanged).
+    let mut t = Table::new(
+        "Ablation: consistency model — OOO performed / logged reordered (Base-4K)",
+        &["workload", "SC", "TSO", "RC"],
+    );
+    for name in WORKLOADS {
+        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
+        let mut cells = vec![name.to_string()];
+        for model in [ConsistencyModel::Sc, ConsistencyModel::Tso, ConsistencyModel::Rc] {
+            let m = MachineConfig::splash_default(cfg.threads).with_consistency(model);
+            let configs = vec![RecorderConfig::splash_default(Design::Base, Some(4096))];
+            let r = record_custom(&w.programs, &w.initial_mem, &m, &configs).expect("records");
+            cells.push(format!(
+                "{} / {}",
+                pct(r.ooo_fraction()),
+                pct(r.variants[0].reordered_fraction())
+            ));
+        }
+        t.row(cells);
+    }
+    t.print();
+    t.write_csv(&dir, "ablation_consistency").expect("write CSV");
+
+    // --- Snoop Table size (Opt-INF): aliasing vs reordered fraction -----
+    let mut t = Table::new(
+        "Ablation: Snoop Table entries per array (Opt-INF)",
+        &["workload", "8", "64 (paper)", "512"],
+    );
+    for name in WORKLOADS {
+        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
+        let configs: Vec<RecorderConfig> = [8usize, 64, 512]
+            .into_iter()
+            .map(|entries| RecorderConfig {
+                snoop_entries: entries,
+                ..RecorderConfig::splash_default(Design::Opt, None)
+            })
+            .collect();
+        let r = record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+        t.row(vec![
+            name.into(),
+            pct(r.variants[0].reordered_fraction()),
+            pct(r.variants[1].reordered_fraction()),
+            pct(r.variants[2].reordered_fraction()),
+        ]);
+    }
+    t.print();
+    t.write_csv(&dir, "ablation_snoop_table").expect("write CSV");
+
+    // --- Signature size (Base-INF): false positives vs intervals --------
+    let mut t = Table::new(
+        "Ablation: signature bits per bank (Base-INF) — intervals recorded",
+        &["workload", "64b", "256b (paper)", "1024b"],
+    );
+    for name in WORKLOADS {
+        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
+        let configs: Vec<RecorderConfig> = [64u32, 256, 1024]
+            .into_iter()
+            .map(|bits| RecorderConfig {
+                sig_bits: bits,
+                ..RecorderConfig::splash_default(Design::Base, None)
+            })
+            .collect();
+        let r = record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+        let intervals = |v: usize| -> u64 {
+            r.variants[v].logs.iter().map(|l| l.intervals() as u64).sum()
+        };
+        t.row(vec![
+            name.into(),
+            format!("{}", intervals(0)),
+            format!("{}", intervals(1)),
+            format!("{}", intervals(2)),
+        ]);
+    }
+    t.print();
+    t.write_csv(&dir, "ablation_signature").expect("write CSV");
+
+    // --- TRAQ depth: dispatch stalls and reordered fraction -------------
+    let mut t = Table::new(
+        "Ablation: TRAQ depth (Base-4K) — stall cycles / reordered",
+        &["workload", "44", "88", "176 (paper)"],
+    );
+    for name in WORKLOADS {
+        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
+        let mut cells = vec![name.to_string()];
+        for entries in [44usize, 88, 176] {
+            let configs = vec![RecorderConfig {
+                traq_entries: entries,
+                ..RecorderConfig::splash_default(Design::Base, Some(4096))
+            }];
+            let r =
+                record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+            let stalls: u64 = r.core_stats.iter().map(|s| s.traq_stall_cycles).sum();
+            cells.push(format!(
+                "{stalls} / {}",
+                pct(r.variants[0].reordered_fraction())
+            ));
+        }
+        t.row(cells);
+    }
+    t.print();
+    t.write_csv(&dir, "ablation_traq").expect("write CSV");
+
+    // --- Counting bandwidth: TRAQ occupancy ------------------------------
+    let mut t = Table::new(
+        "Ablation: counting reads per cycle — average TRAQ occupancy",
+        &["workload", "1", "2 (paper)", "4"],
+    );
+    for name in WORKLOADS {
+        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
+        let mut cells = vec![name.to_string()];
+        // Counting bandwidth changes TRAQ dynamics, so each configuration
+        // must observe its own run (recorders attached together must agree
+        // on TRAQ occupancy; see `FanoutObserver`).
+        for count in [1usize, 2, 4] {
+            let configs = vec![RecorderConfig {
+                count_per_cycle: count,
+                ..RecorderConfig::splash_default(Design::Base, Some(4096))
+            }];
+            let r =
+                record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+            let s = &r.variants[0].stats;
+            let avg = s.iter().map(|x| x.traq_avg()).sum::<f64>() / s.len() as f64;
+            cells.push(format!("{avg:.1}"));
+        }
+        t.row(cells);
+    }
+    t.print();
+    t.write_csv(&dir, "ablation_counting").expect("write CSV");
+
+    // --- NMI width: filler entries vs block sizes ------------------------
+    let mut t = Table::new(
+        "Ablation: NMI field maximum — InorderBlock entries (Base-INF)",
+        &["workload", "nmi<=3", "nmi<=15 (paper)", "nmi<=63"],
+    );
+    for name in WORKLOADS {
+        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
+        let mut cells = vec![name.to_string()];
+        // The NMI width changes filler allocation and hence TRAQ dynamics:
+        // one configuration per run.
+        for nmi in [3u32, 15, 63] {
+            let configs = vec![RecorderConfig {
+                nmi_max: nmi,
+                ..RecorderConfig::splash_default(Design::Base, None)
+            }];
+            let r =
+                record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+            cells.push(format!("{}", r.variants[0].inorder_blocks()));
+        }
+        t.row(cells);
+    }
+    t.print();
+    t.write_csv(&dir, "ablation_nmi").expect("write CSV");
+}

@@ -1,0 +1,45 @@
+//! Regenerates every table and figure of the paper's evaluation from one
+//! set of recorded executions (plus the separate scalability sweep), and
+//! writes CSVs to the results directory.
+
+use rr_experiments::report::results_dir;
+use rr_experiments::runner::run_scalability;
+use rr_experiments::{figures, run_suite, ExperimentConfig};
+use rr_sim::MachineConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let dir = results_dir();
+    eprintln!(
+        "running the suite: {} cores, size {} (override with RR_THREADS / RR_SIZE)",
+        cfg.threads, cfg.size
+    );
+
+    let t1 = figures::table1(&MachineConfig::splash_default(cfg.threads));
+    t1.print();
+    t1.write_csv(&dir, "table1").expect("write CSV");
+
+    let runs = run_suite(&cfg);
+    for (t, slug) in [
+        (figures::fig01(&runs), "fig01"),
+        (figures::fig09(&runs), "fig09"),
+        (figures::fig10(&runs), "fig10"),
+        (figures::fig11(&runs), "fig11"),
+        (figures::fig12(&runs), "fig12"),
+        (
+            figures::fig12_histogram(&runs, &["fft", "radix", "barnes", "water_nsq"]),
+            "fig12_hist",
+        ),
+        (figures::fig13(&runs), "fig13"),
+    ] {
+        t.print();
+        t.write_csv(&dir, slug).expect("write CSV");
+    }
+
+    eprintln!("running the scalability sweep (4/8/16 cores)...");
+    let scal = run_scalability(&cfg, &[4, 8, 16]);
+    let t = figures::fig14(&scal);
+    t.print();
+    t.write_csv(&dir, "fig14").expect("write CSV");
+    eprintln!("CSVs written to {}", dir.display());
+}

@@ -1,0 +1,13 @@
+//! Figure 9: fraction of memory accesses logged as reordered.
+
+use rr_experiments::report::results_dir;
+use rr_experiments::{figures, run_suite, ExperimentConfig};
+
+fn main() {
+    let mut cfg = ExperimentConfig::from_env();
+    cfg.replay = false;
+    let runs = run_suite(&cfg);
+    let t = figures::fig09(&runs);
+    t.print();
+    t.write_csv(&results_dir(), "fig09").expect("write CSV");
+}

@@ -1,0 +1,17 @@
+//! Figure 12: TRAQ occupancy (average, peak, distribution) and the
+//! recording-overhead evidence of §5.3.
+
+use rr_experiments::report::results_dir;
+use rr_experiments::{figures, run_suite, ExperimentConfig};
+
+fn main() {
+    let mut cfg = ExperimentConfig::from_env();
+    cfg.replay = false;
+    let runs = run_suite(&cfg);
+    let t = figures::fig12(&runs);
+    t.print();
+    t.write_csv(&results_dir(), "fig12").expect("write CSV");
+    let h = figures::fig12_histogram(&runs, &["fft", "radix", "barnes", "water_nsq"]);
+    h.print();
+    h.write_csv(&results_dir(), "fig12_hist").expect("write CSV");
+}

@@ -1,0 +1,13 @@
+//! Figure 14: recording behaviour at 4, 8 and 16 cores.
+
+use rr_experiments::report::results_dir;
+use rr_experiments::runner::run_scalability;
+use rr_experiments::{figures, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let results = run_scalability(&cfg, &[4, 8, 16]);
+    let t = figures::fig14(&results);
+    t.print();
+    t.write_csv(&results_dir(), "fig14").expect("write CSV");
+}

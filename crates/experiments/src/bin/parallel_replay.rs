@@ -1,0 +1,66 @@
+//! Extension experiment (paper §3.6, §5.4 closing remark): parallel replay
+//! speedup when RelaxReplay's intervals are ordered by the recorded
+//! partial order instead of the QuickRec total order. Compares snoopy
+//! (broadcast observers ⇒ conservative edges) against directory coherence
+//! (filtered observers ⇒ real parallelism).
+
+use rr_experiments::report::{f2, results_dir, Table};
+use rr_experiments::ExperimentConfig;
+use rr_replay::{patch, replay_parallel, verify, CostModel};
+use rr_sim::{record, MachineConfig, RecorderSpec};
+use rr_workloads::suite;
+
+fn speedup(
+    w: &rr_workloads::Workload,
+    result: &rr_sim::RunResult,
+    workers: usize,
+) -> f64 {
+    let v = &result.variants[0];
+    let patched: Vec<_> = v.logs.iter().map(|l| patch(l).expect("patches")).collect();
+    let outcome = replay_parallel(
+        &w.programs,
+        &patched,
+        &v.ordering,
+        w.initial_mem.clone(),
+        &CostModel::splash_default(),
+        workers,
+    )
+    .expect("parallel replay");
+    verify(&result.recorded, &outcome.outcome).expect("parallel replay must verify");
+    outcome.speedup()
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let specs = vec![RecorderSpec {
+        design: relaxreplay::Design::Opt,
+        max_interval: Some(4096),
+    }];
+    let snoopy = MachineConfig::splash_default(cfg.threads);
+    let directory = MachineConfig::splash_default(cfg.threads).with_directory();
+
+    let mut t = Table::new(
+        &format!(
+            "Extension: parallel replay speedup on {} replay cores (Opt-4K, verified)",
+            cfg.threads
+        ),
+        &["workload", "snoopy", "directory"],
+    );
+    let (mut ss, mut sd) = (0.0, 0.0);
+    let workloads = suite(cfg.threads, cfg.size);
+    for w in &workloads {
+        let rs = record(&w.programs, &w.initial_mem, &snoopy, &specs).expect("records");
+        let rd = record(&w.programs, &w.initial_mem, &directory, &specs).expect("records");
+        let (a, b) = (
+            speedup(w, &rs, cfg.threads),
+            speedup(w, &rd, cfg.threads),
+        );
+        ss += a;
+        sd += b;
+        t.row(vec![w.name.into(), f2(a), f2(b)]);
+    }
+    let n = workloads.len() as f64;
+    t.row(vec!["AVERAGE".into(), f2(ss / n), f2(sd / n)]);
+    t.print();
+    t.write_csv(&results_dir(), "parallel_replay").expect("write CSV");
+}

@@ -1,0 +1,12 @@
+//! Prints Table 1 (architectural parameters of the simulated machine).
+
+use rr_experiments::report::results_dir;
+use rr_experiments::{figures, ExperimentConfig};
+use rr_sim::MachineConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let t = figures::table1(&MachineConfig::splash_default(cfg.threads));
+    t.print();
+    t.write_csv(&results_dir(), "table1").expect("write CSV");
+}

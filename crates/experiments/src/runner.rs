@@ -1,0 +1,146 @@
+//! Runs the workload suite through the simulator and the replayer, once,
+//! producing everything the individual figures need.
+
+use rr_replay::{CostModel, ReplayOutcome};
+use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec, RunResult};
+use rr_workloads::{suite, Workload};
+
+/// Configuration of an experiment campaign.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Number of cores / threads (the paper's default is 8).
+    pub threads: usize,
+    /// Workload size factor (larger = longer runs, tighter statistics).
+    pub size: u32,
+    /// Replay cost model for Figure 13.
+    pub cost: CostModel,
+    /// Whether to replay (and verify) every variant. Disable for
+    /// recording-only experiments to save time.
+    pub replay: bool,
+}
+
+impl ExperimentConfig {
+    /// The defaults used by the figure binaries: 8 cores, a size giving a
+    /// few hundred thousand instructions per workload.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ExperimentConfig {
+            threads: 8,
+            size: 6,
+            cost: CostModel::splash_default(),
+            replay: true,
+        }
+    }
+
+    /// Reads `RR_THREADS` / `RR_SIZE` environment overrides (used by the
+    /// binaries so runs can be scaled without recompiling).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut cfg = Self::paper_default();
+        if let Ok(t) = std::env::var("RR_THREADS") {
+            if let Ok(t) = t.parse() {
+                cfg.threads = t;
+            }
+        }
+        if let Ok(s) = std::env::var("RR_SIZE") {
+            if let Ok(s) = s.parse() {
+                cfg.size = s;
+            }
+        }
+        cfg
+    }
+}
+
+/// One workload's complete results: the recorded run (with all four
+/// recorder variants) and, per variant, the verified replay outcome.
+#[derive(Debug)]
+pub struct WorkloadRun {
+    /// Workload name.
+    pub name: &'static str,
+    /// The recorded execution and per-variant logs/stats.
+    pub record: RunResult,
+    /// Replay outcomes, parallel to `record.variants` (empty if replay was
+    /// disabled).
+    pub replays: Vec<ReplayOutcome>,
+}
+
+/// The recorder variants, in the order used by every figure:
+/// `Base-4K, Opt-4K, Base-INF, Opt-INF`.
+#[must_use]
+pub fn variant_specs() -> Vec<RecorderSpec> {
+    RecorderSpec::paper_matrix()
+}
+
+/// Records (and optionally replays + verifies) the entire workload suite.
+///
+/// # Panics
+///
+/// Panics if any recording deadlocks or any replay fails verification —
+/// either would be a correctness bug, not an experiment outcome.
+#[must_use]
+pub fn run_suite(cfg: &ExperimentConfig) -> Vec<WorkloadRun> {
+    let machine = MachineConfig::splash_default(cfg.threads);
+    let specs = variant_specs();
+    suite(cfg.threads, cfg.size)
+        .into_iter()
+        .map(|w| run_one(&w, &machine, &specs, cfg))
+        .collect()
+}
+
+fn run_one(
+    w: &Workload,
+    machine: &MachineConfig,
+    specs: &[RecorderSpec],
+    cfg: &ExperimentConfig,
+) -> WorkloadRun {
+    let record = record(&w.programs, &w.initial_mem, machine, specs)
+        .unwrap_or_else(|e| panic!("{}: recording failed: {e}", w.name));
+    // Native replay re-executes the same instruction stream with warm
+    // caches and no coherence contention, so its IPC is at least the
+    // recorded per-core IPC (the paper's sequential replay of 8 cores
+    // taking only 6.7x the parallel recording implies the same).
+    let active = record
+        .core_stats
+        .iter()
+        .filter(|s| s.active_cycles > 0)
+        .count()
+        .max(1);
+    let per_core_ipc =
+        record.total_instrs() as f64 / record.cycles.max(1) as f64 / active as f64;
+    let cost = rr_replay::CostModel {
+        replay_ipc: (per_core_ipc * 1.2).max(cfg.cost.replay_ipc),
+        ..cfg.cost
+    };
+    let replays = if cfg.replay {
+        (0..specs.len())
+            .map(|v| {
+                replay_and_verify(&w.programs, &w.initial_mem, &record, v, &cost)
+                    .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, specs[v].label()))
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    WorkloadRun {
+        name: w.name,
+        record,
+        replays,
+    }
+}
+
+/// Records the suite at several core counts (Figure 14). Returns
+/// `(cores, runs)` pairs. Replay is skipped (Figure 14 is about recording).
+#[must_use]
+pub fn run_scalability(cfg: &ExperimentConfig, core_counts: &[usize]) -> Vec<(usize, Vec<WorkloadRun>)> {
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let sub = ExperimentConfig {
+                threads: cores,
+                replay: false,
+                ..cfg.clone()
+            };
+            (cores, run_suite(&sub))
+        })
+        .collect()
+}

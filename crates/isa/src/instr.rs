@@ -1,0 +1,316 @@
+use core::fmt;
+
+use crate::Reg;
+
+/// Binary ALU operations.
+///
+/// All arithmetic is on 64-bit values with wrapping semantics; comparisons
+/// produce 0 or 1. Shift amounts are taken modulo 64.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (amount mod 64).
+    Shl,
+    /// Logical shift right (amount mod 64).
+    Shr,
+    /// Set if less-than, unsigned: `(a < b) as u64`.
+    Sltu,
+    /// Set if less-than, signed: `((a as i64) < (b as i64)) as u64`.
+    Slt,
+}
+
+impl AluOp {
+    /// Applies the operation to two operand values.
+    ///
+    /// ```
+    /// use rr_isa::AluOp;
+    /// assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0); // wrapping
+    /// assert_eq!(AluOp::Slt.apply(u64::MAX, 0), 1); // -1 < 0 signed
+    /// ```
+    #[must_use]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b as u32),
+            AluOp::Shr => a.wrapping_shr(b as u32),
+            AluOp::Sltu => u64::from(a < b),
+            AluOp::Slt => u64::from((a as i64) < (b as i64)),
+        }
+    }
+}
+
+/// Conditions for conditional branches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less-than, signed.
+    Lt,
+    /// Branch if greater-or-equal, signed.
+    Ge,
+    /// Branch if less-than, unsigned.
+    Ltu,
+    /// Branch if greater-or-equal, unsigned.
+    Geu,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on two operand values.
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// Memory fence kinds, mirroring release-consistency primitives.
+///
+/// Under the RC model of the simulated core (paper §5.1), plain loads and
+/// stores may reorder freely; fences restore ordering where workloads need it
+/// (lock acquire/release, barriers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FenceKind {
+    /// Later accesses may not start until the fence retires (read barrier).
+    Acquire,
+    /// The fence does not retire until all earlier accesses performed
+    /// (write barrier: drains the write buffer).
+    Release,
+    /// Both acquire and release.
+    Full,
+}
+
+/// Atomic read-modify-write operations.
+///
+/// Atomics have acquire+release semantics in the simulated core and perform
+/// as a single coherence transaction (they are both a read and a write for
+/// the recorder's signatures; see DESIGN.md §2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AtomicOp {
+    /// Compare-and-swap: if `mem[addr] == expected`, write `desired`.
+    /// The destination register receives the *old* memory value.
+    Cas,
+    /// Fetch-and-add: `mem[addr] += operand`. The destination register
+    /// receives the *old* memory value.
+    FetchAdd,
+    /// Atomic exchange: `mem[addr] = operand`. The destination register
+    /// receives the *old* memory value.
+    Swap,
+}
+
+/// A single instruction of the mini ISA.
+///
+/// Branch/jump targets are resolved instruction indices (produced by
+/// [`ProgramBuilder`](crate::ProgramBuilder) from labels). All memory
+/// addresses are computed as `regs[base] + offset` and must be 8-byte
+/// aligned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Three-register ALU operation: `dst = op(a, b)`.
+    Op {
+        /// The operation to apply.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second source register.
+        b: Reg,
+    },
+    /// Register-immediate ALU operation: `dst = op(a, imm)`.
+    OpImm {
+        /// The operation to apply.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        a: Reg,
+        /// Immediate operand (sign-extended to 64 bits).
+        imm: i64,
+    },
+    /// Load immediate: `dst = imm`.
+    LoadImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Word load: `dst = mem[regs[base] + offset]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Word store: `mem[regs[base] + offset] = regs[src]`.
+    Store {
+        /// Source (data) register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Atomic read-modify-write on `regs[addr]`.
+    Atomic {
+        /// Which RMW operation to perform.
+        op: AtomicOp,
+        /// Destination register (receives the old memory value).
+        dst: Reg,
+        /// Address register (no offset; atomics address directly).
+        addr: Reg,
+        /// For `Cas`: the expected value register. Unused otherwise.
+        expected: Reg,
+        /// For `Cas`: the desired value; for `FetchAdd`/`Swap`: the operand.
+        operand: Reg,
+    },
+    /// Conditional branch to `target` if `cond(a, b)`.
+    Branch {
+        /// Branch condition.
+        cond: BranchCond,
+        /// First comparison register.
+        a: Reg,
+        /// Second comparison register.
+        b: Reg,
+        /// Resolved target instruction index.
+        target: u32,
+    },
+    /// Unconditional jump to `target`.
+    Jump {
+        /// Resolved target instruction index.
+        target: u32,
+    },
+    /// Memory fence.
+    Fence(FenceKind),
+    /// No operation.
+    Nop,
+    /// Stops the thread.
+    Halt,
+}
+
+impl Instr {
+    /// Returns `true` for instructions that access memory (loads, stores and
+    /// atomics) — the instructions tracked by the recorder's TRAQ.
+    #[must_use]
+    pub fn is_memory_access(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. } | Instr::Store { .. } | Instr::Atomic { .. }
+        )
+    }
+
+    /// Returns `true` for control-flow instructions (branches and jumps).
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(self, Instr::Branch { .. } | Instr::Jump { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Op { op, dst, a, b } => write!(f, "{op:?} {dst}, {a}, {b}"),
+            Instr::OpImm { op, dst, a, imm } => write!(f, "{op:?}i {dst}, {a}, {imm}"),
+            Instr::LoadImm { dst, imm } => write!(f, "li {dst}, {imm}"),
+            Instr::Load { dst, base, offset } => write!(f, "ld {dst}, {offset}({base})"),
+            Instr::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
+            Instr::Atomic {
+                op,
+                dst,
+                addr,
+                expected,
+                operand,
+            } => match op {
+                AtomicOp::Cas => write!(f, "cas {dst}, ({addr}), {expected} -> {operand}"),
+                AtomicOp::FetchAdd => write!(f, "fadd {dst}, ({addr}), {operand}"),
+                AtomicOp::Swap => write!(f, "swap {dst}, ({addr}), {operand}"),
+            },
+            Instr::Branch { cond, a, b, target } => write!(f, "b{cond:?} {a}, {b}, @{target}"),
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::Fence(kind) => write!(f, "fence.{kind:?}"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(1 << 63, 2), 0);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 65), 2); // amount mod 64
+        assert_eq!(AluOp::Shr.apply(8, 2), 2);
+        assert_eq!(AluOp::Sltu.apply(1, 2), 1);
+        assert_eq!(AluOp::Sltu.apply(u64::MAX, 0), 0);
+        assert_eq!(AluOp::Slt.apply(u64::MAX, 0), 1);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.eval(4, 4));
+        assert!(BranchCond::Ne.eval(4, 5));
+        assert!(BranchCond::Lt.eval(u64::MAX, 0)); // -1 < 0
+        assert!(!BranchCond::Ltu.eval(u64::MAX, 0));
+        assert!(BranchCond::Ge.eval(0, u64::MAX)); // 0 >= -1
+        assert!(BranchCond::Geu.eval(u64::MAX, 0));
+    }
+
+    #[test]
+    fn memory_access_classification() {
+        let ld = Instr::Load {
+            dst: Reg::ZERO,
+            base: Reg::ZERO,
+            offset: 0,
+        };
+        assert!(ld.is_memory_access());
+        assert!(!Instr::Nop.is_memory_access());
+        assert!(!Instr::Fence(FenceKind::Full).is_memory_access());
+        assert!(Instr::Jump { target: 0 }.is_control());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let instrs = [
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Fence(FenceKind::Acquire),
+            Instr::Jump { target: 3 },
+        ];
+        for i in &instrs {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

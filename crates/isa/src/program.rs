@@ -1,0 +1,358 @@
+use core::fmt;
+
+use crate::{AluOp, AtomicOp, BranchCond, FenceKind, Instr, Reg};
+
+/// A forward-referenceable jump/branch target used with
+/// [`ProgramBuilder`].
+///
+/// Create with [`ProgramBuilder::label`], bind with
+/// [`ProgramBuilder::bind`]. A label may be referenced before it is bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An executable program for one thread: a sequence of [`Instr`] with all
+/// labels resolved.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Returns the instruction at `pc`, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// Returns the number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Returns the instruction sequence.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, i) in self.instrs.iter().enumerate() {
+            writeln!(f, "{pc:6}: {i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced when building a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A label was referenced by a branch or jump but never bound.
+    UnboundLabel(Label),
+    /// A label was bound twice.
+    ReboundLabel(Label),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            ProgramError::ReboundLabel(l) => write!(f, "label {l:?} bound more than once"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// An assembler-like builder for [`Program`]s, with labels for loops and
+/// forward branches.
+///
+/// ```
+/// use rr_isa::{BranchCond, ProgramBuilder, Reg};
+///
+/// // Sum 0..10 into r1.
+/// let mut b = ProgramBuilder::new();
+/// let (i, sum, limit) = (Reg::new(1), Reg::new(2), Reg::new(3));
+/// b.load_imm(i, 0);
+/// b.load_imm(sum, 0);
+/// b.load_imm(limit, 10);
+/// let top = b.bind_new();
+/// b.add(sum, sum, i);
+/// b.add_imm(i, i, 1);
+/// b.branch(BranchCond::Lt, i, limit, top);
+/// b.halt();
+/// let program = b.build();
+/// assert!(program.len() > 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    // For each label id: the bound instruction index, if bound.
+    labels: Vec<Option<usize>>,
+    // (instruction index, label id) pairs to fix up at build time.
+    fixups: Vec<(usize, usize)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the index the next emitted instruction will occupy.
+    #[must_use]
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound (the error is also reported by
+    /// [`ProgramBuilder::try_build`], but double-binding is always a bug in
+    /// the generator, so it fails fast).
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.labels[label.0].is_none(),
+            "label {label:?} bound more than once"
+        );
+        self.labels[label.0] = Some(self.instrs.len());
+    }
+
+    /// Creates a label bound to the current position.
+    pub fn bind_new(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Emits `dst = op(a, b)`.
+    pub fn op(&mut self, op: AluOp, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Instr::Op { op, dst, a, b })
+    }
+
+    /// Emits `dst = op(a, imm)`.
+    pub fn op_imm(&mut self, op: AluOp, dst: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Instr::OpImm { op, dst, a, imm })
+    }
+
+    /// Emits `dst = a + b`.
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.op(AluOp::Add, dst, a, b)
+    }
+
+    /// Emits `dst = a + imm`.
+    pub fn add_imm(&mut self, dst: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.op_imm(AluOp::Add, dst, a, imm)
+    }
+
+    /// Emits `dst = a * b`.
+    pub fn mul(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.op(AluOp::Mul, dst, a, b)
+    }
+
+    /// Emits `dst = a ^ b`.
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.op(AluOp::Xor, dst, a, b)
+    }
+
+    /// Emits `dst = imm`.
+    pub fn load_imm(&mut self, dst: Reg, imm: i64) -> &mut Self {
+        self.emit(Instr::LoadImm { dst, imm })
+    }
+
+    /// Emits `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instr::Load { dst, base, offset })
+    }
+
+    /// Emits `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.emit(Instr::Store { src, base, offset })
+    }
+
+    /// Emits a compare-and-swap (`dst` receives the old value).
+    pub fn cas(&mut self, dst: Reg, addr: Reg, expected: Reg, desired: Reg) -> &mut Self {
+        self.emit(Instr::Atomic {
+            op: AtomicOp::Cas,
+            dst,
+            addr,
+            expected,
+            operand: desired,
+        })
+    }
+
+    /// Emits a fetch-and-add (`dst` receives the old value).
+    pub fn fetch_add(&mut self, dst: Reg, addr: Reg, operand: Reg) -> &mut Self {
+        self.emit(Instr::Atomic {
+            op: AtomicOp::FetchAdd,
+            dst,
+            addr,
+            expected: Reg::ZERO,
+            operand,
+        })
+    }
+
+    /// Emits an atomic exchange (`dst` receives the old value).
+    pub fn swap(&mut self, dst: Reg, addr: Reg, operand: Reg) -> &mut Self {
+        self.emit(Instr::Atomic {
+            op: AtomicOp::Swap,
+            dst,
+            addr,
+            expected: Reg::ZERO,
+            operand,
+        })
+    }
+
+    /// Emits a conditional branch to `target`.
+    pub fn branch(&mut self, cond: BranchCond, a: Reg, b: Reg, target: Label) -> &mut Self {
+        let at = self.instrs.len();
+        self.fixups.push((at, target.0));
+        self.emit(Instr::Branch {
+            cond,
+            a,
+            b,
+            target: u32::MAX, // patched in build()
+        })
+    }
+
+    /// Emits an unconditional jump to `target`.
+    pub fn jump(&mut self, target: Label) -> &mut Self {
+        let at = self.instrs.len();
+        self.fixups.push((at, target.0));
+        self.emit(Instr::Jump { target: u32::MAX })
+    }
+
+    /// Emits a fence of the given kind.
+    pub fn fence(&mut self, kind: FenceKind) -> &mut Self {
+        self.emit(Instr::Fence(kind))
+    }
+
+    /// Emits `count` no-ops (useful to stretch the non-memory distance
+    /// between memory accesses, exercising the TRAQ's NMI field).
+    pub fn nops(&mut self, count: usize) -> &mut Self {
+        for _ in 0..count {
+            self.emit(Instr::Nop);
+        }
+        self
+    }
+
+    /// Emits a halt.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// Resolves labels and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnboundLabel`] if any referenced label was
+    /// never bound.
+    pub fn try_build(self) -> Result<Program, ProgramError> {
+        let mut instrs = self.instrs;
+        for (at, label_id) in self.fixups {
+            let Some(pos) = self.labels[label_id] else {
+                return Err(ProgramError::UnboundLabel(Label(label_id)));
+            };
+            let target = pos as u32;
+            match &mut instrs[at] {
+                Instr::Branch { target: t, .. } | Instr::Jump { target: t } => *t = target,
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        Ok(Program { instrs })
+    }
+
+    /// Resolves labels and returns the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound; use
+    /// [`ProgramBuilder::try_build`] for a fallible variant.
+    #[must_use]
+    pub fn build(self) -> Program {
+        match self.try_build() {
+            Ok(p) => p,
+            Err(e) => panic!("program build failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.label();
+        let back = b.bind_new();
+        b.jump(fwd);
+        b.branch(BranchCond::Eq, Reg::ZERO, Reg::ZERO, back);
+        b.bind(fwd);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.get(0), Some(&Instr::Jump { target: 2 }));
+        match p.get(1) {
+            Some(Instr::Branch { target, .. }) => assert_eq!(*target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jump(l);
+        assert!(matches!(
+            b.try_build(),
+            Err(ProgramError::UnboundLabel(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound more than once")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.bind_new();
+        b.bind(l);
+    }
+
+    #[test]
+    fn display_lists_every_instruction() {
+        let mut b = ProgramBuilder::new();
+        b.nops(3).halt();
+        let text = b.build().to_string();
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut b = ProgramBuilder::new();
+        assert_eq!(b.here(), 0);
+        b.nops(2);
+        assert_eq!(b.here(), 2);
+    }
+}

@@ -1,0 +1,83 @@
+use core::fmt;
+
+use crate::NUM_REGS;
+
+/// An architectural register identifier.
+///
+/// The ISA has [`NUM_REGS`](crate::NUM_REGS) (32) general-purpose 64-bit
+/// registers. Register 0 is **not** hard-wired to zero, but by convention the
+/// workloads in this repository keep [`Reg::ZERO`] holding zero; the
+/// interpreter initializes all registers to zero.
+///
+/// ```
+/// use rr_isa::Reg;
+/// let r5 = Reg::new(5);
+/// assert_eq!(r5.index(), 5);
+/// assert_eq!(r5.to_string(), "r5");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Register 0, conventionally kept at zero by workloads.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    #[must_use]
+    pub const fn new(index: u8) -> Self {
+        assert!((index as usize) < NUM_REGS, "register index out of range");
+        Reg(index)
+    }
+
+    /// Returns the register index in `0..NUM_REGS`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(NUM_REGS as u8);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Reg::ZERO.to_string(), "r0");
+        assert_eq!(format!("{:?}", Reg::new(31)), "r31");
+    }
+}

@@ -1,0 +1,213 @@
+use crate::LineAddr;
+
+#[derive(Clone, Debug)]
+struct Way<T> {
+    line: LineAddr,
+    payload: T,
+    last_used: u64,
+}
+
+/// A generic set-associative cache with true-LRU replacement, used for both
+/// the per-core L1s (payload = [`MesiState`](crate::MesiState)) and the
+/// shared L2 (payload = `()`).
+///
+/// ```
+/// use rr_mem::{LineAddr, SetAssocCache};
+/// let mut c: SetAssocCache<u32> = SetAssocCache::new(2, 2);
+/// let l = LineAddr::from_line_number(5);
+/// assert!(c.get(l).is_none());
+/// assert!(c.insert(l, 7).is_none());
+/// assert_eq!(c.get(l), Some(&7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache<T> {
+    sets: Vec<Vec<Way<T>>>,
+    assoc: usize,
+    clock: u64,
+}
+
+impl<T> SetAssocCache<T> {
+    /// Creates a cache with `num_sets` sets of `assoc` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is not a power of two or `assoc` is zero.
+    #[must_use]
+    pub fn new(num_sets: usize, assoc: usize) -> Self {
+        assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
+        assert!(assoc > 0, "associativity must be positive");
+        SetAssocCache {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(assoc)).collect(),
+            assoc,
+            clock: 0,
+        }
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.line_number() as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up a line, updating LRU recency on hit.
+    pub fn get(&mut self, line: LineAddr) -> Option<&T> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(line);
+        self.sets[set].iter_mut().find(|w| w.line == line).map(|w| {
+            w.last_used = clock;
+            &w.payload
+        })
+    }
+
+    /// Looks up a line mutably, updating LRU recency on hit.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(line);
+        self.sets[set].iter_mut().find(|w| w.line == line).map(|w| {
+            w.last_used = clock;
+            &mut w.payload
+        })
+    }
+
+    /// Looks up a line without touching LRU state (for snoops and
+    /// invariant checks).
+    #[must_use]
+    pub fn peek(&self, line: LineAddr) -> Option<&T> {
+        let set = self.set_index(line);
+        self.sets[set].iter().find(|w| w.line == line).map(|w| &w.payload)
+    }
+
+    /// Whether the line is present.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts a line, evicting the LRU way of a full set.
+    ///
+    /// Returns the evicted `(line, payload)`, if any. Inserting a line that
+    /// is already present replaces its payload (no eviction).
+    pub fn insert(&mut self, line: LineAddr, payload: T) -> Option<(LineAddr, T)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let assoc = self.assoc;
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.line == line) {
+            w.payload = payload;
+            w.last_used = clock;
+            return None;
+        }
+        let new_way = Way {
+            line,
+            payload,
+            last_used: clock,
+        };
+        if set.len() < assoc {
+            set.push(new_way);
+            return None;
+        }
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_used)
+            .map(|(i, _)| i)
+            .expect("full set has a victim");
+        let victim = std::mem::replace(&mut set[victim_idx], new_way);
+        Some((victim.line, victim.payload))
+    }
+
+    /// Removes a line, returning its payload if it was present.
+    pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+        let set = self.set_index(line);
+        let pos = self.sets[set].iter().position(|w| w.line == line)?;
+        Some(self.sets[set].swap_remove(pos).payload)
+    }
+
+    /// Iterates over all resident `(line, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|w| (w.line, &w.payload)))
+    }
+
+    /// Number of resident lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(4, 2);
+        assert!(c.insert(line(1), 10).is_none());
+        assert_eq!(c.get(line(1)), Some(&10));
+        assert_eq!(c.remove(line(1)), Some(10));
+        assert!(c.get(line(1)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // One set (sets=1) of 2 ways: lines 0,1,2 all map to set 0.
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 2);
+        c.insert(line(0), 0);
+        c.insert(line(1), 1);
+        c.get(line(0)); // make line 1 the LRU
+        let evicted = c.insert(line(2), 2).expect("must evict");
+        assert_eq!(evicted, (line(1), 1));
+        assert!(c.contains(line(0)));
+        assert!(c.contains(line(2)));
+    }
+
+    #[test]
+    fn reinsert_updates_payload_without_eviction() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 1);
+        c.insert(line(7), 1);
+        assert!(c.insert(line(7), 2).is_none());
+        assert_eq!(c.peek(line(7)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn sets_isolate_conflicts() {
+        // 2 sets: even lines to set 0, odd to set 1.
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(2, 1);
+        c.insert(line(0), 0);
+        c.insert(line(1), 1);
+        assert_eq!(c.len(), 2, "different sets must not conflict");
+        let ev = c.insert(line(2), 2).expect("same-set eviction");
+        assert_eq!(ev.0, line(0));
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(1, 2);
+        c.insert(line(0), 0);
+        c.insert(line(1), 1);
+        let _ = c.peek(line(0)); // must NOT refresh line 0
+        let evicted = c.insert(line(2), 2).expect("must evict");
+        assert_eq!(evicted.0, line(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _: SetAssocCache<()> = SetAssocCache::new(3, 1);
+    }
+}

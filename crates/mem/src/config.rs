@@ -1,0 +1,139 @@
+use crate::line::LINE_BYTES;
+
+/// How coherence transactions are made visible to other cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoherenceMode {
+    /// Ring-based snoopy protocol: every core observes every transaction
+    /// (the paper's default configuration, Table 1). More observed traffic
+    /// means more signature/Snoop-Table false positives as the core count
+    /// grows (paper §5.5).
+    Snoopy,
+    /// Directory-style filtering: only cores whose L1 holds the line observe
+    /// a transaction. Dirty evictions are reported to the evicting core so
+    /// RelaxReplay_Opt's Snoop Table stays conservative (paper §4.3).
+    Directory,
+}
+
+/// Configuration of the memory system, mirroring the paper's Table 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Number of cores sharing the memory system.
+    pub num_cores: usize,
+    /// Coherence visibility mode.
+    pub mode: CoherenceMode,
+    /// L1 capacity in bytes (Table 1: 64 KB).
+    pub l1_bytes: usize,
+    /// L1 associativity (Table 1: 4-way).
+    pub l1_assoc: usize,
+    /// L1 hit round-trip latency in cycles (Table 1: 2).
+    pub l1_hit_latency: u64,
+    /// Per-core L1 MSHR count (Table 1: 64).
+    pub l1_mshrs: usize,
+    /// Shared L2 capacity in bytes *per core* (Table 1: 512 KB per core).
+    pub l2_bytes_per_core: usize,
+    /// L2 associativity (Table 1: 16-way).
+    pub l2_assoc: usize,
+    /// Average L2 round-trip latency in cycles (Table 1: 12).
+    pub l2_latency: u64,
+    /// Main-memory round-trip latency from the L2 in cycles (Table 1: 150).
+    pub memory_latency: u64,
+    /// Per-hop ring delay in cycles (Table 1: 1-cycle hop).
+    pub ring_hop_latency: u64,
+    /// Cache-to-cache transfer cost added on top of the ring traversal.
+    pub c2c_latency: u64,
+}
+
+impl MemConfig {
+    /// The paper's default memory-system parameters (Table 1) for
+    /// `num_cores` cores.
+    #[must_use]
+    pub fn splash_default(num_cores: usize) -> Self {
+        MemConfig {
+            num_cores,
+            mode: CoherenceMode::Snoopy,
+            l1_bytes: 64 * 1024,
+            l1_assoc: 4,
+            l1_hit_latency: 2,
+            l1_mshrs: 64,
+            l2_bytes_per_core: 512 * 1024,
+            l2_assoc: 16,
+            l2_latency: 12,
+            memory_latency: 150,
+            ring_hop_latency: 1,
+            c2c_latency: 6,
+        }
+    }
+
+    /// Number of sets in each L1.
+    #[must_use]
+    pub fn l1_sets(&self) -> usize {
+        self.l1_bytes / (LINE_BYTES as usize * self.l1_assoc)
+    }
+
+    /// Number of sets in the shared L2.
+    #[must_use]
+    pub fn l2_sets(&self) -> usize {
+        (self.l2_bytes_per_core * self.num_cores) / (LINE_BYTES as usize * self.l2_assoc)
+    }
+
+    /// Cycles for a transaction to traverse the whole ring (visit every
+    /// core) — the time by which every snoop has been delivered.
+    #[must_use]
+    pub fn ring_traversal(&self) -> u64 {
+        self.ring_hop_latency * self.num_cores as u64
+    }
+
+    /// Completion latency of a miss serviced by another core's L1
+    /// (cache-to-cache transfer).
+    #[must_use]
+    pub fn c2c_total_latency(&self) -> u64 {
+        self.ring_traversal() + self.c2c_latency
+    }
+
+    /// Completion latency of a miss serviced by the shared L2.
+    #[must_use]
+    pub fn l2_total_latency(&self) -> u64 {
+        self.ring_traversal() + self.l2_latency
+    }
+
+    /// Completion latency of a miss serviced by main memory.
+    #[must_use]
+    pub fn memory_total_latency(&self) -> u64 {
+        self.ring_traversal() + self.l2_latency + self.memory_latency
+    }
+
+    /// Completion latency of an upgrade (S→M): only the ring traversal, no
+    /// data transfer.
+    #[must_use]
+    pub fn upgrade_latency(&self) -> u64 {
+        self.ring_traversal()
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::splash_default(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometry() {
+        let c = MemConfig::splash_default(8);
+        assert_eq!(c.l1_sets(), 512); // 64KB / (32B * 4)
+        assert_eq!(c.l2_sets(), 8192); // 4MB / (32B * 16)
+        assert_eq!(c.ring_traversal(), 8);
+        assert!(c.memory_total_latency() > c.l2_total_latency());
+        assert!(c.l2_total_latency() > c.upgrade_latency());
+    }
+
+    #[test]
+    fn default_is_8_cores_snoopy() {
+        let c = MemConfig::default();
+        assert_eq!(c.num_cores, 8);
+        assert_eq!(c.mode, CoherenceMode::Snoopy);
+    }
+}

@@ -1,0 +1,100 @@
+use core::fmt;
+
+/// MESI coherence states for an L1 cache line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// Modified: this cache holds the only, dirty copy.
+    Modified,
+    /// Exclusive: this cache holds the only, clean copy.
+    Exclusive,
+    /// Shared: possibly other caches also hold clean copies.
+    Shared,
+    /// Invalid (not present).
+    Invalid,
+}
+
+impl MesiState {
+    /// Whether a load can hit on a line in this state.
+    #[must_use]
+    pub fn readable(self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+
+    /// Whether a store can hit silently (no bus transaction) on a line in
+    /// this state. `Exclusive` upgrades to `Modified` without traffic.
+    #[must_use]
+    pub fn writable(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// Whether the line must be written back when evicted or invalidated.
+    #[must_use]
+    pub fn dirty(self) -> bool {
+        matches!(self, MesiState::Modified)
+    }
+
+    /// The state after observing a remote **read** (GetS) of this line.
+    #[must_use]
+    pub fn after_remote_read(self) -> MesiState {
+        match self {
+            MesiState::Modified | MesiState::Exclusive | MesiState::Shared => MesiState::Shared,
+            MesiState::Invalid => MesiState::Invalid,
+        }
+    }
+
+    /// The state after observing a remote **write** (GetM/Upgrade) of this
+    /// line: always invalidated.
+    #[must_use]
+    pub fn after_remote_write(self) -> MesiState {
+        MesiState::Invalid
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            MesiState::Modified => 'M',
+            MesiState::Exclusive => 'E',
+            MesiState::Shared => 'S',
+            MesiState::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissions() {
+        assert!(MesiState::Modified.readable() && MesiState::Modified.writable());
+        assert!(MesiState::Exclusive.readable() && MesiState::Exclusive.writable());
+        assert!(MesiState::Shared.readable() && !MesiState::Shared.writable());
+        assert!(!MesiState::Invalid.readable() && !MesiState::Invalid.writable());
+        assert!(MesiState::Modified.dirty());
+        assert!(!MesiState::Exclusive.dirty());
+    }
+
+    #[test]
+    fn remote_transitions() {
+        assert_eq!(MesiState::Modified.after_remote_read(), MesiState::Shared);
+        assert_eq!(MesiState::Exclusive.after_remote_read(), MesiState::Shared);
+        assert_eq!(MesiState::Shared.after_remote_read(), MesiState::Shared);
+        assert_eq!(MesiState::Invalid.after_remote_read(), MesiState::Invalid);
+        for s in [
+            MesiState::Modified,
+            MesiState::Exclusive,
+            MesiState::Shared,
+            MesiState::Invalid,
+        ] {
+            assert_eq!(s.after_remote_write(), MesiState::Invalid);
+        }
+    }
+
+    #[test]
+    fn display_single_letter() {
+        assert_eq!(MesiState::Modified.to_string(), "M");
+        assert_eq!(MesiState::Invalid.to_string(), "I");
+    }
+}

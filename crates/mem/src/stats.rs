@@ -1,0 +1,73 @@
+/// Counters describing memory-system activity.
+///
+/// Used by the experiment harness for the paper's bandwidth and scalability
+/// discussions (§5.2, §5.5).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 hits (loads, stores and RMWs that needed no bus transaction).
+    pub l1_hits: u64,
+    /// Accesses that missed in the L1 and required a bus transaction.
+    pub l1_misses: u64,
+    /// Requests rejected because the core's MSHRs were exhausted.
+    pub mshr_retries: u64,
+    /// GetS (read-miss) transactions granted.
+    pub gets: u64,
+    /// GetM (write-miss) transactions granted.
+    pub getm: u64,
+    /// Upgrade (S→M) transactions granted.
+    pub upgrades: u64,
+    /// Requests resolved without a bus transaction at grant time (the
+    /// needed permission had already arrived).
+    pub quick_grants: u64,
+    /// Misses serviced by another core's L1 (cache-to-cache).
+    pub src_c2c: u64,
+    /// Misses serviced by the shared L2.
+    pub src_l2: u64,
+    /// Misses serviced by main memory.
+    pub src_memory: u64,
+    /// Snoop events delivered to cores (one per observing core).
+    pub snoops_delivered: u64,
+    /// Dirty lines evicted from L1s.
+    pub dirty_evictions: u64,
+    /// Total cycles requests spent waiting for a bus grant.
+    pub queue_wait_cycles: u64,
+}
+
+impl MemStats {
+    /// Total bus transactions granted.
+    #[must_use]
+    pub fn transactions(&self) -> u64 {
+        self.gets + self.getm + self.upgrades
+    }
+
+    /// L1 hit rate over all accesses, in `[0, 1]`.
+    #[must_use]
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.l1_hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(MemStats::default().l1_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn transactions_sum() {
+        let s = MemStats {
+            gets: 1,
+            getm: 2,
+            upgrades: 3,
+            ..MemStats::default()
+        };
+        assert_eq!(s.transactions(), 6);
+    }
+}

@@ -1,0 +1,267 @@
+//! Parallel replay of RelaxReplay logs (paper §3.6, §5.4).
+//!
+//! The paper's QuickRec-style interval ordering records a *total* order,
+//! forcing sequential replay; §3.6 notes that pairing RelaxReplay with a
+//! chunk-ordering scheme that records a *partial* order (Karma, Cyrus)
+//! yields parallel replay "for free". Our recorder captures exactly that
+//! partial order alongside the timestamps
+//! ([`IntervalOrdering`]): cross-core predecessor edges delivered with
+//! coherence replies, plus conservative barrier intervals for
+//! directory-mode dirty evictions.
+//!
+//! [`replay_parallel`] validates the partial order by *executing* the
+//! intervals in a topological order chosen by a list scheduler (generally
+//! very different from the timestamp order) and returning a
+//! [`ReplayOutcome`] the caller can pass to [`verify`](crate::verify). It
+//! also reports the makespan on `workers` replay cores under the replay
+//! cost model — the parallel-replay speedup of §5.4's closing remark.
+
+use std::collections::BinaryHeap;
+
+use relaxreplay::IntervalOrdering;
+use rr_isa::{Interp, MemImage, Program};
+use rr_mem::CoreId;
+
+use crate::cost::{CostModel, ReplayEvents};
+use crate::patch::{PatchedLog, ReplayOp};
+use crate::replayer::{exec_interval_ops, ReplayError, ReplayOutcome};
+
+/// Result of a parallel replay.
+#[derive(Clone, Debug)]
+pub struct ParallelOutcome {
+    /// The replayed execution (memory, load traces, event counts) —
+    /// verifiable against the recording exactly like a sequential replay.
+    pub outcome: ReplayOutcome,
+    /// Makespan in estimated cycles on the given number of replay cores.
+    pub parallel_cycles: u64,
+    /// Total work in estimated cycles (= sequential replay time).
+    pub sequential_cycles: u64,
+    /// Number of replay workers the schedule used.
+    pub workers: usize,
+}
+
+impl ParallelOutcome {
+    /// Speedup of parallel over sequential replay.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_cycles == 0 {
+            return 1.0;
+        }
+        self.sequential_cycles as f64 / self.parallel_cycles as f64
+    }
+}
+
+struct Node<'a> {
+    core: usize,
+    ops: &'a [ReplayOp],
+    timestamp: u64,
+    barrier: bool,
+    duration: u64,
+    deps_remaining: usize,
+    dependents: Vec<usize>,
+    ready_at: u64,
+}
+
+fn interval_duration(ops: &[ReplayOp], cost: &CostModel) -> u64 {
+    let mut ev = ReplayEvents {
+        intervals: 1,
+        ..ReplayEvents::default()
+    };
+    for op in ops {
+        match op {
+            ReplayOp::RunBlock { instrs } => {
+                ev.blocks += 1;
+                ev.user_instrs += u64::from(*instrs);
+            }
+            ReplayOp::InjectLoad { .. } => ev.injected_loads += 1,
+            ReplayOp::ApplyStore { .. } => ev.applied_stores += 1,
+            ReplayOp::SkipStore => ev.skips += 1,
+            ReplayOp::InjectRmw { .. } => ev.injected_rmws += 1,
+            ReplayOp::EndInterval { .. } => {}
+        }
+    }
+    cost.total_cycles(&ev)
+}
+
+/// Replays patched logs **in parallel**, honouring the recorded partial
+/// order instead of the total timestamp order.
+///
+/// The execution itself runs on one host thread (the point is validating
+/// the order and modelling the time, not wall-clock speed): a list
+/// scheduler with `workers` replay cores picks ready intervals, executes
+/// each atomically against shared memory, and accumulates the makespan.
+///
+/// # Errors
+///
+/// Same conditions as [`replay`](crate::replay) — plus any log/ordering
+/// length mismatch, which indicates corrupted inputs.
+pub fn replay_parallel(
+    programs: &[Program],
+    logs: &[PatchedLog],
+    orderings: &[IntervalOrdering],
+    mut mem: MemImage,
+    cost: &CostModel,
+    workers: usize,
+) -> Result<ParallelOutcome, ReplayError> {
+    assert!(workers >= 1, "need at least one replay worker");
+    if programs.len() != logs.len() || logs.len() != orderings.len() {
+        return Err(ReplayError::ThreadCountMismatch {
+            programs: programs.len(),
+            logs: logs.len(),
+        });
+    }
+
+    // ---- build nodes -----------------------------------------------------
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut first_node_of_core: Vec<usize> = Vec::new();
+    for (c, (log, ord)) in logs.iter().zip(orderings).enumerate() {
+        first_node_of_core.push(nodes.len());
+        let mut start = 0usize;
+        let mut k = 0usize;
+        for (i, op) in log.ops.iter().enumerate() {
+            if let ReplayOp::EndInterval { .. } = op {
+                assert!(
+                    k < ord.timestamps.len(),
+                    "ordering shorter than the log's intervals"
+                );
+                nodes.push(Node {
+                    core: c,
+                    ops: &log.ops[start..i],
+                    timestamp: ord.timestamps[k],
+                    barrier: ord.barriers[k],
+                    duration: interval_duration(&log.ops[start..i], cost),
+                    deps_remaining: 0,
+                    dependents: Vec::new(),
+                    ready_at: 0,
+                });
+                start = i + 1;
+                k += 1;
+            }
+        }
+    }
+    let total_nodes = nodes.len();
+    let first = first_node_of_core.clone();
+    let node_id = move |core: usize, ordinal: u64| -> usize { first[core] + ordinal as usize };
+    let first2 = first_node_of_core.clone();
+    let intervals_of = move |core: usize| -> usize {
+        let start = first2[core];
+        let end = first2.get(core + 1).copied().unwrap_or(total_nodes);
+        end - start
+    };
+
+    // ---- edges ------------------------------------------------------------
+    let add_edge = |nodes: &mut Vec<Node>, from: usize, to: usize| {
+        if from != to {
+            nodes[from].dependents.push(to);
+            nodes[to].deps_remaining += 1;
+        }
+    };
+    // Same-core chains.
+    for c in 0..logs.len() {
+        for k in 1..intervals_of(c) {
+            add_edge(&mut nodes, node_id(c, k as u64 - 1), node_id(c, k as u64));
+        }
+    }
+    // Cross-core predecessor edges (deduplicated per node).
+    for (c, ord) in orderings.iter().enumerate() {
+        for (k, preds) in ord.preds.iter().enumerate() {
+            let to = node_id(c, k as u64);
+            let mut seen: Vec<(usize, u64)> = Vec::new();
+            for &(src_core, src_ord) in preds {
+                let sc = src_core.index();
+                if sc == c || src_ord as usize >= intervals_of(sc) {
+                    continue;
+                }
+                if seen.contains(&(sc, src_ord)) {
+                    continue;
+                }
+                seen.push((sc, src_ord));
+                add_edge(&mut nodes, node_id(sc, src_ord), to);
+            }
+        }
+    }
+    // Barrier edges: an eviction-closed interval precedes everything with a
+    // larger timestamp, and follows everything with a smaller one.
+    let mut by_time: Vec<usize> = (0..nodes.len()).collect();
+    by_time.sort_by_key(|&i| (nodes[i].timestamp, nodes[i].core));
+    let mut last_of_core: Vec<Option<usize>> = vec![None; logs.len()];
+    let mut last_barrier: Option<usize> = None;
+    for &i in &by_time {
+        if let Some(b) = last_barrier {
+            add_edge(&mut nodes, b, i);
+        }
+        if nodes[i].barrier {
+            for prev in last_of_core.iter().flatten() {
+                add_edge(&mut nodes, *prev, i);
+            }
+            last_barrier = Some(i);
+        }
+        last_of_core[nodes[i].core] = Some(i);
+    }
+
+    // ---- list scheduling + execution ---------------------------------------
+    let mut interps: Vec<Interp> = programs.iter().map(Interp::new).collect();
+    let mut traces: Vec<Vec<u64>> = vec![Vec::new(); programs.len()];
+    let mut events = ReplayEvents::default();
+    // Min-heaps via Reverse ordering: ready tasks by (ready_at, id);
+    // workers by free-at time.
+    let mut ready: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if n.deps_remaining == 0 {
+            ready.push(std::cmp::Reverse((0, i)));
+        }
+    }
+    let mut worker_free: BinaryHeap<std::cmp::Reverse<u64>> =
+        (0..workers).map(|_| std::cmp::Reverse(0u64)).collect();
+    let mut makespan = 0u64;
+    let mut total_work = 0u64;
+    let mut executed = 0usize;
+
+    while let Some(std::cmp::Reverse((ready_at, i))) = ready.pop() {
+        let std::cmp::Reverse(free_at) = worker_free.pop().expect("worker pool is non-empty");
+        let start = ready_at.max(free_at);
+        let finish = start + nodes[i].duration;
+        worker_free.push(std::cmp::Reverse(finish));
+        makespan = makespan.max(finish);
+        total_work += nodes[i].duration;
+        events.intervals += 1;
+        // Execute the interval now — ready order is a topological order.
+        {
+            let core = CoreId::new(nodes[i].core as u8);
+            let interp = &mut interps[nodes[i].core];
+            let trace = &mut traces[nodes[i].core];
+            exec_interval_ops(nodes[i].ops, core, interp, &mut mem, trace, &mut events)?;
+        }
+        executed += 1;
+        let dependents = std::mem::take(&mut nodes[i].dependents);
+        for d in dependents {
+            nodes[d].ready_at = nodes[d].ready_at.max(finish);
+            nodes[d].deps_remaining -= 1;
+            if nodes[d].deps_remaining == 0 {
+                ready.push(std::cmp::Reverse((nodes[d].ready_at, d)));
+            }
+        }
+    }
+    assert_eq!(
+        executed,
+        nodes.len(),
+        "ordering graph has a cycle: {} of {} intervals executed",
+        executed,
+        nodes.len()
+    );
+
+    let user_cycles = cost.user_cycles(&events);
+    let os_cycles = cost.os_cycles(&events);
+    Ok(ParallelOutcome {
+        outcome: ReplayOutcome {
+            mem,
+            load_traces: traces,
+            events,
+            user_cycles,
+            os_cycles,
+        },
+        parallel_cycles: makespan,
+        sequential_cycles: total_work,
+        workers,
+    })
+}

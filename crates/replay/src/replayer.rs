@@ -1,0 +1,269 @@
+use core::fmt;
+
+use rr_isa::{Instr, Interp, MemImage, Program, StepEvent};
+use rr_mem::CoreId;
+
+use crate::cost::{CostModel, ReplayEvents};
+use crate::patch::{PatchedLog, ReplayOp};
+
+/// Errors detected while replaying a log. Any of these means the log does
+/// not deterministically describe an execution of the given programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A `RunBlock` ran out of program before executing its full size.
+    BlockEndedEarly {
+        /// The thread being replayed.
+        core: CoreId,
+        /// Instructions the block still expected.
+        remaining: u64,
+    },
+    /// An inject/skip op found the wrong kind of instruction at the PC.
+    InstructionMismatch {
+        /// The thread being replayed.
+        core: CoreId,
+        /// The PC in question.
+        pc: usize,
+        /// What the log expected ("load", "store", "rmw").
+        expected: &'static str,
+        /// What was found.
+        found: String,
+    },
+    /// A thread's log ended before its program halted, or vice versa.
+    IncompleteReplay {
+        /// The thread being replayed.
+        core: CoreId,
+    },
+    /// The number of logs does not match the number of programs.
+    ThreadCountMismatch {
+        /// Number of programs.
+        programs: usize,
+        /// Number of logs.
+        logs: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::BlockEndedEarly { core, remaining } => {
+                write!(f, "{core}: program halted with {remaining} block instructions left")
+            }
+            ReplayError::InstructionMismatch {
+                core,
+                pc,
+                expected,
+                found,
+            } => write!(f, "{core}: expected a {expected} at pc {pc}, found {found}"),
+            ReplayError::IncompleteReplay { core } => {
+                write!(f, "{core}: log and program ended at different points")
+            }
+            ReplayError::ThreadCountMismatch { programs, logs } => {
+                write!(f, "{programs} programs but {logs} logs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// The result of a deterministic replay.
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    /// Final memory image after replay.
+    pub mem: MemImage,
+    /// Per-thread values read by every load/RMW, in program order —
+    /// compared against the recorded execution to prove determinism.
+    pub load_traces: Vec<Vec<u64>>,
+    /// Event counts driving the cost model.
+    pub events: ReplayEvents,
+    /// Estimated user cycles (native block execution).
+    pub user_cycles: u64,
+    /// Estimated OS cycles (the control module of paper §3.5).
+    pub os_cycles: u64,
+}
+
+impl ReplayOutcome {
+    /// Total estimated replay cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.user_cycles + self.os_cycles
+    }
+}
+
+/// Sequentially replays patched per-processor logs against their programs,
+/// emulating the OS control module of paper §3.5.
+///
+/// Intervals from all processors are merged into the recorded total order
+/// (timestamp, then core id — QuickRec ordering) and executed one at a
+/// time: `RunBlock` ops execute natively on the interpreter with an
+/// instruction-count budget; reordered-load values are injected into the
+/// architectural context; patched stores are applied directly to memory;
+/// dummies advance the PC.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] if the logs are inconsistent with the
+/// programs — which a correct recorder never produces.
+pub fn replay(
+    programs: &[Program],
+    logs: &[PatchedLog],
+    mut mem: MemImage,
+    cost: &CostModel,
+) -> Result<ReplayOutcome, ReplayError> {
+    if programs.len() != logs.len() {
+        return Err(ReplayError::ThreadCountMismatch {
+            programs: programs.len(),
+            logs: logs.len(),
+        });
+    }
+    // Split each core's ops into intervals and merge by (timestamp, core).
+    struct IntervalRef<'a> {
+        core: usize,
+        ops: &'a [ReplayOp],
+        timestamp: u64,
+    }
+    let mut schedule: Vec<IntervalRef> = Vec::new();
+    for log in logs {
+        let mut start = 0usize;
+        for (i, op) in log.ops.iter().enumerate() {
+            if let ReplayOp::EndInterval { timestamp, .. } = op {
+                schedule.push(IntervalRef {
+                    core: log.core.index(),
+                    ops: &log.ops[start..i],
+                    timestamp: *timestamp,
+                });
+                start = i + 1;
+            }
+        }
+    }
+    schedule.sort_by_key(|iv| (iv.timestamp, iv.core));
+
+    let mut interps: Vec<Interp> = programs.iter().map(Interp::new).collect();
+    let mut traces: Vec<Vec<u64>> = vec![Vec::new(); programs.len()];
+    let mut events = ReplayEvents::default();
+
+    for interval in &schedule {
+        events.intervals += 1;
+        let core = CoreId::new(interval.core as u8);
+        let interp = &mut interps[interval.core];
+        let trace = &mut traces[interval.core];
+        exec_interval_ops(interval.ops, core, interp, &mut mem, trace, &mut events)?;
+    }
+
+    // Every thread must have reached its end: either halted, or exactly at
+    // the end of its program.
+    for (i, interp) in interps.iter_mut().enumerate() {
+        let at_end = interp.is_halted()
+            || interp.pc() >= programs[i].len()
+            || matches!(programs[i].get(interp.pc()), Some(Instr::Halt));
+        if !at_end {
+            return Err(ReplayError::IncompleteReplay {
+                core: CoreId::new(i as u8),
+            });
+        }
+    }
+
+    let user_cycles = cost.user_cycles(&events);
+    let os_cycles = cost.os_cycles(&events);
+    Ok(ReplayOutcome {
+        mem,
+        load_traces: traces,
+        events,
+        user_cycles,
+        os_cycles,
+    })
+}
+
+fn step_traced(interp: &mut Interp, mem: &mut MemImage, trace: &mut Vec<u64>) {
+    match interp.step(mem) {
+        StepEvent::Load { value, .. } => trace.push(value),
+        StepEvent::Atomic { loaded, .. } => trace.push(loaded),
+        _ => {}
+    }
+}
+
+/// Executes one interval's ops (everything between two `EndInterval`s) on a
+/// thread's interpreter — shared by the sequential and parallel replayers.
+pub(crate) fn exec_interval_ops(
+    ops: &[ReplayOp],
+    core: CoreId,
+    interp: &mut Interp,
+    mem: &mut MemImage,
+    trace: &mut Vec<u64>,
+    events: &mut ReplayEvents,
+) -> Result<(), ReplayError> {
+    for op in ops {
+        match *op {
+            ReplayOp::RunBlock { instrs } => {
+                events.blocks += 1;
+                events.user_instrs += u64::from(instrs);
+                let mut remaining = u64::from(instrs);
+                while remaining > 0 {
+                    let before = interp.retired();
+                    step_traced(interp, mem, trace);
+                    let delta = interp.retired() - before;
+                    if delta == 0 {
+                        // Stepping made no progress: the thread already
+                        // halted but the block expected more.
+                        return Err(ReplayError::BlockEndedEarly { core, remaining });
+                    }
+                    remaining -= delta;
+                }
+            }
+            ReplayOp::InjectLoad { value } => {
+                events.injected_loads += 1;
+                let dst = match interp.current_instr() {
+                    Some(Instr::Load { dst, .. }) => *dst,
+                    other => {
+                        return Err(ReplayError::InstructionMismatch {
+                            core,
+                            pc: interp.pc(),
+                            expected: "load",
+                            found: format!("{other:?}"),
+                        })
+                    }
+                };
+                interp.set_reg(dst, value);
+                interp.skip();
+                trace.push(value);
+            }
+            ReplayOp::ApplyStore { addr, value } => {
+                events.applied_stores += 1;
+                mem.store(addr, value);
+            }
+            ReplayOp::SkipStore => {
+                events.skips += 1;
+                match interp.current_instr() {
+                    Some(Instr::Store { .. }) => interp.skip(),
+                    other => {
+                        return Err(ReplayError::InstructionMismatch {
+                            core,
+                            pc: interp.pc(),
+                            expected: "store",
+                            found: format!("{other:?}"),
+                        })
+                    }
+                }
+            }
+            ReplayOp::InjectRmw { loaded } => {
+                events.injected_rmws += 1;
+                let dst = match interp.current_instr() {
+                    Some(Instr::Atomic { dst, .. }) => *dst,
+                    other => {
+                        return Err(ReplayError::InstructionMismatch {
+                            core,
+                            pc: interp.pc(),
+                            expected: "rmw",
+                            found: format!("{other:?}"),
+                        })
+                    }
+                };
+                interp.set_reg(dst, loaded);
+                interp.skip();
+                trace.push(loaded);
+            }
+            ReplayOp::EndInterval { .. } => unreachable!("stripped by the scheduler"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,201 @@
+use core::fmt;
+
+use rr_isa::MemImage;
+use rr_mem::CoreId;
+
+use crate::replayer::ReplayOutcome;
+
+/// The observable outcome of a recorded execution, captured by the
+/// simulator for verification: the final memory image and, per thread, the
+/// value obtained by every load and RMW in program (retirement) order.
+///
+/// This is a *validation aid*, not part of the production log — a real
+/// deployment only ships the interval log.
+#[derive(Clone, Debug, Default)]
+pub struct RecordedExecution {
+    /// Final shared-memory contents.
+    pub final_mem: MemImage,
+    /// Per-thread load/RMW values in program order.
+    pub load_traces: Vec<Vec<u64>>,
+}
+
+/// A divergence between the recorded execution and its replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The final memory images differ.
+    MemoryMismatch,
+    /// A thread replayed a different number of loads than recorded.
+    TraceLengthMismatch {
+        /// The diverging thread.
+        core: CoreId,
+        /// Loads recorded.
+        recorded: usize,
+        /// Loads replayed.
+        replayed: usize,
+    },
+    /// A load obtained a different value during replay.
+    TraceValueMismatch {
+        /// The diverging thread.
+        core: CoreId,
+        /// Index of the load in program order.
+        index: usize,
+        /// Value during recording.
+        recorded: u64,
+        /// Value during replay.
+        replayed: u64,
+    },
+    /// Thread counts differ.
+    ThreadCountMismatch {
+        /// Threads recorded.
+        recorded: usize,
+        /// Threads replayed.
+        replayed: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::MemoryMismatch => write!(f, "final memory images differ"),
+            VerifyError::TraceLengthMismatch {
+                core,
+                recorded,
+                replayed,
+            } => write!(
+                f,
+                "{core}: recorded {recorded} loads but replayed {replayed}"
+            ),
+            VerifyError::TraceValueMismatch {
+                core,
+                index,
+                recorded,
+                replayed,
+            } => write!(
+                f,
+                "{core}: load #{index} read {recorded:#x} when recorded but {replayed:#x} on replay"
+            ),
+            VerifyError::ThreadCountMismatch { recorded, replayed } => {
+                write!(f, "{recorded} threads recorded, {replayed} replayed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks that a replay exactly reproduced the recorded execution: every
+/// load of every thread read the same value, and the final memory is
+/// identical. This is the determinism property RnR promises.
+///
+/// # Errors
+///
+/// Returns the first divergence found.
+pub fn verify(recorded: &RecordedExecution, outcome: &ReplayOutcome) -> Result<(), VerifyError> {
+    if recorded.load_traces.len() != outcome.load_traces.len() {
+        return Err(VerifyError::ThreadCountMismatch {
+            recorded: recorded.load_traces.len(),
+            replayed: outcome.load_traces.len(),
+        });
+    }
+    for (i, (rec, rep)) in recorded
+        .load_traces
+        .iter()
+        .zip(&outcome.load_traces)
+        .enumerate()
+    {
+        let core = CoreId::new(i as u8);
+        if rec.len() != rep.len() {
+            return Err(VerifyError::TraceLengthMismatch {
+                core,
+                recorded: rec.len(),
+                replayed: rep.len(),
+            });
+        }
+        for (j, (a, b)) in rec.iter().zip(rep).enumerate() {
+            if a != b {
+                return Err(VerifyError::TraceValueMismatch {
+                    core,
+                    index: j,
+                    recorded: *a,
+                    replayed: *b,
+                });
+            }
+        }
+    }
+    if !recorded.final_mem.contents_eq(&outcome.mem) {
+        return Err(VerifyError::MemoryMismatch);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ReplayEvents;
+
+    fn outcome(traces: Vec<Vec<u64>>, mem: MemImage) -> ReplayOutcome {
+        ReplayOutcome {
+            mem,
+            load_traces: traces,
+            events: ReplayEvents::default(),
+            user_cycles: 0,
+            os_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn identical_executions_verify() {
+        let mut mem = MemImage::new();
+        mem.store(0, 1);
+        let rec = RecordedExecution {
+            final_mem: mem.clone(),
+            load_traces: vec![vec![1, 2, 3]],
+        };
+        verify(&rec, &outcome(vec![vec![1, 2, 3]], mem)).expect("must verify");
+    }
+
+    #[test]
+    fn value_divergence_is_reported() {
+        let rec = RecordedExecution {
+            final_mem: MemImage::new(),
+            load_traces: vec![vec![1, 2, 3]],
+        };
+        let err = verify(&rec, &outcome(vec![vec![1, 9, 3]], MemImage::new()))
+            .expect_err("must fail");
+        assert_eq!(
+            err,
+            VerifyError::TraceValueMismatch {
+                core: CoreId::new(0),
+                index: 1,
+                recorded: 2,
+                replayed: 9
+            }
+        );
+    }
+
+    #[test]
+    fn memory_divergence_is_reported() {
+        let mut mem = MemImage::new();
+        mem.store(8, 5);
+        let rec = RecordedExecution {
+            final_mem: mem,
+            load_traces: vec![],
+        };
+        assert_eq!(
+            verify(&rec, &outcome(vec![], MemImage::new())),
+            Err(VerifyError::MemoryMismatch)
+        );
+    }
+
+    #[test]
+    fn length_divergence_is_reported() {
+        let rec = RecordedExecution {
+            final_mem: MemImage::new(),
+            load_traces: vec![vec![1]],
+        };
+        assert!(matches!(
+            verify(&rec, &outcome(vec![vec![]], MemImage::new())),
+            Err(VerifyError::TraceLengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests of the patching step over arbitrary *well-formed* logs:
+//! every reordered store becomes exactly one `ApplyStore` in an earlier
+//! interval plus one `SkipStore` dummy, loads stay in place, interval
+//! frames are preserved in order, and patching never changes the multiset
+//! of store effects.
+
+use proptest::prelude::*;
+use relaxreplay::{IntervalLog, LogEntry};
+use rr_mem::CoreId;
+use rr_replay::{patch, PatchError, ReplayOp};
+
+/// Generates a well-formed log: a sequence of intervals, where reordered
+/// entries in interval `i` carry offsets `1..=i` (pointing at an existing
+/// earlier interval). Offset 0 never occurs in real logs (reordered means
+/// the intervals differ).
+fn log_strategy() -> impl Strategy<Value = IntervalLog> {
+    let body_entry = |interval: usize| {
+        let max_off = interval as u16;
+        prop_oneof![
+            (1u32..5000).prop_map(|instrs| LogEntry::InorderBlock { instrs }),
+            any::<u64>().prop_map(|value| LogEntry::ReorderedLoad { value }),
+            (any::<u64>(), any::<u64>(), 0u16..=max_off).prop_map(
+                move |(addr, value, off)| LogEntry::ReorderedStore {
+                    addr: addr & !7,
+                    value,
+                    // offset >= 1 when possible; interval 0 gets loads only
+                    // via the filter below.
+                    offset: off.max(1).min(max_off.max(1)),
+                }
+            ),
+        ]
+    };
+    // 1..8 intervals, each with 0..6 body entries + a frame.
+    (1usize..8)
+        .prop_flat_map(move |n_intervals| {
+            let mut interval_strategies = Vec::new();
+            for i in 0..n_intervals {
+                let entries = proptest::collection::vec(body_entry(i), 0..6).prop_map(
+                    move |mut es| {
+                        if i == 0 {
+                            // Interval 0 cannot host reordered stores (no
+                            // earlier interval to patch into).
+                            es.retain(|e| !matches!(e, LogEntry::ReorderedStore { .. }));
+                        }
+                        es
+                    },
+                );
+                interval_strategies.push(entries);
+            }
+            interval_strategies
+        })
+        .prop_map(|intervals| {
+            let mut entries = Vec::new();
+            for (i, body) in intervals.into_iter().enumerate() {
+                entries.extend(body);
+                entries.push(LogEntry::IntervalFrame {
+                    cisn: i as u16,
+                    timestamp: (i as u64) * 100,
+                });
+            }
+            IntervalLog {
+                core: CoreId::new(0),
+                entries,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn patch_preserves_structure(log in log_strategy()) {
+        let patched = patch(&log).expect("well-formed log patches");
+
+        // Frames preserved, in order, with identical timestamps.
+        let frames_in: Vec<(u16, u64)> = log.entries.iter().filter_map(|e| match e {
+            LogEntry::IntervalFrame { cisn, timestamp } => Some((*cisn, *timestamp)),
+            _ => None,
+        }).collect();
+        let frames_out: Vec<(u16, u64)> = patched.ops.iter().filter_map(|o| match o {
+            ReplayOp::EndInterval { cisn, timestamp } => Some((*cisn, *timestamp)),
+            _ => None,
+        }).collect();
+        prop_assert_eq!(frames_in, frames_out);
+
+        // Store multiset preserved: every ReorderedStore becomes exactly
+        // one ApplyStore; dummies equal the reordered-store count.
+        let mut stores_in: Vec<(u64, u64)> = log.entries.iter().filter_map(|e| match e {
+            LogEntry::ReorderedStore { addr, value, .. } => Some((*addr, *value)),
+            _ => None,
+        }).collect();
+        let mut stores_out: Vec<(u64, u64)> = patched.ops.iter().filter_map(|o| match o {
+            ReplayOp::ApplyStore { addr, value } => Some((*addr, *value)),
+            _ => None,
+        }).collect();
+        stores_in.sort_unstable();
+        stores_out.sort_unstable();
+        prop_assert_eq!(&stores_in, &stores_out);
+        let dummies = patched.ops.iter().filter(|o| matches!(o, ReplayOp::SkipStore)).count();
+        prop_assert_eq!(dummies, stores_in.len());
+
+        // Loads stay in place and in order with their values.
+        let loads_in: Vec<u64> = log.entries.iter().filter_map(|e| match e {
+            LogEntry::ReorderedLoad { value } => Some(*value),
+            _ => None,
+        }).collect();
+        let loads_out: Vec<u64> = patched.ops.iter().filter_map(|o| match o {
+            ReplayOp::InjectLoad { value } => Some(*value),
+            _ => None,
+        }).collect();
+        prop_assert_eq!(loads_in, loads_out);
+
+        // Every ApplyStore lands strictly before the EndInterval of the
+        // interval its dummy sits in (it moved backwards).
+        // (Checked structurally: ApplyStores appear only at interval ends,
+        // i.e. every op after an ApplyStore up to the next frame is another
+        // ApplyStore or the frame.)
+        let mut saw_apply = false;
+        for op in &patched.ops {
+            match op {
+                ReplayOp::ApplyStore { .. } => saw_apply = true,
+                ReplayOp::EndInterval { .. } => saw_apply = false,
+                _ => prop_assert!(!saw_apply, "body op after an interval's appendix"),
+            }
+        }
+    }
+
+    #[test]
+    fn patch_rejects_malformed_logs(tail_block in any::<u32>()) {
+        // Unterminated logs are rejected...
+        let log = IntervalLog {
+            core: CoreId::new(0),
+            entries: vec![LogEntry::InorderBlock { instrs: tail_block }],
+        };
+        prop_assert_eq!(patch(&log), Err(PatchError::UnterminatedInterval));
+        // ...and so are offsets pointing before the log start.
+        let log = IntervalLog {
+            core: CoreId::new(0),
+            entries: vec![
+                LogEntry::ReorderedStore { addr: 0, value: 0, offset: 3 },
+                LogEntry::IntervalFrame { cisn: 0, timestamp: 0 },
+            ],
+        };
+        let is_offset_err = matches!(patch(&log), Err(PatchError::OffsetOutOfRange { .. }));
+        prop_assert!(is_offset_err);
+    }
+}

@@ -1,0 +1,159 @@
+//! Error-path tests of the sequential replayer: malformed logs are
+//! reported precisely, never executed past the inconsistency.
+
+use relaxreplay::{IntervalLog, LogEntry};
+use rr_isa::{MemImage, ProgramBuilder, Reg};
+use rr_mem::CoreId;
+use rr_replay::{patch, replay, replay_parallel, CostModel, ReplayError};
+
+fn tiny_program() -> rr_isa::Program {
+    let mut b = ProgramBuilder::new();
+    b.load_imm(Reg::new(1), 5); // 1 instruction
+    b.halt(); // 2nd
+    b.build()
+}
+
+fn log_of(entries: Vec<LogEntry>) -> IntervalLog {
+    IntervalLog {
+        core: CoreId::new(0),
+        entries,
+    }
+}
+
+#[test]
+fn thread_count_mismatch_is_reported() {
+    let p = tiny_program();
+    let err = replay(
+        std::slice::from_ref(&p),
+        &[],
+        MemImage::new(),
+        &CostModel::splash_default(),
+    )
+    .expect_err("must fail");
+    assert_eq!(
+        err,
+        ReplayError::ThreadCountMismatch {
+            programs: 1,
+            logs: 0
+        }
+    );
+}
+
+#[test]
+fn block_longer_than_the_program_is_reported() {
+    let p = tiny_program();
+    let log = log_of(vec![
+        LogEntry::InorderBlock { instrs: 99 },
+        LogEntry::IntervalFrame {
+            cisn: 0,
+            timestamp: 1,
+        },
+    ]);
+    let patched = patch(&log).expect("patches");
+    let err = replay(
+        std::slice::from_ref(&p),
+        std::slice::from_ref(&patched),
+        MemImage::new(),
+        &CostModel::splash_default(),
+    )
+    .expect_err("must fail");
+    assert!(matches!(err, ReplayError::BlockEndedEarly { remaining, .. } if remaining == 97));
+}
+
+#[test]
+fn injecting_a_load_at_a_non_load_is_reported() {
+    let p = tiny_program(); // first instruction is a LoadImm, not a Load
+    let log = log_of(vec![
+        LogEntry::ReorderedLoad { value: 7 },
+        LogEntry::IntervalFrame {
+            cisn: 0,
+            timestamp: 1,
+        },
+    ]);
+    let patched = patch(&log).expect("patches");
+    let err = replay(
+        std::slice::from_ref(&p),
+        std::slice::from_ref(&patched),
+        MemImage::new(),
+        &CostModel::splash_default(),
+    )
+    .expect_err("must fail");
+    assert!(matches!(
+        err,
+        ReplayError::InstructionMismatch {
+            expected: "load",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn log_ending_exactly_at_the_halt_is_accepted() {
+    // The log covers only 1 of the program's 2 instructions, but the PC
+    // parks on the Halt — a valid thread end by design.
+    let p = tiny_program();
+    let log = log_of(vec![
+        LogEntry::InorderBlock { instrs: 1 },
+        LogEntry::IntervalFrame {
+            cisn: 0,
+            timestamp: 1,
+        },
+    ]);
+    let patched = patch(&log).expect("patches");
+    replay(
+        std::slice::from_ref(&p),
+        std::slice::from_ref(&patched),
+        MemImage::new(),
+        &CostModel::splash_default(),
+    )
+    .expect("a PC parked on Halt is a valid end");
+}
+
+#[test]
+fn longer_program_with_short_log_is_incomplete() {
+    let mut b = ProgramBuilder::new();
+    b.load_imm(Reg::new(1), 5);
+    b.load_imm(Reg::new(2), 6);
+    b.load_imm(Reg::new(3), 7);
+    b.halt();
+    let p = b.build();
+    let log = log_of(vec![
+        LogEntry::InorderBlock { instrs: 1 },
+        LogEntry::IntervalFrame {
+            cisn: 0,
+            timestamp: 1,
+        },
+    ]);
+    let patched = patch(&log).expect("patches");
+    let err = replay(
+        std::slice::from_ref(&p),
+        std::slice::from_ref(&patched),
+        MemImage::new(),
+        &CostModel::splash_default(),
+    )
+    .expect_err("must fail");
+    assert!(matches!(err, ReplayError::IncompleteReplay { .. }));
+}
+
+#[test]
+fn parallel_replay_rejects_length_mismatch() {
+    let p = tiny_program();
+    let log = log_of(vec![
+        LogEntry::InorderBlock { instrs: 2 },
+        LogEntry::IntervalFrame {
+            cisn: 0,
+            timestamp: 1,
+        },
+    ]);
+    let patched = patch(&log).expect("patches");
+    let err = replay_parallel(
+        std::slice::from_ref(&p),
+        std::slice::from_ref(&patched),
+        &[], // no orderings
+        MemImage::new(),
+        &CostModel::splash_default(),
+        2,
+    )
+    .expect_err("must fail");
+    assert!(matches!(err, ReplayError::ThreadCountMismatch { .. }));
+}

@@ -1,0 +1,131 @@
+use relaxreplay::{Design, RecorderConfig};
+use rr_cpu::CpuConfig;
+use rr_mem::{CoherenceMode, MemConfig};
+
+/// Configuration of the whole simulated machine (paper Table 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Number of cores (the paper evaluates 4, 8 — default — and 16).
+    pub num_cores: usize,
+    /// Core parameters.
+    pub cpu: CpuConfig,
+    /// Memory-system parameters.
+    pub mem: MemConfig,
+    /// Clock frequency in GHz (Table 1: 2 GHz), used to convert log
+    /// bits/cycle into MB/s.
+    pub clock_ghz: f64,
+    /// Check the SWMR coherence invariant every this many cycles
+    /// (0 = never; keep 0 for performance runs).
+    pub invariant_check_period: u64,
+    /// Abort if the machine has not finished after this many cycles.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's default machine with `num_cores` cores.
+    #[must_use]
+    pub fn splash_default(num_cores: usize) -> Self {
+        MachineConfig {
+            num_cores,
+            cpu: CpuConfig::splash_default(),
+            mem: MemConfig::splash_default(num_cores),
+            clock_ghz: 2.0,
+            invariant_check_period: 0,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// Same machine with directory-style coherence filtering (paper §4.3).
+    #[must_use]
+    pub fn with_directory(mut self) -> Self {
+        self.mem.mode = CoherenceMode::Directory;
+        self
+    }
+
+    /// Same machine under a different memory consistency model — the
+    /// recorder must work unchanged for any of them (the paper's central
+    /// claim).
+    #[must_use]
+    pub fn with_consistency(mut self, model: rr_cpu::ConsistencyModel) -> Self {
+        self.cpu.consistency = model;
+        self
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::splash_default(8)
+    }
+}
+
+/// A recorder variant to attach to the execution. Several variants can be
+/// attached to one run: recorders are pure observers, so a single execution
+/// yields logs for every design × interval-size combination at once
+/// (exactly what Figures 9–13 need).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecorderSpec {
+    /// Base or Opt.
+    pub design: Design,
+    /// Maximum interval size in instructions (`None` = the paper's INF).
+    pub max_interval: Option<u32>,
+}
+
+impl RecorderSpec {
+    /// The four configurations the paper evaluates.
+    #[must_use]
+    pub fn paper_matrix() -> Vec<RecorderSpec> {
+        vec![
+            RecorderSpec {
+                design: Design::Base,
+                max_interval: Some(4096),
+            },
+            RecorderSpec {
+                design: Design::Opt,
+                max_interval: Some(4096),
+            },
+            RecorderSpec {
+                design: Design::Base,
+                max_interval: None,
+            },
+            RecorderSpec {
+                design: Design::Opt,
+                max_interval: None,
+            },
+        ]
+    }
+
+    /// A short human-readable label like `Base-4K` or `Opt-INF`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let interval = match self.max_interval {
+            Some(4096) => "4K".to_string(),
+            Some(n) => format!("{n}"),
+            None => "INF".to_string(),
+        };
+        format!("{}-{interval}", self.design)
+    }
+
+    /// The recorder configuration for this variant.
+    #[must_use]
+    pub fn recorder_config(&self) -> RecorderConfig {
+        RecorderConfig::splash_default(self.design, self.max_interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        let m = RecorderSpec::paper_matrix();
+        let labels: Vec<String> = m.iter().map(RecorderSpec::label).collect();
+        assert_eq!(labels, vec!["Base-4K", "Opt-4K", "Base-INF", "Opt-INF"]);
+    }
+
+    #[test]
+    fn directory_variant() {
+        let cfg = MachineConfig::splash_default(4).with_directory();
+        assert_eq!(cfg.mem.mode, CoherenceMode::Directory);
+    }
+}

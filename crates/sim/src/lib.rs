@@ -1,0 +1,46 @@
+//! # rr-sim — the simulated multicore of the RelaxReplay reproduction
+//!
+//! A deterministic, cycle-stepped simulator combining:
+//!
+//! * `rr-cpu` out-of-order cores (release consistency, Table 1 parameters),
+//! * the `rr-mem` MESI snoopy-ring (or directory) memory system,
+//! * one or more `relaxreplay` recorder variants attached as observers,
+//! * a [`TraceCollector`] capturing the ground truth for replay
+//!   verification.
+//!
+//! The headline API is [`record`], which runs one thread per core to
+//! completion and returns a [`RunResult`] carrying per-variant interval
+//! logs plus every statistic the paper's figures need, and
+//! [`replay_and_verify`], which closes the loop: patch → sequential replay
+//! → determinism check against the recorded execution.
+//!
+//! ```no_run
+//! use rr_isa::{MemImage, ProgramBuilder, Reg};
+//! use rr_replay::CostModel;
+//! use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! b.load_imm(Reg::new(1), 1);
+//! b.halt();
+//! let programs = vec![b.build()];
+//! let cfg = MachineConfig::splash_default(1);
+//! let specs = RecorderSpec::paper_matrix();
+//! let result = record(&programs, &MemImage::new(), &cfg, &specs)?;
+//! for v in 0..specs.len() {
+//!     replay_and_verify(&programs, &MemImage::new(), &result, v, &CostModel::splash_default())?;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod machine;
+mod tracer;
+
+pub use config::{MachineConfig, RecorderSpec};
+pub use machine::{record, record_custom, replay_and_verify, RunResult, SimError, VariantResult};
+pub use tracer::TraceCollector;

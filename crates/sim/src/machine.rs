@@ -1,0 +1,346 @@
+use core::fmt;
+
+use relaxreplay::{IntervalLog, Recorder, RecorderStats};
+use rr_cpu::{Core, CoreObserver, CoreStats, FanoutObserver};
+use rr_isa::{MemImage, Program};
+use rr_mem::{CoherenceMode, CoreId, MemStats, MemorySystem};
+use rr_replay::{patch, replay, CostModel, RecordedExecution, ReplayOutcome};
+
+use crate::config::{MachineConfig, RecorderSpec};
+use crate::tracer::TraceCollector;
+
+/// Everything a recorder variant produced during one recorded run.
+#[derive(Clone, Debug)]
+pub struct VariantResult {
+    /// The variant's configuration.
+    pub spec: RecorderSpec,
+    /// Per-core interval logs.
+    pub logs: Vec<IntervalLog>,
+    /// Per-core recorder statistics.
+    pub stats: Vec<RecorderStats>,
+    /// Per-core interval partial order (parallel replay, paper §3.6).
+    pub ordering: Vec<relaxreplay::IntervalOrdering>,
+}
+
+impl VariantResult {
+    /// Total log size in bits across all cores.
+    #[must_use]
+    pub fn log_bits(&self) -> u64 {
+        self.logs.iter().map(IntervalLog::bits).sum()
+    }
+
+    /// Aggregated recorder stats across cores.
+    #[must_use]
+    pub fn reordered(&self) -> u64 {
+        self.stats.iter().map(RecorderStats::reordered).sum()
+    }
+
+    /// Total memory accesses counted across cores.
+    #[must_use]
+    pub fn counted_mem(&self) -> u64 {
+        self.stats.iter().map(RecorderStats::counted_mem).sum()
+    }
+
+    /// Fraction of memory accesses logged as reordered (Figure 9).
+    #[must_use]
+    pub fn reordered_fraction(&self) -> f64 {
+        let mem = self.counted_mem();
+        if mem == 0 {
+            return 0.0;
+        }
+        self.reordered() as f64 / mem as f64
+    }
+
+    /// Number of `InorderBlock` entries across cores (Figure 10).
+    #[must_use]
+    pub fn inorder_blocks(&self) -> u64 {
+        self.logs.iter().map(|l| l.inorder_blocks() as u64).sum()
+    }
+
+    /// Log bits per 1000 instructions (Figure 11's metric).
+    #[must_use]
+    pub fn bits_per_kilo_instr(&self) -> f64 {
+        let instrs: u64 = self.stats.iter().map(|s| s.counted_instrs).sum();
+        if instrs == 0 {
+            return 0.0;
+        }
+        self.log_bits() as f64 * 1000.0 / instrs as f64
+    }
+}
+
+/// The result of recording one parallel execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Cycles until every thread finished and all buffers drained.
+    pub cycles: u64,
+    /// Per-core execution statistics.
+    pub core_stats: Vec<CoreStats>,
+    /// Memory-system statistics.
+    pub mem_stats: MemStats,
+    /// Ground truth for replay verification: final memory and per-thread
+    /// load-value traces.
+    pub recorded: RecordedExecution,
+    /// One entry per attached recorder variant.
+    pub variants: Vec<VariantResult>,
+    /// Clock frequency used for bandwidth conversions.
+    pub clock_ghz: f64,
+}
+
+impl RunResult {
+    /// Aggregate fraction of memory accesses performed out of program
+    /// order (Figure 1's metric).
+    #[must_use]
+    pub fn ooo_fraction(&self) -> f64 {
+        let mem: u64 = self.core_stats.iter().map(CoreStats::mem_instrs).sum();
+        let ooo: u64 = self
+            .core_stats
+            .iter()
+            .map(|s| s.ooo_loads + s.ooo_stores)
+            .sum();
+        if mem == 0 {
+            return 0.0;
+        }
+        ooo as f64 / mem as f64
+    }
+
+    /// Log generation rate of a variant in MB/s at the configured clock
+    /// (Figures 11 and 14(b)).
+    #[must_use]
+    pub fn log_rate_mbps(&self, variant: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let bits = self.variants[variant].log_bits() as f64;
+        let seconds = self.cycles as f64 / (self.clock_ghz * 1e9);
+        bits / 8.0 / 1e6 / seconds
+    }
+
+    /// Total instructions retired across all cores.
+    #[must_use]
+    pub fn total_instrs(&self) -> u64 {
+        self.core_stats.iter().map(|s| s.retired).sum()
+    }
+}
+
+/// Errors from [`record`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The machine did not finish within `max_cycles`.
+    Deadlock {
+        /// The cycle at which the run was aborted.
+        at: u64,
+    },
+    /// More programs than the machine has cores.
+    TooManyThreads {
+        /// Threads requested.
+        threads: usize,
+        /// Cores available.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at } => write!(f, "simulation did not finish by cycle {at}"),
+            SimError::TooManyThreads { threads, cores } => {
+                write!(f, "{threads} threads but only {cores} cores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Records one parallel execution of `programs` (one thread per core)
+/// against `initial_mem`, with every recorder variant in `specs` attached
+/// simultaneously.
+///
+/// Per-cycle order (the correctness-critical schedule — see the `rr-mem`
+/// crate docs): memory tick (snoops → completions → grants), snoop/dirty-
+/// eviction routing to recorders, then each core's pipeline tick (with its
+/// recorders and the trace collector observing), then recorder counting
+/// ticks.
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadlock`] if the machine exceeds
+/// `cfg.max_cycles`, or [`SimError::TooManyThreads`].
+pub fn record(
+    programs: &[Program],
+    initial_mem: &MemImage,
+    cfg: &MachineConfig,
+    specs: &[RecorderSpec],
+) -> Result<RunResult, SimError> {
+    let configs: Vec<_> = specs.iter().map(RecorderSpec::recorder_config).collect();
+    record_custom(programs, initial_mem, cfg, &configs)
+}
+
+/// Like [`record`] but with fully custom recorder configurations (used by
+/// the ablation studies to sweep TRAQ depth, Snoop Table size, signature
+/// size, …). The reported [`RecorderSpec`]s are derived from each config's
+/// design and interval limit.
+///
+/// # Errors
+///
+/// Same as [`record`].
+pub fn record_custom(
+    programs: &[Program],
+    initial_mem: &MemImage,
+    cfg: &MachineConfig,
+    configs: &[relaxreplay::RecorderConfig],
+) -> Result<RunResult, SimError> {
+    if programs.len() > cfg.num_cores {
+        return Err(SimError::TooManyThreads {
+            threads: programs.len(),
+            cores: cfg.num_cores,
+        });
+    }
+    let specs: Vec<RecorderSpec> = configs
+        .iter()
+        .map(|c| RecorderSpec {
+            design: c.design,
+            max_interval: c.max_interval_instrs,
+        })
+        .collect();
+    let n = programs.len();
+    let mut img = initial_mem.clone();
+    let mut mem = MemorySystem::new(cfg.mem.clone());
+    let mut cores: Vec<Core> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Core::new(CoreId::new(i as u8), cfg.cpu.clone(), p))
+        .collect();
+    // variant-major storage: recorders[v][core].
+    let mut recorders: Vec<Vec<Recorder>> = configs
+        .iter()
+        .map(|c| {
+            (0..n)
+                .map(|i| Recorder::new(CoreId::new(i as u8), c.clone()))
+                .collect()
+        })
+        .collect();
+    let mut tracers: Vec<TraceCollector> = (0..n).map(|_| TraceCollector::new()).collect();
+    let directory = cfg.mem.mode == CoherenceMode::Directory;
+
+    let mut cycle = 0u64;
+    let final_cycle = loop {
+        let out = mem.tick(cycle);
+        for c in &out.completions {
+            cores[c.core.index()].push_completion(c.req);
+        }
+        for snoop in &out.snoops {
+            for variant in &mut recorders {
+                // Observers process the snoop, then "reply" with ordering
+                // information for the requester's current interval — the
+                // Cyrus-style piggyback the paper's §3.6 pairing implies.
+                let mut edges: Vec<(CoreId, u64)> = Vec::new();
+                for (i, rec) in variant.iter_mut().enumerate() {
+                    let core = CoreId::new(i as u8);
+                    if snoop.scope.observes(core) {
+                        rec.on_snoop(snoop.line, snoop.is_write, cycle);
+                        if let Some(ord) = rec.intervals_completed().checked_sub(1) {
+                            edges.push((core, ord));
+                        }
+                    }
+                }
+                if snoop.from.index() < n {
+                    let requester = &mut variant[snoop.from.index()];
+                    for (core, ord) in edges {
+                        requester.on_predecessor(core, ord);
+                    }
+                }
+            }
+        }
+        if directory {
+            for &(core, line) in &out.dirty_evictions {
+                if core.index() < n {
+                    for variant in &mut recorders {
+                        variant[core.index()].on_dirty_eviction(line, cycle);
+                    }
+                }
+            }
+        }
+        for (i, core) in cores.iter_mut().enumerate() {
+            let mut observers: Vec<&mut dyn CoreObserver> = recorders
+                .iter_mut()
+                .map(|v| &mut v[i] as &mut dyn CoreObserver)
+                .collect();
+            observers.push(&mut tracers[i]);
+            let mut fanout = FanoutObserver::new(observers);
+            core.tick(cycle, &mut img, &mut mem, &mut fanout);
+        }
+        for variant in &mut recorders {
+            for rec in variant.iter_mut() {
+                rec.tick(cycle);
+            }
+        }
+        if cfg.invariant_check_period > 0 && cycle.is_multiple_of(cfg.invariant_check_period) {
+            rr_mem::invariants::assert_swmr(&mem);
+        }
+        if cores.iter().all(Core::is_done) && mem.quiescent() {
+            break cycle;
+        }
+        cycle += 1;
+        if cycle >= cfg.max_cycles {
+            return Err(SimError::Deadlock { at: cycle });
+        }
+    };
+
+    let mut variants = Vec::with_capacity(specs.len());
+    for (spec, mut recs) in specs.iter().zip(recorders) {
+        for r in &mut recs {
+            r.finish(final_cycle);
+        }
+        let stats = recs.iter().map(|r| r.stats().clone()).collect();
+        let ordering = recs.iter().map(|r| r.ordering().clone()).collect();
+        let logs = recs.into_iter().map(Recorder::into_log).collect();
+        variants.push(VariantResult {
+            spec: spec.clone(),
+            logs,
+            stats,
+            ordering,
+        });
+    }
+
+    Ok(RunResult {
+        cycles: final_cycle,
+        core_stats: cores.iter().map(|c| c.stats().clone()).collect(),
+        mem_stats: mem.stats().clone(),
+        recorded: RecordedExecution {
+            final_mem: img,
+            load_traces: tracers.into_iter().map(TraceCollector::into_trace).collect(),
+        },
+        variants,
+        clock_ghz: cfg.clock_ghz,
+    })
+}
+
+/// Patches and replays one variant's logs, verifying the replay against the
+/// recorded execution. Returns the replay outcome (with its cost-model
+/// cycle estimates) on success.
+///
+/// # Errors
+///
+/// Returns a description of the first patch, replay or verification
+/// failure — any of which means determinism was broken.
+pub fn replay_and_verify(
+    programs: &[Program],
+    initial_mem: &MemImage,
+    result: &RunResult,
+    variant: usize,
+    cost: &CostModel,
+) -> Result<ReplayOutcome, String> {
+    let v = &result.variants[variant];
+    let patched: Vec<_> = v
+        .logs
+        .iter()
+        .map(patch)
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("patch failed: {e}"))?;
+    let outcome = replay(programs, &patched, initial_mem.clone(), cost)
+        .map_err(|e| format!("replay failed: {e}"))?;
+    rr_replay::verify(&result.recorded, &outcome)
+        .map_err(|e| format!("verification failed [{}]: {e}", v.spec.label()))?;
+    Ok(outcome)
+}

@@ -1,0 +1,236 @@
+#![allow(clippy::needless_range_loop)] // variant index addresses parallel arrays
+//! End-to-end record → patch → replay → verify tests: the core correctness
+//! property of the whole system. Every recorder variant must reproduce the
+//! exact load values and final memory of racy multi-threaded executions.
+
+use rr_isa::{BranchCond, FenceKind, MemImage, Program, ProgramBuilder, Reg};
+use rr_replay::CostModel;
+use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+fn check_all_variants(programs: &[Program], initial: &MemImage, cores: usize) {
+    let cfg = MachineConfig::splash_default(cores);
+    let specs = RecorderSpec::paper_matrix();
+    let result = record(programs, initial, &cfg, &specs).expect("recording finishes");
+    assert!(result.total_instrs() > 0);
+    for v in 0..specs.len() {
+        replay_and_verify(programs, initial, &result, v, &CostModel::splash_default())
+            .unwrap_or_else(|e| panic!("variant {}: {e}", specs[v].label()));
+    }
+}
+
+#[test]
+fn single_thread_compute_replays() {
+    let mut b = ProgramBuilder::new();
+    let (i, acc, limit, base) = (r(1), r(2), r(3), r(4));
+    b.load_imm(i, 0)
+        .load_imm(acc, 0)
+        .load_imm(limit, 200)
+        .load_imm(base, 0x1000);
+    let top = b.bind_new();
+    b.op_imm(rr_isa::AluOp::Shl, r(5), i, 3);
+    b.add(r(6), base, r(5));
+    b.store(i, r(6), 0);
+    b.load(r(7), r(6), 0);
+    b.add(acc, acc, r(7));
+    b.add_imm(i, i, 1);
+    b.branch(BranchCond::Lt, i, limit, top);
+    b.store(acc, base, -8);
+    b.halt();
+    check_all_variants(&[b.build()], &MemImage::new(), 1);
+}
+
+/// Two threads hammer disjoint words of the *same* cache lines (false
+/// sharing): heavy coherence traffic, heavy interval termination.
+#[test]
+fn false_sharing_replays() {
+    let make = |offset: i64| {
+        let mut b = ProgramBuilder::new();
+        let (i, limit, base) = (r(1), r(2), r(3));
+        b.load_imm(i, 0).load_imm(limit, 150).load_imm(base, 0x2000);
+        let top = b.bind_new();
+        b.op_imm(rr_isa::AluOp::Shl, r(4), i, 5); // line stride
+        b.add(r(5), base, r(4));
+        b.store(i, r(5), offset);
+        b.load(r(6), r(5), offset);
+        b.add_imm(i, i, 1);
+        b.branch(BranchCond::Lt, i, limit, top);
+        b.halt();
+        b.build()
+    };
+    // Thread 0 writes word 0 of each line, thread 1 writes word 1.
+    check_all_variants(&[make(0), make(8)], &MemImage::new(), 2);
+}
+
+/// Unsynchronized racy counter increments: genuinely racy loads/stores
+/// whose interleaving the recorder must capture exactly.
+#[test]
+fn racy_counter_replays() {
+    let make = || {
+        let mut b = ProgramBuilder::new();
+        let (i, limit, addr, tmp) = (r(1), r(2), r(3), r(4));
+        b.load_imm(i, 0).load_imm(limit, 100).load_imm(addr, 0x3000);
+        let top = b.bind_new();
+        b.load(tmp, addr, 0);
+        b.add_imm(tmp, tmp, 1);
+        b.store(tmp, addr, 0);
+        b.add_imm(i, i, 1);
+        b.branch(BranchCond::Lt, i, limit, top);
+        b.halt();
+        b.build()
+    };
+    check_all_variants(&[make(), make(), make(), make()], &MemImage::new(), 4);
+}
+
+#[test]
+fn message_passing_replays() {
+    let mut producer = ProgramBuilder::new();
+    producer.load_imm(r(1), 0x100);
+    producer.load_imm(r(2), 777);
+    producer.store(r(2), r(1), 0);
+    producer.fence(FenceKind::Release);
+    producer.load_imm(r(3), 0x200);
+    producer.load_imm(r(4), 1);
+    producer.store(r(4), r(3), 0);
+    producer.halt();
+
+    let mut consumer = ProgramBuilder::new();
+    consumer.load_imm(r(1), 0x200);
+    consumer.load_imm(r(2), 1);
+    let spin = consumer.bind_new();
+    consumer.load(r(3), r(1), 0);
+    consumer.branch(BranchCond::Ne, r(3), r(2), spin);
+    consumer.fence(FenceKind::Acquire);
+    consumer.load_imm(r(4), 0x100);
+    consumer.load(r(5), r(4), 0);
+    consumer.halt();
+
+    check_all_variants(&[producer.build(), consumer.build()], &MemImage::new(), 2);
+}
+
+#[test]
+fn spinlock_critical_sections_replay() {
+    let make = || {
+        let mut b = ProgramBuilder::new();
+        let (laddr, caddr, zero, one, i, n, tmp) = (r(1), r(2), r(3), r(4), r(5), r(6), r(7));
+        b.load_imm(laddr, 0x5000)
+            .load_imm(caddr, 0x5100)
+            .load_imm(zero, 0)
+            .load_imm(one, 1)
+            .load_imm(i, 0)
+            .load_imm(n, 30);
+        let top = b.bind_new();
+        let acquire = b.bind_new();
+        b.cas(r(8), laddr, zero, one);
+        b.branch(BranchCond::Ne, r(8), zero, acquire);
+        b.load(tmp, caddr, 0);
+        b.add_imm(tmp, tmp, 1);
+        b.store(tmp, caddr, 0);
+        b.fence(FenceKind::Release);
+        b.store(zero, laddr, 0);
+        b.add_imm(i, i, 1);
+        b.branch(BranchCond::Lt, i, n, top);
+        b.halt();
+        b.build()
+    };
+    let programs = vec![make(), make(), make()];
+    let cfg = MachineConfig::splash_default(4);
+    let specs = RecorderSpec::paper_matrix();
+    let result = record(&programs, &MemImage::new(), &cfg, &specs).expect("records");
+    // Functional sanity: the lock worked.
+    assert_eq!(result.recorded.final_mem.load(0x5100), 90);
+    for v in 0..specs.len() {
+        replay_and_verify(&programs, &MemImage::new(), &result, v, &CostModel::splash_default())
+            .unwrap_or_else(|e| panic!("variant {}: {e}", specs[v].label()));
+    }
+}
+
+#[test]
+fn atomics_and_initial_memory_replay() {
+    // Threads fetch-add slots of a shared array selected by data in the
+    // *initial* memory image.
+    let mut initial = MemImage::new();
+    for i in 0..16u64 {
+        initial.store(0x8000 + i * 8, (i % 4) * 64);
+    }
+    let make = |tid: i64| {
+        let mut b = ProgramBuilder::new();
+        let (i, n, tbl, one) = (r(1), r(2), r(3), r(4));
+        b.load_imm(i, 0)
+            .load_imm(n, 16)
+            .load_imm(tbl, 0x8000)
+            .load_imm(one, tid + 1);
+        let top = b.bind_new();
+        b.op_imm(rr_isa::AluOp::Shl, r(5), i, 3);
+        b.add(r(6), tbl, r(5));
+        b.load(r(7), r(6), 0); // slot offset from initial memory
+        b.load_imm(r(8), 0x9000);
+        b.add(r(9), r(8), r(7));
+        b.fetch_add(r(10), r(9), one);
+        b.add_imm(i, i, 1);
+        b.branch(BranchCond::Lt, i, n, top);
+        b.halt();
+        b.build()
+    };
+    check_all_variants(&[make(0), make(1)], &initial, 2);
+}
+
+#[test]
+fn directory_mode_replays() {
+    let make = || {
+        let mut b = ProgramBuilder::new();
+        let (i, limit, addr, tmp) = (r(1), r(2), r(3), r(4));
+        b.load_imm(i, 0).load_imm(limit, 80).load_imm(addr, 0x3000);
+        let top = b.bind_new();
+        b.load(tmp, addr, 0);
+        b.add_imm(tmp, tmp, 1);
+        b.store(tmp, addr, 0);
+        b.add_imm(i, i, 1);
+        b.branch(BranchCond::Lt, i, limit, top);
+        b.halt();
+        b.build()
+    };
+    let programs = vec![make(), make()];
+    let cfg = MachineConfig::splash_default(2).with_directory();
+    let specs = RecorderSpec::paper_matrix();
+    let initial = MemImage::new();
+    let result = record(&programs, &initial, &cfg, &specs).expect("records");
+    for v in 0..specs.len() {
+        replay_and_verify(&programs, &initial, &result, v, &CostModel::splash_default())
+            .unwrap_or_else(|e| panic!("variant {}: {e}", specs[v].label()));
+    }
+}
+
+#[test]
+fn recording_is_deterministic() {
+    let make = || {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(1), 0x100).load_imm(r(2), 5);
+        b.store(r(2), r(1), 0);
+        b.load(r(3), r(1), 0);
+        b.halt();
+        b.build()
+    };
+    let programs = vec![make(), make()];
+    let cfg = MachineConfig::splash_default(2);
+    let specs = RecorderSpec::paper_matrix();
+    let a = record(&programs, &MemImage::new(), &cfg, &specs).expect("records");
+    let b = record(&programs, &MemImage::new(), &cfg, &specs).expect("records");
+    assert_eq!(a.cycles, b.cycles);
+    for (va, vb) in a.variants.iter().zip(&b.variants) {
+        assert_eq!(va.logs, vb.logs, "logs must be bit-identical");
+    }
+}
+
+#[test]
+fn too_many_threads_is_an_error() {
+    let mut b = ProgramBuilder::new();
+    b.halt();
+    let p = b.build();
+    let programs = vec![p.clone(), p];
+    let cfg = MachineConfig::splash_default(1);
+    assert!(record(&programs, &MemImage::new(), &cfg, &[]).is_err());
+}

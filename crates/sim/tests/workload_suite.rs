@@ -1,0 +1,64 @@
+#![allow(clippy::needless_range_loop)] // variant index addresses parallel arrays
+//! Record → patch → replay → verify over the whole SPLASH-2-like workload
+//! suite: every workload, every recorder variant, must replay exactly.
+
+use rr_replay::CostModel;
+use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+use rr_workloads::suite;
+
+#[test]
+fn every_workload_replays_under_every_variant() {
+    let threads = 4;
+    let cfg = MachineConfig::splash_default(threads);
+    let specs = RecorderSpec::paper_matrix();
+    for w in suite(threads, 1) {
+        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+            .unwrap_or_else(|e| panic!("{}: recording failed: {e}", w.name));
+        assert!(
+            result.total_instrs() > 1000,
+            "{}: suspiciously small run ({} instrs)",
+            w.name,
+            result.total_instrs()
+        );
+        for v in 0..specs.len() {
+            replay_and_verify(
+                &w.programs,
+                &w.initial_mem,
+                &result,
+                v,
+                &CostModel::splash_default(),
+            )
+            .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, specs[v].label()));
+        }
+    }
+}
+
+#[test]
+fn two_thread_suite_replays() {
+    let threads = 2;
+    let cfg = MachineConfig::splash_default(threads);
+    let specs = vec![
+        RecorderSpec {
+            design: relaxreplay::Design::Opt,
+            max_interval: Some(4096),
+        },
+        RecorderSpec {
+            design: relaxreplay::Design::Base,
+            max_interval: None,
+        },
+    ];
+    for w in suite(threads, 1) {
+        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+            .unwrap_or_else(|e| panic!("{}: recording failed: {e}", w.name));
+        for v in 0..specs.len() {
+            replay_and_verify(
+                &w.programs,
+                &w.initial_mem,
+                &result,
+                v,
+                &CostModel::splash_default(),
+            )
+            .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, specs[v].label()));
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Grid and molecular-dynamics analogues: `ocean`, `water_nsq`,
+//! `water_sp`.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rr_isa::{AluOp, BranchCond, MemImage, ProgramBuilder, Reg};
+
+use crate::compute::{emit_local_work, LocalRegs};
+use crate::layout;
+use crate::sync::{emit_barrier, emit_lock_acquire, emit_lock_release};
+use crate::Workload;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Words in each thread's private compute area.
+const LOCAL_WORDS: i64 = 8192;
+
+fn local_base(tid: usize) -> i64 {
+    layout::private_base(tid) + 0x8_0000
+}
+
+/// OCEAN analogue: a red/black-style grid sweep. Each thread owns a band of
+/// rows; every sweep reads the neighbouring threads' boundary rows (the
+/// nearest-neighbour communication of the real OCEAN) and ping-pongs
+/// between two grids with a barrier per sweep.
+#[must_use]
+pub fn ocean(threads: usize, size: u32) -> Workload {
+    let rows_per_thread = 8i64;
+    let row_words = 16i64;
+    let sweeps = (3 * size) as i64;
+    let n = threads as i64;
+    let total_rows = n * rows_per_thread;
+    let mut initial_mem = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0x0cea);
+    for w in 0..total_rows * row_words {
+        initial_mem.store((layout::DATA_BASE + w * 8) as u64, rng.gen_range(1..1000));
+    }
+    let programs = (0..threads)
+        .map(|tid| {
+            let tid = tid as i64;
+            let my_first = tid * rows_per_thread;
+            let mut b = ProgramBuilder::new();
+            let (bar, round, src, dst, sweep, nsweep) = (r(1), r(2), r(3), r(4), r(5), r(6));
+            let (w, lim, addr, v, up, down, tmp) = (r(7), r(8), r(9), r(10), r(11), r(12), r(13));
+            let local = LocalRegs::standard();
+            b.load_imm(bar, layout::BARRIER_ADDR).load_imm(round, 0);
+            b.load_imm(src, layout::DATA_BASE);
+            b.load_imm(dst, layout::DATA2_BASE);
+            b.load_imm(sweep, 0).load_imm(nsweep, sweeps);
+            let sweep_top = b.bind_new();
+            // The multigrid relaxation's private work between sweeps.
+            emit_local_work(&mut b, &local, local_base(tid as usize), LOCAL_WORDS, 250);
+            // For each word of my band: dst[w] = src[w] + src[w-row] + src[w+row]
+            b.load_imm(w, my_first * row_words);
+            b.load_imm(lim, (my_first + rows_per_thread) * row_words);
+            let body = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, w, 3);
+            b.add(tmp, src, addr);
+            b.load(v, tmp, 0);
+            // Neighbour above (wraps to the same word at the top edge):
+            b.op_imm(AluOp::Sub, up, w, row_words);
+            let up_ok = b.label();
+            b.branch(BranchCond::Ge, up, Reg::ZERO, up_ok);
+            b.op(AluOp::Add, up, w, Reg::ZERO);
+            b.bind(up_ok);
+            b.op_imm(AluOp::Shl, up, up, 3);
+            b.add(up, src, up);
+            b.load(up, up, 0);
+            b.add(v, v, up);
+            // Neighbour below (wraps at the bottom edge):
+            b.op_imm(AluOp::Add, down, w, row_words);
+            b.load_imm(tmp, total_rows * row_words);
+            let down_ok = b.label();
+            b.branch(BranchCond::Lt, down, tmp, down_ok);
+            b.op(AluOp::Add, down, w, Reg::ZERO);
+            b.bind(down_ok);
+            b.op_imm(AluOp::Shl, down, down, 3);
+            b.add(down, src, down);
+            b.load(down, down, 0);
+            b.add(v, v, down);
+            b.op_imm(AluOp::Shr, v, v, 1);
+            b.add(tmp, dst, addr);
+            b.store(v, tmp, 0);
+            b.add_imm(w, w, 1);
+            b.branch(BranchCond::Lt, w, lim, body);
+            emit_barrier(&mut b, bar, round, n);
+            // Swap src/dst.
+            b.op(AluOp::Add, tmp, src, Reg::ZERO);
+            b.op(AluOp::Add, src, dst, Reg::ZERO);
+            b.op(AluOp::Add, dst, tmp, Reg::ZERO);
+            b.add_imm(sweep, sweep, 1);
+            b.branch(BranchCond::Lt, sweep, nsweep, sweep_top);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "ocean",
+        programs,
+        initial_mem,
+    }
+}
+
+/// WATER-NSQUARED analogue: all-pairs force computation. Each thread owns a
+/// slice of molecules, reads *every* molecule each step (heavy shared
+/// reading), writes only its own, and folds a partial sum into a
+/// lock-protected global accumulator — the real WATER-NSQ's structure.
+#[must_use]
+pub fn water_nsq(threads: usize, size: u32) -> Workload {
+    let mols_per_thread = 6i64;
+    let mol_words = 4i64;
+    let steps = (2 * size) as i64;
+    let n = threads as i64;
+    let total = n * mols_per_thread;
+    let mut initial_mem = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0x3a7e4);
+    for w in 0..total * mol_words {
+        initial_mem.store((layout::DATA_BASE + w * 8) as u64, rng.gen_range(1..100));
+    }
+    let programs = (0..threads)
+        .map(|tid| {
+            let tid = tid as i64;
+            let mut b = ProgramBuilder::new();
+            let (bar, round, mols, step, nstep, acc) = (r(1), r(2), r(3), r(4), r(5), r(6));
+            let (m, mlim, j, jlim, addr, v, f, lock) =
+                (r(7), r(8), r(9), r(10), r(11), r(12), r(13), r(14));
+            let local = LocalRegs::standard();
+            b.load_imm(bar, layout::BARRIER_ADDR).load_imm(round, 0);
+            b.load_imm(mols, layout::DATA_BASE);
+            b.load_imm(step, 0).load_imm(nstep, steps);
+            let forces = layout::private_base(tid as usize) + 0x3000;
+            let step_top = b.bind_new();
+            // Intramolecular private computation.
+            emit_local_work(&mut b, &local, local_base(tid as usize), LOCAL_WORDS, 200);
+            b.load_imm(acc, 0);
+            // Read phase: positions are stable (nobody writes molecules in
+            // this phase — the real WATER's force/update separation). For
+            // each of my molecules, sum a "force" over all molecules into a
+            // private buffer.
+            b.load_imm(m, 0);
+            b.load_imm(mlim, mols_per_thread);
+            let mol = b.bind_new();
+            b.load_imm(f, 0);
+            b.load_imm(j, 0);
+            b.load_imm(jlim, total);
+            let pair = b.bind_new();
+            b.op_imm(AluOp::Mul, addr, j, mol_words * 8);
+            b.add(addr, mols, addr);
+            b.load(v, addr, 0); // read every molecule's position word
+            // The pairwise potential evaluation (ALU-heavy in real WATER).
+            b.op_imm(AluOp::Mul, v, v, 0x9e37);
+            b.op_imm(AluOp::Xor, v, v, 0x79b9);
+            b.op_imm(AluOp::Shr, v, v, 3);
+            b.op_imm(AluOp::Mul, v, v, 13);
+            b.op_imm(AluOp::And, v, v, 0xffff);
+            b.add(f, f, v);
+            b.add_imm(j, j, 1);
+            b.branch(BranchCond::Lt, j, jlim, pair);
+            // Private force buffer write.
+            b.op_imm(AluOp::Shl, addr, m, 3);
+            b.op_imm(AluOp::Add, addr, addr, forces);
+            b.store(f, addr, 0);
+            b.add(acc, acc, f);
+            b.add_imm(m, m, 1);
+            b.branch(BranchCond::Lt, m, mlim, mol);
+            emit_barrier(&mut b, bar, round, n);
+            // Update phase: write only my own molecules.
+            b.load_imm(m, 0);
+            let upd = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, m, 3);
+            b.op_imm(AluOp::Add, addr, addr, forces);
+            b.load(f, addr, 0);
+            b.op_imm(AluOp::Add, addr, m, tid * mols_per_thread);
+            b.op_imm(AluOp::Mul, addr, addr, mol_words * 8);
+            b.add(addr, mols, addr);
+            b.load(v, addr, 0);
+            b.add(v, v, f);
+            b.op_imm(AluOp::And, v, v, 0xfffff);
+            b.store(v, addr, 0); // position update
+            b.store(f, addr, 8); // force word
+            b.add_imm(m, m, 1);
+            b.branch(BranchCond::Lt, m, mlim, upd);
+            // Global potential-energy accumulator under a lock.
+            b.load_imm(lock, layout::lock_addr(0));
+            emit_lock_acquire(&mut b, lock);
+            b.load_imm(addr, layout::HIST_BASE);
+            b.load(v, addr, 0);
+            b.add(v, v, acc);
+            b.store(v, addr, 0);
+            emit_lock_release(&mut b, lock);
+            emit_barrier(&mut b, bar, round, n);
+            b.add_imm(step, step, 1);
+            b.branch(BranchCond::Lt, step, nstep, step_top);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "water_nsq",
+        programs,
+        initial_mem,
+    }
+}
+
+/// WATER-SPATIAL analogue: molecules interact through *cells*. Each step a
+/// thread atomically re-registers its molecules into cell counters, then
+/// after a barrier reads its neighbouring cells' counters and updates its
+/// molecules; a second barrier closes the step. More barriers and finer
+/// atomic sharing than `water_nsq`.
+#[must_use]
+pub fn water_sp(threads: usize, size: u32) -> Workload {
+    let mols_per_thread = 8i64;
+    let cells = 8i64;
+    let steps = (2 * size) as i64;
+    let n = threads as i64;
+    let mut initial_mem = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0x3a7e5);
+    for w in 0..n * mols_per_thread {
+        initial_mem.store(
+            (layout::DATA_BASE + w * 8) as u64,
+            rng.gen_range(0..cells) as u64,
+        );
+    }
+    let programs = (0..threads)
+        .map(|tid| {
+            let tid = tid as i64;
+            let mut b = ProgramBuilder::new();
+            let (bar, round, mols, cellbase, step, nstep) = (r(1), r(2), r(3), r(4), r(5), r(6));
+            let (m, mlim, addr, cell, one, v, acc) = (r(7), r(8), r(9), r(10), r(11), r(12), r(13));
+            let local = LocalRegs::standard();
+            b.load_imm(bar, layout::BARRIER_ADDR).load_imm(round, 0);
+            b.load_imm(mols, layout::DATA_BASE + tid * mols_per_thread * 8);
+            b.load_imm(cellbase, layout::HIST_BASE);
+            b.load_imm(one, 1);
+            b.load_imm(step, 0).load_imm(nstep, steps);
+            let step_top = b.bind_new();
+            // Private intra-cell computation.
+            emit_local_work(&mut b, &local, local_base(tid as usize), LOCAL_WORDS, 250);
+            // Phase 1: register my molecules into their cells (cells are
+            // spaced two lines apart so only same-cell traffic conflicts).
+            b.load_imm(m, 0).load_imm(mlim, mols_per_thread);
+            let reg_top = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, m, 3);
+            b.add(addr, mols, addr);
+            b.load(cell, addr, 0);
+            b.op_imm(AluOp::And, cell, cell, cells - 1);
+            b.op_imm(AluOp::Shl, cell, cell, 6);
+            b.add(cell, cellbase, cell);
+            b.fetch_add(v, cell, one);
+            b.add_imm(m, m, 1);
+            b.branch(BranchCond::Lt, m, mlim, reg_top);
+            emit_barrier(&mut b, bar, round, n);
+            // More private work before the read phase.
+            emit_local_work(&mut b, &local, local_base(tid as usize), LOCAL_WORDS, 250);
+            // Phase 2: read all cell counters, update my molecules.
+            b.load_imm(acc, 0);
+            b.load_imm(m, 0).load_imm(mlim, cells);
+            let read_top = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, m, 6);
+            b.add(addr, cellbase, addr);
+            b.load(v, addr, 0);
+            b.add(acc, acc, v);
+            b.add_imm(m, m, 1);
+            b.branch(BranchCond::Lt, m, mlim, read_top);
+            b.load_imm(m, 0).load_imm(mlim, mols_per_thread);
+            let upd_top = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, m, 3);
+            b.add(addr, mols, addr);
+            b.load(v, addr, 0);
+            b.add(v, v, acc);
+            b.op_imm(AluOp::And, v, v, (cells - 1) | 0xff00);
+            b.op_imm(AluOp::And, cell, v, cells - 1);
+            b.store(cell, addr, 0);
+            b.add_imm(m, m, 1);
+            b.branch(BranchCond::Lt, m, mlim, upd_top);
+            emit_barrier(&mut b, bar, round, n);
+            b.add_imm(step, step, 1);
+            b.branch(BranchCond::Lt, step, nstep, step_top);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "water_sp",
+        programs,
+        initial_mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_workloads_build() {
+        for w in [ocean(4, 1), water_nsq(4, 1), water_sp(4, 1)] {
+            assert_eq!(w.programs.len(), 4, "{}", w.name);
+            for p in &w.programs {
+                assert!(p.len() > 20, "{} program too small", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ocean_threads_share_boundaries() {
+        // Thread 0's band reads row indices that belong to thread 1
+        // (bottom neighbour wraps into the next band).
+        let w = ocean(2, 1);
+        assert!(!w.programs[0].is_empty());
+        assert!(w.initial_mem.load(layout::DATA_BASE as u64) > 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Irregular pointer-chasing analogues: `barnes`, `fmm`.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rr_isa::{AluOp, BranchCond, MemImage, ProgramBuilder, Reg};
+
+use crate::compute::{emit_local_work, LocalRegs};
+use crate::layout;
+use crate::sync::{emit_barrier, emit_lock_acquire, emit_lock_release};
+use crate::Workload;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Words in each thread's private compute area.
+const LOCAL_WORDS: i64 = 8192;
+
+fn local_base(tid: i64) -> i64 {
+    layout::private_base(tid as usize) + 0x8_0000
+}
+
+const NODES: i64 = 128;
+const NODE_WORDS: i64 = 4; // [next, payload, force, pad]
+
+/// Seeds a pseudo-random linked structure: each node's `next` field points
+/// to another node, forming the shared "tree" both irregular workloads
+/// chase.
+fn seed_nodes(seed: u64) -> MemImage {
+    let mut mem = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for node in 0..NODES {
+        let base = layout::DATA_BASE + node * NODE_WORDS * 8;
+        mem.store(base as u64, rng.gen_range(0..NODES) as u64);
+        mem.store((base + 8) as u64, rng.gen_range(1..1 << 12));
+    }
+    mem
+}
+
+/// BARNES analogue: threads chase pseudo-random node chains through a
+/// shared tree (read-mostly, irregular) and occasionally lock a node's
+/// region to deposit a force update — the tree-walk plus cell-lock pattern
+/// of the real BARNES.
+#[must_use]
+pub fn barnes(threads: usize, size: u32) -> Workload {
+    let iterations = (12 * size) as i64;
+    let hops = 10i64;
+    let initial_mem = seed_nodes(0xba58e5);
+    let programs = (0..threads)
+        .map(|tid| {
+            let tid = tid as i64;
+            let mut b = ProgramBuilder::new();
+            let (nodes, it, nit, node, hop, nhop) = (r(1), r(2), r(3), r(4), r(5), r(6));
+            let (addr, v, acc, lock, tmp) = (r(7), r(8), r(9), r(10), r(11));
+            let local = LocalRegs::standard();
+            b.load_imm(nodes, layout::DATA_BASE);
+            b.load_imm(it, 0).load_imm(nit, iterations);
+            let top = b.bind_new();
+            // The body-force computation on this body: private work.
+            emit_local_work(&mut b, &local, local_base(tid), LOCAL_WORDS, 160);
+            // Start node = (tid*7 + it*13) & (NODES-1)
+            b.op_imm(AluOp::Mul, node, it, 13);
+            b.op_imm(AluOp::Add, node, node, tid * 7);
+            b.op_imm(AluOp::And, node, node, NODES - 1);
+            b.load_imm(acc, 0);
+            b.load_imm(hop, 0).load_imm(nhop, hops);
+            let walk = b.bind_new();
+            // addr = nodes + node*NODE_WORDS*8
+            b.op_imm(AluOp::Mul, addr, node, NODE_WORDS * 8);
+            b.add(addr, nodes, addr);
+            b.load(v, addr, 8); // payload
+            b.add(acc, acc, v);
+            b.load(node, addr, 0); // next pointer
+            b.op_imm(AluOp::And, node, node, NODES - 1);
+            b.add_imm(hop, hop, 1);
+            b.branch(BranchCond::Lt, hop, nhop, walk);
+            // Every 4th iteration: lock the final node's region (one lock
+            // per 16 nodes) and deposit the accumulated force.
+            b.op_imm(AluOp::And, tmp, it, 3);
+            let skip = b.label();
+            b.branch(BranchCond::Ne, tmp, Reg::ZERO, skip);
+            b.op_imm(AluOp::Shr, lock, node, 4);
+            b.op_imm(AluOp::Shl, lock, lock, 6);
+            b.op_imm(AluOp::Add, lock, lock, layout::LOCK_BASE);
+            emit_lock_acquire(&mut b, lock);
+            b.op_imm(AluOp::Mul, addr, node, NODE_WORDS * 8);
+            b.add(addr, nodes, addr);
+            b.load(v, addr, 16);
+            b.add(v, v, acc);
+            b.store(v, addr, 16);
+            emit_lock_release(&mut b, lock);
+            b.bind(skip);
+            b.add_imm(it, it, 1);
+            b.branch(BranchCond::Lt, it, nit, top);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "barnes",
+        programs,
+        initial_mem,
+    }
+}
+
+/// FMM analogue: the same irregular traversal as `barnes`, organized into
+/// phases — an upward read pass, a barrier, then a locked scatter pass,
+/// then another barrier — matching FMM's phase-structured tree traversal.
+#[must_use]
+pub fn fmm(threads: usize, size: u32) -> Workload {
+    let phases = (4 * size) as i64;
+    let walks_per_phase = 6i64;
+    let hops = 8i64;
+    let n = threads as i64;
+    let initial_mem = seed_nodes(0xf33);
+    let programs = (0..threads)
+        .map(|tid| {
+            let tid = tid as i64;
+            let mut b = ProgramBuilder::new();
+            let (bar, round, nodes, phase, nphase) = (r(1), r(2), r(3), r(4), r(5));
+            let (wk, nwk, node, hop, nhop, addr, v, acc, lock) =
+                (r(6), r(7), r(8), r(9), r(10), r(11), r(12), r(13), r(14));
+            let local = LocalRegs::standard();
+            b.load_imm(bar, layout::BARRIER_ADDR).load_imm(round, 0);
+            b.load_imm(nodes, layout::DATA_BASE);
+            b.load_imm(phase, 0).load_imm(nphase, phases);
+            let phase_top = b.bind_new();
+            // The multipole evaluation: long private computation.
+            emit_local_work(&mut b, &local, local_base(tid), LOCAL_WORDS, 300);
+            // Upward pass: pure reads.
+            b.load_imm(acc, 0);
+            b.load_imm(wk, 0).load_imm(nwk, walks_per_phase);
+            let walk_top = b.bind_new();
+            b.op_imm(AluOp::Mul, node, wk, 29);
+            b.op_imm(AluOp::Add, node, node, tid * 11 + 1);
+            b.op_imm(AluOp::And, node, node, NODES - 1);
+            b.load_imm(hop, 0).load_imm(nhop, hops);
+            let chase = b.bind_new();
+            b.op_imm(AluOp::Mul, addr, node, NODE_WORDS * 8);
+            b.add(addr, nodes, addr);
+            b.load(v, addr, 8);
+            b.add(acc, acc, v);
+            b.load(node, addr, 0);
+            b.op_imm(AluOp::And, node, node, NODES - 1);
+            b.add_imm(hop, hop, 1);
+            b.branch(BranchCond::Lt, hop, nhop, chase);
+            b.add_imm(wk, wk, 1);
+            b.branch(BranchCond::Lt, wk, nwk, walk_top);
+            emit_barrier(&mut b, bar, round, n);
+            // Downward pass: locked scatter to a phase-dependent cell.
+            b.op_imm(AluOp::Mul, node, phase, 17);
+            b.op_imm(AluOp::Add, node, node, tid * 5);
+            b.op_imm(AluOp::And, node, node, NODES - 1);
+            b.op_imm(AluOp::Shr, lock, node, 4);
+            b.op_imm(AluOp::Shl, lock, lock, 6);
+            b.op_imm(AluOp::Add, lock, lock, layout::LOCK_BASE);
+            emit_lock_acquire(&mut b, lock);
+            b.op_imm(AluOp::Mul, addr, node, NODE_WORDS * 8);
+            b.add(addr, nodes, addr);
+            b.load(v, addr, 16);
+            b.add(v, v, acc);
+            b.store(v, addr, 16);
+            emit_lock_release(&mut b, lock);
+            emit_barrier(&mut b, bar, round, n);
+            b.add_imm(phase, phase, 1);
+            b.branch(BranchCond::Lt, phase, nphase, phase_top);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "fmm",
+        programs,
+        initial_mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irregular_workloads_build() {
+        for w in [barnes(4, 1), fmm(4, 1)] {
+            assert_eq!(w.programs.len(), 4, "{}", w.name);
+            for p in &w.programs {
+                assert!(p.len() > 20, "{} program too small", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn node_links_stay_in_range() {
+        let w = barnes(1, 1);
+        for node in 0..NODES {
+            let next = w
+                .initial_mem
+                .load((layout::DATA_BASE + node * NODE_WORDS * 8) as u64);
+            assert!((next as i64) < NODES);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! SPLASH-2 kernel analogues: `fft`, `lu`, `radix`, `cholesky`.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rr_isa::{AluOp, BranchCond, MemImage, ProgramBuilder, Reg};
+
+use crate::compute::{emit_local_work, LocalRegs};
+use crate::layout;
+use crate::sync::{emit_barrier, emit_lock_acquire, emit_lock_release};
+use crate::Workload;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Words in each thread's private compute area (64 KiB — the L1 size, so
+/// local work produces a realistic hit/miss mix).
+const LOCAL_WORDS: i64 = 8192;
+
+fn local_base(tid: usize) -> i64 {
+    layout::private_base(tid) + 0x8_0000
+}
+
+/// FFT analogue: long local-compute stretches punctuated by all-to-all
+/// transpose phases between barriers — the butterfly communication of the
+/// real FFT collapsed to its sharing structure.
+#[must_use]
+pub fn fft(threads: usize, size: u32) -> Workload {
+    let rows_per_thread = 4i64;
+    let row_words = 8i64;
+    let phases = (2 * size) as i64;
+    let n = threads as i64;
+    let mut initial_mem = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0xff7);
+    for row in 0..n * rows_per_thread {
+        for w in 0..row_words {
+            initial_mem.store(
+                (layout::DATA_BASE + (row * row_words + w) * 8) as u64,
+                rng.gen_range(1..1 << 20),
+            );
+        }
+    }
+    let programs = (0..threads)
+        .map(|tid| {
+            let tidi = tid as i64;
+            let mut b = ProgramBuilder::new();
+            let local = LocalRegs::standard();
+            let (bar, round, base, phase, nphase) = (r(1), r(2), r(3), r(4), r(5));
+            let (i, lim, addr, v, acc, peer_base) = (r(6), r(7), r(8), r(9), r(10), r(11));
+            b.load_imm(bar, layout::BARRIER_ADDR).load_imm(round, 0);
+            b.load_imm(base, layout::DATA_BASE + tidi * rows_per_thread * row_words * 8);
+            b.load_imm(phase, 0).load_imm(nphase, phases);
+            let phase_top = b.bind_new();
+            // The FFT compute step: a long local 1-D pass.
+            emit_local_work(&mut b, &local, local_base(tid), LOCAL_WORDS, 220);
+            // Update own rows from local results.
+            b.load_imm(i, 0).load_imm(lim, rows_per_thread * row_words);
+            let compute = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.add(addr, base, addr);
+            b.load(v, addr, 0);
+            b.op_imm(AluOp::Mul, v, v, 3);
+            b.op_imm(AluOp::Xor, v, v, 0x5a5a);
+            b.store(v, addr, 0);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, compute);
+            emit_barrier(&mut b, bar, round, n);
+            // Transpose: read the rotating peer's rows, fold into own.
+            // peer = (tid + phase + 1) mod n
+            b.add_imm(peer_base, phase, tidi + 1);
+            let modtop = b.bind_new();
+            let done = b.label();
+            b.load_imm(v, n);
+            b.branch(BranchCond::Lt, peer_base, v, done);
+            b.op_imm(AluOp::Sub, peer_base, peer_base, n);
+            b.jump(modtop);
+            b.bind(done);
+            b.op_imm(AluOp::Mul, peer_base, peer_base, rows_per_thread * row_words * 8);
+            b.op_imm(AluOp::Add, peer_base, peer_base, layout::DATA_BASE);
+            // Read the peer's rows (stable during this phase: everyone
+            // writes the DATA2 transpose buffer, not DATA) and write the
+            // transposed result into my DATA2 region.
+            b.load_imm(i, 0).load_imm(lim, rows_per_thread * row_words);
+            b.load_imm(acc, 0);
+            let transpose = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.add(v, peer_base, addr);
+            b.load(v, v, 0); // read peer data
+            b.add(acc, acc, v);
+            b.op_imm(AluOp::Add, addr, addr, layout::DATA2_BASE - layout::DATA_BASE);
+            b.add(addr, base, addr);
+            b.store(acc, addr, 0); // write own DATA2 row
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, transpose);
+            // More local compute before the closing barrier.
+            emit_local_work(&mut b, &local, local_base(tid), LOCAL_WORDS, 220);
+            emit_barrier(&mut b, bar, round, n);
+            // Fold the transpose buffer back into my DATA rows (private:
+            // both regions are mine).
+            b.load_imm(i, 0).load_imm(lim, rows_per_thread * row_words);
+            let fold = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.op_imm(AluOp::Add, v, addr, layout::DATA2_BASE - layout::DATA_BASE);
+            b.add(v, base, v);
+            b.load(v, v, 0);
+            b.add(addr, base, addr);
+            b.store(v, addr, 0);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, fold);
+            b.add_imm(phase, phase, 1);
+            b.branch(BranchCond::Lt, phase, nphase, phase_top);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "fft",
+        programs,
+        initial_mem,
+    }
+}
+
+/// LU analogue: in step `k` the owner updates the shared diagonal block;
+/// after a barrier everyone reads it while updating their private panels
+/// (long local stretches), then another barrier closes the step.
+#[must_use]
+pub fn lu(threads: usize, size: u32) -> Workload {
+    let steps = (3 * size) as i64;
+    let n = threads as i64;
+    let diag_words = 8i64;
+    let panel_words = 16i64;
+    let mut initial_mem = MemImage::new();
+    for w in 0..diag_words {
+        initial_mem.store((layout::DATA_BASE + w * 8) as u64, (w + 3) as u64);
+    }
+    let programs = (0..threads)
+        .map(|tid| {
+            let tidi = tid as i64;
+            let mut b = ProgramBuilder::new();
+            let local = LocalRegs::standard();
+            let (bar, round, diag, panel, k, nk) = (r(1), r(2), r(3), r(4), r(5), r(6));
+            let (i, lim, addr, v, d, owner) = (r(7), r(8), r(9), r(10), r(11), r(12));
+            b.load_imm(bar, layout::BARRIER_ADDR).load_imm(round, 0);
+            b.load_imm(diag, layout::DATA_BASE);
+            b.load_imm(panel, layout::DATA2_BASE + tidi * panel_words * 8);
+            b.load_imm(k, 0).load_imm(nk, steps);
+            let step = b.bind_new();
+            // owner = k mod n (n tiny: repeated subtraction)
+            b.op(AluOp::Add, owner, k, Reg::ZERO);
+            let modtop = b.bind_new();
+            let modend = b.label();
+            b.load_imm(v, n);
+            b.branch(BranchCond::Lt, owner, v, modend);
+            b.op_imm(AluOp::Sub, owner, owner, n);
+            b.jump(modtop);
+            b.bind(modend);
+            b.load_imm(v, tidi);
+            let not_owner = b.label();
+            b.branch(BranchCond::Ne, owner, v, not_owner);
+            // I own the diagonal block this step: factorize it.
+            b.load_imm(i, 0).load_imm(lim, diag_words);
+            let fac = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.add(addr, diag, addr);
+            b.load(v, addr, 0);
+            b.op_imm(AluOp::Mul, v, v, 5);
+            b.op_imm(AluOp::Add, v, v, 1);
+            b.store(v, addr, 0);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, fac);
+            b.bind(not_owner);
+            emit_barrier(&mut b, bar, round, n);
+            // Everyone reads the diagonal block and updates their panel,
+            // then does the long interior-update local compute.
+            b.load_imm(i, 0).load_imm(lim, panel_words);
+            let upd = b.bind_new();
+            b.op_imm(AluOp::And, d, i, diag_words - 1);
+            b.op_imm(AluOp::Shl, d, d, 3);
+            b.add(d, diag, d);
+            b.load(d, d, 0); // shared read of the diagonal
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.add(addr, panel, addr);
+            b.load(v, addr, 0);
+            b.add(v, v, d);
+            b.store(v, addr, 0);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, upd);
+            emit_local_work(&mut b, &local, local_base(tid), LOCAL_WORDS, 380);
+            emit_barrier(&mut b, bar, round, n);
+            b.add_imm(k, k, 1);
+            b.branch(BranchCond::Lt, k, nk, step);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "lu",
+        programs,
+        initial_mem,
+    }
+}
+
+/// RADIX analogue, structured like the real kernel: build a **private**
+/// histogram of local keys, merge it into the shared histogram with one
+/// atomic per bucket, barrier, claim contiguous output ranges per bucket,
+/// then scatter keys into the claimed slots (the permutation all-to-all
+/// writes, without per-key atomics).
+#[must_use]
+pub fn radix(threads: usize, size: u32) -> Workload {
+    let keys_per_thread = 96i64;
+    let rounds = size as i64;
+    let buckets = 16i64;
+    let bucket_stride = 8i64; // words between shared buckets: one line each
+    let n = threads as i64;
+    let mut initial_mem = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0x4ad1);
+    for tid in 0..n {
+        for i in 0..keys_per_thread {
+            initial_mem.store(
+                (layout::DATA_BASE + (tid * keys_per_thread + i) * 8) as u64,
+                rng.gen_range(1..1 << 16),
+            );
+        }
+    }
+    let programs = (0..threads)
+        .map(|tid| {
+            let tidi = tid as i64;
+            let mut b = ProgramBuilder::new();
+            let local = LocalRegs::standard();
+            let lhist = layout::private_base(tid) + 0x1000; // private histogram
+            let claims = layout::private_base(tid) + 0x2000; // claimed bases
+            let (bar, round, keys, i, lim, addr) = (r(1), r(2), r(3), r(4), r(5), r(6));
+            let (key, bucket, v, amount, rd, nrd) = (r(7), r(8), r(9), r(10), r(11), r(12));
+            b.load_imm(bar, layout::BARRIER_ADDR).load_imm(round, 0);
+            b.load_imm(keys, layout::DATA_BASE + tidi * keys_per_thread * 8);
+            b.load_imm(rd, 0).load_imm(nrd, rounds);
+            let round_top = b.bind_new();
+            emit_local_work(&mut b, &local, local_base(tid), LOCAL_WORDS, 250);
+            // Zero the private histogram.
+            b.load_imm(i, 0).load_imm(lim, buckets);
+            let z = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.op_imm(AluOp::Add, addr, addr, lhist);
+            b.store(Reg::ZERO, addr, 0);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, z);
+            // Private histogram of local keys.
+            b.load_imm(i, 0).load_imm(lim, keys_per_thread);
+            let h = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.add(addr, keys, addr);
+            b.load(key, addr, 0);
+            b.op_imm(AluOp::And, bucket, key, buckets - 1);
+            b.op_imm(AluOp::Shl, bucket, bucket, 3);
+            b.op_imm(AluOp::Add, bucket, bucket, lhist);
+            b.load(v, bucket, 0);
+            b.add_imm(v, v, 1);
+            b.store(v, bucket, 0);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, h);
+            // Merge into the shared histogram: one fetch-add per bucket;
+            // the old value is my claimed base in that bucket.
+            b.load_imm(i, 0).load_imm(lim, buckets);
+            let merge = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.op_imm(AluOp::Add, addr, addr, lhist);
+            b.load(amount, addr, 0);
+            b.op_imm(AluOp::Mul, bucket, i, bucket_stride * 8);
+            b.op_imm(AluOp::Add, bucket, bucket, layout::HIST_BASE);
+            b.fetch_add(v, bucket, amount);
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.op_imm(AluOp::Add, addr, addr, claims);
+            b.store(v, addr, 0);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, merge);
+            emit_barrier(&mut b, bar, round, n);
+            // Scatter: each key goes to DATA2 + (bucket*cap + claim++) * 8.
+            b.load_imm(i, 0).load_imm(lim, keys_per_thread);
+            let s = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.add(addr, keys, addr);
+            b.load(key, addr, 0);
+            b.op_imm(AluOp::And, bucket, key, buckets - 1);
+            b.op_imm(AluOp::Shl, addr, bucket, 3);
+            b.op_imm(AluOp::Add, addr, addr, claims);
+            b.load(v, addr, 0); // my cursor in this bucket
+            b.add_imm(r(13), v, 1);
+            b.store(r(13), addr, 0);
+            // out = DATA2 + (bucket * capacity + cursor) * 8
+            b.op_imm(AluOp::Mul, bucket, bucket, n * keys_per_thread * 8);
+            b.op_imm(AluOp::Shl, v, v, 3);
+            b.add(bucket, bucket, v);
+            b.op_imm(AluOp::Add, bucket, bucket, layout::DATA2_BASE);
+            b.store(key, bucket, 0);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, s);
+            emit_local_work(&mut b, &local, local_base(tid), LOCAL_WORDS, 250);
+            emit_barrier(&mut b, bar, round, n);
+            b.add_imm(rd, rd, 1);
+            b.branch(BranchCond::Lt, rd, nrd, round_top);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "radix",
+        programs,
+        initial_mem,
+    }
+}
+
+/// CHOLESKY analogue: a lock-free task counter hands out column-update
+/// tasks; each task does a long private supernode computation, then locks
+/// its column panel and applies the update.
+#[must_use]
+pub fn cholesky(threads: usize, size: u32) -> Workload {
+    let columns = 12i64;
+    let col_words = 8i64;
+    let tasks = (threads as i64) * (6 * size) as i64;
+    let mut initial_mem = MemImage::new();
+    for c in 0..columns * col_words {
+        initial_mem.store((layout::DATA_BASE + c * 8) as u64, (c + 1) as u64);
+    }
+    let programs = (0..threads)
+        .map(|tid| {
+            let mut b = ProgramBuilder::new();
+            let local = LocalRegs::standard();
+            let (q, one, t, ntasks, col, lock) = (r(1), r(2), r(3), r(4), r(5), r(6));
+            let (i, lim, addr, v, base) = (r(7), r(8), r(9), r(10), r(11));
+            b.load_imm(q, layout::QUEUE_ADDR);
+            b.load_imm(one, 1);
+            b.load_imm(ntasks, tasks);
+            let grab = b.bind_new();
+            let done = b.label();
+            b.fetch_add(t, q, one);
+            b.branch(BranchCond::Geu, t, ntasks, done);
+            // The task's private supernode computation.
+            emit_local_work(&mut b, &local, local_base(tid), LOCAL_WORDS, 300);
+            // col = t mod columns (repeated subtraction on a small range).
+            b.op(AluOp::Add, col, t, Reg::ZERO);
+            let modtop = b.bind_new();
+            let modend = b.label();
+            b.load_imm(v, columns);
+            b.branch(BranchCond::Lt, col, v, modend);
+            b.op_imm(AluOp::Sub, col, col, columns);
+            b.jump(modtop);
+            b.bind(modend);
+            // lock(col); update the column; unlock.
+            b.op_imm(AluOp::Shl, lock, col, 6);
+            b.op_imm(AluOp::Add, lock, lock, layout::LOCK_BASE);
+            emit_lock_acquire(&mut b, lock);
+            b.op_imm(AluOp::Mul, base, col, col_words * 8);
+            b.op_imm(AluOp::Add, base, base, layout::DATA_BASE);
+            b.load_imm(i, 0).load_imm(lim, col_words);
+            let upd = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.add(addr, base, addr);
+            b.load(v, addr, 0);
+            b.op_imm(AluOp::Mul, v, v, 3);
+            b.op_imm(AluOp::Xor, v, v, 0x11);
+            b.store(v, addr, 0);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, upd);
+            emit_lock_release(&mut b, lock);
+            b.jump(grab);
+            b.bind(done);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "cholesky",
+        programs,
+        initial_mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_build_nonempty_programs() {
+        for w in [fft(4, 1), lu(4, 1), radix(4, 1), cholesky(4, 1)] {
+            assert_eq!(w.programs.len(), 4, "{}", w.name);
+            for p in &w.programs {
+                assert!(p.len() > 10, "{} program too small", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn radix_initial_keys_are_seeded() {
+        let w = radix(2, 1);
+        let first = w.initial_mem.load(layout::DATA_BASE as u64);
+        assert_ne!(first, 0);
+    }
+}

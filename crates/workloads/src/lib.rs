@@ -1,0 +1,168 @@
+//! # rr-workloads — SPLASH-2-like synthetic workloads
+//!
+//! The paper evaluates RelaxReplay on the SPLASH-2 suite. Real SPLASH-2
+//! binaries need a full ISA, libc and OS; what the *recorder* actually
+//! responds to is the **communication structure** of the workload — how
+//! often threads conflict on cache lines, how much data they share, and how
+//! dense synchronization is. This crate provides twelve generators, one per
+//! SPLASH-2 application, that emit `rr-isa` programs with the corresponding
+//! sharing structure (see DESIGN.md §4 for the substitution argument):
+//!
+//! | name | analogue | communication pattern |
+//! |------|----------|----------------------|
+//! | `fft` | FFT | all-to-all transpose phases between barriers |
+//! | `lu` | LU | owner-computes diagonal block, everyone reads it |
+//! | `radix` | RADIX | atomic histogram + permutation scatter |
+//! | `cholesky` | CHOLESKY | lock-protected task queue over shared panels |
+//! | `ocean` | OCEAN | nearest-neighbour grid stencil, barrier per sweep |
+//! | `water_nsq` | WATER-NSQ | all-pairs force reads, locked accumulators |
+//! | `water_sp` | WATER-SP | cell lists with atomic membership + barriers |
+//! | `barnes` | BARNES | irregular pointer chasing with region locks |
+//! | `fmm` | FMM | irregular traversal with phase barriers |
+//! | `raytrace` | RAYTRACE | read-mostly scene + work queue |
+//! | `volrend` | VOLREND | read-mostly volume + fine-grained work queue |
+//! | `radiosity` | RADIOSITY | task queue + lock-protected patch updates |
+//!
+//! Every generator is deterministic (seeded by the workload name) and
+//! scales with a `size` factor; [`suite`] returns all twelve.
+//!
+//! ```
+//! let w = rr_workloads::suite(2, 1);
+//! assert_eq!(w.len(), 12);
+//! assert_eq!(w[0].name, "fft");
+//! assert_eq!(w[0].programs.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod grid;
+mod irregular;
+mod kernels;
+mod queue;
+pub mod compute;
+pub mod sync;
+
+use rr_isa::{MemImage, Program};
+
+pub use grid::{ocean, water_nsq, water_sp};
+pub use irregular::{barnes, fmm};
+pub use kernels::{cholesky, fft, lu, radix};
+pub use queue::{radiosity, raytrace, volrend};
+
+/// A runnable multi-threaded workload: one program per thread plus the
+/// initial shared-memory image.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Workload name (the SPLASH-2 analogue, lowercase).
+    pub name: &'static str,
+    /// One program per thread.
+    pub programs: Vec<Program>,
+    /// Initial contents of shared memory.
+    pub initial_mem: MemImage,
+}
+
+/// Shared-address-space layout used by all generators.
+pub mod layout {
+    /// Base of the lock array (locks spaced one cache line apart).
+    pub const LOCK_BASE: i64 = 0x0010_0000;
+    /// The barrier counter word.
+    pub const BARRIER_ADDR: i64 = 0x0020_0000;
+    /// The work-queue / shared-counter word (its own cache line).
+    pub const QUEUE_ADDR: i64 = 0x0020_0100;
+    /// Base of histogram / global accumulator arrays.
+    pub const HIST_BASE: i64 = 0x0030_0000;
+    /// Primary shared data array.
+    pub const DATA_BASE: i64 = 0x0100_0000;
+    /// Secondary shared data array (ping-pong buffers, scatter outputs).
+    pub const DATA2_BASE: i64 = 0x0200_0000;
+    /// Per-thread private region.
+    #[must_use]
+    pub fn private_base(tid: usize) -> i64 {
+        0x1000_0000 + (tid as i64) * 0x10_0000
+    }
+    /// Address of the `i`-th lock.
+    #[must_use]
+    pub fn lock_addr(i: i64) -> i64 {
+        LOCK_BASE + i * 64
+    }
+}
+
+/// Builds all twelve workloads for `threads` threads at the given `size`
+/// factor (1 ≈ tens of thousands of instructions per thread; the
+/// experiment harness uses larger factors).
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `size == 0`.
+#[must_use]
+pub fn suite(threads: usize, size: u32) -> Vec<Workload> {
+    assert!(threads > 0 && size > 0, "threads and size must be positive");
+    vec![
+        fft(threads, size),
+        lu(threads, size),
+        radix(threads, size),
+        cholesky(threads, size),
+        ocean(threads, size),
+        water_nsq(threads, size),
+        water_sp(threads, size),
+        barnes(threads, size),
+        fmm(threads, size),
+        raytrace(threads, size),
+        volrend(threads, size),
+        radiosity(threads, size),
+    ]
+}
+
+/// Builds a single workload by name (see the crate docs for the list).
+#[must_use]
+pub fn by_name(name: &str, threads: usize, size: u32) -> Option<Workload> {
+    let w = match name {
+        "fft" => fft(threads, size),
+        "lu" => lu(threads, size),
+        "radix" => radix(threads, size),
+        "cholesky" => cholesky(threads, size),
+        "ocean" => ocean(threads, size),
+        "water_nsq" => water_nsq(threads, size),
+        "water_sp" => water_sp(threads, size),
+        "barnes" => barnes(threads, size),
+        "fmm" => fmm(threads, size),
+        "raytrace" => raytrace(threads, size),
+        "volrend" => volrend(threads, size),
+        "radiosity" => radiosity(threads, size),
+        _ => return None,
+    };
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_unique_names() {
+        let w = suite(2, 1);
+        let mut names: Vec<_> = w.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for w in suite(2, 1) {
+            let again = by_name(w.name, 2, 1).expect("known name");
+            assert_eq!(again.name, w.name);
+            assert_eq!(again.programs.len(), w.programs.len());
+        }
+        assert!(by_name("nonesuch", 2, 1).is_none());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for (a, b) in suite(4, 2).iter().zip(suite(4, 2).iter()) {
+            assert_eq!(a.programs, b.programs, "{} differs between builds", a.name);
+            assert!(a.initial_mem.contents_eq(&b.initial_mem));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Work-queue-driven, read-mostly analogues: `raytrace`, `volrend`,
+//! `radiosity`.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rr_isa::{AluOp, BranchCond, MemImage, ProgramBuilder, Reg};
+
+use crate::compute::{emit_local_work, LocalRegs};
+use crate::layout;
+use crate::sync::{emit_lock_acquire, emit_lock_release};
+use crate::Workload;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Words in each thread's private compute area.
+const LOCAL_WORDS: i64 = 8192;
+
+fn local_base(tid: usize) -> i64 {
+    layout::private_base(tid) + 0x8_0000
+}
+
+const SCENE_WORDS: i64 = 256;
+
+fn seed_scene(seed: u64) -> MemImage {
+    let mut mem = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for w in 0..SCENE_WORDS {
+        mem.store(
+            (layout::DATA_BASE + w * 8) as u64,
+            rng.gen_range(1..1 << 16),
+        );
+    }
+    mem
+}
+
+/// RAYTRACE analogue: a shared read-only scene, a global atomic work
+/// counter handing out tiles, and private framebuffer writes. Communication
+/// is almost entirely the work queue plus cold scene sharing — the real
+/// RAYTRACE's profile.
+#[must_use]
+pub fn raytrace(threads: usize, size: u32) -> Workload {
+    let tasks = (threads as i64) * (12 * size) as i64;
+    let reads_per_task = 14i64;
+    let initial_mem = seed_scene(0x4a7);
+    let programs = (0..threads)
+        .map(|tid| {
+            let mut b = ProgramBuilder::new();
+            let (q, one, t, ntasks, scene, fb) = (r(1), r(2), r(3), r(4), r(5), r(6));
+            let (i, lim, idx, addr, v, acc) = (r(7), r(8), r(9), r(10), r(11), r(12));
+            b.load_imm(q, layout::QUEUE_ADDR);
+            b.load_imm(one, 1);
+            b.load_imm(ntasks, tasks);
+            b.load_imm(scene, layout::DATA_BASE);
+            b.load_imm(fb, layout::private_base(tid));
+            let local = LocalRegs::standard();
+            let grab = b.bind_new();
+            let done = b.label();
+            b.fetch_add(t, q, one);
+            b.branch(BranchCond::Geu, t, ntasks, done);
+            // Shading and intersection math: private computation.
+            emit_local_work(&mut b, &local, local_base(tid), LOCAL_WORDS, 160);
+            // Trace: read a pseudo-random walk of scene words.
+            b.load_imm(acc, 0);
+            b.op_imm(AluOp::Mul, idx, t, 37);
+            b.load_imm(i, 0).load_imm(lim, reads_per_task);
+            let ray = b.bind_new();
+            b.op_imm(AluOp::And, idx, idx, SCENE_WORDS - 1);
+            b.op_imm(AluOp::Shl, addr, idx, 3);
+            b.add(addr, scene, addr);
+            b.load(v, addr, 0);
+            b.add(acc, acc, v);
+            b.op_imm(AluOp::Mul, idx, idx, 13);
+            b.op_imm(AluOp::Add, idx, idx, 7);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, ray);
+            // Private framebuffer write (tile = task index mod 256).
+            b.op_imm(AluOp::And, addr, t, 255);
+            b.op_imm(AluOp::Shl, addr, addr, 3);
+            b.add(addr, fb, addr);
+            b.store(acc, addr, 0);
+            b.jump(grab);
+            b.bind(done);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "raytrace",
+        programs,
+        initial_mem,
+    }
+}
+
+/// VOLREND analogue: like `raytrace` but with finer tasks and a shared
+/// progress counter bumped per task (VOLREND's image/opacity sharing is
+/// lighter but its task rate higher).
+#[must_use]
+pub fn volrend(threads: usize, size: u32) -> Workload {
+    let tasks = (threads as i64) * (20 * size) as i64;
+    let reads_per_task = 6i64;
+    let initial_mem = seed_scene(0x701);
+    let programs = (0..threads)
+        .map(|tid| {
+            let mut b = ProgramBuilder::new();
+            let (q, one, t, ntasks, scene, fb, progress) =
+                (r(1), r(2), r(3), r(4), r(5), r(6), r(13));
+            let (i, lim, idx, addr, v, acc) = (r(7), r(8), r(9), r(10), r(11), r(12));
+            b.load_imm(q, layout::QUEUE_ADDR);
+            b.load_imm(one, 1);
+            b.load_imm(ntasks, tasks);
+            b.load_imm(scene, layout::DATA_BASE);
+            b.load_imm(fb, layout::private_base(tid));
+            b.load_imm(progress, layout::HIST_BASE);
+            let local = LocalRegs::standard();
+            let grab = b.bind_new();
+            let done = b.label();
+            b.fetch_add(t, q, one);
+            b.branch(BranchCond::Geu, t, ntasks, done);
+            // Ray compositing: private computation per task.
+            emit_local_work(&mut b, &local, local_base(tid), LOCAL_WORDS, 90);
+            b.load_imm(acc, 0);
+            b.op_imm(AluOp::Mul, idx, t, 11);
+            b.load_imm(i, 0).load_imm(lim, reads_per_task);
+            let sample = b.bind_new();
+            b.op_imm(AluOp::And, idx, idx, SCENE_WORDS - 1);
+            b.op_imm(AluOp::Shl, addr, idx, 3);
+            b.add(addr, scene, addr);
+            b.load(v, addr, 0);
+            b.add(acc, acc, v);
+            b.op_imm(AluOp::Add, idx, idx, 19);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, sample);
+            b.op_imm(AluOp::And, addr, t, 127);
+            b.op_imm(AluOp::Shl, addr, addr, 3);
+            b.add(addr, fb, addr);
+            b.store(acc, addr, 0);
+            // Shared progress tick.
+            b.fetch_add(v, progress, one);
+            b.jump(grab);
+            b.bind(done);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "volrend",
+        programs,
+        initial_mem,
+    }
+}
+
+/// RADIOSITY analogue: a task queue whose tasks perform lock-protected
+/// read-modify-writes on shared patches — the patch-interaction structure
+/// that makes RADIOSITY lock-intensive.
+#[must_use]
+pub fn radiosity(threads: usize, size: u32) -> Workload {
+    let patches = 10i64;
+    let patch_words = 4i64;
+    let tasks = (threads as i64) * (9 * size) as i64;
+    let mut initial_mem = MemImage::new();
+    let mut rng = StdRng::seed_from_u64(0x4ad10);
+    for w in 0..patches * patch_words {
+        initial_mem.store(
+            (layout::DATA2_BASE + w * 8) as u64,
+            rng.gen_range(1..1 << 10),
+        );
+    }
+    let programs = (0..threads)
+        .map(|_tid| {
+            let mut b = ProgramBuilder::new();
+            let (q, one, t, ntasks, lock, base) = (r(1), r(2), r(3), r(4), r(5), r(6));
+            let (p, i, lim, addr, v, energy) = (r(7), r(8), r(9), r(10), r(11), r(12));
+            b.load_imm(q, layout::QUEUE_ADDR);
+            b.load_imm(one, 1);
+            b.load_imm(ntasks, tasks);
+            let local = LocalRegs::standard();
+            let grab = b.bind_new();
+            let done = b.label();
+            b.fetch_add(t, q, one);
+            b.branch(BranchCond::Geu, t, ntasks, done);
+            // Form-factor computation: private work before touching the
+            // shared patch.
+            emit_local_work(&mut b, &local, local_base(_tid), LOCAL_WORDS, 200);
+            // p = t mod patches (small modulus by repeated subtraction).
+            b.op(AluOp::Add, p, t, Reg::ZERO);
+            let modtop = b.bind_new();
+            let modend = b.label();
+            b.load_imm(v, patches);
+            b.branch(BranchCond::Lt, p, v, modend);
+            b.op_imm(AluOp::Sub, p, p, patches);
+            b.jump(modtop);
+            b.bind(modend);
+            b.op_imm(AluOp::Shl, lock, p, 6);
+            b.op_imm(AluOp::Add, lock, lock, layout::LOCK_BASE);
+            emit_lock_acquire(&mut b, lock);
+            b.op_imm(AluOp::Mul, base, p, patch_words * 8);
+            b.op_imm(AluOp::Add, base, base, layout::DATA2_BASE);
+            b.load_imm(energy, 0);
+            b.load_imm(i, 0).load_imm(lim, patch_words);
+            let upd = b.bind_new();
+            b.op_imm(AluOp::Shl, addr, i, 3);
+            b.add(addr, base, addr);
+            b.load(v, addr, 0);
+            b.add(energy, energy, v);
+            b.op_imm(AluOp::Shr, v, v, 1);
+            b.op_imm(AluOp::Add, v, v, 3);
+            b.store(v, addr, 0);
+            b.add_imm(i, i, 1);
+            b.branch(BranchCond::Lt, i, lim, upd);
+            emit_lock_release(&mut b, lock);
+            b.jump(grab);
+            b.bind(done);
+            b.halt();
+            b.build()
+        })
+        .collect();
+    Workload {
+        name: "radiosity",
+        programs,
+        initial_mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_workloads_build() {
+        for w in [raytrace(4, 1), volrend(4, 1), radiosity(4, 1)] {
+            assert_eq!(w.programs.len(), 4, "{}", w.name);
+            for p in &w.programs {
+                assert!(p.len() > 20, "{} program too small", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scene_is_seeded() {
+        let w = raytrace(1, 1);
+        assert_ne!(w.initial_mem.load(layout::DATA_BASE as u64), 0);
+    }
+}

@@ -1,0 +1,86 @@
+#![allow(clippy::needless_range_loop)] // variant index addresses parallel arrays
+//! Workspace-level end-to-end matrix: every workload × every recorder
+//! variant × several core counts must record, patch, replay and verify
+//! bit-exactly. This is the system's headline correctness property
+//! (deterministic replay of relaxed-consistency executions).
+
+use rr_replay::CostModel;
+use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+use rr_workloads::suite;
+
+fn check_matrix(threads: usize, size: u32) {
+    let cfg = MachineConfig::splash_default(threads);
+    let specs = RecorderSpec::paper_matrix();
+    for w in suite(threads, size) {
+        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+            .unwrap_or_else(|e| panic!("{} @{threads}c: recording failed: {e}", w.name));
+        for v in 0..specs.len() {
+            replay_and_verify(
+                &w.programs,
+                &w.initial_mem,
+                &result,
+                v,
+                &CostModel::splash_default(),
+            )
+            .unwrap_or_else(|e| panic!("{} @{threads}c [{}]: {e}", w.name, specs[v].label()));
+        }
+    }
+}
+
+#[test]
+fn suite_replays_on_two_cores() {
+    check_matrix(2, 1);
+}
+
+#[test]
+fn suite_replays_on_four_cores() {
+    check_matrix(4, 1);
+}
+
+#[test]
+fn suite_replays_on_eight_cores() {
+    check_matrix(8, 1);
+}
+
+#[test]
+fn suite_replays_on_eight_cores_larger_runs() {
+    check_matrix(8, 3);
+}
+
+#[test]
+fn suite_replays_under_directory_coherence() {
+    let threads = 4;
+    let cfg = MachineConfig::splash_default(threads).with_directory();
+    let specs = RecorderSpec::paper_matrix();
+    for w in suite(threads, 1) {
+        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+            .unwrap_or_else(|e| panic!("{} (dir): recording failed: {e}", w.name));
+        for v in 0..specs.len() {
+            replay_and_verify(
+                &w.programs,
+                &w.initial_mem,
+                &result,
+                v,
+                &CostModel::splash_default(),
+            )
+            .unwrap_or_else(|e| panic!("{} (dir) [{}]: {e}", w.name, specs[v].label()));
+        }
+    }
+}
+
+#[test]
+fn logs_round_trip_through_the_binary_codec() {
+    let threads = 2;
+    let cfg = MachineConfig::splash_default(threads);
+    let specs = RecorderSpec::paper_matrix();
+    for w in suite(threads, 1).into_iter().take(3) {
+        let result = record(&w.programs, &w.initial_mem, &cfg, &specs).expect("records");
+        for v in &result.variants {
+            for log in &v.logs {
+                let decoded =
+                    relaxreplay::IntervalLog::decode(&log.encode()).expect("codec round trip");
+                assert_eq!(&decoded, log, "{} [{}]", w.name, v.spec.label());
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Failure injection: shrink every RelaxReplay hardware structure to
+//! pathological sizes and hammer the squash path — recording must still be
+//! correct (conservative structures degrade to more log, never to wrong
+//! replay).
+
+use relaxreplay::{Design, RecorderConfig};
+use rr_isa::{BranchCond, MemImage, ProgramBuilder, Reg};
+use rr_replay::{patch, replay, verify, CostModel};
+use rr_sim::{record_custom, MachineConfig};
+use rr_workloads::by_name;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+fn verify_all(
+    programs: &[rr_isa::Program],
+    initial: &MemImage,
+    machine: &MachineConfig,
+    configs: &[RecorderConfig],
+) {
+    let result = record_custom(programs, initial, machine, configs).expect("records");
+    for (i, v) in result.variants.iter().enumerate() {
+        let patched: Vec<_> = v
+            .logs
+            .iter()
+            .map(|l| patch(l).expect("patches"))
+            .collect();
+        let outcome = replay(programs, &patched, initial.clone(), &CostModel::splash_default())
+            .unwrap_or_else(|e| panic!("variant {i}: replay failed: {e}"));
+        verify(&result.recorded, &outcome)
+            .unwrap_or_else(|e| panic!("variant {i}: verification failed: {e}"));
+    }
+}
+
+#[test]
+fn tiny_traq_forces_stalls_but_stays_correct() {
+    let w = by_name("radix", 4, 1).expect("workload");
+    let machine = MachineConfig::splash_default(4);
+    let configs = vec![
+        RecorderConfig {
+            traq_entries: 8,
+            ..RecorderConfig::splash_default(Design::Opt, Some(4096))
+        },
+    ];
+    let result = record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+    let stalls: u64 = result.core_stats.iter().map(|s| s.traq_stall_cycles).sum();
+    assert!(stalls > 0, "an 8-entry TRAQ must stall dispatch");
+    // And still replay correctly.
+    verify_all(&w.programs, &w.initial_mem, &machine, &configs);
+}
+
+#[test]
+fn saturated_signatures_terminate_more_but_stay_correct() {
+    let w = by_name("fft", 4, 1).expect("workload");
+    let machine = MachineConfig::splash_default(4);
+    // 1 bank × 8 bits: astronomically high false-positive rate.
+    let tiny = RecorderConfig {
+        sig_banks: 1,
+        sig_bits: 8,
+        ..RecorderConfig::splash_default(Design::Base, None)
+    };
+    let normal = RecorderConfig::splash_default(Design::Base, None);
+    let result = record_custom(
+        &w.programs,
+        &w.initial_mem,
+        &machine,
+        &[tiny.clone(), normal.clone()],
+    )
+    .expect("records");
+    let intervals = |v: usize| -> usize {
+        result.variants[v].logs.iter().map(|l| l.intervals()).sum()
+    };
+    assert!(
+        intervals(0) > intervals(1),
+        "saturated signatures must terminate more intervals ({} vs {})",
+        intervals(0),
+        intervals(1)
+    );
+    verify_all(&w.programs, &w.initial_mem, &machine, &[tiny, normal]);
+}
+
+#[test]
+fn tiny_snoop_table_aliases_but_stays_correct() {
+    let w = by_name("barnes", 4, 1).expect("workload");
+    let machine = MachineConfig::splash_default(4);
+    let tiny = RecorderConfig {
+        snoop_entries: 2,
+        ..RecorderConfig::splash_default(Design::Opt, None)
+    };
+    let normal = RecorderConfig::splash_default(Design::Opt, None);
+    let result = record_custom(
+        &w.programs,
+        &w.initial_mem,
+        &machine,
+        &[tiny.clone(), normal.clone()],
+    )
+    .expect("records");
+    assert!(
+        result.variants[0].reordered() >= result.variants[1].reordered(),
+        "a 2-entry snoop table cannot reorder less than the 64-entry one"
+    );
+    verify_all(&w.programs, &w.initial_mem, &machine, &[tiny, normal]);
+}
+
+#[test]
+fn squash_storm_with_sharing_stays_correct() {
+    // Alternating unpredictable branches around racy accesses: maximal
+    // TRAQ-flush pressure.
+    let make = |seed: i64| {
+        let mut b = ProgramBuilder::new();
+        let (i, lim, addr, v, tmp) = (r(1), r(2), r(3), r(4), r(5));
+        b.load_imm(i, 0).load_imm(lim, 300).load_imm(addr, 0x3000);
+        let top = b.bind_new();
+        let odd = b.label();
+        let join = b.label();
+        b.op_imm(rr_isa::AluOp::And, tmp, i, 1);
+        b.branch(BranchCond::Ne, tmp, Reg::ZERO, odd);
+        b.load(v, addr, 0);
+        b.add_imm(v, v, seed);
+        b.store(v, addr, 0);
+        b.jump(join);
+        b.bind(odd);
+        b.load(v, addr, 8);
+        b.add_imm(v, v, 1);
+        b.store(v, addr, 8);
+        b.bind(join);
+        b.add_imm(i, i, 1);
+        b.branch(BranchCond::Lt, i, lim, top);
+        b.halt();
+        b.build()
+    };
+    let programs = vec![make(1), make(3), make(5), make(7)];
+    let machine = MachineConfig::splash_default(4);
+    let configs = vec![
+        RecorderConfig::splash_default(Design::Base, Some(4096)),
+        RecorderConfig::splash_default(Design::Opt, Some(4096)),
+    ];
+    let result =
+        record_custom(&programs, &MemImage::new(), &machine, &configs).expect("records");
+    let squashes: u64 = result.core_stats.iter().map(|s| s.squashes).sum();
+    assert!(squashes > 100, "expected a squash storm, got {squashes}");
+    verify_all(&programs, &MemImage::new(), &machine, &configs);
+}
+
+#[test]
+fn dirty_eviction_storm_in_directory_mode_stays_correct() {
+    // A tiny L1 forces constant dirty evictions; in directory mode the
+    // recorder must compensate through the Snoop Table (paper §4.3).
+    let w = by_name("ocean", 4, 1).expect("workload");
+    let mut machine = MachineConfig::splash_default(4).with_directory();
+    machine.mem.l1_bytes = 32 * 32; // 32 lines
+    let configs = vec![
+        RecorderConfig::splash_default(Design::Opt, Some(4096)),
+        RecorderConfig::splash_default(Design::Base, Some(4096)),
+    ];
+    let result =
+        record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+    assert!(
+        result.mem_stats.dirty_evictions > 100,
+        "expected an eviction storm, got {}",
+        result.mem_stats.dirty_evictions
+    );
+    verify_all(&w.programs, &w.initial_mem, &machine, &configs);
+}
+
+#[test]
+fn tiny_write_buffer_and_lsq_stay_correct() {
+    let w = by_name("lu", 2, 1).expect("workload");
+    let mut machine = MachineConfig::splash_default(2);
+    machine.cpu.write_buffer_entries = 2;
+    machine.cpu.write_buffer_inflight = 1;
+    machine.cpu.lsq_entries = 8;
+    let configs = vec![RecorderConfig::splash_default(Design::Opt, Some(4096))];
+    verify_all(&w.programs, &w.initial_mem, &machine, &configs);
+}

@@ -1,0 +1,118 @@
+#![allow(clippy::needless_range_loop)] // variant index addresses parallel arrays
+//! Property-based end-to-end test: *arbitrary* racy straight-line programs
+//! over a small shared address pool must record and replay exactly, under
+//! every recorder variant. This explores interleavings and sharing
+//! patterns no hand-written workload covers.
+
+use proptest::prelude::*;
+use rr_isa::{AluOp, MemImage, Program, ProgramBuilder, Reg};
+use rr_replay::CostModel;
+use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// One step of a generated thread: an access to one of 8 shared words
+/// (spanning 2 cache lines — maximal contention) or some local compute.
+#[derive(Clone, Debug)]
+enum Step {
+    Load { slot: u8 },
+    Store { slot: u8, val: u8 },
+    FetchAdd { slot: u8, val: u8 },
+    Cas { slot: u8, expected: u8, desired: u8 },
+    Alu { imm: u8 },
+    Nops { count: u8 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..8).prop_map(|slot| Step::Load { slot }),
+        (0u8..8, any::<u8>()).prop_map(|(slot, val)| Step::Store { slot, val }),
+        (0u8..8, 1u8..5).prop_map(|(slot, val)| Step::FetchAdd { slot, val }),
+        (0u8..8, any::<u8>(), any::<u8>()).prop_map(|(slot, expected, desired)| Step::Cas {
+            slot,
+            expected,
+            desired
+        }),
+        any::<u8>().prop_map(|imm| Step::Alu { imm }),
+        (1u8..20).prop_map(|count| Step::Nops { count }),
+    ]
+}
+
+const POOL: i64 = 0x8000;
+
+fn build_thread(steps: &[Step]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (base, acc, tmp, addr) = (r(1), r(2), r(3), r(4));
+    b.load_imm(base, POOL);
+    b.load_imm(acc, 1);
+    for s in steps {
+        match s {
+            Step::Load { slot } => {
+                b.load(tmp, base, i64::from(*slot) * 8);
+                b.add(acc, acc, tmp);
+            }
+            Step::Store { slot, val } => {
+                b.op_imm(AluOp::Add, tmp, acc, i64::from(*val));
+                b.store(tmp, base, i64::from(*slot) * 8);
+            }
+            Step::FetchAdd { slot, val } => {
+                b.op_imm(AluOp::Add, addr, base, i64::from(*slot) * 8);
+                b.load_imm(tmp, i64::from(*val));
+                b.fetch_add(r(5), addr, tmp);
+                b.add(acc, acc, r(5));
+            }
+            Step::Cas { slot, expected, desired } => {
+                b.op_imm(AluOp::Add, addr, base, i64::from(*slot) * 8);
+                b.load_imm(r(6), i64::from(*expected));
+                b.load_imm(r(7), i64::from(*desired));
+                b.cas(r(5), addr, r(6), r(7));
+                b.add(acc, acc, r(5));
+            }
+            Step::Alu { imm } => {
+                b.op_imm(AluOp::Mul, acc, acc, i64::from(*imm) | 1);
+                b.op_imm(AluOp::Xor, acc, acc, 0x55);
+            }
+            Step::Nops { count } => {
+                b.nops(*count as usize);
+            }
+        }
+    }
+    // Publish the accumulator so divergence in register state is caught
+    // through memory too.
+    b.store(acc, base, 0x100);
+    b.halt();
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full multi-core simulation
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_racy_programs_replay_exactly(
+        threads in proptest::collection::vec(
+            proptest::collection::vec(step_strategy(), 5..60),
+            2..4
+        )
+    ) {
+        let programs: Vec<Program> = threads.iter().map(|s| build_thread(s)).collect();
+        let cfg = MachineConfig::splash_default(programs.len());
+        let specs = RecorderSpec::paper_matrix();
+        let result = record(&programs, &MemImage::new(), &cfg, &specs)
+            .expect("recording finishes");
+        for v in 0..specs.len() {
+            replay_and_verify(
+                &programs,
+                &MemImage::new(),
+                &result,
+                v,
+                &CostModel::splash_default(),
+            )
+            .map_err(|e| TestCaseError::fail(format!("[{}]: {e}", specs[v].label())))?;
+        }
+    }
+}
