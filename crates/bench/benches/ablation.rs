@@ -15,10 +15,34 @@ fn bench_design_and_interval(c: &mut Criterion) {
     let cfg = MachineConfig::splash_default(2);
     let mut group = c.benchmark_group("record_by_variant");
     for (label, spec) in [
-        ("base_4k", RecorderSpec { design: Design::Base, max_interval: Some(4096) }),
-        ("opt_4k", RecorderSpec { design: Design::Opt, max_interval: Some(4096) }),
-        ("base_inf", RecorderSpec { design: Design::Base, max_interval: None }),
-        ("opt_inf", RecorderSpec { design: Design::Opt, max_interval: None }),
+        (
+            "base_4k",
+            RecorderSpec {
+                design: Design::Base,
+                max_interval: Some(4096),
+            },
+        ),
+        (
+            "opt_4k",
+            RecorderSpec {
+                design: Design::Opt,
+                max_interval: Some(4096),
+            },
+        ),
+        (
+            "base_inf",
+            RecorderSpec {
+                design: Design::Base,
+                max_interval: None,
+            },
+        ),
+        (
+            "opt_inf",
+            RecorderSpec {
+                design: Design::Opt,
+                max_interval: None,
+            },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
             b.iter(|| {
@@ -48,9 +72,7 @@ fn bench_coherence_mode(c: &mut Criterion) {
     let directory = MachineConfig::splash_default(2).with_directory();
     for (label, cfg) in [("snoopy", &snoopy), ("directory", &directory)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), cfg, |b, cfg| {
-            b.iter(|| {
-                black_box(record(&w.programs, &w.initial_mem, cfg, &specs).expect("records"))
-            })
+            b.iter(|| black_box(record(&w.programs, &w.initial_mem, cfg, &specs).expect("records")))
         });
     }
     group.finish();
@@ -65,9 +87,7 @@ fn bench_attached_variants(c: &mut Criterion) {
     for n in [0usize, 1, 4] {
         let specs: Vec<RecorderSpec> = RecorderSpec::paper_matrix().into_iter().take(n).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &specs, |b, specs| {
-            b.iter(|| {
-                black_box(record(&w.programs, &w.initial_mem, &cfg, specs).expect("records"))
-            })
+            b.iter(|| black_box(record(&w.programs, &w.initial_mem, &cfg, specs).expect("records")))
         });
     }
     group.finish();

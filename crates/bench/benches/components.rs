@@ -3,11 +3,13 @@
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use relaxreplay::{Design, IntervalLog, LogEntry, Recorder, RecorderConfig, Signature, SnoopTable, H3};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use relaxreplay::{
+    Design, IntervalLog, LogEntry, Recorder, RecorderConfig, Signature, SnoopTable, H3,
+};
 use rr_bench::{bench_record, bench_workload};
 use rr_cpu::{CoreObserver, PerformRecord};
-use rr_isa::{Interp, MemImage, ProgramBuilder, Reg, BranchCond};
+use rr_isa::{BranchCond, Interp, MemImage, ProgramBuilder, Reg};
 use rr_mem::{AccessKind, CoreId, LineAddr};
 use rr_replay::{patch, replay, CostModel};
 
@@ -106,13 +108,17 @@ fn bench_log_codec(c: &mut Criterion) {
 
 fn bench_patching(c: &mut Criterion) {
     let log = sample_log();
-    c.bench_function("log_patch", |b| b.iter(|| black_box(patch(&log).expect("patches"))));
+    c.bench_function("log_patch", |b| {
+        b.iter(|| black_box(patch(&log).expect("patches")))
+    });
 }
 
 fn bench_interpreter(c: &mut Criterion) {
     let mut bld = ProgramBuilder::new();
     let (i, lim, base, v) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
-    bld.load_imm(i, 0).load_imm(lim, 1000).load_imm(base, 0x1000);
+    bld.load_imm(i, 0)
+        .load_imm(lim, 1000)
+        .load_imm(base, 0x1000);
     let top = bld.bind_new();
     bld.op_imm(rr_isa::AluOp::And, v, i, 63);
     bld.op_imm(rr_isa::AluOp::Shl, v, v, 3);
@@ -157,6 +163,38 @@ fn bench_record_and_replay(c: &mut Criterion) {
     });
 }
 
+fn bench_sweep_workers(c: &mut Criterion) {
+    // The parallel sweep engine at 1/2/4/8 workers over 8 independent
+    // recording jobs. On an N-core host the wall-clock should drop nearly
+    // linearly up to N workers; the output is bit-identical at every
+    // width (the `sweep_determinism` test pins that down).
+    use rr_sim::{run_sweep, MachineConfig, RecorderSpec, ReplayPolicy, SweepJob};
+    let jobs: Vec<SweepJob> = [
+        "fft", "radix", "barnes", "lu", "fft", "radix", "barnes", "lu",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, name)| {
+        let w = bench_workload(name);
+        SweepJob::from_specs(
+            format!("{name}#{i}"),
+            w.programs,
+            w.initial_mem,
+            MachineConfig::splash_default(2),
+            &RecorderSpec::paper_matrix(),
+            ReplayPolicy::Skip,
+        )
+    })
+    .collect();
+    for workers in [1usize, 2, 4, 8] {
+        c.bench_with_input(
+            BenchmarkId::new("sweep_8_jobs", workers),
+            &workers,
+            |b, &workers| b.iter(|| black_box(run_sweep(&jobs, workers).expect("sweep succeeds"))),
+        );
+    }
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -169,6 +207,6 @@ criterion_group! {
     config = config();
     targets = bench_hash, bench_signature, bench_snoop_table,
         bench_recorder_event_path, bench_log_codec, bench_patching,
-        bench_interpreter, bench_record_and_replay
+        bench_interpreter, bench_record_and_replay, bench_sweep_workers
 }
 criterion_main!(components);

@@ -8,7 +8,7 @@ use std::sync::OnceLock;
 use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rr_experiments::{figures, runner::run_scalability, run_suite, ExperimentConfig};
+use rr_experiments::{figures, run_suite, runner::run_scalability, ExperimentConfig};
 use rr_replay::CostModel;
 use rr_sim::MachineConfig;
 
@@ -18,6 +18,7 @@ fn small_cfg() -> ExperimentConfig {
         size: 1,
         cost: CostModel::splash_default(),
         replay: true,
+        workers: 0,
     }
 }
 

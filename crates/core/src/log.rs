@@ -244,8 +244,7 @@ impl IntervalLog {
                     } else {
                         None
                     };
-                    let offset =
-                        u16::from_le_bytes(take(&mut i, 2)?.try_into().expect("2 bytes"));
+                    let offset = u16::from_le_bytes(take(&mut i, 2)?.try_into().expect("2 bytes"));
                     LogEntry::ReorderedRmw {
                         loaded,
                         addr,

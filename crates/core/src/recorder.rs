@@ -174,6 +174,32 @@ impl RecorderStats {
         }
         self.traq_occupancy_sum as f64 / self.traq_samples as f64
     }
+
+    /// Every scalar counter as a `(name, value)` pair, for the metrics
+    /// registry (`traq_hist` is exported separately as a histogram).
+    ///
+    /// Names are stable identifiers (they end up in JSONL sidecars that
+    /// downstream tooling diffs across runs); add to this list, never
+    /// rename.
+    #[must_use]
+    pub fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("counted_loads", self.counted_loads),
+            ("counted_stores", self.counted_stores),
+            ("counted_rmws", self.counted_rmws),
+            ("counted_instrs", self.counted_instrs),
+            ("reordered_loads", self.reordered_loads),
+            ("reordered_stores", self.reordered_stores),
+            ("reordered_rmws", self.reordered_rmws),
+            ("moved_across_intervals", self.moved_across_intervals),
+            ("term_conflict", self.term_conflict),
+            ("term_max_size", self.term_max_size),
+            ("term_final", self.term_final),
+            ("traq_occupancy_sum", self.traq_occupancy_sum),
+            ("traq_samples", self.traq_samples),
+            ("traq_peak", self.traq_peak as u64),
+        ]
+    }
 }
 
 /// A per-processor RelaxReplay Memory Race Recorder (paper Figure 6(a)).
@@ -564,7 +590,9 @@ impl Recorder {
             cisn: self.cisn,
             timestamp: cycle,
         });
-        self.ordering.preds.push(std::mem::take(&mut self.current_preds));
+        self.ordering
+            .preds
+            .push(std::mem::take(&mut self.current_preds));
         self.ordering.barriers.push(self.closing_is_barrier);
         self.ordering.timestamps.push(cycle);
         self.closing_is_barrier = false;

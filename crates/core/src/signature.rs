@@ -101,8 +101,7 @@ impl Signature {
         self.banks
             .iter()
             .map(|b| {
-                b.iter().map(|w| w.count_ones()).sum::<u32>() as f64
-                    / f64::from(self.bits_per_bank)
+                b.iter().map(|w| w.count_ones()).sum::<u32>() as f64 / f64::from(self.bits_per_bank)
             })
             .fold(0.0, f64::max)
     }

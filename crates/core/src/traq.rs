@@ -96,10 +96,7 @@ impl Traq {
     /// Finds the entry for `seq` (entries are seq-sorted, so this is a
     /// binary search).
     pub fn find_mut(&mut self, seq: u64) -> Option<&mut TraqEntry> {
-        let i = self
-            .entries
-            .binary_search_by(|e| e.seq.cmp(&seq))
-            .ok()?;
+        let i = self.entries.binary_search_by(|e| e.seq.cmp(&seq)).ok()?;
         self.entries.get_mut(i)
     }
 

@@ -17,18 +17,20 @@ fn entry_strategy() -> impl Strategy<Value = LogEntry> {
                 offset,
             }
         }),
-        (any::<u64>(), any::<u64>(), proptest::option::of(any::<u64>()), any::<u16>()).prop_map(
-            |(loaded, addr, stored, offset)| LogEntry::ReorderedRmw {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(any::<u64>()),
+            any::<u16>()
+        )
+            .prop_map(|(loaded, addr, stored, offset)| LogEntry::ReorderedRmw {
                 loaded,
                 addr,
                 stored,
                 offset,
-            }
-        ),
-        (any::<u16>(), any::<u64>()).prop_map(|(cisn, timestamp)| LogEntry::IntervalFrame {
-            cisn,
-            timestamp,
-        }),
+            }),
+        (any::<u16>(), any::<u64>())
+            .prop_map(|(cisn, timestamp)| LogEntry::IntervalFrame { cisn, timestamp }),
     ]
 }
 

@@ -130,8 +130,8 @@ fn reordered_store_carries_offset_across_intervals() {
     let mut rec = recorder(Design::Base);
     assert!(rec.on_dispatch(0, true));
     perform(&mut rec, 0, AccessKind::Store, 0x300, 5); // performs in interval 0
-    // Two conflicting snoops (both hit the write signature) terminate two
-    // intervals before the store is counted.
+                                                       // Two conflicting snoops (both hit the write signature) terminate two
+                                                       // intervals before the store is counted.
     rec.on_snoop(LineAddr::containing(0x300), false, 6);
     // Second termination needs something in the new interval's signature:
     // another performed access.

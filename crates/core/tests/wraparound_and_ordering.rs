@@ -112,7 +112,11 @@ fn reordered_store_offset_wraps_correctly() {
             _ => None,
         })
         .expect("store must be logged as reordered");
-    assert_eq!(store_entry, (1, 42), "offset must wrap across the CISN boundary");
+    assert_eq!(
+        store_entry,
+        (1, 42),
+        "offset must wrap across the CISN boundary"
+    );
 }
 
 #[test]
@@ -162,7 +166,10 @@ fn dirty_eviction_marks_a_barrier_interval() {
     rec.tick(4);
     rec.finish(10);
     let ord = rec.ordering();
-    assert!(ord.barriers[0], "eviction-closed interval must be a barrier");
+    assert!(
+        ord.barriers[0],
+        "eviction-closed interval must be a barrier"
+    );
     // The trailing final interval (with the counted store) is not.
     assert!(!ord.barriers[ord.barriers.len() - 1]);
 }

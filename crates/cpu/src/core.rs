@@ -248,7 +248,9 @@ impl<'p> Core<'p> {
         if seq < self.head_seq || seq >= self.next_seq {
             return None;
         }
-        self.slots[self.slot_of(seq)].as_ref().filter(|e| e.seq == seq)
+        self.slots[self.slot_of(seq)]
+            .as_ref()
+            .filter(|e| e.seq == seq)
     }
 
     fn entry_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
@@ -394,7 +396,8 @@ impl<'p> Core<'p> {
                     let (seq, addr, data) = (entry.seq, entry.addr, entry.data);
                     img.store(addr, data);
                     self.wb_inflight -= 1;
-                    if self.note_perform(obs, seq, AccessKind::Store, addr, None, Some(data), cycle) {
+                    if self.note_perform(obs, seq, AccessKind::Store, addr, None, Some(data), cycle)
+                    {
                         self.stats.ooo_stores += 1;
                     }
                     self.pop_performed_wb();
@@ -424,11 +427,7 @@ impl<'p> Core<'p> {
     }
 
     fn pop_performed_wb(&mut self) {
-        while self
-            .write_buffer
-            .front()
-            .is_some_and(|e| e.performed)
-        {
+        while self.write_buffer.front().is_some_and(|e| e.performed) {
             self.write_buffer.pop_front();
         }
     }
@@ -788,16 +787,17 @@ impl<'p> Core<'p> {
                     }
                 }
                 Instr::Fence(FenceKind::Release | FenceKind::Full)
-                    if (!self.write_buffer.is_empty() || self.wb_inflight > 0) => {
-                        break;
-                    }
+                    if (!self.write_buffer.is_empty() || self.wb_inflight > 0) =>
+                {
+                    break;
+                }
                 Instr::Store { .. }
                     if entry.stage == Stage::Done
-                        && self.write_buffer.len() >= self.cfg.write_buffer_entries
-                    => {
-                        self.stats.wb_stall_cycles += 1;
-                        break;
-                    }
+                        && self.write_buffer.len() >= self.cfg.write_buffer_entries =>
+                {
+                    self.stats.wb_stall_cycles += 1;
+                    break;
+                }
                 _ => {}
             }
             let Some(entry) = self.entry(head) else {
@@ -1169,7 +1169,13 @@ impl<'p> Core<'p> {
     /// after it (it re-executes and then forwards correctly). This is the
     /// "speculative load is squashed and replayed due to memory consistency
     /// requirements" case the paper's TRAQ handles by overwrite (§4.1).
-    fn check_memory_order(&mut self, store_seq: u64, addr: u64, cycle: u64, obs: &mut dyn CoreObserver) {
+    fn check_memory_order(
+        &mut self,
+        store_seq: u64,
+        addr: u64,
+        cycle: u64,
+        obs: &mut dyn CoreObserver,
+    ) {
         let mut victim: Option<(u64, u32)> = None;
         for &s in &self.lsq {
             if s <= store_seq {

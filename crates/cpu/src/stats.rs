@@ -66,6 +66,31 @@ impl CoreStats {
         }
         self.retired as f64 / self.active_cycles as f64
     }
+
+    /// Every counter as a `(name, value)` pair, for the metrics registry.
+    ///
+    /// Names are stable identifiers (they end up in JSONL sidecars that
+    /// downstream tooling diffs across runs); add to this list, never
+    /// rename.
+    #[must_use]
+    pub fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("retired", self.retired),
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("rmws", self.rmws),
+            ("ooo_loads", self.ooo_loads),
+            ("ooo_stores", self.ooo_stores),
+            ("forwarded_loads", self.forwarded_loads),
+            ("squashes", self.squashes),
+            ("memory_order_squashes", self.memory_order_squashes),
+            ("traq_stall_cycles", self.traq_stall_cycles),
+            ("rob_stall_cycles", self.rob_stall_cycles),
+            ("lsq_stall_cycles", self.lsq_stall_cycles),
+            ("wb_stall_cycles", self.wb_stall_cycles),
+            ("active_cycles", self.active_cycles),
+        ]
+    }
 }
 
 #[cfg(test)]

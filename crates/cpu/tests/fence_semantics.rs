@@ -70,7 +70,10 @@ fn without_acquire_a_young_load_overtakes_a_miss() {
     let log = run(&b.build());
     // Both miss; they overlap — B must NOT wait for A's completion plus
     // its own full latency (i.e. performs within the overlap window).
-    let (a, bb) = (perform_cycle_of(&log, 0x1000), perform_cycle_of(&log, 0x8000));
+    let (a, bb) = (
+        perform_cycle_of(&log, 0x1000),
+        perform_cycle_of(&log, 0x8000),
+    );
     assert!(bb < a + 50, "loads should overlap: A at {a}, B at {bb}");
 }
 
@@ -84,7 +87,10 @@ fn acquire_fence_blocks_younger_loads() {
     b.load(r(4), r(2), 0); // B: must wait for the fence to retire
     b.halt();
     let log = run(&b.build());
-    let (a, bb) = (perform_cycle_of(&log, 0x1000), perform_cycle_of(&log, 0x8000));
+    let (a, bb) = (
+        perform_cycle_of(&log, 0x1000),
+        perform_cycle_of(&log, 0x8000),
+    );
     assert!(
         bb > a,
         "B ({bb}) must perform after A ({a}): the acquire fence orders them"
@@ -104,7 +110,10 @@ fn release_fence_drains_the_write_buffer_before_later_stores() {
     b.store(r(3), r(2), 0);
     b.halt();
     let log = run(&b.build());
-    let (a, bb) = (perform_cycle_of(&log, 0x1000), perform_cycle_of(&log, 0x8000));
+    let (a, bb) = (
+        perform_cycle_of(&log, 0x1000),
+        perform_cycle_of(&log, 0x8000),
+    );
     assert!(bb > a, "B ({bb}) must perform after A ({a})");
 }
 
@@ -118,10 +127,16 @@ fn stores_overlap_without_a_release_fence() {
     b.store(r(3), r(2), 0);
     b.halt();
     let log = run(&b.build());
-    let (a, bb) = (perform_cycle_of(&log, 0x1000), perform_cycle_of(&log, 0x8000));
+    let (a, bb) = (
+        perform_cycle_of(&log, 0x1000),
+        perform_cycle_of(&log, 0x8000),
+    );
     // Cold misses ~170 cycles each; overlapping means B completes well
     // before A + 170.
-    assert!(bb < a + 50, "independent stores should overlap: {a} vs {bb}");
+    assert!(
+        bb < a + 50,
+        "independent stores should overlap: {a} vs {bb}"
+    );
 }
 
 #[test]
@@ -139,8 +154,14 @@ fn atomics_order_both_sides() {
     let st = perform_cycle_of(&log, 0x1000);
     let rmw = perform_cycle_of(&log, 0x4000);
     let ld = perform_cycle_of(&log, 0x8000);
-    assert!(st < rmw, "atomic must wait for the write buffer ({st} !< {rmw})");
-    assert!(rmw < ld, "younger load must wait for the atomic ({rmw} !< {ld})");
+    assert!(
+        st < rmw,
+        "atomic must wait for the write buffer ({st} !< {rmw})"
+    );
+    assert!(
+        rmw < ld,
+        "younger load must wait for the atomic ({rmw} !< {ld})"
+    );
 }
 
 #[test]
@@ -157,5 +178,8 @@ fn same_line_stores_stay_ordered_in_the_write_buffer() {
     let log = run(&b.build());
     let first = perform_cycle_of(&log, 0x1000);
     let second = perform_cycle_of(&log, 0x1008);
-    assert!(first <= second, "same-line stores reordered: {first} vs {second}");
+    assert!(
+        first <= second,
+        "same-line stores reordered: {first} vs {second}"
+    );
 }

@@ -15,17 +15,47 @@ fn r(i: u8) -> Reg {
 
 #[derive(Clone, Debug)]
 enum Op {
-    Alu { op: u8, dst: u8, a: u8, b: u8 },
-    AluImm { op: u8, dst: u8, a: u8, imm: i16 },
-    LoadImm { dst: u8, imm: i16 },
-    Load { dst: u8, slot: u8 },
-    Store { src: u8, slot: u8 },
-    FetchAdd { dst: u8, slot: u8, operand: u8 },
+    Alu {
+        op: u8,
+        dst: u8,
+        a: u8,
+        b: u8,
+    },
+    AluImm {
+        op: u8,
+        dst: u8,
+        a: u8,
+        imm: i16,
+    },
+    LoadImm {
+        dst: u8,
+        imm: i16,
+    },
+    Load {
+        dst: u8,
+        slot: u8,
+    },
+    Store {
+        src: u8,
+        slot: u8,
+    },
+    FetchAdd {
+        dst: u8,
+        slot: u8,
+        operand: u8,
+    },
     /// A bounded countdown loop with a small body of ALU work.
-    Loop { iters: u8, body: u8 },
+    Loop {
+        iters: u8,
+        body: u8,
+    },
     /// A data-dependent forward branch skipping the next chunk.
-    SkipIfEven { reg: u8 },
-    Nops { n: u8 },
+    SkipIfEven {
+        reg: u8,
+    },
+    Nops {
+        n: u8,
+    },
 }
 
 fn alu_of(code: u8) -> AluOp {
@@ -46,15 +76,22 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     // control structures.
     let reg = 1u8..12;
     prop_oneof![
-        (any::<u8>(), reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(op, dst, a, b)| Op::Alu { op, dst, a, b }),
+        (any::<u8>(), reg.clone(), reg.clone(), reg.clone()).prop_map(|(op, dst, a, b)| Op::Alu {
+            op,
+            dst,
+            a,
+            b
+        }),
         (any::<u8>(), reg.clone(), reg.clone(), any::<i16>())
             .prop_map(|(op, dst, a, imm)| Op::AluImm { op, dst, a, imm }),
         (reg.clone(), any::<i16>()).prop_map(|(dst, imm)| Op::LoadImm { dst, imm }),
         (reg.clone(), 0u8..16).prop_map(|(dst, slot)| Op::Load { dst, slot }),
         (reg.clone(), 0u8..16).prop_map(|(src, slot)| Op::Store { src, slot }),
-        (reg.clone(), 0u8..16, reg.clone())
-            .prop_map(|(dst, slot, operand)| Op::FetchAdd { dst, slot, operand }),
+        (reg.clone(), 0u8..16, reg.clone()).prop_map(|(dst, slot, operand)| Op::FetchAdd {
+            dst,
+            slot,
+            operand
+        }),
         (1u8..8, 1u8..5).prop_map(|(iters, body)| Op::Loop { iters, body }),
         reg.prop_map(|reg| Op::SkipIfEven { reg }),
         (1u8..10).prop_map(|n| Op::Nops { n }),

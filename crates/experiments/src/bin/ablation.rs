@@ -3,21 +3,148 @@
 //! depth, counting bandwidth, and the NMI field width.
 //!
 //! Each sweep records the same workloads under custom recorder
-//! configurations and reports the recorder-visible consequences.
+//! configurations and reports the recorder-visible consequences. All
+//! cells are independent simulations, so the whole ablation matrix runs
+//! as one flat parallel sweep.
 
 use relaxreplay::{Design, RecorderConfig};
 use rr_cpu::ConsistencyModel;
-use rr_experiments::report::{pct, results_dir, Table};
+use rr_experiments::report::{pct, results_dir, write_metrics_jsonl, Table};
 use rr_experiments::ExperimentConfig;
-use rr_sim::{record_custom, MachineConfig};
+use rr_sim::{JobOutput, MachineConfig, ReplayPolicy, SweepJob};
 use rr_workloads::by_name;
 
 const WORKLOADS: [&str; 3] = ["fft", "barnes", "radix"];
+
+fn job(
+    name: String,
+    workload: &str,
+    cfg: &ExperimentConfig,
+    machine: MachineConfig,
+    recorders: Vec<RecorderConfig>,
+) -> SweepJob {
+    let w = by_name(workload, cfg.threads, cfg.size).expect("known workload");
+    SweepJob {
+        name,
+        programs: w.programs,
+        initial_mem: w.initial_mem,
+        machine,
+        recorders,
+        replay: ReplayPolicy::Skip,
+    }
+}
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
     let machine = MachineConfig::splash_default(cfg.threads);
     let dir = results_dir();
+
+    const MODELS: [(ConsistencyModel, &str); 3] = [
+        (ConsistencyModel::Sc, "sc"),
+        (ConsistencyModel::Tso, "tso"),
+        (ConsistencyModel::Rc, "rc"),
+    ];
+
+    // Build the whole ablation matrix as one job list, in table order.
+    let mut jobs = Vec::new();
+    for name in WORKLOADS {
+        for (model, tag) in MODELS {
+            jobs.push(job(
+                format!("{name}/consistency/{tag}"),
+                name,
+                &cfg,
+                MachineConfig::splash_default(cfg.threads).with_consistency(model),
+                vec![RecorderConfig::splash_default(Design::Base, Some(4096))],
+            ));
+        }
+    }
+    for name in WORKLOADS {
+        jobs.push(job(
+            format!("{name}/snoop_table"),
+            name,
+            &cfg,
+            machine.clone(),
+            [8usize, 64, 512]
+                .into_iter()
+                .map(|entries| RecorderConfig {
+                    snoop_entries: entries,
+                    ..RecorderConfig::splash_default(Design::Opt, None)
+                })
+                .collect(),
+        ));
+    }
+    for name in WORKLOADS {
+        jobs.push(job(
+            format!("{name}/signature"),
+            name,
+            &cfg,
+            machine.clone(),
+            [64u32, 256, 1024]
+                .into_iter()
+                .map(|bits| RecorderConfig {
+                    sig_bits: bits,
+                    ..RecorderConfig::splash_default(Design::Base, None)
+                })
+                .collect(),
+        ));
+    }
+    for name in WORKLOADS {
+        // TRAQ depth changes dispatch stalls, counting bandwidth and the
+        // NMI width change filler allocation — all alter TRAQ dynamics, so
+        // each configuration must observe its own run (recorders attached
+        // together must agree on TRAQ occupancy; see `FanoutObserver`).
+        for entries in [44usize, 88, 176] {
+            jobs.push(job(
+                format!("{name}/traq/{entries}"),
+                name,
+                &cfg,
+                machine.clone(),
+                vec![RecorderConfig {
+                    traq_entries: entries,
+                    ..RecorderConfig::splash_default(Design::Base, Some(4096))
+                }],
+            ));
+        }
+    }
+    for name in WORKLOADS {
+        for count in [1usize, 2, 4] {
+            jobs.push(job(
+                format!("{name}/counting/{count}"),
+                name,
+                &cfg,
+                machine.clone(),
+                vec![RecorderConfig {
+                    count_per_cycle: count,
+                    ..RecorderConfig::splash_default(Design::Base, Some(4096))
+                }],
+            ));
+        }
+    }
+    for name in WORKLOADS {
+        for nmi in [3u32, 15, 63] {
+            jobs.push(job(
+                format!("{name}/nmi/{nmi}"),
+                name,
+                &cfg,
+                machine.clone(),
+                vec![RecorderConfig {
+                    nmi_max: nmi,
+                    ..RecorderConfig::splash_default(Design::Base, None)
+                }],
+            ));
+        }
+    }
+
+    let report = rr_sim::run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep: {e}"));
+    eprintln!(
+        "ablation sweep: {} runs on {} workers in {:.2}s",
+        report.outputs.len(),
+        report.workers,
+        report.wall_ns as f64 / 1e9
+    );
+    write_metrics_jsonl(&dir, "ablation", &report.to_jsonl()).expect("write metrics");
+    let mut outs = report.outputs.into_iter();
+    let mut take = |n: usize| -> Vec<JobOutput> { outs.by_ref().take(n).collect() };
 
     // --- Consistency model: the same recorder under SC / TSO / RC -------
     // (the paper's central claim: one design for any model with write
@@ -28,22 +155,19 @@ fn main() {
         &["workload", "SC", "TSO", "RC"],
     );
     for name in WORKLOADS {
-        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
         let mut cells = vec![name.to_string()];
-        for model in [ConsistencyModel::Sc, ConsistencyModel::Tso, ConsistencyModel::Rc] {
-            let m = MachineConfig::splash_default(cfg.threads).with_consistency(model);
-            let configs = vec![RecorderConfig::splash_default(Design::Base, Some(4096))];
-            let r = record_custom(&w.programs, &w.initial_mem, &m, &configs).expect("records");
+        for o in take(3) {
             cells.push(format!(
                 "{} / {}",
-                pct(r.ooo_fraction()),
-                pct(r.variants[0].reordered_fraction())
+                pct(o.run.ooo_fraction()),
+                pct(o.run.variants[0].reordered_fraction())
             ));
         }
         t.row(cells);
     }
     t.print();
-    t.write_csv(&dir, "ablation_consistency").expect("write CSV");
+    t.write_csv(&dir, "ablation_consistency")
+        .expect("write CSV");
 
     // --- Snoop Table size (Opt-INF): aliasing vs reordered fraction -----
     let mut t = Table::new(
@@ -51,24 +175,17 @@ fn main() {
         &["workload", "8", "64 (paper)", "512"],
     );
     for name in WORKLOADS {
-        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
-        let configs: Vec<RecorderConfig> = [8usize, 64, 512]
-            .into_iter()
-            .map(|entries| RecorderConfig {
-                snoop_entries: entries,
-                ..RecorderConfig::splash_default(Design::Opt, None)
-            })
-            .collect();
-        let r = record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+        let o = take(1).remove(0);
         t.row(vec![
             name.into(),
-            pct(r.variants[0].reordered_fraction()),
-            pct(r.variants[1].reordered_fraction()),
-            pct(r.variants[2].reordered_fraction()),
+            pct(o.run.variants[0].reordered_fraction()),
+            pct(o.run.variants[1].reordered_fraction()),
+            pct(o.run.variants[2].reordered_fraction()),
         ]);
     }
     t.print();
-    t.write_csv(&dir, "ablation_snoop_table").expect("write CSV");
+    t.write_csv(&dir, "ablation_snoop_table")
+        .expect("write CSV");
 
     // --- Signature size (Base-INF): false positives vs intervals --------
     let mut t = Table::new(
@@ -76,17 +193,13 @@ fn main() {
         &["workload", "64b", "256b (paper)", "1024b"],
     );
     for name in WORKLOADS {
-        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
-        let configs: Vec<RecorderConfig> = [64u32, 256, 1024]
-            .into_iter()
-            .map(|bits| RecorderConfig {
-                sig_bits: bits,
-                ..RecorderConfig::splash_default(Design::Base, None)
-            })
-            .collect();
-        let r = record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+        let o = take(1).remove(0);
         let intervals = |v: usize| -> u64 {
-            r.variants[v].logs.iter().map(|l| l.intervals() as u64).sum()
+            o.run.variants[v]
+                .logs
+                .iter()
+                .map(|l| l.intervals() as u64)
+                .sum()
         };
         t.row(vec![
             name.into(),
@@ -104,19 +217,12 @@ fn main() {
         &["workload", "44", "88", "176 (paper)"],
     );
     for name in WORKLOADS {
-        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
         let mut cells = vec![name.to_string()];
-        for entries in [44usize, 88, 176] {
-            let configs = vec![RecorderConfig {
-                traq_entries: entries,
-                ..RecorderConfig::splash_default(Design::Base, Some(4096))
-            }];
-            let r =
-                record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
-            let stalls: u64 = r.core_stats.iter().map(|s| s.traq_stall_cycles).sum();
+        for o in take(3) {
+            let stalls: u64 = o.run.core_stats.iter().map(|s| s.traq_stall_cycles).sum();
             cells.push(format!(
                 "{stalls} / {}",
-                pct(r.variants[0].reordered_fraction())
+                pct(o.run.variants[0].reordered_fraction())
             ));
         }
         t.row(cells);
@@ -130,19 +236,9 @@ fn main() {
         &["workload", "1", "2 (paper)", "4"],
     );
     for name in WORKLOADS {
-        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
         let mut cells = vec![name.to_string()];
-        // Counting bandwidth changes TRAQ dynamics, so each configuration
-        // must observe its own run (recorders attached together must agree
-        // on TRAQ occupancy; see `FanoutObserver`).
-        for count in [1usize, 2, 4] {
-            let configs = vec![RecorderConfig {
-                count_per_cycle: count,
-                ..RecorderConfig::splash_default(Design::Base, Some(4096))
-            }];
-            let r =
-                record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
-            let s = &r.variants[0].stats;
+        for o in take(3) {
+            let s = &o.run.variants[0].stats;
             let avg = s.iter().map(|x| x.traq_avg()).sum::<f64>() / s.len() as f64;
             cells.push(format!("{avg:.1}"));
         }
@@ -157,18 +253,9 @@ fn main() {
         &["workload", "nmi<=3", "nmi<=15 (paper)", "nmi<=63"],
     );
     for name in WORKLOADS {
-        let w = by_name(name, cfg.threads, cfg.size).expect("known workload");
         let mut cells = vec![name.to_string()];
-        // The NMI width changes filler allocation and hence TRAQ dynamics:
-        // one configuration per run.
-        for nmi in [3u32, 15, 63] {
-            let configs = vec![RecorderConfig {
-                nmi_max: nmi,
-                ..RecorderConfig::splash_default(Design::Base, None)
-            }];
-            let r =
-                record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
-            cells.push(format!("{}", r.variants[0].inorder_blocks()));
+        for o in take(3) {
+            cells.push(format!("{}", o.run.variants[0].inorder_blocks()));
         }
         t.row(cells);
     }

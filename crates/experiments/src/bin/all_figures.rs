@@ -1,25 +1,39 @@
 //! Regenerates every table and figure of the paper's evaluation from one
 //! set of recorded executions (plus the separate scalability sweep), and
-//! writes CSVs to the results directory.
+//! writes CSVs plus JSONL metrics sidecars to the results directory.
 
-use rr_experiments::report::results_dir;
+use rr_experiments::report::{results_dir, write_metrics_jsonl};
 use rr_experiments::runner::run_scalability;
-use rr_experiments::{figures, run_suite, ExperimentConfig};
+use rr_experiments::{figures, metrics_jsonl, run_suite_timed, ExperimentConfig};
 use rr_sim::MachineConfig;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
     let dir = results_dir();
     eprintln!(
-        "running the suite: {} cores, size {} (override with RR_THREADS / RR_SIZE)",
-        cfg.threads, cfg.size
+        "running the suite: {} cores, size {}, {} sweep workers \
+         (override with RR_THREADS / RR_SIZE / --workers N)",
+        cfg.threads,
+        cfg.size,
+        if cfg.workers == 0 {
+            "host".to_string()
+        } else {
+            cfg.workers.to_string()
+        }
     );
 
     let t1 = figures::table1(&MachineConfig::splash_default(cfg.threads));
     t1.print();
     t1.write_csv(&dir, "table1").expect("write CSV");
 
-    let runs = run_suite(&cfg);
+    let suite_run = run_suite_timed(&cfg);
+    eprintln!(
+        "suite sweep: {} runs on {} workers in {:.2}s",
+        suite_run.runs.len(),
+        suite_run.workers,
+        suite_run.wall_ns as f64 / 1e9
+    );
+    let runs = suite_run.runs;
     for (t, slug) in [
         (figures::fig01(&runs), "fig01"),
         (figures::fig09(&runs), "fig09"),
@@ -35,11 +49,17 @@ fn main() {
         t.print();
         t.write_csv(&dir, slug).expect("write CSV");
     }
+    write_metrics_jsonl(&dir, "all_figures", &metrics_jsonl(&runs)).expect("write metrics");
 
     eprintln!("running the scalability sweep (4/8/16 cores)...");
     let scal = run_scalability(&cfg, &[4, 8, 16]);
     let t = figures::fig14(&scal);
     t.print();
     t.write_csv(&dir, "fig14").expect("write CSV");
-    eprintln!("CSVs written to {}", dir.display());
+    let mut jsonl = String::new();
+    for (_, runs) in &scal {
+        jsonl.push_str(&metrics_jsonl(runs));
+    }
+    write_metrics_jsonl(&dir, "fig14", &jsonl).expect("write metrics");
+    eprintln!("CSVs and metrics sidecars written to {}", dir.display());
 }

@@ -1,7 +1,7 @@
 //! Figure 10: InorderBlock entry counts, Opt normalized to Base.
 
-use rr_experiments::report::results_dir;
-use rr_experiments::{figures, run_suite, ExperimentConfig};
+use rr_experiments::report::{results_dir, write_metrics_jsonl};
+use rr_experiments::{figures, metrics_jsonl, run_suite, ExperimentConfig};
 
 fn main() {
     let mut cfg = ExperimentConfig::from_env();
@@ -9,5 +9,7 @@ fn main() {
     let runs = run_suite(&cfg);
     let t = figures::fig10(&runs);
     t.print();
-    t.write_csv(&results_dir(), "fig10").expect("write CSV");
+    let dir = results_dir();
+    t.write_csv(&dir, "fig10").expect("write CSV");
+    write_metrics_jsonl(&dir, "fig10", &metrics_jsonl(&runs)).expect("write metrics");
 }

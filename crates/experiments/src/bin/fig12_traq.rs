@@ -1,8 +1,8 @@
 //! Figure 12: TRAQ occupancy (average, peak, distribution) and the
 //! recording-overhead evidence of §5.3.
 
-use rr_experiments::report::results_dir;
-use rr_experiments::{figures, run_suite, ExperimentConfig};
+use rr_experiments::report::{results_dir, write_metrics_jsonl};
+use rr_experiments::{figures, metrics_jsonl, run_suite, ExperimentConfig};
 
 fn main() {
     let mut cfg = ExperimentConfig::from_env();
@@ -10,8 +10,10 @@ fn main() {
     let runs = run_suite(&cfg);
     let t = figures::fig12(&runs);
     t.print();
-    t.write_csv(&results_dir(), "fig12").expect("write CSV");
+    let dir = results_dir();
+    t.write_csv(&dir, "fig12").expect("write CSV");
     let h = figures::fig12_histogram(&runs, &["fft", "radix", "barnes", "water_nsq"]);
     h.print();
-    h.write_csv(&results_dir(), "fig12_hist").expect("write CSV");
+    h.write_csv(&dir, "fig12_hist").expect("write CSV");
+    write_metrics_jsonl(&dir, "fig12", &metrics_jsonl(&runs)).expect("write metrics");
 }

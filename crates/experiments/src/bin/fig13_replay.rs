@@ -1,12 +1,14 @@
 //! Figure 13: sequential replay time relative to parallel recording.
 
-use rr_experiments::report::results_dir;
-use rr_experiments::{figures, run_suite, ExperimentConfig};
+use rr_experiments::report::{results_dir, write_metrics_jsonl};
+use rr_experiments::{figures, metrics_jsonl, run_suite, ExperimentConfig};
 
 fn main() {
     let cfg = ExperimentConfig::from_env(); // replay enabled by default
     let runs = run_suite(&cfg);
     let t = figures::fig13(&runs);
     t.print();
-    t.write_csv(&results_dir(), "fig13").expect("write CSV");
+    let dir = results_dir();
+    t.write_csv(&dir, "fig13").expect("write CSV");
+    write_metrics_jsonl(&dir, "fig13", &metrics_jsonl(&runs)).expect("write metrics");
 }

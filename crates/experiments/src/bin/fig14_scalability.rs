@@ -1,13 +1,19 @@
 //! Figure 14: recording behaviour at 4, 8 and 16 cores.
 
-use rr_experiments::report::results_dir;
+use rr_experiments::report::{results_dir, write_metrics_jsonl};
 use rr_experiments::runner::run_scalability;
-use rr_experiments::{figures, ExperimentConfig};
+use rr_experiments::{figures, metrics_jsonl, ExperimentConfig};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
     let results = run_scalability(&cfg, &[4, 8, 16]);
     let t = figures::fig14(&results);
     t.print();
-    t.write_csv(&results_dir(), "fig14").expect("write CSV");
+    let dir = results_dir();
+    t.write_csv(&dir, "fig14").expect("write CSV");
+    let mut jsonl = String::new();
+    for (_, runs) in &results {
+        jsonl.push_str(&metrics_jsonl(runs));
+    }
+    write_metrics_jsonl(&dir, "fig14", &jsonl).expect("write metrics");
 }

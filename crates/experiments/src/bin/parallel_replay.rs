@@ -2,19 +2,16 @@
 //! speedup when RelaxReplay's intervals are ordered by the recorded
 //! partial order instead of the QuickRec total order. Compares snoopy
 //! (broadcast observers ⇒ conservative edges) against directory coherence
-//! (filtered observers ⇒ real parallelism).
+//! (filtered observers ⇒ real parallelism). Recording runs as one
+//! parallel sweep (one job per workload × coherence mode).
 
-use rr_experiments::report::{f2, results_dir, Table};
+use rr_experiments::report::{f2, results_dir, write_metrics_jsonl, Table};
 use rr_experiments::ExperimentConfig;
 use rr_replay::{patch, replay_parallel, verify, CostModel};
-use rr_sim::{record, MachineConfig, RecorderSpec};
+use rr_sim::{run_sweep, MachineConfig, RecorderSpec, ReplayPolicy, SweepJob};
 use rr_workloads::suite;
 
-fn speedup(
-    w: &rr_workloads::Workload,
-    result: &rr_sim::RunResult,
-    workers: usize,
-) -> f64 {
+fn speedup(w: &rr_workloads::Workload, result: &rr_sim::RunResult, workers: usize) -> f64 {
     let v = &result.variants[0];
     let patched: Vec<_> = v.logs.iter().map(|l| patch(l).expect("patches")).collect();
     let outcome = replay_parallel(
@@ -39,6 +36,28 @@ fn main() {
     let snoopy = MachineConfig::splash_default(cfg.threads);
     let directory = MachineConfig::splash_default(cfg.threads).with_directory();
 
+    let workloads = suite(cfg.threads, cfg.size);
+    let jobs: Vec<SweepJob> = workloads
+        .iter()
+        .flat_map(|w| {
+            [("snoopy", &snoopy), ("directory", &directory)]
+                .into_iter()
+                .map(|(mode, machine)| {
+                    SweepJob::from_specs(
+                        format!("{}@{mode}", w.name),
+                        w.programs.clone(),
+                        w.initial_mem.clone(),
+                        machine.clone(),
+                        &specs,
+                        ReplayPolicy::Skip,
+                    )
+                })
+        })
+        .collect();
+    let report = run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep: {e}"));
+    let dir = results_dir();
+    write_metrics_jsonl(&dir, "parallel_replay", &report.to_jsonl()).expect("write metrics");
+
     let mut t = Table::new(
         &format!(
             "Extension: parallel replay speedup on {} replay cores (Opt-4K, verified)",
@@ -47,14 +66,10 @@ fn main() {
         &["workload", "snoopy", "directory"],
     );
     let (mut ss, mut sd) = (0.0, 0.0);
-    let workloads = suite(cfg.threads, cfg.size);
-    for w in &workloads {
-        let rs = record(&w.programs, &w.initial_mem, &snoopy, &specs).expect("records");
-        let rd = record(&w.programs, &w.initial_mem, &directory, &specs).expect("records");
-        let (a, b) = (
-            speedup(w, &rs, cfg.threads),
-            speedup(w, &rd, cfg.threads),
-        );
+    for (i, w) in workloads.iter().enumerate() {
+        let rs = &report.outputs[2 * i].run;
+        let rd = &report.outputs[2 * i + 1].run;
+        let (a, b) = (speedup(w, rs, cfg.threads), speedup(w, rd, cfg.threads));
         ss += a;
         sd += b;
         t.row(vec![w.name.into(), f2(a), f2(b)]);
@@ -62,5 +77,5 @@ fn main() {
     let n = workloads.len() as f64;
     t.row(vec!["AVERAGE".into(), f2(ss / n), f2(sd / n)]);
     t.print();
-    t.write_csv(&results_dir(), "parallel_replay").expect("write CSV");
+    t.write_csv(&dir, "parallel_replay").expect("write CSV");
 }

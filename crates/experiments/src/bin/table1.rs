@@ -1,12 +1,32 @@
 //! Prints Table 1 (architectural parameters of the simulated machine).
 
-use rr_experiments::report::results_dir;
+use rr_experiments::report::{results_dir, write_metrics_jsonl};
 use rr_experiments::{figures, ExperimentConfig};
-use rr_sim::MachineConfig;
+use rr_sim::{metrics, MachineConfig, MetricsRegistry, PhaseNanos};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
-    let t = figures::table1(&MachineConfig::splash_default(cfg.threads));
+    let machine = MachineConfig::splash_default(cfg.threads);
+    let t = figures::table1(&machine);
     t.print();
-    t.write_csv(&results_dir(), "table1").expect("write CSV");
+    let dir = results_dir();
+    t.write_csv(&dir, "table1").expect("write CSV");
+
+    // Table 1 runs no simulation; its sidecar records the machine's
+    // parameters so downstream tooling sees the campaign configuration.
+    let mut m = MetricsRegistry::default();
+    m.set("machine.cores", machine.num_cores as u64);
+    m.set("machine.rob_entries", machine.cpu.rob_entries as u64);
+    m.set("machine.lsq_entries", machine.cpu.lsq_entries as u64);
+    m.set("machine.issue_width", machine.cpu.issue_width as u64);
+    m.set("machine.l1_bytes", machine.mem.l1_bytes as u64);
+    m.set(
+        "machine.l2_bytes_per_core",
+        machine.mem.l2_bytes_per_core as u64,
+    );
+    let line = format!(
+        "{}\n",
+        metrics::jsonl_object("table1", 0, &m, &PhaseNanos::default())
+    );
+    write_metrics_jsonl(&dir, "table1", &line).expect("write metrics");
 }

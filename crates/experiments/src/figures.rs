@@ -23,25 +23,52 @@ const VARIANT_NAMES: [&str; 4] = ["Base-4K", "Opt-4K", "Base-INF", "Opt-INF"];
 /// Table 1: the architectural parameters of the simulated machine.
 #[must_use]
 pub fn table1(cfg: &MachineConfig) -> Table {
-    let mut t = Table::new(
-        "Table 1: architectural parameters",
-        &["parameter", "value"],
-    );
+    let mut t = Table::new("Table 1: architectural parameters", &["parameter", "value"]);
     let mut kv = |k: &str, v: String| t.row(vec![k.to_string(), v]);
     kv("cores", format!("{}", cfg.num_cores));
-    kv("core", format!("{}-way out-of-order @ {} GHz", cfg.cpu.issue_width, cfg.clock_ghz));
+    kv(
+        "core",
+        format!(
+            "{}-way out-of-order @ {} GHz",
+            cfg.cpu.issue_width, cfg.clock_ghz
+        ),
+    );
     kv("ROB", format!("{} entries", cfg.cpu.rob_entries));
     kv("Ld/St queue", format!("{} entries", cfg.cpu.lsq_entries));
     kv("Ld/St units", format!("{}", cfg.cpu.ldst_units));
-    kv("write buffer", format!("{} entries", cfg.cpu.write_buffer_entries));
-    kv("L1", format!("private, {} KB, {}-way, 32 B lines, {} MSHRs, {}-cycle",
-        cfg.mem.l1_bytes / 1024, cfg.mem.l1_assoc, cfg.mem.l1_mshrs, cfg.mem.l1_hit_latency));
-    kv("L2", format!("shared, {} KB/core, {}-way, {}-cycle",
-        cfg.mem.l2_bytes_per_core / 1024, cfg.mem.l2_assoc, cfg.mem.l2_latency));
+    kv(
+        "write buffer",
+        format!("{} entries", cfg.cpu.write_buffer_entries),
+    );
+    kv(
+        "L1",
+        format!(
+            "private, {} KB, {}-way, 32 B lines, {} MSHRs, {}-cycle",
+            cfg.mem.l1_bytes / 1024,
+            cfg.mem.l1_assoc,
+            cfg.mem.l1_mshrs,
+            cfg.mem.l1_hit_latency
+        ),
+    );
+    kv(
+        "L2",
+        format!(
+            "shared, {} KB/core, {}-way, {}-cycle",
+            cfg.mem.l2_bytes_per_core / 1024,
+            cfg.mem.l2_assoc,
+            cfg.mem.l2_latency
+        ),
+    );
     kv("ring", format!("{:?}, 1-cycle hop", cfg.mem.mode));
-    kv("memory", format!("{}-cycle round-trip from L2", cfg.mem.memory_latency));
+    kv(
+        "memory",
+        format!("{}-cycle round-trip from L2", cfg.mem.memory_latency),
+    );
     kv("TRAQ", "176 entries".to_string());
-    kv("signatures", "4 x 256-bit Bloom (H3) per read/write set".to_string());
+    kv(
+        "signatures",
+        "4 x 256-bit Bloom (H3) per read/write set".to_string(),
+    );
     kv("Snoop Table", "2 arrays x 64 x 16-bit counters".to_string());
     t
 }
@@ -66,7 +93,12 @@ pub fn fig01(runs: &[WorkloadRun]) -> Table {
         t.row(vec![r.name.into(), pct(fl), pct(fs), pct(fl + fs)]);
     }
     let n = runs.len() as f64;
-    t.row(vec!["AVERAGE".into(), pct(sl / n), pct(ss / n), pct(st / n)]);
+    t.row(vec![
+        "AVERAGE".into(),
+        pct(sl / n),
+        pct(ss / n),
+        pct(st / n),
+    ]);
     t
 }
 
@@ -111,7 +143,13 @@ pub fn fig09(runs: &[WorkloadRun]) -> Table {
 pub fn fig10(runs: &[WorkloadRun]) -> Table {
     let mut t = Table::new(
         "Figure 10: InorderBlock entries, Opt normalized to Base",
-        &["workload", "Opt/Base (4K)", "Opt/Base (INF)", "Base-4K IBs", "Base-INF IBs"],
+        &[
+            "workload",
+            "Opt/Base (4K)",
+            "Opt/Base (INF)",
+            "Base-4K IBs",
+            "Base-INF IBs",
+        ],
     );
     let (mut s4, mut si) = (0.0, 0.0);
     for r in runs {
@@ -194,7 +232,12 @@ pub fn fig12(runs: &[WorkloadRun]) -> Table {
         let stats = &r.record.variants[BASE_4K].stats;
         let avg = stats.iter().map(|s| s.traq_avg()).sum::<f64>() / stats.len() as f64;
         let peak = stats.iter().map(|s| s.traq_peak).max().unwrap_or(0);
-        let stall: u64 = r.record.core_stats.iter().map(|s| s.traq_stall_cycles).sum();
+        let stall: u64 = r
+            .record
+            .core_stats
+            .iter()
+            .map(|s| s.traq_stall_cycles)
+            .sum();
         let cycles = r.record.cycles * r.record.core_stats.len() as u64;
         t.row(vec![
             r.name.into(),
@@ -211,7 +254,9 @@ pub fn fig12(runs: &[WorkloadRun]) -> Table {
 /// given workloads.
 #[must_use]
 pub fn fig12_histogram(runs: &[WorkloadRun], names: &[&str]) -> Table {
-    let bins: Vec<String> = (0..18).map(|b| format!("{}-{}", b * 10, b * 10 + 9)).collect();
+    let bins: Vec<String> = (0..18)
+        .map(|b| format!("{}-{}", b * 10, b * 10 + 9))
+        .collect();
     let mut headers = vec!["workload"];
     headers.extend(bins.iter().map(String::as_str));
     let mut t = Table::new("Figure 12(b): TRAQ occupancy distribution (%)", &headers);
@@ -242,14 +287,7 @@ pub fn fig13(runs: &[WorkloadRun]) -> Table {
     let mut t = Table::new(
         "Figure 13: replay time / recording time (user + OS cycles)",
         &[
-            "workload",
-            "Base-4K",
-            "(os%)",
-            "Opt-4K",
-            "(os%)",
-            "Base-INF",
-            "(os%)",
-            "Opt-INF",
+            "workload", "Base-4K", "(os%)", "Opt-4K", "(os%)", "Base-INF", "(os%)", "Opt-INF",
             "(os%)",
         ],
     );
@@ -366,6 +404,9 @@ mod tests {
             .collect();
         WorkloadRun {
             name: "synthetic",
+            label: "synthetic".to_string(),
+            metrics: rr_sim::MetricsRegistry::default(),
+            phases: rr_sim::PhaseNanos::default(),
             record: RunResult {
                 cycles: 1000,
                 core_stats: vec![CoreStats {

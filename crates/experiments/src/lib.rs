@@ -23,4 +23,6 @@ pub mod figures;
 pub mod report;
 pub mod runner;
 
-pub use runner::{run_suite, ExperimentConfig, WorkloadRun};
+pub use runner::{
+    metrics_jsonl, run_suite, run_suite_timed, ExperimentConfig, SuiteRun, WorkloadRun,
+};

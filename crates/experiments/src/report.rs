@@ -81,6 +81,18 @@ impl Table {
     }
 }
 
+/// Writes a JSONL metrics sidecar under `dir` (created if needed), named
+/// `<slug>.metrics.jsonl`. `content` is the pre-rendered JSONL (one line
+/// per run; see `runner::metrics_jsonl`).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing.
+pub fn write_metrics_jsonl(dir: &Path, slug: &str, content: &str) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{slug}.metrics.jsonl")), content)
+}
+
 /// Formats a ratio as a percentage with three decimals.
 #[must_use]
 pub fn pct(x: f64) -> String {

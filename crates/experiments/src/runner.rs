@@ -1,9 +1,12 @@
-//! Runs the workload suite through the simulator and the replayer, once,
-//! producing everything the individual figures need.
+//! Runs the workload suite through the simulator and the replayer,
+//! spreading independent simulations over a parallel sweep (`rr-sim`'s
+//! sweep engine), and producing everything the individual figures need —
+//! including the per-run metrics JSONL sidecars.
 
 use rr_replay::{CostModel, ReplayOutcome};
-use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec, RunResult};
-use rr_workloads::{suite, Workload};
+use rr_sim::sweep::{run_sweep, ReplayPolicy, SweepJob, SweepReport};
+use rr_sim::{metrics, MachineConfig, MetricsRegistry, PhaseNanos, RecorderSpec, RunResult};
+use rr_workloads::suite;
 
 /// Configuration of an experiment campaign.
 #[derive(Clone, Debug)]
@@ -17,11 +20,16 @@ pub struct ExperimentConfig {
     /// Whether to replay (and verify) every variant. Disable for
     /// recording-only experiments to save time.
     pub replay: bool,
+    /// Sweep worker threads (0 = the host's available parallelism). Runs
+    /// are deterministic regardless of this value; it only changes
+    /// wall-clock.
+    pub workers: usize,
 }
 
 impl ExperimentConfig {
     /// The defaults used by the figure binaries: 8 cores, a size giving a
-    /// few hundred thousand instructions per workload.
+    /// few hundred thousand instructions per workload, host-parallel
+    /// sweeps.
     #[must_use]
     pub fn paper_default() -> Self {
         ExperimentConfig {
@@ -29,11 +37,13 @@ impl ExperimentConfig {
             size: 6,
             cost: CostModel::splash_default(),
             replay: true,
+            workers: 0,
         }
     }
 
-    /// Reads `RR_THREADS` / `RR_SIZE` environment overrides (used by the
-    /// binaries so runs can be scaled without recompiling).
+    /// Reads `RR_THREADS` / `RR_SIZE` / `RR_WORKERS` environment overrides
+    /// and a `--workers N` command-line flag (used by the binaries so runs
+    /// can be scaled without recompiling).
     #[must_use]
     pub fn from_env() -> Self {
         let mut cfg = Self::paper_default();
@@ -47,21 +57,56 @@ impl ExperimentConfig {
                 cfg.size = s;
             }
         }
+        if let Ok(w) = std::env::var("RR_WORKERS") {
+            if let Ok(w) = w.parse() {
+                cfg.workers = w;
+            }
+        }
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--workers" {
+                if let Some(w) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.workers = w;
+                }
+            } else if let Some(w) = a.strip_prefix("--workers=").and_then(|v| v.parse().ok()) {
+                cfg.workers = w;
+            }
+        }
         cfg
     }
 }
 
 /// One workload's complete results: the recorded run (with all four
-/// recorder variants) and, per variant, the verified replay outcome.
+/// recorder variants), per-variant verified replay outcomes, and the
+/// run's deterministic metrics plus host phase timings.
 #[derive(Debug)]
 pub struct WorkloadRun {
     /// Workload name.
     pub name: &'static str,
+    /// Label used in metrics sidecars (equals `name` unless the run is
+    /// part of a larger sweep, e.g. `fft@16c` in the scalability sweep).
+    pub label: String,
     /// The recorded execution and per-variant logs/stats.
     pub record: RunResult,
     /// Replay outcomes, parallel to `record.variants` (empty if replay was
     /// disabled).
     pub replays: Vec<ReplayOutcome>,
+    /// Deterministic per-run counters and histograms.
+    pub metrics: MetricsRegistry,
+    /// Host wall-clock per phase (record / patch / replay / verify).
+    pub phases: PhaseNanos,
+}
+
+/// A suite run plus the sweep's execution envelope (worker count and
+/// wall-clock), for harnesses that report throughput.
+#[derive(Debug)]
+pub struct SuiteRun {
+    /// One entry per workload, in suite order.
+    pub runs: Vec<WorkloadRun>,
+    /// Workers the sweep actually used.
+    pub workers: usize,
+    /// Wall-clock nanoseconds for the whole sweep.
+    pub wall_ns: u64,
 }
 
 /// The recorder variants, in the order used by every figure:
@@ -71,76 +116,179 @@ pub fn variant_specs() -> Vec<RecorderSpec> {
     RecorderSpec::paper_matrix()
 }
 
-/// Records (and optionally replays + verifies) the entire workload suite.
+fn replay_policy(cfg: &ExperimentConfig) -> ReplayPolicy {
+    if cfg.replay {
+        // Native replay re-executes the same instruction stream with warm
+        // caches and no coherence contention, so its IPC is at least the
+        // recorded per-core IPC (the paper's sequential replay of 8 cores
+        // taking only 6.7x the parallel recording implies the same).
+        ReplayPolicy::AdaptiveIpc {
+            base: cfg.cost,
+            headroom: 1.2,
+        }
+    } else {
+        ReplayPolicy::Skip
+    }
+}
+
+/// Records (and optionally replays + verifies) the entire workload suite,
+/// one sweep job per workload, returning runs plus sweep timing.
 ///
 /// # Panics
 ///
 /// Panics if any recording deadlocks or any replay fails verification —
 /// either would be a correctness bug, not an experiment outcome.
 #[must_use]
-pub fn run_suite(cfg: &ExperimentConfig) -> Vec<WorkloadRun> {
+pub fn run_suite_timed(cfg: &ExperimentConfig) -> SuiteRun {
     let machine = MachineConfig::splash_default(cfg.threads);
     let specs = variant_specs();
-    suite(cfg.threads, cfg.size)
+    let workloads = suite(cfg.threads, cfg.size);
+    let names: Vec<&'static str> = workloads.iter().map(|w| w.name).collect();
+    let jobs: Vec<SweepJob> = workloads
         .into_iter()
-        .map(|w| run_one(&w, &machine, &specs, cfg))
-        .collect()
+        .map(|w| {
+            SweepJob::from_specs(
+                w.name,
+                w.programs,
+                w.initial_mem,
+                machine.clone(),
+                &specs,
+                replay_policy(cfg),
+            )
+        })
+        .collect();
+    let report = run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    report_to_suite(report, &names)
 }
 
-fn run_one(
-    w: &Workload,
-    machine: &MachineConfig,
-    specs: &[RecorderSpec],
-    cfg: &ExperimentConfig,
-) -> WorkloadRun {
-    let record = record(&w.programs, &w.initial_mem, machine, specs)
-        .unwrap_or_else(|e| panic!("{}: recording failed: {e}", w.name));
-    // Native replay re-executes the same instruction stream with warm
-    // caches and no coherence contention, so its IPC is at least the
-    // recorded per-core IPC (the paper's sequential replay of 8 cores
-    // taking only 6.7x the parallel recording implies the same).
-    let active = record
-        .core_stats
-        .iter()
-        .filter(|s| s.active_cycles > 0)
-        .count()
-        .max(1);
-    let per_core_ipc =
-        record.total_instrs() as f64 / record.cycles.max(1) as f64 / active as f64;
-    let cost = rr_replay::CostModel {
-        replay_ipc: (per_core_ipc * 1.2).max(cfg.cost.replay_ipc),
-        ..cfg.cost
-    };
-    let replays = if cfg.replay {
-        (0..specs.len())
-            .map(|v| {
-                replay_and_verify(&w.programs, &w.initial_mem, &record, v, &cost)
-                    .unwrap_or_else(|e| panic!("{} [{}]: {e}", w.name, specs[v].label()))
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-    WorkloadRun {
-        name: w.name,
-        record,
-        replays,
+/// [`run_suite_timed`] without the envelope — the shape every figure
+/// helper consumes.
+///
+/// # Panics
+///
+/// As [`run_suite_timed`].
+#[must_use]
+pub fn run_suite(cfg: &ExperimentConfig) -> Vec<WorkloadRun> {
+    run_suite_timed(cfg).runs
+}
+
+fn report_to_suite(report: SweepReport, names: &[&'static str]) -> SuiteRun {
+    let workers = report.workers;
+    let wall_ns = report.wall_ns;
+    let runs = report
+        .outputs
+        .into_iter()
+        .zip(names)
+        .map(|(o, name)| WorkloadRun {
+            name,
+            label: o.name,
+            record: o.run,
+            replays: o.replays,
+            metrics: o.metrics,
+            phases: o.phases,
+        })
+        .collect();
+    SuiteRun {
+        runs,
+        workers,
+        wall_ns,
     }
 }
 
-/// Records the suite at several core counts (Figure 14). Returns
-/// `(cores, runs)` pairs. Replay is skipped (Figure 14 is about recording).
+/// Records the suite at several core counts (Figure 14) in one flat
+/// parallel sweep. Returns `(cores, runs)` pairs. Replay is skipped
+/// (Figure 14 is about recording).
+///
+/// # Panics
+///
+/// As [`run_suite_timed`].
 #[must_use]
-pub fn run_scalability(cfg: &ExperimentConfig, core_counts: &[usize]) -> Vec<(usize, Vec<WorkloadRun>)> {
-    core_counts
-        .iter()
-        .map(|&cores| {
-            let sub = ExperimentConfig {
-                threads: cores,
-                replay: false,
-                ..cfg.clone()
-            };
-            (cores, run_suite(&sub))
-        })
-        .collect()
+pub fn run_scalability(
+    cfg: &ExperimentConfig,
+    core_counts: &[usize],
+) -> Vec<(usize, Vec<WorkloadRun>)> {
+    let specs = variant_specs();
+    let mut jobs = Vec::new();
+    let mut names = Vec::new();
+    for &cores in core_counts {
+        let machine = MachineConfig::splash_default(cores);
+        for w in suite(cores, cfg.size) {
+            names.push((cores, w.name));
+            jobs.push(SweepJob::from_specs(
+                format!("{}@{cores}c", w.name),
+                w.programs,
+                w.initial_mem,
+                machine.clone(),
+                &specs,
+                ReplayPolicy::Skip,
+            ));
+        }
+    }
+    let report = run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+
+    let mut grouped: Vec<(usize, Vec<WorkloadRun>)> =
+        core_counts.iter().map(|&c| (c, Vec::new())).collect();
+    for (o, &(cores, name)) in report.outputs.into_iter().zip(&names) {
+        let slot = grouped
+            .iter_mut()
+            .find(|(c, _)| *c == cores)
+            .expect("core count present");
+        slot.1.push(WorkloadRun {
+            name,
+            label: o.name,
+            record: o.run,
+            replays: o.replays,
+            metrics: o.metrics,
+            phases: o.phases,
+        });
+    }
+    grouped
+}
+
+/// Renders every run's metrics as JSONL, one line per run — the sidecar
+/// every experiments binary writes next to its CSV.
+#[must_use]
+pub fn metrics_jsonl(runs: &[WorkloadRun]) -> String {
+    let mut out = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&metrics::jsonl_object(&r.label, i, &r.metrics, &r.phases));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_config_defaults_are_sane() {
+        let cfg = ExperimentConfig::paper_default();
+        assert_eq!(cfg.threads, 8);
+        assert!(cfg.replay);
+        assert_eq!(cfg.workers, 0, "0 = host parallelism");
+    }
+
+    #[test]
+    fn tiny_suite_runs_in_parallel_and_keeps_order() {
+        let cfg = ExperimentConfig {
+            threads: 2,
+            size: 1,
+            replay: false,
+            workers: 4,
+            ..ExperimentConfig::paper_default()
+        };
+        let suite_run = run_suite_timed(&cfg);
+        assert_eq!(suite_run.runs.len(), 12);
+        assert_eq!(suite_run.runs[0].name, "fft");
+        assert!(suite_run.workers >= 1);
+        for r in &suite_run.runs {
+            assert_eq!(r.label, r.name);
+            assert!(r.metrics.counter("cpu.retired") > 0, "{}", r.name);
+            assert!(r.phases.record > 0, "{}", r.name);
+        }
+        let jsonl = metrics_jsonl(&suite_run.runs);
+        assert_eq!(jsonl.lines().count(), 12);
+        assert!(jsonl.lines().next().unwrap().contains("\"name\":\"fft\""));
+    }
 }

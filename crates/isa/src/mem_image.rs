@@ -41,7 +41,10 @@ impl MemImage {
             "unaligned memory access at {addr:#x}"
         );
         let word = addr / WORD_BYTES;
-        (word / PAGE_WORDS as u64, (word % PAGE_WORDS as u64) as usize)
+        (
+            word / PAGE_WORDS as u64,
+            (word % PAGE_WORDS as u64) as usize,
+        )
     }
 
     /// Reads the word at `addr`.

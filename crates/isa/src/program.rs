@@ -326,10 +326,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let l = b.label();
         b.jump(l);
-        assert!(matches!(
-            b.try_build(),
-            Err(ProgramError::UnboundLabel(_))
-        ));
+        assert!(matches!(b.try_build(), Err(ProgramError::UnboundLabel(_))));
     }
 
     #[test]

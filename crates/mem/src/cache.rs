@@ -34,7 +34,10 @@ impl<T> SetAssocCache<T> {
     /// Panics if `num_sets` is not a power of two or `assoc` is zero.
     #[must_use]
     pub fn new(num_sets: usize, assoc: usize) -> Self {
-        assert!(num_sets.is_power_of_two(), "num_sets must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "num_sets must be a power of two"
+        );
         assert!(assoc > 0, "associativity must be positive");
         SetAssocCache {
             sets: (0..num_sets).map(|_| Vec::with_capacity(assoc)).collect(),
@@ -74,7 +77,10 @@ impl<T> SetAssocCache<T> {
     #[must_use]
     pub fn peek(&self, line: LineAddr) -> Option<&T> {
         let set = self.set_index(line);
-        self.sets[set].iter().find(|w| w.line == line).map(|w| &w.payload)
+        self.sets[set]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| &w.payload)
     }
 
     /// Whether the line is present.

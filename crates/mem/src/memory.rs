@@ -265,7 +265,13 @@ impl MemorySystem {
     /// Must be called *after* this cycle's [`MemorySystem::tick`]. On
     /// [`Response::Hit`] the access performs immediately (see the type's
     /// docs); otherwise a [`Completion`] will be delivered later.
-    pub fn access(&mut self, cycle: u64, core: CoreId, kind: AccessKind, line: LineAddr) -> Response {
+    pub fn access(
+        &mut self,
+        cycle: u64,
+        core: CoreId,
+        kind: AccessKind,
+        line: LineAddr,
+    ) -> Response {
         let l1 = &mut self.l1s[core.index()];
         if let Some(state) = l1.get_mut(line) {
             let hit = if kind.needs_write() {
@@ -480,9 +486,8 @@ impl MemorySystem {
             CoherenceMode::Snoopy => SnoopScope::AllExcept(p.core),
             CoherenceMode::Directory => {
                 let sharers = self.dir_sharers.entry(p.line).or_default();
-                let scope = SnoopScope::Cores(
-                    sharers.iter().copied().filter(|&c| c != p.core).collect(),
-                );
+                let scope =
+                    SnoopScope::Cores(sharers.iter().copied().filter(|&c| c != p.core).collect());
                 // Directory update: a write leaves only the requester; a
                 // read adds it.
                 if write {
@@ -574,7 +579,11 @@ mod tests {
 
     /// Runs ticks until the request with `req` completes, returning the
     /// completion cycle and all outputs seen.
-    fn run_until_complete(m: &mut MemorySystem, start: u64, req: ReqId) -> (u64, Vec<MemTickOutput>) {
+    fn run_until_complete(
+        m: &mut MemorySystem,
+        start: u64,
+        req: ReqId,
+    ) -> (u64, Vec<MemTickOutput>) {
         let mut outs = Vec::new();
         for cycle in start..start + 10_000 {
             let out = m.tick(cycle);

@@ -49,6 +49,31 @@ impl MemStats {
         }
         self.l1_hits as f64 / total as f64
     }
+
+    /// Every counter as a `(name, value)` pair, for the metrics registry.
+    ///
+    /// Names are stable identifiers (they end up in JSONL sidecars that
+    /// downstream tooling diffs across runs); add to this list, never
+    /// rename.
+    #[must_use]
+    pub fn counter_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("l1_hits", self.l1_hits),
+            ("l1_misses", self.l1_misses),
+            ("mshr_retries", self.mshr_retries),
+            ("gets", self.gets),
+            ("getm", self.getm),
+            ("upgrades", self.upgrades),
+            ("quick_grants", self.quick_grants),
+            ("src_c2c", self.src_c2c),
+            ("src_l2", self.src_l2),
+            ("src_memory", self.src_memory),
+            ("snoops_delivered", self.snoops_delivered),
+            ("dirty_evictions", self.dirty_evictions),
+            ("queue_wait_cycles", self.queue_wait_cycles),
+            ("coherence_transactions", self.transactions()),
+        ]
+    }
 }
 
 #[cfg(test)]

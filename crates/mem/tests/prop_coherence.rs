@@ -70,7 +70,10 @@ fn run_traffic(accesses: &[Access], cores: usize, mode: CoherenceMode) {
             // broadcast snoops, they arrived at an earlier cycle. (Quick
             // grants broadcast nothing, so only check when one was seen.)
             if let Some(&s) = last_snoop.get(&line) {
-                assert!(s < cycle, "snoop at {s} not strictly before completion at {cycle}");
+                assert!(
+                    s < cycle,
+                    "snoop at {s} not strictly before completion at {cycle}"
+                );
             }
         }
         assert_swmr(&mem);
@@ -79,8 +82,12 @@ fn run_traffic(accesses: &[Access], cores: usize, mode: CoherenceMode) {
             let a = &accesses[next];
             if cycle.is_multiple_of(u64::from(a.gap) + 1) {
                 let core = CoreId::new(a.core);
-                match mem.access(cycle, core, kind_of(a.kind), LineAddr::from_line_number(a.line))
-                {
+                match mem.access(
+                    cycle,
+                    core,
+                    kind_of(a.kind),
+                    LineAddr::from_line_number(a.line),
+                ) {
                     Response::Pending { req } => {
                         outstanding.insert(req, cycle);
                         next += 1;
@@ -93,7 +100,10 @@ fn run_traffic(accesses: &[Access], cores: usize, mode: CoherenceMode) {
             }
         }
         cycle += 1;
-        assert!(cycle < max_cycles, "liveness violated: traffic never drained");
+        assert!(
+            cycle < max_cycles,
+            "liveness violated: traffic never drained"
+        );
     }
     assert!(mem.quiescent());
 }

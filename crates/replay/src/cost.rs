@@ -129,6 +129,9 @@ mod tests {
             ..ReplayEvents::default()
         };
         assert!(m.os_cycles(&many) > 10 * m.os_cycles(&few));
-        assert_eq!(m.total_cycles(&few), m.user_cycles(&few) + m.os_cycles(&few));
+        assert_eq!(
+            m.total_cycles(&few),
+            m.user_cycles(&few) + m.os_cycles(&few)
+        );
     }
 }

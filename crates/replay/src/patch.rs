@@ -140,12 +140,12 @@ pub fn patch(log: &IntervalLog) -> Result<PatchedLog, PatchError> {
                     value,
                     offset,
                 } => {
-                    let target = i
-                        .checked_sub(*offset as usize)
-                        .ok_or(PatchError::OffsetOutOfRange {
-                            interval: i,
-                            offset: *offset,
-                        })?;
+                    let target =
+                        i.checked_sub(*offset as usize)
+                            .ok_or(PatchError::OffsetOutOfRange {
+                                interval: i,
+                                offset: *offset,
+                            })?;
                     appendices[target].push(ReplayOp::ApplyStore {
                         addr: *addr,
                         value: *value,
@@ -226,7 +226,10 @@ mod tests {
             p.ops,
             vec![
                 ReplayOp::RunBlock { instrs: 4 },
-                ReplayOp::ApplyStore { addr: 0x8, value: 9 }, // end of interval 0
+                ReplayOp::ApplyStore {
+                    addr: 0x8,
+                    value: 9
+                }, // end of interval 0
                 ReplayOp::EndInterval {
                     cisn: 0,
                     timestamp: 10

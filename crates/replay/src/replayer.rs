@@ -46,7 +46,10 @@ impl fmt::Display for ReplayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReplayError::BlockEndedEarly { core, remaining } => {
-                write!(f, "{core}: program halted with {remaining} block instructions left")
+                write!(
+                    f,
+                    "{core}: program halted with {remaining} block instructions left"
+                )
             }
             ReplayError::InstructionMismatch {
                 core,

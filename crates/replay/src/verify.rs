@@ -160,8 +160,8 @@ mod tests {
             final_mem: MemImage::new(),
             load_traces: vec![vec![1, 2, 3]],
         };
-        let err = verify(&rec, &outcome(vec![vec![1, 9, 3]], MemImage::new()))
-            .expect_err("must fail");
+        let err =
+            verify(&rec, &outcome(vec![vec![1, 9, 3]], MemImage::new())).expect_err("must fail");
         assert_eq!(
             err,
             VerifyError::TraceValueMismatch {

@@ -19,15 +19,15 @@ fn log_strategy() -> impl Strategy<Value = IntervalLog> {
         prop_oneof![
             (1u32..5000).prop_map(|instrs| LogEntry::InorderBlock { instrs }),
             any::<u64>().prop_map(|value| LogEntry::ReorderedLoad { value }),
-            (any::<u64>(), any::<u64>(), 0u16..=max_off).prop_map(
-                move |(addr, value, off)| LogEntry::ReorderedStore {
+            (any::<u64>(), any::<u64>(), 0u16..=max_off).prop_map(move |(addr, value, off)| {
+                LogEntry::ReorderedStore {
                     addr: addr & !7,
                     value,
                     // offset >= 1 when possible; interval 0 gets loads only
                     // via the filter below.
                     offset: off.max(1).min(max_off.max(1)),
                 }
-            ),
+            }),
         ]
     };
     // 1..8 intervals, each with 0..6 body entries + a frame.
@@ -35,16 +35,15 @@ fn log_strategy() -> impl Strategy<Value = IntervalLog> {
         .prop_flat_map(move |n_intervals| {
             let mut interval_strategies = Vec::new();
             for i in 0..n_intervals {
-                let entries = proptest::collection::vec(body_entry(i), 0..6).prop_map(
-                    move |mut es| {
+                let entries =
+                    proptest::collection::vec(body_entry(i), 0..6).prop_map(move |mut es| {
                         if i == 0 {
                             // Interval 0 cannot host reordered stores (no
                             // earlier interval to patch into).
                             es.retain(|e| !matches!(e, LogEntry::ReorderedStore { .. }));
                         }
                         es
-                    },
-                );
+                    });
                 interval_strategies.push(entries);
             }
             interval_strategies

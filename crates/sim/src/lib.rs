@@ -39,8 +39,12 @@
 
 mod config;
 mod machine;
+pub mod metrics;
+pub mod sweep;
 mod tracer;
 
 pub use config::{MachineConfig, RecorderSpec};
 pub use machine::{record, record_custom, replay_and_verify, RunResult, SimError, VariantResult};
+pub use metrics::{MetricsRegistry, PhaseNanos};
+pub use sweep::{run_sweep, JobOutput, ReplayPolicy, SweepError, SweepJob, SweepReport};
 pub use tracer::TraceCollector;

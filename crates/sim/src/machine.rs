@@ -309,7 +309,10 @@ pub fn record_custom(
         mem_stats: mem.stats().clone(),
         recorded: RecordedExecution {
             final_mem: img,
-            load_traces: tracers.into_iter().map(TraceCollector::into_trace).collect(),
+            load_traces: tracers
+                .into_iter()
+                .map(TraceCollector::into_trace)
+                .collect(),
         },
         variants,
         clock_ghz: cfg.clock_ghz,

@@ -1,3 +1,4 @@
+#![allow(clippy::needless_range_loop)] // variant index addresses parallel arrays
 //! The paper's central claim, tested: the *same* recorder design records
 //! and deterministically replays executions under SC, TSO and RC — and the
 //! models are genuinely different (litmus outcomes and reordering rates
@@ -87,8 +88,13 @@ fn reordering_rates_order_as_sc_below_tso_below_rc() {
     let ooo = |model| {
         let w = rr_workloads::by_name("ocean", 4, 1).expect("known");
         let cfg = MachineConfig::splash_default(4).with_consistency(model);
-        let result = record(&w.programs, &w.initial_mem, &cfg, &RecorderSpec::paper_matrix())
-            .expect("records");
+        let result = record(
+            &w.programs,
+            &w.initial_mem,
+            &cfg,
+            &RecorderSpec::paper_matrix(),
+        )
+        .expect("records");
         result.ooo_fraction()
     };
     let (sc, tso, rc) = (
@@ -100,7 +106,10 @@ fn reordering_rates_order_as_sc_below_tso_below_rc() {
         sc < 0.01,
         "SC must perform (essentially) in order, got {sc:.4}"
     );
-    assert!(sc <= tso && tso < rc, "expected SC ≤ TSO < RC: {sc:.4} / {tso:.4} / {rc:.4}");
+    assert!(
+        sc <= tso && tso < rc,
+        "expected SC ≤ TSO < RC: {sc:.4} / {tso:.4} / {rc:.4}"
+    );
     assert!(rc > 0.3, "RC should reorder heavily, got {rc:.4}");
 }
 

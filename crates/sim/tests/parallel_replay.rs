@@ -9,11 +9,7 @@ use rr_workloads::{suite, Workload};
 
 fn check_parallel(w: &Workload, result: &RunResult, variant: usize, workers: usize) -> f64 {
     let v = &result.variants[variant];
-    let patched: Vec<_> = v
-        .logs
-        .iter()
-        .map(|l| patch(l).expect("patches"))
-        .collect();
+    let patched: Vec<_> = v.logs.iter().map(|l| patch(l).expect("patches")).collect();
     let outcome = replay_parallel(
         &w.programs,
         &patched,
@@ -22,7 +18,13 @@ fn check_parallel(w: &Workload, result: &RunResult, variant: usize, workers: usi
         &CostModel::splash_default(),
         workers,
     )
-    .unwrap_or_else(|e| panic!("{} [{}]: parallel replay failed: {e}", w.name, v.spec.label()));
+    .unwrap_or_else(|e| {
+        panic!(
+            "{} [{}]: parallel replay failed: {e}",
+            w.name,
+            v.spec.label()
+        )
+    });
     verify(&result.recorded, &outcome.outcome).unwrap_or_else(|e| {
         panic!(
             "{} [{}]: parallel replay diverged: {e}",

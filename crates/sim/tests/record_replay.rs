@@ -143,8 +143,14 @@ fn spinlock_critical_sections_replay() {
     // Functional sanity: the lock worked.
     assert_eq!(result.recorded.final_mem.load(0x5100), 90);
     for v in 0..specs.len() {
-        replay_and_verify(&programs, &MemImage::new(), &result, v, &CostModel::splash_default())
-            .unwrap_or_else(|e| panic!("variant {}: {e}", specs[v].label()));
+        replay_and_verify(
+            &programs,
+            &MemImage::new(),
+            &result,
+            v,
+            &CostModel::splash_default(),
+        )
+        .unwrap_or_else(|e| panic!("variant {}: {e}", specs[v].label()));
     }
 }
 
@@ -199,8 +205,14 @@ fn directory_mode_replays() {
     let initial = MemImage::new();
     let result = record(&programs, &initial, &cfg, &specs).expect("records");
     for v in 0..specs.len() {
-        replay_and_verify(&programs, &initial, &result, v, &CostModel::splash_default())
-            .unwrap_or_else(|e| panic!("variant {}: {e}", specs[v].label()));
+        replay_and_verify(
+            &programs,
+            &initial,
+            &result,
+            v,
+            &CostModel::splash_default(),
+        )
+        .unwrap_or_else(|e| panic!("variant {}: {e}", specs[v].label()));
     }
 }
 

@@ -1,0 +1,80 @@
+//! The sweep engine's determinism guarantee: the same job list produces
+//! bit-identical results at every worker count. Interval logs are compared
+//! by their encoded bytes and metrics by their full counter/histogram
+//! JSON; only the wall-clock `PhaseNanos` may differ between runs.
+
+use rr_replay::CostModel;
+use rr_sim::{run_sweep, MachineConfig, RecorderSpec, ReplayPolicy, SweepJob, SweepReport};
+use rr_workloads::suite;
+
+fn jobs() -> Vec<SweepJob> {
+    let machine = MachineConfig::splash_default(2);
+    let specs = RecorderSpec::paper_matrix();
+    suite(2, 1)
+        .into_iter()
+        .map(|w| {
+            SweepJob::from_specs(
+                w.name,
+                w.programs,
+                w.initial_mem,
+                machine.clone(),
+                &specs,
+                ReplayPolicy::Fixed(CostModel::splash_default()),
+            )
+        })
+        .collect()
+}
+
+/// Everything deterministic a sweep produced, flattened to bytes/strings.
+fn fingerprint(report: &SweepReport) -> (Vec<Vec<u8>>, Vec<String>) {
+    let mut logs = Vec::new();
+    let mut metrics = Vec::new();
+    for o in &report.outputs {
+        for v in &o.run.variants {
+            for log in &v.logs {
+                logs.push(log.encode());
+            }
+        }
+        metrics.push(o.metrics.to_json());
+    }
+    (logs, metrics)
+}
+
+#[test]
+fn sweep_output_is_identical_at_1_2_and_8_workers() {
+    let reference = run_sweep(&jobs(), 1).expect("sequential sweep succeeds");
+    assert_eq!(reference.workers, 1);
+    let (ref_logs, ref_metrics) = fingerprint(&reference);
+    assert!(!ref_logs.is_empty());
+
+    for workers in [2usize, 8] {
+        let report = run_sweep(&jobs(), workers).expect("parallel sweep succeeds");
+        let (logs, metrics) = fingerprint(&report);
+        assert_eq!(
+            logs, ref_logs,
+            "interval logs must be byte-identical at {workers} workers"
+        );
+        assert_eq!(
+            metrics, ref_metrics,
+            "metrics counters must be identical at {workers} workers"
+        );
+        // Replay outcomes came from the same logs and were verified inside
+        // the sweep; check their count survived too.
+        for (o, r) in report.outputs.iter().zip(&reference.outputs) {
+            assert_eq!(o.name, r.name);
+            assert_eq!(o.replays.len(), r.replays.len());
+        }
+    }
+}
+
+#[test]
+fn job_names_and_order_are_stable() {
+    let names: Vec<String> = run_sweep(&jobs(), 3)
+        .expect("sweep succeeds")
+        .outputs
+        .into_iter()
+        .map(|o| o.name)
+        .collect();
+    let expected: Vec<String> = suite(2, 1).iter().map(|w| w.name.to_string()).collect();
+    assert_eq!(names, expected);
+}

@@ -61,7 +61,10 @@ pub fn emit_local_work(
     words: i64,
     iters: i64,
 ) {
-    assert!(words > 0 && (words & (words - 1)) == 0, "words must be a power of two");
+    assert!(
+        words > 0 && (words & (words - 1)) == 0,
+        "words must be a power of two"
+    );
     let LocalRegs {
         base,
         i,

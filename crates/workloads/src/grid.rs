@@ -148,7 +148,7 @@ pub fn water_nsq(threads: usize, size: u32) -> Workload {
             b.op_imm(AluOp::Mul, addr, j, mol_words * 8);
             b.add(addr, mols, addr);
             b.load(v, addr, 0); // read every molecule's position word
-            // The pairwise potential evaluation (ALU-heavy in real WATER).
+                                // The pairwise potential evaluation (ALU-heavy in real WATER).
             b.op_imm(AluOp::Mul, v, v, 0x9e37);
             b.op_imm(AluOp::Xor, v, v, 0x79b9);
             b.op_imm(AluOp::Shr, v, v, 3);

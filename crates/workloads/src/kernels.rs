@@ -47,7 +47,10 @@ pub fn fft(threads: usize, size: u32) -> Workload {
             let (bar, round, base, phase, nphase) = (r(1), r(2), r(3), r(4), r(5));
             let (i, lim, addr, v, acc, peer_base) = (r(6), r(7), r(8), r(9), r(10), r(11));
             b.load_imm(bar, layout::BARRIER_ADDR).load_imm(round, 0);
-            b.load_imm(base, layout::DATA_BASE + tidi * rows_per_thread * row_words * 8);
+            b.load_imm(
+                base,
+                layout::DATA_BASE + tidi * rows_per_thread * row_words * 8,
+            );
             b.load_imm(phase, 0).load_imm(nphase, phases);
             let phase_top = b.bind_new();
             // The FFT compute step: a long local 1-D pass.
@@ -74,7 +77,12 @@ pub fn fft(threads: usize, size: u32) -> Workload {
             b.op_imm(AluOp::Sub, peer_base, peer_base, n);
             b.jump(modtop);
             b.bind(done);
-            b.op_imm(AluOp::Mul, peer_base, peer_base, rows_per_thread * row_words * 8);
+            b.op_imm(
+                AluOp::Mul,
+                peer_base,
+                peer_base,
+                rows_per_thread * row_words * 8,
+            );
             b.op_imm(AluOp::Add, peer_base, peer_base, layout::DATA_BASE);
             // Read the peer's rows (stable during this phase: everyone
             // writes the DATA2 transpose buffer, not DATA) and write the
@@ -86,7 +94,12 @@ pub fn fft(threads: usize, size: u32) -> Workload {
             b.add(v, peer_base, addr);
             b.load(v, v, 0); // read peer data
             b.add(acc, acc, v);
-            b.op_imm(AluOp::Add, addr, addr, layout::DATA2_BASE - layout::DATA_BASE);
+            b.op_imm(
+                AluOp::Add,
+                addr,
+                addr,
+                layout::DATA2_BASE - layout::DATA_BASE,
+            );
             b.add(addr, base, addr);
             b.store(acc, addr, 0); // write own DATA2 row
             b.add_imm(i, i, 1);

@@ -36,11 +36,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compute;
 mod grid;
 mod irregular;
 mod kernels;
 mod queue;
-pub mod compute;
 pub mod sync;
 
 use rr_isa::{MemImage, Program};

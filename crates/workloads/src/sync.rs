@@ -113,8 +113,13 @@ mod tests {
     fn lock_protects_a_counter() {
         let make = || {
             let mut b = ProgramBuilder::new();
-            let (lock, counter, i, n, tmp) =
-                (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(5));
+            let (lock, counter, i, n, tmp) = (
+                Reg::new(1),
+                Reg::new(2),
+                Reg::new(3),
+                Reg::new(4),
+                Reg::new(5),
+            );
             b.load_imm(lock, 0x100)
                 .load_imm(counter, 0x200)
                 .load_imm(i, 0)

@@ -39,7 +39,15 @@ fn barrier_counters_balance() {
     // After any barrier-structured workload finishes, the shared barrier
     // counter must be an exact multiple of the thread count.
     let threads = 4;
-    for name in ["fft", "lu", "ocean", "water_nsq", "water_sp", "fmm", "radix"] {
+    for name in [
+        "fft",
+        "lu",
+        "ocean",
+        "water_nsq",
+        "water_sp",
+        "fmm",
+        "radix",
+    ] {
         let w = by_name(name, threads, 1).expect("known");
         let mut mem = w.initial_mem.clone();
         run_interleaved(&w.programs, &mut mem, 13);
@@ -78,7 +86,10 @@ fn radix_scatter_preserves_every_key() {
     let keys_per_thread = 96u64;
     // Collect the input keys.
     let mut input: Vec<u64> = (0..threads as u64 * keys_per_thread)
-        .map(|i| w.initial_mem.load((layout::DATA_BASE + i as i64 * 8) as u64))
+        .map(|i| {
+            w.initial_mem
+                .load((layout::DATA_BASE + i as i64 * 8) as u64)
+        })
         .collect();
     let mut mem = w.initial_mem.clone();
     run_interleaved(&w.programs, &mut mem, 11);

@@ -83,8 +83,13 @@ fn main() {
         .collect();
     println!("\nreplaying the same execution 5 times:");
     for run in 1..=5 {
-        let outcome = replay(&programs, &patched, initial.clone(), &CostModel::splash_default())
-            .expect("replay");
+        let outcome = replay(
+            &programs,
+            &patched,
+            initial.clone(),
+            &CostModel::splash_default(),
+        )
+        .expect("replay");
         let balance = outcome.mem.load(BALANCE as u64);
         println!("  replay #{run}: balance = {balance}");
         assert_eq!(balance, recorded_balance, "replay must be deterministic");

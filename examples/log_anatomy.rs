@@ -48,14 +48,18 @@ fn main() {
     let result = record(&programs, &MemImage::new(), &machine, &specs).expect("recording");
     let log = &result.variants[0].logs[0];
 
-    println!("=== raw interval log of P0 (first 30 of {} entries) ===", log.entries.len());
+    println!(
+        "=== raw interval log of P0 (first 30 of {} entries) ===",
+        log.entries.len()
+    );
     println!("entry types (paper Fig. 6c): IB = InorderBlock, RL = ReorderedLoad,");
     println!("RS = ReorderedStore, RRMW = reordered RMW, FRAME = IntervalFrame\n");
     for e in log.entries.iter().take(30) {
         println!("  {e}");
     }
 
-    println!("\nlog totals: {} intervals, {} InorderBlocks, {} bits ({} bytes encoded)",
+    println!(
+        "\nlog totals: {} intervals, {} InorderBlocks, {} bits ({} bytes encoded)",
         log.intervals(),
         log.inorder_blocks(),
         log.bits(),
@@ -92,7 +96,9 @@ fn main() {
         .iter()
         .filter(|o| matches!(o, ReplayOp::SkipStore))
         .count();
-    println!("\npatched ops: {} total, {applies} ApplyStores, {skips} SkipStore dummies",
-        patched.ops.len());
+    println!(
+        "\npatched ops: {} total, {applies} ApplyStores, {skips} SkipStore dummies",
+        patched.ops.len()
+    );
     println!("(ApplyStores ≥ SkipStores because reordered RMWs contribute a store half)");
 }

@@ -47,9 +47,7 @@ fn main() {
     println!("recorded execution:");
     println!("  cycles               : {}", result.cycles);
     println!("  instructions         : {}", result.total_instrs());
-    println!(
-        "  final counter        : {counter} (400 would mean no lost updates — racy!)"
-    );
+    println!("  final counter        : {counter} (400 would mean no lost updates — racy!)");
     println!(
         "  out-of-order accesses: {:.1}%",
         result.ooo_fraction() * 100.0
@@ -57,12 +55,21 @@ fn main() {
 
     let v = &result.variants[0];
     println!("\nRelaxReplay_Opt log:");
-    println!("  intervals            : {}", v.logs.iter().map(|l| l.intervals()).sum::<usize>());
+    println!(
+        "  intervals            : {}",
+        v.logs.iter().map(|l| l.intervals()).sum::<usize>()
+    );
     println!("  inorder blocks       : {}", v.inorder_blocks());
-    println!("  reordered accesses   : {} ({:.3}% of memory accesses)",
-        v.reordered(), v.reordered_fraction() * 100.0);
-    println!("  log size             : {} bits ({:.1} bits / kilo-instruction)",
-        v.log_bits(), v.bits_per_kilo_instr());
+    println!(
+        "  reordered accesses   : {} ({:.3}% of memory accesses)",
+        v.reordered(),
+        v.reordered_fraction() * 100.0
+    );
+    println!(
+        "  log size             : {} bits ({:.1} bits / kilo-instruction)",
+        v.log_bits(),
+        v.bits_per_kilo_instr()
+    );
 
     // A peek at the first few log entries of core 0.
     println!("\nfirst entries of P0's log:");
@@ -72,8 +79,14 @@ fn main() {
 
     // 2. Replay sequentially and verify every load value and the final
     //    memory image match the recording exactly.
-    let outcome = replay_and_verify(&programs, &initial, &result, 0, &CostModel::splash_default())
-        .expect("deterministic replay");
+    let outcome = replay_and_verify(
+        &programs,
+        &initial,
+        &result,
+        0,
+        &CostModel::splash_default(),
+    )
+    .expect("deterministic replay");
     println!("\nreplay:");
     println!("  verified             : every load value + final memory identical");
     println!(

@@ -21,13 +21,14 @@ fn verify_all(
 ) {
     let result = record_custom(programs, initial, machine, configs).expect("records");
     for (i, v) in result.variants.iter().enumerate() {
-        let patched: Vec<_> = v
-            .logs
-            .iter()
-            .map(|l| patch(l).expect("patches"))
-            .collect();
-        let outcome = replay(programs, &patched, initial.clone(), &CostModel::splash_default())
-            .unwrap_or_else(|e| panic!("variant {i}: replay failed: {e}"));
+        let patched: Vec<_> = v.logs.iter().map(|l| patch(l).expect("patches")).collect();
+        let outcome = replay(
+            programs,
+            &patched,
+            initial.clone(),
+            &CostModel::splash_default(),
+        )
+        .unwrap_or_else(|e| panic!("variant {i}: replay failed: {e}"));
         verify(&result.recorded, &outcome)
             .unwrap_or_else(|e| panic!("variant {i}: verification failed: {e}"));
     }
@@ -37,12 +38,10 @@ fn verify_all(
 fn tiny_traq_forces_stalls_but_stays_correct() {
     let w = by_name("radix", 4, 1).expect("workload");
     let machine = MachineConfig::splash_default(4);
-    let configs = vec![
-        RecorderConfig {
-            traq_entries: 8,
-            ..RecorderConfig::splash_default(Design::Opt, Some(4096))
-        },
-    ];
+    let configs = vec![RecorderConfig {
+        traq_entries: 8,
+        ..RecorderConfig::splash_default(Design::Opt, Some(4096))
+    }];
     let result = record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
     let stalls: u64 = result.core_stats.iter().map(|s| s.traq_stall_cycles).sum();
     assert!(stalls > 0, "an 8-entry TRAQ must stall dispatch");
@@ -68,9 +67,8 @@ fn saturated_signatures_terminate_more_but_stay_correct() {
         &[tiny.clone(), normal.clone()],
     )
     .expect("records");
-    let intervals = |v: usize| -> usize {
-        result.variants[v].logs.iter().map(|l| l.intervals()).sum()
-    };
+    let intervals =
+        |v: usize| -> usize { result.variants[v].logs.iter().map(|l| l.intervals()).sum() };
     assert!(
         intervals(0) > intervals(1),
         "saturated signatures must terminate more intervals ({} vs {})",
@@ -136,8 +134,7 @@ fn squash_storm_with_sharing_stays_correct() {
         RecorderConfig::splash_default(Design::Base, Some(4096)),
         RecorderConfig::splash_default(Design::Opt, Some(4096)),
     ];
-    let result =
-        record_custom(&programs, &MemImage::new(), &machine, &configs).expect("records");
+    let result = record_custom(&programs, &MemImage::new(), &machine, &configs).expect("records");
     let squashes: u64 = result.core_stats.iter().map(|s| s.squashes).sum();
     assert!(squashes > 100, "expected a squash storm, got {squashes}");
     verify_all(&programs, &MemImage::new(), &machine, &configs);
@@ -154,8 +151,7 @@ fn dirty_eviction_storm_in_directory_mode_stays_correct() {
         RecorderConfig::splash_default(Design::Opt, Some(4096)),
         RecorderConfig::splash_default(Design::Base, Some(4096)),
     ];
-    let result =
-        record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+    let result = record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
     assert!(
         result.mem_stats.dirty_evictions > 100,
         "expected an eviction storm, got {}",

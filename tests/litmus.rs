@@ -3,12 +3,32 @@
 //! so the classic relaxed outcomes must be *observable* — and whatever
 //! outcome occurs, RelaxReplay must record it and replay it exactly.
 
+use relaxreplay::LogEntry;
 use rr_isa::{BranchCond, FenceKind, MemImage, Program, ProgramBuilder, Reg};
 use rr_replay::CostModel;
 use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec, RunResult};
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
+}
+
+/// `ReorderedLoad` entries in `core`'s log under the Base-4K variant (the
+/// design that logs every out-of-order access individually).
+fn reordered_loads(result: &RunResult, core: usize) -> usize {
+    result.variants[0].logs[core]
+        .entries
+        .iter()
+        .filter(|e| matches!(e, LogEntry::ReorderedLoad { .. }))
+        .count()
+}
+
+/// `ReorderedStore` entries in `core`'s log under the Base-4K variant.
+fn reordered_stores(result: &RunResult, core: usize) -> usize {
+    result.variants[0].logs[core]
+        .entries
+        .iter()
+        .filter(|e| matches!(e, LogEntry::ReorderedStore { .. }))
+        .count()
 }
 
 const X: i64 = 0x100; // separate cache lines
@@ -204,4 +224,204 @@ fn iriw_anomaly_is_forbidden() {
     let (r3, r4) = (m.load(OUT as u64 + 0x40), m.load(OUT as u64 + 0x48));
     let anomaly = r1 == 1 && r2 == 0 && r3 == 1 && r4 == 0;
     assert!(!anomaly, "write atomicity forbids disagreeing readers");
+}
+
+// --- Shapes that pin down *what the recorder logs*, not just the outcome.
+//
+// An access is logged reordered when an interval boundary separates the
+// interval where it performed from the interval where it is counted
+// (paper §3.2: PISN != CISN). These shapes manufacture that situation
+// deterministically: ~3800 filler instructions land before the slow older
+// access and ~600 after it, so the Base-4K recorder's 4096-instruction
+// max-size boundary falls *between* the older access's counting and the
+// early-performed younger access's counting. Replay fidelity is checked
+// by `run_and_verify` as everywhere else.
+// PRE_PAD keeps the boundary ahead (counted prefix < 4096); PRE_PAD +
+// POST_PAD crosses it. POST_PAD also bounds how long the younger access's
+// issue is delayed (~POST_PAD/4 retire cycles), which must stay well under
+// the older access's ~164-cycle cold-miss latency for the bypass to occur.
+const PRE_PAD: usize = 4000;
+const POST_PAD: usize = 100;
+
+/// Store buffering, log-level: the load that bypasses the buffered store
+/// is the access that makes `r1 = r2 = 0` possible, and the recorder must
+/// log it as a `ReorderedLoad` on each core.
+#[test]
+fn sb_bypassing_load_is_logged_reordered() {
+    let thread = |my: i64, other: i64, out_slot: i64| {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(1), my);
+        b.load_imm(r(3), other);
+        b.load(r(6), r(3), 0); // warm the loaded line: the bypass is a hit
+        b.nops(PRE_PAD);
+        b.load_imm(r(2), 1);
+        b.store(r(2), r(1), 0); // cold buffered store: performs late...
+        b.nops(POST_PAD);
+        b.load(r(4), r(3), 0); // ...bypassed by this load (performs early)
+        b.load_imm(r(5), OUT + out_slot);
+        b.store(r(4), r(5), 0);
+        b.halt();
+        b.build()
+    };
+    let programs = vec![thread(X, Y, 0), thread(Y, X, 8)];
+    let result = run_and_verify(&programs);
+    let m = &result.recorded.final_mem;
+    assert_eq!(
+        (m.load(OUT as u64), m.load(OUT as u64 + 8)),
+        (0, 0),
+        "expected the store-buffering relaxed outcome under RC"
+    );
+    for core in 0..2 {
+        assert!(
+            reordered_loads(&result, core) >= 1,
+            "core {core}: the bypassing load must be logged as ReorderedLoad"
+        );
+    }
+}
+
+/// Message passing without fences: the producer's data store (a miss) is
+/// still in flight when its flag store (a warmed hit) performs — the flag
+/// store performs out of program order and must be logged as a
+/// `ReorderedStore`.
+#[test]
+fn mp_unfenced_early_flag_store_is_logged_reordered() {
+    let mut producer = ProgramBuilder::new();
+    // Warm only the flag line: the data store will miss (slow) while the
+    // flag store hits (fast), so the flag becomes visible first.
+    producer.load_imm(r(1), X);
+    producer.load_imm(r(3), Y);
+    producer.load(r(6), r(3), 0);
+    producer.nops(600);
+    producer.load_imm(r(2), 41);
+    producer.store(r(2), r(1), 0); // data = 41 (miss, slow)
+    producer.load_imm(r(4), 1);
+    producer.store(r(4), r(3), 0); // flag = 1 (hit, performs early)
+    producer.halt();
+
+    let mut consumer = ProgramBuilder::new();
+    consumer.load_imm(r(1), Y);
+    consumer.load_imm(r(2), 1);
+    let spin = consumer.bind_new();
+    consumer.load(r(3), r(1), 0);
+    consumer.branch(BranchCond::Ne, r(3), r(2), spin);
+    consumer.load_imm(r(4), X);
+    consumer.load(r(5), r(4), 0); // may read stale data — no acquire fence
+    consumer.load_imm(r(6), OUT);
+    consumer.store(r(5), r(6), 0);
+    consumer.halt();
+
+    let programs = vec![producer.build(), consumer.build()];
+    let result = run_and_verify(&programs);
+    assert!(
+        reordered_stores(&result, 0) >= 1,
+        "producer's flag store performed before the older data store and \
+         must be logged as ReorderedStore"
+    );
+    // Whatever data value the consumer observed (stale 0 or fresh 41), it
+    // was recorded and — via run_and_verify — replayed exactly.
+    let seen = result.recorded.final_mem.load(OUT as u64);
+    assert!(seen == 0 || seen == 41, "unexpected data value {seen}");
+}
+
+/// Load buffering: each thread loads one variable and then stores to the
+/// other. Each thread carries an older cold store (to a private scratch
+/// line) still draining from the write buffer: the LB load performs under
+/// that miss — before the older store — and the partner thread's
+/// conflicting accesses terminate the interval in between, so the
+/// recorder must log the early load as `ReorderedLoad`. (The LB store
+/// also drains out of order, but it performs after the conflict boundary
+/// and so counts in the interval it performed in; the `ReorderedStore`
+/// path is exercised by the MP test above.)
+#[test]
+fn lb_accesses_overtaking_older_store_are_logged_reordered() {
+    let thread = |read: i64, write: i64, scratch: i64, out_slot: i64| {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(1), read);
+        b.load_imm(r(2), write);
+        b.load_imm(r(7), scratch);
+        b.load_imm(r(6), 0);
+        b.store(r(6), r(2), 0); // own the store's line (write 0 = initial)
+        b.nops(PRE_PAD);
+        b.store(r(6), r(7), 0); // older cold store: drains slowly
+        b.nops(POST_PAD);
+        b.load(r(3), r(1), 0); // LB load: performs under the miss
+        b.load_imm(r(4), 1);
+        b.store(r(4), r(2), 0); // LB store: drains out of order too
+        b.load_imm(r(5), OUT + out_slot);
+        b.store(r(3), r(5), 0);
+        b.halt();
+        b.build()
+    };
+    let programs = vec![thread(X, Y, 0x300, 0), thread(Y, X, 0x400, 8)];
+    let result = run_and_verify(&programs);
+    let m = &result.recorded.final_mem;
+    for slot in [OUT, OUT + 8] {
+        let v = m.load(slot as u64);
+        assert!(v == 0 || v == 1, "load observed impossible value {v}");
+    }
+    for core in 0..2 {
+        assert!(
+            reordered_loads(&result, core) >= 1,
+            "core {core}: the LB load performed under the older store's \
+             miss and must be logged as ReorderedLoad"
+        );
+    }
+}
+
+/// IRIW without acquire fences on a write-atomic machine: both of each
+/// reader's loads perform while the writers' invalidations are in flight,
+/// and instruction counting lags far behind (the long nop prefix drains
+/// through the TRAQ at `count_per_cycle`), so the writers' conflicting
+/// stores terminate the reader's interval *between* the loads' performs
+/// and the cycle they are counted. The recorder must classify both reads
+/// as `ReorderedLoad` — the PISN/CISN mismatch replay has to honor — and
+/// replay still reproduces exactly what each reader saw.
+#[test]
+fn iriw_unfenced_reordered_reads_are_logged() {
+    // The writers' nop pad is sized so their stores' invalidations reach
+    // the readers after the reads performed but before they were counted;
+    // the probe plateau is wide (≈4550–4750 nops), this sits mid-plateau.
+    let writer = |addr: i64| {
+        let mut b = ProgramBuilder::new();
+        b.nops(4650);
+        b.load_imm(r(1), addr);
+        b.load_imm(r(2), 1);
+        b.store(r(2), r(1), 0);
+        b.halt();
+        b.build()
+    };
+    let reader = |first: i64, second: i64, out: i64| {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(1), first);
+        b.load_imm(r(3), second);
+        b.load(r(6), r(3), 0); // warm the second line only
+        b.nops(PRE_PAD);
+        b.load(r(2), r(1), 0); // cold: performs under the invalidations
+        b.nops(POST_PAD);
+        b.load(r(4), r(3), 0); // warmed: performs under them too
+        b.load_imm(r(5), out);
+        b.store(r(2), r(5), 0);
+        b.store(r(4), r(5), 8);
+        b.halt();
+        b.build()
+    };
+    let programs = vec![
+        writer(X),
+        writer(Y),
+        reader(X, Y, OUT),
+        reader(Y, X, OUT + 0x40),
+    ];
+    let result = run_and_verify(&programs);
+    let m = &result.recorded.final_mem;
+    for slot in [OUT, OUT + 8, OUT + 0x40, OUT + 0x48] {
+        let v = m.load(slot as u64);
+        assert!(v == 0 || v == 1, "reader observed impossible value {v}");
+    }
+    for core in 2..4 {
+        assert!(
+            reordered_loads(&result, core) >= 1,
+            "reader core {core}: its loads performed in an earlier interval \
+             than they were counted in and must be logged as ReorderedLoad"
+        );
+    }
 }

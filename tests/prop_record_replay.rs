@@ -6,8 +6,9 @@
 
 use proptest::prelude::*;
 use rr_isa::{AluOp, MemImage, Program, ProgramBuilder, Reg};
-use rr_replay::CostModel;
+use rr_replay::{patch, replay, replay_parallel, verify, CostModel, ReplayOutcome};
 use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+use rr_workloads::suite;
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
@@ -63,7 +64,11 @@ fn build_thread(steps: &[Step]) -> Program {
                 b.fetch_add(r(5), addr, tmp);
                 b.add(acc, acc, r(5));
             }
-            Step::Cas { slot, expected, desired } => {
+            Step::Cas {
+                slot,
+                expected,
+                desired,
+            } => {
                 b.op_imm(AluOp::Add, addr, base, i64::from(*slot) * 8);
                 b.load_imm(r(6), i64::from(*expected));
                 b.load_imm(r(7), i64::from(*desired));
@@ -113,6 +118,84 @@ proptest! {
                 &CostModel::splash_default(),
             )
             .map_err(|e| TestCaseError::fail(format!("[{}]: {e}", specs[v].label())))?;
+        }
+    }
+}
+
+/// Differential test: on every rr-workloads workload, the Base and Opt
+/// recordings must replay to *identical* final memory images and load
+/// values — both sequentially and through the parallel replayer. The two
+/// designs log different entries (Opt coalesces reordered chunks the Base
+/// design logs individually), so agreement here shows the log contents,
+/// not the recorder design, determine the replay.
+#[test]
+fn base_and_opt_replays_are_identical_on_every_workload() {
+    let cost = CostModel::splash_default();
+    for w in suite(2, 1) {
+        let cfg = MachineConfig::splash_default(w.programs.len());
+        let specs = RecorderSpec::paper_matrix();
+        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+            .unwrap_or_else(|e| panic!("{}: recording failed: {e}", w.name));
+
+        let mut outcomes: Vec<ReplayOutcome> = Vec::new();
+        for (v, spec) in specs.iter().enumerate() {
+            let ctx = |what: &str| format!("{} [{}]: {what}", w.name, spec.label());
+            let variant = &result.variants[v];
+            let patched: Vec<_> = variant
+                .logs
+                .iter()
+                .map(|l| patch(l).unwrap_or_else(|e| panic!("{}: {e}", ctx("patch"))))
+                .collect();
+
+            let seq = replay(&w.programs, &patched, w.initial_mem.clone(), &cost)
+                .unwrap_or_else(|e| panic!("{}: {e}", ctx("sequential replay")));
+            verify(&result.recorded, &seq)
+                .unwrap_or_else(|e| panic!("{}: {e}", ctx("sequential verify")));
+
+            let par = replay_parallel(
+                &w.programs,
+                &patched,
+                &variant.ordering,
+                w.initial_mem.clone(),
+                &cost,
+                2,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", ctx("parallel replay")));
+            verify(&result.recorded, &par.outcome)
+                .unwrap_or_else(|e| panic!("{}: {e}", ctx("parallel verify")));
+
+            assert!(
+                seq.mem.contents_eq(&par.outcome.mem),
+                "{}",
+                ctx("sequential and parallel final memory differ")
+            );
+            assert_eq!(
+                seq.load_traces,
+                par.outcome.load_traces,
+                "{}",
+                ctx("sequential and parallel load values differ")
+            );
+            outcomes.push(seq);
+        }
+
+        // Base vs Opt (and 4K vs INF): identical memory and load values.
+        let first = &outcomes[0];
+        for (o, spec) in outcomes.iter().zip(&specs).skip(1) {
+            assert!(
+                first.mem.contents_eq(&o.mem),
+                "{}: {} final memory diverges from {}",
+                w.name,
+                spec.label(),
+                specs[0].label()
+            );
+            assert_eq!(
+                first.load_traces,
+                o.load_traces,
+                "{}: {} load values diverge from {}",
+                w.name,
+                spec.label(),
+                specs[0].label()
+            );
         }
     }
 }

@@ -1,0 +1,35 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the subset of proptest's API its tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_filter`, `any::<T>()` for the
+//! primitive types, ranges and tuples as strategies, [`collection::vec`],
+//! [`option::of`], `Just`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs and the
+//!   generator seed instead of minimizing. Re-running reproduces it
+//!   exactly (the RNG is seeded from the test's module path, so streams
+//!   are stable run-to-run and independent across tests).
+//! * **Case count** comes from `ProptestConfig.cases`, overridable with
+//!   the `PROPTEST_CASES` environment variable, exactly like upstream.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult};

@@ -1,0 +1,147 @@
+//! The runner side of the shim: configuration, error type, and the
+//! deterministic RNG that drives every strategy.
+
+use std::fmt;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+///
+/// Only `cases` is honoured; the other fields exist so upstream-style
+/// struct-update syntax (`.. ProptestConfig::default()`) keeps compiling.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; local rejects are not implemented.
+    pub max_local_rejects: u32,
+    /// Accepted for compatibility; global rejects are not implemented.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+            max_local_rejects: 65_536,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Why a test case failed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The case asked to be discarded (filter miss).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message (mirrors upstream).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason (mirrors upstream).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+/// The `Result` type property bodies produce (so `?` works inside them).
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+///
+/// Seeded from the property's module path so every test gets an
+/// independent, run-to-run stable stream. `PROPTEST_RNG_SEED` perturbs
+/// all streams at once (useful for widening coverage in CI).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream for the named test.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name, folded with the optional env seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let env = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0u64);
+        TestRng {
+            state: h ^ env.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        self.next_u64() % bound
+    }
+}
+
+/// Prints the failing case's inputs if the body panics (proptest proper
+/// would shrink; we settle for a faithful report).
+pub struct PanicReport {
+    rendered: String,
+    armed: bool,
+}
+
+impl PanicReport {
+    /// Arms a report for the given case.
+    #[must_use]
+    pub fn new(test: &str, case: u32, inputs: &[String]) -> Self {
+        PanicReport {
+            rendered: format!(
+                "proptest case failed: {test}, case {case}\n  inputs:\n    {}\n  (deterministic; re-run reproduces it — set PROPTEST_RNG_SEED to vary)",
+                inputs.join("\n    ")
+            ),
+            armed: true,
+        }
+    }
+
+    /// Disarms the report: the case passed.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PanicReport {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!("{}", self.rendered);
+        }
+    }
+}
