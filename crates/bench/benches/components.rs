@@ -99,10 +99,40 @@ fn sample_log() -> IntervalLog {
 
 fn bench_log_codec(c: &mut Criterion) {
     let log = sample_log();
-    c.bench_function("log_encode", |b| b.iter(|| black_box(log.encode())));
-    let bytes = log.encode();
-    c.bench_function("log_decode", |b| {
-        b.iter(|| black_box(IntervalLog::decode(&bytes).expect("decodes")))
+    let flat = log.encode_flat();
+    let chunked = log.encode();
+
+    // Size comparison: flat fixed-width vs chunked varint/delta `.rrlog`,
+    // reported as bytes-per-kilo-instruction alongside the throughput
+    // numbers (the instruction count is the sum of the InorderBlock runs).
+    let instrs: u64 = log
+        .entries
+        .iter()
+        .map(|e| match e {
+            LogEntry::InorderBlock { instrs } => u64::from(*instrs),
+            _ => 0,
+        })
+        .sum();
+    let per_kinstr = |bytes: usize| bytes as f64 * 1000.0 / instrs as f64;
+    eprintln!(
+        "log codec sizes: flat {} B ({:.1} B/kinstr), chunked {} B ({:.1} B/kinstr), \
+         ratio {:.3}",
+        flat.len(),
+        per_kinstr(flat.len()),
+        chunked.len(),
+        per_kinstr(chunked.len()),
+        chunked.len() as f64 / flat.len() as f64
+    );
+
+    c.bench_function("log_encode_flat", |b| {
+        b.iter(|| black_box(log.encode_flat()))
+    });
+    c.bench_function("log_encode_chunked", |b| b.iter(|| black_box(log.encode())));
+    c.bench_function("log_decode_flat", |b| {
+        b.iter(|| black_box(IntervalLog::decode_flat(&flat).expect("decodes")))
+    });
+    c.bench_function("log_decode_chunked", |b| {
+        b.iter(|| black_box(IntervalLog::decode(&chunked).expect("decodes")))
     });
 }
 

@@ -19,6 +19,7 @@ fn small_cfg() -> ExperimentConfig {
         cost: CostModel::splash_default(),
         replay: true,
         workers: 0,
+        ..ExperimentConfig::paper_default()
     }
 }
 

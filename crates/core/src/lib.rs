@@ -40,6 +40,9 @@
 //! * [`SnoopTable`] — RelaxReplay_Opt's conflict filter.
 //! * [`IntervalLog`] / [`LogEntry`] — the log format of paper Figure 6(c),
 //!   with bit-exact size accounting and a binary codec.
+//! * [`wire`] — the streaming `.rrlog` wire format: [`LogSink`] /
+//!   [`LogSource`] traits plus a chunked, CRC32-checksummed, varint/delta
+//!   codec that survives truncation and detects corruption.
 //!
 //! Deterministic replay of these logs lives in the `rr-replay` crate; the
 //! full simulated machine (cores + coherence + recorders) in `rr-sim`.
@@ -65,9 +68,13 @@ mod recorder;
 mod signature;
 mod snoop_table;
 mod traq;
+pub mod wire;
 
 pub use crate::log::{IntervalLog, LogDecodeError, LogEntry};
 pub use hash::H3;
 pub use recorder::{Design, IntervalOrdering, Recorder, RecorderConfig, RecorderStats};
 pub use signature::Signature;
 pub use snoop_table::{SnoopSample, SnoopTable};
+pub use wire::{
+    ChunkedReader, ChunkedWriter, LogSink, LogSource, MemorySource, VecSink, WireError,
+};

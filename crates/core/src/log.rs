@@ -155,9 +155,34 @@ impl IntervalLog {
             .count()
     }
 
-    /// Serializes the log to a compact byte stream.
+    /// Serializes the log as the chunked, checksummed `.rrlog` wire
+    /// format (see [`crate::wire`]) — a thin adapter over
+    /// [`wire::encode_chunked`](crate::wire::encode_chunked).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        crate::wire::encode_chunked(self)
+    }
+
+    /// Deserializes a chunked `.rrlog` byte stream produced by
+    /// [`IntervalLog::encode`] — a thin adapter over
+    /// [`wire::decode_chunked`](crate::wire::decode_chunked).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`WireError`](crate::wire::WireError) on a bad
+    /// header, truncation, or corruption; use
+    /// [`wire::decode_chunked_recover`](crate::wire::decode_chunked_recover)
+    /// to also obtain every entry up to the failure point.
+    pub fn decode(bytes: &[u8]) -> Result<Self, crate::wire::WireError> {
+        crate::wire::decode_chunked(bytes)
+    }
+
+    /// Serializes the log with the legacy *flat* fixed-width encoding:
+    /// unframed, unversioned, checksum-free. Kept as the baseline the
+    /// chunked format is benchmarked against; new code should use
+    /// [`IntervalLog::encode`].
+    #[must_use]
+    pub fn encode_flat(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.entries.len() * 8 + 8);
         out.push(self.core.index() as u8);
         for e in &self.entries {
@@ -204,13 +229,13 @@ impl IntervalLog {
         out
     }
 
-    /// Deserializes a log produced by [`IntervalLog::encode`].
+    /// Deserializes a log produced by [`IntervalLog::encode_flat`].
     ///
     /// # Errors
     ///
     /// Returns [`LogDecodeError`] on truncated input or an unknown entry
     /// tag.
-    pub fn decode(bytes: &[u8]) -> Result<Self, LogDecodeError> {
+    pub fn decode_flat(bytes: &[u8]) -> Result<Self, LogDecodeError> {
         let mut i = 0usize;
         let take = |i: &mut usize, n: usize| -> Result<&[u8], LogDecodeError> {
             let s = bytes
@@ -264,7 +289,7 @@ impl IntervalLog {
     }
 }
 
-/// Errors from [`IntervalLog::decode`].
+/// Errors from [`IntervalLog::decode_flat`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LogDecodeError {
     /// The byte stream ended mid-entry.
@@ -333,25 +358,89 @@ mod tests {
     }
 
     #[test]
-    fn truncation_is_detected() {
-        let bytes = sample_log().encode();
-        for cut in 2..bytes.len() - 1 {
-            // Some prefixes decode fine (cut at an entry boundary); the
-            // rest must error, never panic.
-            let _ = IntervalLog::decode(&bytes[..cut]);
+    fn flat_encode_decode_round_trip() {
+        let log = sample_log();
+        let decoded = IntervalLog::decode_flat(&log.encode_flat()).expect("round trip");
+        assert_eq!(decoded, log);
+    }
+
+    /// Byte offsets in the flat encoding at which an entry (or the
+    /// header) ends — the only places a cut can produce a valid stream.
+    fn flat_entry_boundaries(log: &IntervalLog) -> Vec<usize> {
+        let mut boundaries = vec![1]; // after the core-id header byte
+        let mut at = 1usize;
+        for e in &log.entries {
+            at += match e {
+                LogEntry::InorderBlock { .. } => 1 + 4,
+                LogEntry::ReorderedLoad { .. } => 1 + 8,
+                LogEntry::ReorderedStore { .. } => 1 + 8 + 8 + 2,
+                LogEntry::ReorderedRmw { stored, .. } => {
+                    1 + 8 + 8 + if stored.is_some() { 8 } else { 0 } + 2
+                }
+                LogEntry::IntervalFrame { .. } => 1 + 2 + 8,
+            };
+            boundaries.push(at);
         }
-        assert!(matches!(
-            IntervalLog::decode(&bytes[..bytes.len() - 1]),
-            Err(LogDecodeError::Truncated { .. })
-        ));
+        boundaries
     }
 
     #[test]
-    fn unknown_tag_is_detected() {
-        let mut bytes = sample_log().encode();
+    fn flat_truncation_is_detected_at_every_non_boundary_byte() {
+        let log = sample_log();
+        let bytes = log.encode_flat();
+        let boundaries = flat_entry_boundaries(&log);
+        assert_eq!(*boundaries.last().unwrap(), bytes.len());
+        for cut in 1..bytes.len() {
+            let result = IntervalLog::decode_flat(&bytes[..cut]);
+            if boundaries.contains(&cut) {
+                let decoded = result
+                    .unwrap_or_else(|e| panic!("cut at entry boundary {cut} must decode: {e}"));
+                let n = boundaries.iter().position(|&b| b == cut).unwrap();
+                assert_eq!(decoded.entries[..], log.entries[..n], "cut at {cut}");
+            } else {
+                assert!(
+                    matches!(result, Err(LogDecodeError::Truncated { .. })),
+                    "cut mid-entry at {cut} must yield Truncated, got {result:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_truncation_recovers_all_prior_chunks() {
+        let log = sample_log();
+        // Force multiple chunks so mid-chunk cuts have prior chunks to
+        // recover. A cut mid-chunk must surface as `Truncated` while every
+        // entry of every earlier chunk decodes intact; a cut exactly at a
+        // chunk boundary is a valid (shorter) stream.
+        let bytes = crate::wire::encode_chunked_with(&log, 8);
+        for cut in 0..bytes.len() {
+            let (recovered, err) = crate::wire::decode_chunked_recover(&bytes[..cut]);
+            let at_boundary = err.is_none();
+            if !at_boundary {
+                assert!(
+                    matches!(err, Some(crate::wire::WireError::Truncated { .. })),
+                    "cut at {cut} must yield Truncated, got {err:?}"
+                );
+            }
+            assert_eq!(
+                recovered.entries[..],
+                log.entries[..recovered.entries.len()],
+                "cut at {cut}: recovered entries must be an intact prefix"
+            );
+        }
+        // The full stream decodes losslessly.
+        let (full, err) = crate::wire::decode_chunked_recover(&bytes);
+        assert!(err.is_none());
+        assert_eq!(full, log);
+    }
+
+    #[test]
+    fn flat_unknown_tag_is_detected() {
+        let mut bytes = sample_log().encode_flat();
         bytes.push(99);
         assert!(matches!(
-            IntervalLog::decode(&bytes),
+            IntervalLog::decode_flat(&bytes),
             Err(LogDecodeError::UnknownTag { tag: 99, .. })
         ));
     }

@@ -5,6 +5,7 @@ use crate::log::{IntervalLog, LogEntry};
 use crate::signature::Signature;
 use crate::snoop_table::SnoopTable;
 use crate::traq::{Traq, TraqEntry, TraqKind};
+use crate::wire::{LogSink, WireError};
 
 /// Which RelaxReplay design the recorder implements (paper §3.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -246,6 +247,13 @@ pub struct Recorder {
     closing_is_barrier: bool,
     stats: RecorderStats,
     finished: bool,
+    /// Streaming mode: entries drain into this sink at every interval
+    /// boundary instead of accumulating in `log`.
+    sink: Option<Box<dyn LogSink>>,
+    /// First sink failure, latched until [`Recorder::take_sink_error`].
+    sink_error: Option<WireError>,
+    /// Entries streamed out through the sink so far.
+    streamed_entries: u64,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -291,8 +299,60 @@ impl Recorder {
                 ..RecorderStats::default()
             },
             finished: false,
+            sink: None,
+            sink_error: None,
+            streamed_entries: 0,
             cfg,
         }
+    }
+
+    /// Switches the recorder into streaming mode: from now on, log entries
+    /// drain into `sink` at every interval boundary instead of
+    /// accumulating unboundedly in memory (the production shape — the log
+    /// is a continuously produced artifact, not an in-memory value).
+    ///
+    /// In streaming mode [`Recorder::log`] / [`Recorder::into_log`] only
+    /// see the entries of the not-yet-terminated interval; sink failures
+    /// are latched and reported by [`Recorder::take_sink_error`] (the
+    /// hardware-event entry points cannot propagate errors).
+    pub fn set_sink(&mut self, sink: Box<dyn LogSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the sink, if any. The caller regains ownership
+    /// (e.g. to inspect a [`VecSink`](crate::wire::VecSink)); the sink has
+    /// already been closed if [`Recorder::finish`] ran.
+    pub fn take_sink(&mut self) -> Option<Box<dyn LogSink>> {
+        self.sink.take()
+    }
+
+    /// The first error the sink reported, if any, clearing it. A recording
+    /// whose sink failed is incomplete and must be discarded.
+    pub fn take_sink_error(&mut self) -> Option<WireError> {
+        self.sink_error.take()
+    }
+
+    /// Entries streamed out through the sink so far (streaming mode only).
+    #[must_use]
+    pub fn streamed_entries(&self) -> u64 {
+        self.streamed_entries
+    }
+
+    /// Drains every buffered entry into the sink (streaming mode only).
+    fn drain_into_sink(&mut self) {
+        let Some(sink) = &mut self.sink else {
+            return;
+        };
+        for e in self.log.entries.drain(..) {
+            self.streamed_entries += 1;
+            if let Err(err) = sink.emit(&e) {
+                if self.sink_error.is_none() {
+                    self.sink_error = Some(err);
+                }
+                break;
+            }
+        }
+        self.log.entries.clear();
     }
 
     /// The recorder's configuration.
@@ -470,6 +530,13 @@ impl Recorder {
         if self.entries_since_frame > 0 || self.block_size > 0 {
             self.terminate_interval(cycle, Termination::Final);
         }
+        if let Some(sink) = &mut self.sink {
+            if let Err(err) = sink.close() {
+                if self.sink_error.is_none() {
+                    self.sink_error = Some(err);
+                }
+            }
+        }
         self.finished = true;
     }
 
@@ -601,6 +668,7 @@ impl Recorder {
         self.instrs_in_interval = 0;
         self.read_sig.clear();
         self.write_sig.clear();
+        self.drain_into_sink();
     }
 }
 
@@ -718,5 +786,79 @@ impl CoreObserver for Recorder {
             .map_or(self.counted_up_to, |s| (s as i64).max(self.counted_up_to));
         self.alloc_boundary = boundary;
         self.nmi_pending = (bseq as i64 - boundary).max(0) as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::VecSink;
+
+    /// Drives a recorder through a synthetic access stream: dispatch,
+    /// perform, retire, tick per access, touching enough distinct lines to
+    /// cross interval boundaries via the max-size limit.
+    fn drive(rec: &mut Recorder, accesses: u64) {
+        for seq in 0..accesses {
+            assert!(rec.on_dispatch(seq, true));
+            rec.on_perform(&PerformRecord {
+                seq,
+                kind: AccessKind::Load,
+                addr: (seq % 64) * 8,
+                line: LineAddr::containing((seq % 64) * 8),
+                loaded: Some(seq),
+                stored: None,
+                cycle: seq,
+            });
+            rec.on_retire(seq, true, seq);
+            rec.tick(seq);
+            if seq % 5 == 0 {
+                // Remote write snoops terminate intervals on conflicts.
+                rec.on_snoop(LineAddr::containing((seq % 64) * 8), true, seq);
+            }
+        }
+        rec.finish(accesses);
+    }
+
+    #[test]
+    fn streaming_recorder_matches_buffered_recorder() {
+        let cfg = RecorderConfig::splash_default(Design::Base, Some(64));
+        let mut buffered = Recorder::new(CoreId::new(0), cfg.clone());
+        drive(&mut buffered, 500);
+        let buffered_log = buffered.into_log();
+        assert!(buffered_log.intervals() > 1, "want multiple intervals");
+
+        let shared = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        struct SharedSink(std::rc::Rc<std::cell::RefCell<Vec<LogEntry>>>);
+        impl LogSink for SharedSink {
+            fn emit(&mut self, e: &LogEntry) -> Result<(), WireError> {
+                self.0.borrow_mut().push(*e);
+                Ok(())
+            }
+            fn close(&mut self) -> Result<(), WireError> {
+                Ok(())
+            }
+        }
+        let mut streaming = Recorder::new(CoreId::new(0), cfg);
+        streaming.set_sink(Box::new(SharedSink(shared.clone())));
+        drive(&mut streaming, 500);
+        assert!(streaming.take_sink_error().is_none());
+        assert_eq!(
+            streaming.streamed_entries(),
+            buffered_log.entries.len() as u64
+        );
+        assert_eq!(*shared.borrow(), buffered_log.entries);
+        // Streaming mode leaves nothing buffered after finish().
+        assert!(streaming.log().entries.is_empty());
+    }
+
+    #[test]
+    fn vec_sink_collects_entries() {
+        let cfg = RecorderConfig::splash_default(Design::Base, Some(64));
+        let mut rec = Recorder::new(CoreId::new(0), cfg);
+        rec.set_sink(Box::new(VecSink::default()));
+        drive(&mut rec, 200);
+        assert!(rec.take_sink_error().is_none());
+        assert!(rec.streamed_entries() > 0);
+        assert!(rec.take_sink().is_some());
     }
 }

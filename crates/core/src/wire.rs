@@ -1,0 +1,973 @@
+//! The `.rrlog` streaming wire format: sinks, sources, and a chunked,
+//! checksummed binary codec for interval logs.
+//!
+//! RelaxReplay's value proposition is a *compact, continuously produced*
+//! log, so the on-disk format is built for streaming and durability rather
+//! than one-shot serialization (the model of rr and other deployable
+//! record/replay systems):
+//!
+//! * **Header** — magic `RRLG`, a format version, and the recorded core id.
+//! * **Chunks** — length-prefixed runs of entries, each closed by a CRC32
+//!   over the payload. Entries never span chunks, so a file truncated or
+//!   corrupted anywhere still decodes to everything up to the last intact
+//!   chunk boundary, with a typed [`WireError`] naming the failing chunk —
+//!   never a panic.
+//! * **Varint/delta entry encoding** — exploits the paper's Figure 6(c)
+//!   field statistics: `InorderBlock` counts and `ReorderedStore` offsets
+//!   are small, and frame timestamps are monotonically increasing, so
+//!   LEB128 varints plus timestamp deltas shrink the log well below the
+//!   flat fixed-width encoding.
+//!
+//! The [`LogSink`] / [`LogSource`] traits decouple producers from
+//! consumers: a [`Recorder`](crate::Recorder) can emit entries into any
+//! sink at interval boundaries (streaming mode), and the replay pipeline
+//! can consume entries from memory ([`MemorySource`]) or from disk
+//! ([`ChunkedReader`]) without knowing the difference.
+
+use core::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use rr_mem::CoreId;
+
+use crate::log::{IntervalLog, LogEntry};
+
+/// File magic, first four bytes of every `.rrlog`.
+pub const MAGIC: [u8; 4] = *b"RRLG";
+
+/// Current wire-format version.
+pub const VERSION: u16 = 1;
+
+/// Default chunk payload target in bytes: a chunk is closed at the first
+/// entry boundary at or past this size.
+pub const DEFAULT_CHUNK_BYTES: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes` — the checksum closing every chunk.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+/// Appends `v` to `buf` as an unsigned LEB128 varint (1 byte for values
+/// below 128 — the common case for block sizes and store offsets).
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint from `buf` starting at `*pos`,
+/// advancing `*pos`. Returns `None` on truncation or overflow past 64
+/// bits.
+#[must_use]
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return None; // would overflow u64
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Errors from encoding or decoding the `.rrlog` wire format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// An underlying I/O operation failed (message carries the detail).
+    Io(String),
+    /// The stream does not start with the `RRLG` magic.
+    BadMagic,
+    /// The header's version is not one this decoder understands.
+    UnsupportedVersion {
+        /// The version found in the header.
+        version: u16,
+    },
+    /// The stream ended mid-header or mid-chunk. Every chunk before
+    /// `chunk` decoded intact.
+    Truncated {
+        /// Index of the chunk that could not be completed (0-based).
+        chunk: usize,
+    },
+    /// A chunk's CRC32 did not match its payload. Every chunk before
+    /// `chunk` decoded intact.
+    CrcMismatch {
+        /// Index of the corrupt chunk (0-based).
+        chunk: usize,
+        /// CRC stored in the file.
+        stored: u32,
+        /// CRC computed over the payload as read.
+        computed: u32,
+    },
+    /// A chunk passed its CRC but contained an entry the decoder does not
+    /// recognize — a version-skew bug, not random corruption.
+    Corrupt {
+        /// Index of the chunk holding the malformed entry (0-based).
+        chunk: usize,
+        /// Human-readable detail (offending tag, varint overflow, …).
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(msg) => write!(f, "i/o error: {msg}"),
+            WireError::BadMagic => write!(f, "not an .rrlog stream (bad magic)"),
+            WireError::UnsupportedVersion { version } => {
+                write!(f, "unsupported .rrlog version {version}")
+            }
+            WireError::Truncated { chunk } => {
+                write!(f, "stream truncated in chunk {chunk} (prior chunks intact)")
+            }
+            WireError::CrcMismatch {
+                chunk,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "chunk {chunk} CRC mismatch (stored {stored:#010x}, computed {computed:#010x}; prior chunks intact)"
+            ),
+            WireError::Corrupt { chunk, detail } => {
+                write!(f, "chunk {chunk} is malformed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sink / source traits
+// ---------------------------------------------------------------------------
+
+/// A consumer of log entries: where a recorder streams its log.
+///
+/// Entries arrive in counting order; [`LogSink::close`] is called exactly
+/// once, after the final [`LogEntry::IntervalFrame`], and must flush any
+/// buffered state.
+pub trait LogSink {
+    /// Accepts the next entry in counting order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the entry could not be durably accepted
+    /// (e.g. the backing writer failed).
+    fn emit(&mut self, entry: &LogEntry) -> Result<(), WireError>;
+
+    /// Flushes and finalizes the sink. Called once, after the last entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if flushing failed.
+    fn close(&mut self) -> Result<(), WireError>;
+}
+
+/// A producer of log entries: what the patch/replay pipeline consumes.
+///
+/// Yields entries in counting order until exhausted (`Ok(None)`); the
+/// recorded core's identity travels with the stream.
+pub trait LogSource {
+    /// The processor this log belongs to.
+    fn core(&self) -> CoreId;
+
+    /// The next entry, `Ok(None)` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncation or corruption; entries
+    /// yielded before the error are all intact.
+    fn next_entry(&mut self) -> Result<Option<LogEntry>, WireError>;
+}
+
+/// Reads an entire source into an [`IntervalLog`].
+///
+/// # Errors
+///
+/// Propagates the first [`WireError`] from the source.
+pub fn read_log(source: &mut dyn LogSource) -> Result<IntervalLog, WireError> {
+    let mut log = IntervalLog::new(source.core());
+    while let Some(e) = source.next_entry()? {
+        log.entries.push(e);
+    }
+    Ok(log)
+}
+
+/// A [`LogSource`] over an in-memory [`IntervalLog`] — the adapter that
+/// lets the slice-based record path feed the same streaming consumers as
+/// the disk path.
+#[derive(Debug)]
+pub struct MemorySource<'a> {
+    core: CoreId,
+    entries: std::slice::Iter<'a, LogEntry>,
+}
+
+impl<'a> MemorySource<'a> {
+    /// A source yielding `log`'s entries in order.
+    #[must_use]
+    pub fn new(log: &'a IntervalLog) -> Self {
+        MemorySource {
+            core: log.core,
+            entries: log.entries.iter(),
+        }
+    }
+}
+
+impl LogSource for MemorySource<'_> {
+    fn core(&self) -> CoreId {
+        self.core
+    }
+
+    fn next_entry(&mut self) -> Result<Option<LogEntry>, WireError> {
+        Ok(self.entries.next().copied())
+    }
+}
+
+/// A [`LogSink`] that simply collects entries in memory (tests and
+/// tooling; production streaming uses [`ChunkedWriter`]).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// Entries emitted so far, in counting order.
+    pub entries: Vec<LogEntry>,
+    /// Whether [`LogSink::close`] has been called.
+    pub closed: bool,
+}
+
+impl LogSink for VecSink {
+    fn emit(&mut self, entry: &LogEntry) -> Result<(), WireError> {
+        self.entries.push(*entry);
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), WireError> {
+        self.closed = true;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry codec (within a chunk payload)
+// ---------------------------------------------------------------------------
+
+const TAG_INORDER: u8 = 0;
+const TAG_LOAD: u8 = 1;
+const TAG_STORE: u8 = 2;
+const TAG_RMW_STORED: u8 = 3;
+const TAG_RMW_FAILED: u8 = 4;
+const TAG_FRAME: u8 = 5;
+
+/// Codec state that persists across chunk boundaries: the previous frame
+/// timestamp (frames are delta-encoded — timestamps are monotone cycle
+/// counts, so deltas are small).
+#[derive(Clone, Copy, Debug, Default)]
+struct DeltaState {
+    prev_timestamp: u64,
+}
+
+fn encode_entry(buf: &mut Vec<u8>, e: &LogEntry, state: &mut DeltaState) {
+    match e {
+        LogEntry::InorderBlock { instrs } => {
+            buf.push(TAG_INORDER);
+            write_varint(buf, u64::from(*instrs));
+        }
+        LogEntry::ReorderedLoad { value } => {
+            buf.push(TAG_LOAD);
+            write_varint(buf, *value);
+        }
+        LogEntry::ReorderedStore {
+            addr,
+            value,
+            offset,
+        } => {
+            buf.push(TAG_STORE);
+            write_varint(buf, *addr);
+            write_varint(buf, *value);
+            write_varint(buf, u64::from(*offset));
+        }
+        LogEntry::ReorderedRmw {
+            loaded,
+            addr,
+            stored,
+            offset,
+        } => {
+            buf.push(if stored.is_some() {
+                TAG_RMW_STORED
+            } else {
+                TAG_RMW_FAILED
+            });
+            write_varint(buf, *loaded);
+            write_varint(buf, *addr);
+            if let Some(s) = stored {
+                write_varint(buf, *s);
+            }
+            write_varint(buf, u64::from(*offset));
+        }
+        LogEntry::IntervalFrame { cisn, timestamp } => {
+            buf.push(TAG_FRAME);
+            write_varint(buf, u64::from(*cisn));
+            write_varint(buf, timestamp.wrapping_sub(state.prev_timestamp));
+            state.prev_timestamp = *timestamp;
+        }
+    }
+}
+
+fn decode_entry(
+    buf: &[u8],
+    pos: &mut usize,
+    state: &mut DeltaState,
+    chunk: usize,
+) -> Result<LogEntry, WireError> {
+    let corrupt = |detail| WireError::Corrupt { chunk, detail };
+    let tag = *buf.get(*pos).ok_or(corrupt("entry tag missing"))?;
+    *pos += 1;
+    let varint =
+        |pos: &mut usize| read_varint(buf, pos).ok_or(corrupt("varint truncated or overlong"));
+    let entry = match tag {
+        TAG_INORDER => LogEntry::InorderBlock {
+            instrs: u32::try_from(varint(pos)?).map_err(|_| corrupt("block size exceeds u32"))?,
+        },
+        TAG_LOAD => LogEntry::ReorderedLoad {
+            value: varint(pos)?,
+        },
+        TAG_STORE => LogEntry::ReorderedStore {
+            addr: varint(pos)?,
+            value: varint(pos)?,
+            offset: u16::try_from(varint(pos)?).map_err(|_| corrupt("offset exceeds u16"))?,
+        },
+        TAG_RMW_STORED | TAG_RMW_FAILED => {
+            let loaded = varint(pos)?;
+            let addr = varint(pos)?;
+            let stored = if tag == TAG_RMW_STORED {
+                Some(varint(pos)?)
+            } else {
+                None
+            };
+            let offset = u16::try_from(varint(pos)?).map_err(|_| corrupt("offset exceeds u16"))?;
+            LogEntry::ReorderedRmw {
+                loaded,
+                addr,
+                stored,
+                offset,
+            }
+        }
+        TAG_FRAME => {
+            let cisn = u16::try_from(varint(pos)?).map_err(|_| corrupt("cisn exceeds u16"))?;
+            let delta = varint(pos)?;
+            let timestamp = state.prev_timestamp.wrapping_add(delta);
+            state.prev_timestamp = timestamp;
+            LogEntry::IntervalFrame { cisn, timestamp }
+        }
+        _ => return Err(corrupt("unknown entry tag")),
+    };
+    Ok(entry)
+}
+
+// ---------------------------------------------------------------------------
+// Chunked writer
+// ---------------------------------------------------------------------------
+
+/// Streams entries into a `Write` as the chunked `.rrlog` format.
+///
+/// The header is written on construction; entries accumulate into an
+/// in-memory payload buffer that is framed (length prefix + CRC32) and
+/// flushed whenever it reaches the chunk target. [`LogSink::close`]
+/// flushes the final partial chunk.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+    buf: Vec<u8>,
+    state: DeltaState,
+    chunk_bytes: usize,
+    chunks_written: usize,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the `.rrlog` header for `core` and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError::Io`] if the header cannot be written.
+    pub fn new(w: W, core: CoreId) -> Result<Self, WireError> {
+        Self::with_chunk_bytes(w, core, DEFAULT_CHUNK_BYTES)
+    }
+
+    /// As [`ChunkedWriter::new`] with a custom chunk payload target
+    /// (smaller chunks recover more of a damaged file; larger chunks
+    /// amortize framing overhead).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError::Io`] if the header cannot be written.
+    pub fn with_chunk_bytes(mut w: W, core: CoreId, chunk_bytes: usize) -> Result<Self, WireError> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&[core.index() as u8])?;
+        Ok(ChunkedWriter {
+            w,
+            buf: Vec::with_capacity(chunk_bytes + 64),
+            state: DeltaState::default(),
+            chunk_bytes: chunk_bytes.max(1),
+            chunks_written: 0,
+        })
+    }
+
+    /// Chunks written (closed) so far.
+    #[must_use]
+    pub fn chunks_written(&self) -> usize {
+        self.chunks_written
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let len = u32::try_from(self.buf.len())
+            .map_err(|_| WireError::Io("chunk payload exceeds u32::MAX bytes".to_string()))?;
+        self.w.write_all(&len.to_le_bytes())?;
+        self.w.write_all(&self.buf)?;
+        self.w.write_all(&crc32(&self.buf).to_le_bytes())?;
+        self.buf.clear();
+        self.chunks_written += 1;
+        Ok(())
+    }
+}
+
+impl<W: Write> LogSink for ChunkedWriter<W> {
+    fn emit(&mut self, entry: &LogEntry) -> Result<(), WireError> {
+        encode_entry(&mut self.buf, entry, &mut self.state);
+        if self.buf.len() >= self.chunk_bytes {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), WireError> {
+        self.flush_chunk()?;
+        self.w.flush()?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked reader
+// ---------------------------------------------------------------------------
+
+/// Streams entries out of a `Read` carrying the chunked `.rrlog` format.
+///
+/// Chunks are read and CRC-verified one at a time; a truncated or corrupt
+/// chunk surfaces as a typed [`WireError`] *after* every entry of every
+/// prior chunk has been yielded intact.
+#[derive(Debug)]
+pub struct ChunkedReader<R: Read> {
+    r: R,
+    core: CoreId,
+    chunk: Vec<u8>,
+    pos: usize,
+    state: DeltaState,
+    /// Index of the chunk currently being decoded (the next to be read if
+    /// the buffer is exhausted).
+    chunk_index: usize,
+    eof: bool,
+}
+
+impl<R: Read> ChunkedReader<R> {
+    /// Reads and validates the `.rrlog` header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadMagic`] / [`WireError::UnsupportedVersion`]
+    /// for foreign streams, [`WireError::Truncated`] if the header itself
+    /// is cut short.
+    pub fn new(mut r: R) -> Result<Self, WireError> {
+        let mut header = [0u8; 7];
+        read_exact_or(&mut r, &mut header, WireError::Truncated { chunk: 0 })?;
+        if header[..4] != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != VERSION {
+            return Err(WireError::UnsupportedVersion { version });
+        }
+        Ok(ChunkedReader {
+            r,
+            core: CoreId::new(header[6]),
+            chunk: Vec::new(),
+            pos: 0,
+            state: DeltaState::default(),
+            chunk_index: 0,
+            eof: false,
+        })
+    }
+
+    /// Loads the next chunk into the buffer. `Ok(false)` at a clean end of
+    /// stream.
+    fn load_chunk(&mut self) -> Result<bool, WireError> {
+        let chunk = self.chunk_index;
+        let mut len_bytes = [0u8; 4];
+        match self.r.read(&mut len_bytes) {
+            Ok(0) => return Ok(false), // clean EOF at a chunk boundary
+            Ok(n) => {
+                read_exact_or(
+                    &mut self.r,
+                    &mut len_bytes[n..],
+                    WireError::Truncated { chunk },
+                )?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                read_exact_or(&mut self.r, &mut len_bytes, WireError::Truncated { chunk })?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        self.chunk.resize(len, 0);
+        read_exact_or(&mut self.r, &mut self.chunk, WireError::Truncated { chunk })?;
+        let mut crc_bytes = [0u8; 4];
+        read_exact_or(&mut self.r, &mut crc_bytes, WireError::Truncated { chunk })?;
+        let stored = u32::from_le_bytes(crc_bytes);
+        let computed = crc32(&self.chunk);
+        if stored != computed {
+            return Err(WireError::CrcMismatch {
+                chunk,
+                stored,
+                computed,
+            });
+        }
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], on_eof: WireError) -> Result<(), WireError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(on_eof),
+        Err(e) => Err(e.into()),
+    }
+}
+
+impl<R: Read> LogSource for ChunkedReader<R> {
+    fn core(&self) -> CoreId {
+        self.core
+    }
+
+    fn next_entry(&mut self) -> Result<Option<LogEntry>, WireError> {
+        if self.eof {
+            return Ok(None);
+        }
+        while self.pos >= self.chunk.len() {
+            match self.load_chunk() {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.eof = true;
+                    return Ok(None);
+                }
+                Err(e) => {
+                    self.eof = true;
+                    return Err(e);
+                }
+            }
+        }
+        let entry = decode_entry(
+            &self.chunk,
+            &mut self.pos,
+            &mut self.state,
+            self.chunk_index,
+        );
+        if self.pos >= self.chunk.len() {
+            // Chunk fully consumed; the next read starts the next one.
+            self.chunk_index += 1;
+            self.chunk.clear();
+            self.pos = 0;
+        }
+        match entry {
+            Ok(e) => Ok(Some(e)),
+            Err(e) => {
+                self.eof = true;
+                Err(e)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-log helpers
+// ---------------------------------------------------------------------------
+
+/// Encodes a whole log as one chunked `.rrlog` byte stream.
+#[must_use]
+pub fn encode_chunked(log: &IntervalLog) -> Vec<u8> {
+    encode_chunked_with(log, DEFAULT_CHUNK_BYTES)
+}
+
+/// As [`encode_chunked`] with an explicit chunk payload target.
+///
+/// # Panics
+///
+/// Never panics: writing to a `Vec<u8>` cannot fail.
+#[must_use]
+pub fn encode_chunked_with(log: &IntervalLog, chunk_bytes: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(log.entries.len() * 3 + 16);
+    let mut w = ChunkedWriter::with_chunk_bytes(&mut out, log.core, chunk_bytes)
+        .expect("Vec<u8> writes cannot fail");
+    for e in &log.entries {
+        w.emit(e).expect("Vec<u8> writes cannot fail");
+    }
+    w.close().expect("Vec<u8> writes cannot fail");
+    out
+}
+
+/// Decodes a chunked `.rrlog` byte stream, requiring it intact end to end.
+///
+/// # Errors
+///
+/// Returns the first [`WireError`]; use [`decode_chunked_recover`] to also
+/// obtain the entries recovered before the failure point.
+pub fn decode_chunked(bytes: &[u8]) -> Result<IntervalLog, WireError> {
+    let mut reader = ChunkedReader::new(bytes)?;
+    read_log(&mut reader)
+}
+
+/// Decodes as much of a (possibly truncated or corrupted) `.rrlog` stream
+/// as possible: every entry up to the last intact chunk boundary, plus the
+/// error that stopped decoding (`None` if the stream was whole).
+///
+/// Header failures recover an empty log for core 0.
+#[must_use]
+pub fn decode_chunked_recover(bytes: &[u8]) -> (IntervalLog, Option<WireError>) {
+    let mut reader = match ChunkedReader::new(bytes) {
+        Ok(r) => r,
+        Err(e) => return (IntervalLog::new(CoreId::new(0)), Some(e)),
+    };
+    let mut log = IntervalLog::new(reader.core());
+    loop {
+        match reader.next_entry() {
+            Ok(Some(e)) => log.entries.push(e),
+            Ok(None) => return (log, None),
+            Err(e) => return (log, Some(e)),
+        }
+    }
+}
+
+/// Writes `log` to `path` as an `.rrlog` file.
+///
+/// # Errors
+///
+/// Returns a [`WireError::Io`] on any filesystem failure.
+pub fn write_rrlog(path: &Path, log: &IntervalLog) -> Result<(), WireError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = ChunkedWriter::new(std::io::BufWriter::new(file), log.core)?;
+    for e in &log.entries {
+        w.emit(e)?;
+    }
+    w.close()
+}
+
+/// Reads an `.rrlog` file written by [`write_rrlog`] (or any
+/// [`ChunkedWriter`]).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on I/O failure, truncation, or corruption.
+pub fn read_rrlog(path: &Path) -> Result<IntervalLog, WireError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = ChunkedReader::new(std::io::BufReader::new(file))?;
+    read_log(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<LogEntry> {
+        vec![
+            LogEntry::InorderBlock { instrs: 2 },
+            LogEntry::ReorderedLoad { value: 0xdead_beef },
+            LogEntry::InorderBlock { instrs: 4096 },
+            LogEntry::ReorderedStore {
+                addr: 0x1_0000,
+                value: 7,
+                offset: 5,
+            },
+            LogEntry::ReorderedRmw {
+                loaded: 1,
+                addr: 0x200,
+                stored: Some(u64::MAX),
+                offset: 2,
+            },
+            LogEntry::ReorderedRmw {
+                loaded: 9,
+                addr: 0x208,
+                stored: None,
+                offset: 1,
+            },
+            LogEntry::IntervalFrame {
+                cisn: 15,
+                timestamp: 123_456,
+            },
+            LogEntry::InorderBlock { instrs: 1 },
+            LogEntry::IntervalFrame {
+                cisn: 16,
+                timestamp: 123_490,
+            },
+        ]
+    }
+
+    fn sample_log() -> IntervalLog {
+        IntervalLog {
+            core: CoreId::new(3),
+            entries: sample_entries(),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for v in values {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        // 11 continuation bytes cannot fit in a u64.
+        let buf = [0xFFu8; 11];
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn round_trip_is_lossless_and_byte_identical() {
+        let log = sample_log();
+        let bytes = encode_chunked(&log);
+        let decoded = decode_chunked(&bytes).expect("decodes");
+        assert_eq!(decoded, log);
+        assert_eq!(encode_chunked(&decoded), bytes, "re-encode is identical");
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let log = IntervalLog::new(CoreId::new(7));
+        let bytes = encode_chunked(&log);
+        assert_eq!(bytes.len(), 7, "header only, no chunks");
+        let decoded = decode_chunked(&bytes).expect("decodes");
+        assert_eq!(decoded, log);
+    }
+
+    #[test]
+    fn multi_chunk_streams_round_trip() {
+        // Tiny chunks force many chunk boundaries.
+        let log = sample_log();
+        for chunk_bytes in [1, 2, 3, 8, 64] {
+            let bytes = encode_chunked_with(&log, chunk_bytes);
+            let decoded = decode_chunked(&bytes).expect("decodes");
+            assert_eq!(decoded, log, "chunk_bytes={chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut bytes = encode_chunked(&sample_log());
+        bytes[0] = b'X';
+        assert_eq!(decode_chunked(&bytes), Err(WireError::BadMagic));
+
+        let mut bytes = encode_chunked(&sample_log());
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            decode_chunked(&bytes),
+            Err(WireError::UnsupportedVersion { .. })
+        ));
+    }
+
+    /// Byte offsets at which a cut leaves a *complete* stream: the end of
+    /// the header and the end of each chunk's trailing CRC.
+    fn chunk_boundaries(bytes: &[u8]) -> Vec<usize> {
+        let mut boundaries = vec![7];
+        let mut pos = 7usize;
+        while pos < bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            pos += 4 + len + 4;
+            boundaries.push(pos);
+        }
+        boundaries
+    }
+
+    #[test]
+    fn truncation_recovers_prior_chunks() {
+        let log = sample_log();
+        let bytes = encode_chunked_with(&log, 4); // several small chunks
+        let boundaries = chunk_boundaries(&bytes);
+        assert!(boundaries.len() > 3, "want several chunks");
+        for cut in 0..bytes.len() {
+            let (recovered, err) = decode_chunked_recover(&bytes[..cut]);
+            if boundaries.contains(&cut) {
+                assert!(err.is_none(), "cut at chunk boundary {cut}: {err:?}");
+            } else {
+                assert!(
+                    matches!(err, Some(WireError::Truncated { .. })),
+                    "cut mid-chunk at {cut} must yield Truncated, got {err:?}"
+                );
+            }
+            assert_eq!(
+                recovered.entries[..],
+                log.entries[..recovered.entries.len()],
+                "cut at {cut}: recovered entries must be an intact prefix"
+            );
+        }
+        // Cutting the very last CRC byte still recovers all earlier chunks.
+        let (recovered, err) = decode_chunked_recover(&bytes[..bytes.len() - 1]);
+        assert!(matches!(err, Some(WireError::Truncated { .. })));
+        assert!(!recovered.entries.is_empty());
+    }
+
+    #[test]
+    fn every_payload_byte_flip_is_caught() {
+        let log = sample_log();
+        let bytes = encode_chunked(&log); // one chunk
+                                          // Header is 7 bytes, then 4 length bytes; payload follows.
+        let payload_start = 7 + 4;
+        let payload_end = bytes.len() - 4; // CRC trails
+        for i in payload_start..payload_end {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x40;
+            match decode_chunked(&corrupted) {
+                Err(WireError::CrcMismatch { chunk: 0, .. }) => {}
+                other => panic!("flip at {i}: expected CrcMismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crc_flip_itself_is_caught() {
+        let log = sample_log();
+        let mut bytes = encode_chunked(&log);
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        assert!(matches!(
+            decode_chunked(&bytes),
+            Err(WireError::CrcMismatch { chunk: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn sink_and_source_agree_with_vec_sink() {
+        let log = sample_log();
+        let mut sink = VecSink::default();
+        for e in &log.entries {
+            sink.emit(e).expect("vec sink");
+        }
+        sink.close().expect("vec sink");
+        assert!(sink.closed);
+        assert_eq!(sink.entries, log.entries);
+
+        let mut src = MemorySource::new(&log);
+        assert_eq!(src.core(), log.core);
+        let round = read_log(&mut src).expect("memory source");
+        assert_eq!(round, log);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let log = sample_log();
+        let dir = std::env::temp_dir().join("rr_wire_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("core3.rrlog");
+        write_rrlog(&path, &log).expect("writes");
+        let read = read_rrlog(&path).expect("reads");
+        assert_eq!(read, log);
+    }
+
+    #[test]
+    fn chunked_is_smaller_than_flat() {
+        // A realistic mix: mostly InorderBlocks with small counts and
+        // frames with small timestamp deltas.
+        let mut log = IntervalLog::new(CoreId::new(0));
+        for i in 0..1000u64 {
+            log.entries.push(LogEntry::InorderBlock {
+                instrs: 50 + (i % 100) as u32,
+            });
+            if i % 7 == 0 {
+                log.entries.push(LogEntry::ReorderedLoad { value: i * 3 });
+            }
+            log.entries.push(LogEntry::IntervalFrame {
+                cisn: (i % 65_536) as u16,
+                timestamp: i * 900,
+            });
+        }
+        let flat = log.encode_flat().len();
+        let chunked = encode_chunked(&log).len();
+        assert!(
+            chunked * 2 < flat,
+            "chunked ({chunked} B) should be well under half of flat ({flat} B)"
+        );
+    }
+}

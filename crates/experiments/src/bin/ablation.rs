@@ -36,6 +36,9 @@ fn job(
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
+    if rr_experiments::handle_replay_from(&cfg) {
+        return;
+    }
     let machine = MachineConfig::splash_default(cfg.threads);
     let dir = results_dir();
 

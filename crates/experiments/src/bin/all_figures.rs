@@ -9,6 +9,9 @@ use rr_sim::MachineConfig;
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
+    if rr_experiments::handle_replay_from(&cfg) {
+        return;
+    }
     let dir = results_dir();
     eprintln!(
         "running the suite: {} cores, size {}, {} sweep workers \

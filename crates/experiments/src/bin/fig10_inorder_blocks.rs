@@ -6,6 +6,9 @@ use rr_experiments::{figures, metrics_jsonl, run_suite, ExperimentConfig};
 fn main() {
     let mut cfg = ExperimentConfig::from_env();
     cfg.replay = false;
+    if rr_experiments::handle_replay_from(&cfg) {
+        return;
+    }
     let runs = run_suite(&cfg);
     let t = figures::fig10(&runs);
     t.print();

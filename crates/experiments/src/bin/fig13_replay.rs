@@ -5,6 +5,9 @@ use rr_experiments::{figures, metrics_jsonl, run_suite, ExperimentConfig};
 
 fn main() {
     let cfg = ExperimentConfig::from_env(); // replay enabled by default
+    if rr_experiments::handle_replay_from(&cfg) {
+        return;
+    }
     let runs = run_suite(&cfg);
     let t = figures::fig13(&runs);
     t.print();

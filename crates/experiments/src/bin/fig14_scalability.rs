@@ -6,6 +6,9 @@ use rr_experiments::{figures, metrics_jsonl, ExperimentConfig};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
+    if rr_experiments::handle_replay_from(&cfg) {
+        return;
+    }
     let results = run_scalability(&cfg, &[4, 8, 16]);
     let t = figures::fig14(&results);
     t.print();

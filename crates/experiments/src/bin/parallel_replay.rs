@@ -29,6 +29,9 @@ fn speedup(w: &rr_workloads::Workload, result: &rr_sim::RunResult, workers: usiz
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
+    if rr_experiments::handle_replay_from(&cfg) {
+        return;
+    }
     let specs = vec![RecorderSpec {
         design: relaxreplay::Design::Opt,
         max_interval: Some(4096),

@@ -6,6 +6,9 @@ use rr_sim::{metrics, MachineConfig, MetricsRegistry, PhaseNanos};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
+    if rr_experiments::handle_replay_from(&cfg) {
+        return;
+    }
     let machine = MachineConfig::splash_default(cfg.threads);
     let t = figures::table1(&machine);
     t.print();

@@ -204,7 +204,7 @@ pub fn fig11(runs: &[WorkloadRun]) -> Table {
             cells.push(f2(b));
         }
         for v in 0..4 {
-            let rate = r.record.log_rate_mbps(v);
+            let rate = r.record.log_rate_mbps(v).unwrap_or_default();
             sums[4 + v] += rate;
             cells.push(f2(rate));
         }
@@ -346,7 +346,11 @@ pub fn fig14(results: &[(usize, Vec<WorkloadRun>)]) -> Table {
             cells.push(pct(avg));
         }
         for v in 0..4 {
-            let avg = runs.iter().map(|r| r.record.log_rate_mbps(v)).sum::<f64>() / n;
+            let avg = runs
+                .iter()
+                .map(|r| r.record.log_rate_mbps(v).unwrap_or_default())
+                .sum::<f64>()
+                / n;
             cells.push(f2(avg));
         }
         t.row(cells);

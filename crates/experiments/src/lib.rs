@@ -24,5 +24,6 @@ pub mod report;
 pub mod runner;
 
 pub use runner::{
-    metrics_jsonl, run_suite, run_suite_timed, ExperimentConfig, SuiteRun, WorkloadRun,
+    handle_replay_from, metrics_jsonl, replay_suite_from, run_suite, run_suite_timed,
+    ExperimentConfig, ReplayFromSummary, SuiteRun, WorkloadRun,
 };

@@ -3,7 +3,9 @@
 //! sweep engine), and producing everything the individual figures need —
 //! including the per-run metrics JSONL sidecars.
 
-use rr_replay::{CostModel, ReplayOutcome};
+use std::path::PathBuf;
+
+use rr_replay::{patch, replay, verify, CostModel, ReplayOutcome};
 use rr_sim::sweep::{run_sweep, ReplayPolicy, SweepJob, SweepReport};
 use rr_sim::{metrics, MachineConfig, MetricsRegistry, PhaseNanos, RecorderSpec, RunResult};
 use rr_workloads::suite;
@@ -24,6 +26,13 @@ pub struct ExperimentConfig {
     /// are deterministic regardless of this value; it only changes
     /// wall-clock.
     pub workers: usize,
+    /// Save every recorded run as `.rrlog` files under this directory
+    /// (`--save-logs <dir>` / `RR_SAVE_LOGS`).
+    pub save_logs: Option<PathBuf>,
+    /// Instead of recording, load runs previously saved under this
+    /// directory and replay + verify them from disk
+    /// (`--replay-from <dir>` / `RR_REPLAY_FROM`).
+    pub replay_from: Option<PathBuf>,
 }
 
 impl ExperimentConfig {
@@ -38,12 +47,15 @@ impl ExperimentConfig {
             cost: CostModel::splash_default(),
             replay: true,
             workers: 0,
+            save_logs: None,
+            replay_from: None,
         }
     }
 
-    /// Reads `RR_THREADS` / `RR_SIZE` / `RR_WORKERS` environment overrides
-    /// and a `--workers N` command-line flag (used by the binaries so runs
-    /// can be scaled without recompiling).
+    /// Reads `RR_THREADS` / `RR_SIZE` / `RR_WORKERS` / `RR_SAVE_LOGS` /
+    /// `RR_REPLAY_FROM` environment overrides and the `--workers N`,
+    /// `--save-logs <dir>`, `--replay-from <dir>` command-line flags (used
+    /// by the binaries so runs can be scaled without recompiling).
     #[must_use]
     pub fn from_env() -> Self {
         let mut cfg = Self::paper_default();
@@ -62,6 +74,16 @@ impl ExperimentConfig {
                 cfg.workers = w;
             }
         }
+        if let Ok(d) = std::env::var("RR_SAVE_LOGS") {
+            if !d.is_empty() {
+                cfg.save_logs = Some(PathBuf::from(d));
+            }
+        }
+        if let Ok(d) = std::env::var("RR_REPLAY_FROM") {
+            if !d.is_empty() {
+                cfg.replay_from = Some(PathBuf::from(d));
+            }
+        }
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if a == "--workers" {
@@ -70,6 +92,14 @@ impl ExperimentConfig {
                 }
             } else if let Some(w) = a.strip_prefix("--workers=").and_then(|v| v.parse().ok()) {
                 cfg.workers = w;
+            } else if a == "--save-logs" {
+                cfg.save_logs = args.next().map(PathBuf::from);
+            } else if let Some(d) = a.strip_prefix("--save-logs=") {
+                cfg.save_logs = Some(PathBuf::from(d));
+            } else if a == "--replay-from" {
+                cfg.replay_from = args.next().map(PathBuf::from);
+            } else if let Some(d) = a.strip_prefix("--replay-from=") {
+                cfg.replay_from = Some(PathBuf::from(d));
             }
         }
         cfg
@@ -158,7 +188,26 @@ pub fn run_suite_timed(cfg: &ExperimentConfig) -> SuiteRun {
         })
         .collect();
     let report = run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    save_report_logs(cfg, &report);
     report_to_suite(report, &names)
+}
+
+/// Saves every run of a sweep under `cfg.save_logs` (no-op when unset).
+///
+/// # Panics
+///
+/// Panics if saving fails — the artifact was explicitly requested.
+fn save_report_logs(cfg: &ExperimentConfig, report: &SweepReport) {
+    if let Some(dir) = &cfg.save_logs {
+        let bytes = report
+            .save_logs(dir)
+            .unwrap_or_else(|e| panic!("--save-logs failed: {e}"));
+        eprintln!(
+            "saved {} run(s), {bytes} .rrlog bytes, under {}",
+            report.outputs.len(),
+            dir.display()
+        );
+    }
 }
 
 /// [`run_suite_timed`] without the envelope — the shape every figure
@@ -225,6 +274,7 @@ pub fn run_scalability(
         }
     }
     let report = run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    save_report_logs(cfg, &report);
 
     let mut grouped: Vec<(usize, Vec<WorkloadRun>)> =
         core_counts.iter().map(|&c| (c, Vec::new())).collect();
@@ -243,6 +293,103 @@ pub fn run_scalability(
         });
     }
     grouped
+}
+
+/// Summary of a replay-from-disk verification pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayFromSummary {
+    /// Saved runs replayed.
+    pub runs: usize,
+    /// Recorder variants verified across all runs.
+    pub variants: usize,
+}
+
+/// Replays every run saved under `dir` (by a prior `--save-logs`
+/// invocation), verifying each variant's replay against the on-disk
+/// ground truth. Programs and initial memory are regenerated from the
+/// workload suite by name — the generators are deterministic, so the
+/// `.rrlog` files plus `(threads, size)` fully determine the execution.
+///
+/// Run names of the form `fft@16c` (the scalability sweep) override the
+/// configured thread count with the recorded one.
+///
+/// # Errors
+///
+/// Returns a description of the first load, patch, replay, or
+/// verification failure.
+pub fn replay_suite_from(
+    cfg: &ExperimentConfig,
+    dir: &std::path::Path,
+) -> Result<ReplayFromSummary, String> {
+    let names = rr_sim::list_runs(dir).map_err(|e| e.to_string())?;
+    if names.is_empty() {
+        return Err(format!("no saved runs under {}", dir.display()));
+    }
+    let mut variants = 0usize;
+    for name in &names {
+        let saved = rr_sim::load_run(dir, name).map_err(|e| format!("{name}: {e}"))?;
+        let (base, threads) = match name.split_once('@') {
+            Some((b, suffix)) => {
+                let cores = suffix
+                    .strip_suffix('c')
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| format!("{name}: unparseable core-count suffix"))?;
+                (b, cores)
+            }
+            None => (name.as_str(), cfg.threads),
+        };
+        let workload = suite(threads, cfg.size)
+            .into_iter()
+            .find(|w| w.name == base)
+            .ok_or_else(|| format!("{name}: no workload named {base:?} in the suite"))?;
+        for v in &saved.variants {
+            let fail = |stage: &str, e: String| format!("{name} [{}]: {stage}: {e}", v.label);
+            let patched: Vec<_> = v
+                .logs
+                .iter()
+                .map(patch)
+                .collect::<Result<_, _>>()
+                .map_err(|e| fail("patch failed", e.to_string()))?;
+            let outcome = replay(
+                &workload.programs,
+                &patched,
+                workload.initial_mem.clone(),
+                &cfg.cost,
+            )
+            .map_err(|e| fail("replay failed", e.to_string()))?;
+            verify(&saved.recorded, &outcome)
+                .map_err(|e| fail("verification failed", e.to_string()))?;
+            variants += 1;
+        }
+    }
+    Ok(ReplayFromSummary {
+        runs: names.len(),
+        variants,
+    })
+}
+
+/// The `--replay-from` entry point shared by every figure binary: when the
+/// flag is set, replays all saved runs from disk, prints a verification
+/// summary, and returns `true` so the binary exits without recording.
+///
+/// # Panics
+///
+/// Panics if any saved run fails to load, replay, or verify — the whole
+/// point of the flag is to prove the durable artifact is sound.
+#[must_use]
+pub fn handle_replay_from(cfg: &ExperimentConfig) -> bool {
+    let Some(dir) = &cfg.replay_from else {
+        return false;
+    };
+    let summary =
+        replay_suite_from(cfg, dir).unwrap_or_else(|e| panic!("--replay-from failed: {e}"));
+    println!(
+        "replay-from {}: {} run(s), {} variant replay(s) verified against the recorded ground truth",
+        dir.display(),
+        summary.runs,
+        summary.variants
+    );
+    true
 }
 
 /// Renders every run's metrics as JSONL, one line per run — the sidecar

@@ -18,6 +18,12 @@
 //! 4. [`CostModel`] estimates replay time (user vs. OS cycles) to
 //!    reproduce the paper's Figure 13.
 //!
+//! The patcher and replayer are *streaming* consumers: [`patch_source`]
+//! and [`replay_sources`] accept any `LogSource` (an in-memory
+//! `MemorySource` or a `ChunkedReader` decoding an `.rrlog` file straight
+//! off disk), so a recording saved with `--save-logs` can be replayed by a
+//! later invocation without the recorder in the loop.
+//!
 //! ```
 //! use relaxreplay::{IntervalLog, LogEntry};
 //! use rr_isa::{MemImage, ProgramBuilder, Reg};
@@ -59,6 +65,6 @@ mod verify;
 
 pub use cost::{CostModel, ReplayEvents};
 pub use parallel::{replay_parallel, ParallelOutcome};
-pub use patch::{patch, PatchError, PatchedLog, ReplayOp};
-pub use replayer::{replay, ReplayError, ReplayOutcome};
+pub use patch::{patch, patch_source, PatchError, PatchSourceError, PatchedLog, ReplayOp};
+pub use replayer::{replay, replay_sources, ReplayError, ReplayOutcome, ReplaySourceError};
 pub use verify::{verify, RecordedExecution, VerifyError};

@@ -1,6 +1,7 @@
 use core::fmt;
 
-use relaxreplay::{IntervalLog, LogEntry};
+use relaxreplay::wire::LogSource;
+use relaxreplay::{IntervalLog, LogEntry, MemorySource, WireError};
 use rr_mem::CoreId;
 
 /// One operation of a *patched*, replay-ready log.
@@ -91,6 +92,47 @@ impl fmt::Display for PatchError {
 
 impl std::error::Error for PatchError {}
 
+/// Errors from [`patch_source`]: either the underlying stream failed
+/// (truncated or corrupted `.rrlog`) or the decoded entries are not
+/// patchable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatchSourceError {
+    /// The [`LogSource`] reported a wire-level failure.
+    Wire(WireError),
+    /// The entries decoded fine but the log itself is malformed.
+    Patch(PatchError),
+}
+
+impl fmt::Display for PatchSourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchSourceError::Wire(e) => write!(f, "log stream failed: {e}"),
+            PatchSourceError::Patch(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PatchSourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PatchSourceError::Wire(e) => Some(e),
+            PatchSourceError::Patch(e) => Some(e),
+        }
+    }
+}
+
+impl From<WireError> for PatchSourceError {
+    fn from(e: WireError) -> Self {
+        PatchSourceError::Wire(e)
+    }
+}
+
+impl From<PatchError> for PatchSourceError {
+    fn from(e: PatchError) -> Self {
+        PatchSourceError::Patch(e)
+    }
+}
+
 /// The patching step (paper §3.3.2): converts a raw [`IntervalLog`] into a
 /// [`PatchedLog`] by moving every reordered store (and the store half of
 /// every reordered RMW) back `offset` intervals, to the end of the interval
@@ -103,94 +145,107 @@ impl std::error::Error for PatchError {}
 /// (so no remote interval orders between the store's perform and its
 /// interval's end).
 ///
+/// This is a thin adapter over [`patch_source`] for logs already in
+/// memory.
+///
 /// # Errors
 ///
 /// Returns [`PatchError`] if an offset points before the start of the log
 /// or the log is not frame-terminated.
 pub fn patch(log: &IntervalLog) -> Result<PatchedLog, PatchError> {
-    // Split into intervals.
-    let mut intervals: Vec<(Vec<&LogEntry>, (u16, u64))> = Vec::new();
-    let mut current: Vec<&LogEntry> = Vec::new();
-    for e in &log.entries {
-        if let LogEntry::IntervalFrame { cisn, timestamp } = e {
-            intervals.push((std::mem::take(&mut current), (*cisn, *timestamp)));
-        } else {
-            current.push(e);
+    match patch_source(&mut MemorySource::new(log)) {
+        Ok(p) => Ok(p),
+        Err(PatchSourceError::Patch(e)) => Err(e),
+        Err(PatchSourceError::Wire(_)) => {
+            unreachable!("MemorySource never reports wire errors")
         }
     }
-    if !current.is_empty() {
-        return Err(PatchError::UnterminatedInterval);
-    }
+}
 
-    // Appendices: stores moved to the end of earlier intervals.
-    let mut appendices: Vec<Vec<ReplayOp>> = vec![Vec::new(); intervals.len()];
-    let mut bodies: Vec<Vec<ReplayOp>> = Vec::with_capacity(intervals.len());
-    for (i, (entries, _)) in intervals.iter().enumerate() {
-        let mut body = Vec::with_capacity(entries.len());
-        for e in entries {
-            match e {
-                LogEntry::InorderBlock { instrs } => {
-                    body.push(ReplayOp::RunBlock { instrs: *instrs });
-                }
-                LogEntry::ReorderedLoad { value } => {
-                    body.push(ReplayOp::InjectLoad { value: *value });
-                }
-                LogEntry::ReorderedStore {
-                    addr,
-                    value,
+/// As [`patch`], but consuming entries one at a time from any
+/// [`LogSource`] — a [`MemorySource`] over an in-memory log or a
+/// `ChunkedReader` streaming straight off an `.rrlog` file. Entries are
+/// converted to [`ReplayOp`]s as they arrive; only the per-interval op
+/// lists (not the raw entries) are buffered until assembly.
+///
+/// # Errors
+///
+/// Returns [`PatchSourceError::Wire`] if the source fails mid-stream
+/// (truncation, CRC mismatch, I/O) and [`PatchSourceError::Patch`] if the
+/// decoded log is malformed.
+pub fn patch_source(src: &mut dyn LogSource) -> Result<PatchedLog, PatchSourceError> {
+    let core = src.core();
+    // Completed interval bodies (ops in counting order) and frames, plus
+    // appendices: stores moved back to the end of earlier intervals.
+    let mut bodies: Vec<Vec<ReplayOp>> = Vec::new();
+    let mut frames: Vec<(u16, u64)> = Vec::new();
+    let mut appendices: Vec<Vec<ReplayOp>> = Vec::new();
+    let mut body: Vec<ReplayOp> = Vec::new();
+
+    while let Some(e) = src.next_entry()? {
+        // Index of the interval currently being filled.
+        let i = bodies.len();
+        let move_back = |appendices: &mut Vec<Vec<ReplayOp>>,
+                         addr: u64,
+                         value: u64,
+                         offset: u16|
+         -> Result<(), PatchError> {
+            let target = i
+                .checked_sub(offset as usize)
+                .ok_or(PatchError::OffsetOutOfRange {
+                    interval: i,
                     offset,
-                } => {
-                    let target =
-                        i.checked_sub(*offset as usize)
-                            .ok_or(PatchError::OffsetOutOfRange {
-                                interval: i,
-                                offset: *offset,
-                            })?;
-                    appendices[target].push(ReplayOp::ApplyStore {
-                        addr: *addr,
-                        value: *value,
-                    });
-                    body.push(ReplayOp::SkipStore);
+                })?;
+            if appendices.len() <= target {
+                appendices.resize_with(target + 1, Vec::new);
+            }
+            appendices[target].push(ReplayOp::ApplyStore { addr, value });
+            Ok(())
+        };
+        match e {
+            LogEntry::InorderBlock { instrs } => body.push(ReplayOp::RunBlock { instrs }),
+            LogEntry::ReorderedLoad { value } => body.push(ReplayOp::InjectLoad { value }),
+            LogEntry::ReorderedStore {
+                addr,
+                value,
+                offset,
+            } => {
+                move_back(&mut appendices, addr, value, offset)?;
+                body.push(ReplayOp::SkipStore);
+            }
+            LogEntry::ReorderedRmw {
+                loaded,
+                addr,
+                stored,
+                offset,
+            } => {
+                if let Some(value) = stored {
+                    move_back(&mut appendices, addr, value, offset)?;
                 }
-                LogEntry::ReorderedRmw {
-                    loaded,
-                    addr,
-                    stored,
-                    offset,
-                } => {
-                    if let Some(value) = stored {
-                        let target = i.checked_sub(*offset as usize).ok_or(
-                            PatchError::OffsetOutOfRange {
-                                interval: i,
-                                offset: *offset,
-                            },
-                        )?;
-                        appendices[target].push(ReplayOp::ApplyStore {
-                            addr: *addr,
-                            value: *value,
-                        });
-                    }
-                    body.push(ReplayOp::InjectRmw { loaded: *loaded });
-                }
-                LogEntry::IntervalFrame { .. } => unreachable!("frames split intervals"),
+                body.push(ReplayOp::InjectRmw { loaded });
+            }
+            LogEntry::IntervalFrame { cisn, timestamp } => {
+                bodies.push(std::mem::take(&mut body));
+                frames.push((cisn, timestamp));
             }
         }
-        bodies.push(body);
+    }
+    if !body.is_empty() {
+        return Err(PatchError::UnterminatedInterval.into());
     }
 
     let mut ops = Vec::new();
-    for (i, ((_, frame), body)) in intervals.iter().zip(bodies).enumerate() {
+    for (i, (body, frame)) in bodies.into_iter().zip(frames).enumerate() {
         ops.extend(body);
-        ops.extend(appendices[i].iter().copied());
+        if let Some(appendix) = appendices.get(i) {
+            ops.extend(appendix.iter().copied());
+        }
         ops.push(ReplayOp::EndInterval {
             cisn: frame.0,
             timestamp: frame.1,
         });
     }
-    Ok(PatchedLog {
-        core: log.core,
-        ops,
-    })
+    Ok(PatchedLog { core, ops })
 }
 
 #[cfg(test)]
@@ -335,6 +390,51 @@ mod tests {
             entries: vec![LogEntry::InorderBlock { instrs: 1 }],
         };
         assert_eq!(patch(&log), Err(PatchError::UnterminatedInterval));
+    }
+
+    #[test]
+    fn patch_source_over_chunked_stream_matches_patch() {
+        let log = IntervalLog {
+            core: CoreId::new(2),
+            entries: vec![
+                LogEntry::InorderBlock { instrs: 4 },
+                frame(0, 10),
+                LogEntry::ReorderedLoad { value: 77 },
+                frame(1, 20),
+                LogEntry::ReorderedStore {
+                    addr: 0x8,
+                    value: 9,
+                    offset: 2,
+                },
+                LogEntry::ReorderedRmw {
+                    loaded: 1,
+                    addr: 0x20,
+                    stored: Some(2),
+                    offset: 1,
+                },
+                LogEntry::InorderBlock { instrs: 1 },
+                frame(2, 30),
+            ],
+        };
+        let bytes = log.encode();
+        let mut reader = relaxreplay::ChunkedReader::new(&bytes[..]).expect("valid header");
+        let from_stream = patch_source(&mut reader).expect("patches from stream");
+        assert_eq!(from_stream, patch(&log).expect("patches in memory"));
+    }
+
+    #[test]
+    fn patch_source_surfaces_wire_errors() {
+        let log = IntervalLog {
+            core: CoreId::new(0),
+            entries: vec![LogEntry::InorderBlock { instrs: 4 }, frame(0, 10)],
+        };
+        let mut bytes = log.encode();
+        bytes.truncate(bytes.len() - 2); // cut into the final chunk's CRC
+        let mut reader = relaxreplay::ChunkedReader::new(&bytes[..]).expect("header intact");
+        match patch_source(&mut reader) {
+            Err(PatchSourceError::Wire(WireError::Truncated { .. })) => {}
+            other => panic!("expected a wire truncation error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -38,12 +38,14 @@
 #![forbid(unsafe_code)]
 
 mod config;
+pub mod logdir;
 mod machine;
 pub mod metrics;
 pub mod sweep;
 mod tracer;
 
 pub use config::{MachineConfig, RecorderSpec};
+pub use logdir::{list_runs, load_run, save_run, LogDirError, SavedRun, SavedVariant};
 pub use machine::{record, record_custom, replay_and_verify, RunResult, SimError, VariantResult};
 pub use metrics::{MetricsRegistry, PhaseNanos};
 pub use sweep::{run_sweep, JobOutput, ReplayPolicy, SweepError, SweepJob, SweepReport};

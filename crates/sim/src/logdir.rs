@@ -1,0 +1,347 @@
+//! Durable on-disk run artifacts: save a recorded run's per-core `.rrlog`
+//! files plus the replay-verification ground truth, and load them back in
+//! a separate invocation — record once, replay many.
+//!
+//! Layout under the root directory passed to `--save-logs`:
+//!
+//! ```text
+//! <dir>/<run-name>/
+//!     manifest.txt            # lines: "cores <n>" then one variant label per line
+//!     truth.bin               # RecordedExecution sidecar (CRC32-protected)
+//!     <variant-label>/core<k>.rrlog
+//! ```
+//!
+//! Run and variant names become path components verbatim, so they must not
+//! contain separators; [`save_run`] rejects names that do.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use relaxreplay::wire::{crc32, read_rrlog, read_varint, write_rrlog, write_varint};
+use relaxreplay::{IntervalLog, WireError};
+use rr_isa::MemImage;
+use rr_replay::RecordedExecution;
+
+use crate::machine::RunResult;
+
+/// Magic tag opening a `truth.bin` ground-truth sidecar.
+const TRUTH_MAGIC: &[u8; 4] = b"RRTR";
+/// Sidecar format version.
+const TRUTH_VERSION: u16 = 1;
+
+/// Errors from saving or loading a run directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogDirError {
+    /// Filesystem failure (path included in the message).
+    Io(String),
+    /// An `.rrlog` file failed to decode.
+    Wire(WireError),
+    /// The manifest or ground-truth sidecar is malformed.
+    Malformed(&'static str),
+    /// A run or variant name is unusable as a path component.
+    BadName(String),
+}
+
+impl fmt::Display for LogDirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogDirError::Io(m) => write!(f, "log dir I/O failed: {m}"),
+            LogDirError::Wire(e) => write!(f, "log file failed to decode: {e}"),
+            LogDirError::Malformed(d) => write!(f, "run directory malformed: {d}"),
+            LogDirError::BadName(n) => {
+                write!(f, "name {n:?} cannot be used as a path component")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogDirError {}
+
+impl From<WireError> for LogDirError {
+    fn from(e: WireError) -> Self {
+        LogDirError::Wire(e)
+    }
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> LogDirError {
+    LogDirError::Io(format!("{}: {e}", path.display()))
+}
+
+fn check_name(name: &str) -> Result<(), LogDirError> {
+    let ok = !name.is_empty()
+        && name != "."
+        && name != ".."
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '@'));
+    if ok {
+        Ok(())
+    } else {
+        Err(LogDirError::BadName(name.to_string()))
+    }
+}
+
+/// One recorder variant loaded back from disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SavedVariant {
+    /// The variant's label (e.g. `Opt-4K`), as recorded in the manifest.
+    pub label: String,
+    /// Per-core interval logs, index = core id.
+    pub logs: Vec<IntervalLog>,
+}
+
+/// A complete recorded run loaded back from disk.
+#[derive(Clone, Debug)]
+pub struct SavedRun {
+    /// The run's name (its subdirectory).
+    pub name: String,
+    /// Every saved recorder variant, in recording order.
+    pub variants: Vec<SavedVariant>,
+    /// Ground truth for replay verification.
+    pub recorded: RecordedExecution,
+}
+
+impl SavedRun {
+    /// The variant with the given label, if present.
+    #[must_use]
+    pub fn variant(&self, label: &str) -> Option<&SavedVariant> {
+        self.variants.iter().find(|v| v.label == label)
+    }
+}
+
+/// Saves one recorded run under `dir/name`: per-variant `.rrlog` files,
+/// the ground-truth sidecar, and a manifest. Returns the total bytes
+/// written to `.rrlog` files.
+///
+/// # Errors
+///
+/// Returns [`LogDirError`] on filesystem failure or unusable names.
+pub fn save_run(dir: &Path, name: &str, result: &RunResult) -> Result<u64, LogDirError> {
+    check_name(name)?;
+    let run_dir = dir.join(name);
+    fs::create_dir_all(&run_dir).map_err(|e| io_err(&run_dir, &e))?;
+
+    let cores = result.recorded.load_traces.len();
+    let mut manifest = format!("cores {cores}\n");
+    let mut log_bytes = 0u64;
+    for variant in &result.variants {
+        let label = variant.spec.label();
+        check_name(&label)?;
+        let vdir = run_dir.join(&label);
+        fs::create_dir_all(&vdir).map_err(|e| io_err(&vdir, &e))?;
+        for log in &variant.logs {
+            let path = vdir.join(format!("core{}.rrlog", log.core.index()));
+            write_rrlog(&path, log)?;
+            log_bytes += fs::metadata(&path).map_err(|e| io_err(&path, &e))?.len();
+        }
+        manifest.push_str(&label);
+        manifest.push('\n');
+    }
+
+    let truth_path = run_dir.join("truth.bin");
+    fs::write(&truth_path, encode_truth(&result.recorded)).map_err(|e| io_err(&truth_path, &e))?;
+
+    let manifest_path = run_dir.join("manifest.txt");
+    let mut f = fs::File::create(&manifest_path).map_err(|e| io_err(&manifest_path, &e))?;
+    f.write_all(manifest.as_bytes())
+        .map_err(|e| io_err(&manifest_path, &e))?;
+    Ok(log_bytes)
+}
+
+/// Loads a run previously written by [`save_run`] from `dir/name`.
+///
+/// # Errors
+///
+/// Returns [`LogDirError`] if the directory is missing, the manifest or
+/// sidecar is malformed, or any `.rrlog` fails to decode (truncation and
+/// corruption surface as typed [`WireError`]s, never panics).
+pub fn load_run(dir: &Path, name: &str) -> Result<SavedRun, LogDirError> {
+    check_name(name)?;
+    let run_dir = dir.join(name);
+    let manifest_path = run_dir.join("manifest.txt");
+    let manifest = fs::read_to_string(&manifest_path).map_err(|e| io_err(&manifest_path, &e))?;
+    let mut lines = manifest.lines();
+    let cores: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("cores "))
+        .and_then(|n| n.parse().ok())
+        .ok_or(LogDirError::Malformed("manifest missing cores line"))?;
+
+    let mut variants = Vec::new();
+    for label in lines.filter(|l| !l.is_empty()) {
+        check_name(label)?;
+        let vdir = run_dir.join(label);
+        let mut logs = Vec::with_capacity(cores);
+        for k in 0..cores {
+            let path = vdir.join(format!("core{k}.rrlog"));
+            let log = read_rrlog(&path)?;
+            if log.core.index() != k {
+                return Err(LogDirError::Malformed("core id does not match file name"));
+            }
+            logs.push(log);
+        }
+        variants.push(SavedVariant {
+            label: label.to_string(),
+            logs,
+        });
+    }
+
+    let truth_path = run_dir.join("truth.bin");
+    let truth_bytes = fs::read(&truth_path).map_err(|e| io_err(&truth_path, &e))?;
+    let recorded = decode_truth(&truth_bytes)?;
+    if recorded.load_traces.len() != cores {
+        return Err(LogDirError::Malformed(
+            "truth trace count != manifest cores",
+        ));
+    }
+
+    Ok(SavedRun {
+        name: name.to_string(),
+        variants,
+        recorded,
+    })
+}
+
+/// Names of every run saved under `dir`, sorted for determinism.
+///
+/// # Errors
+///
+/// Returns [`LogDirError::Io`] if the directory cannot be read.
+pub fn list_runs(dir: &Path) -> Result<Vec<String>, LogDirError> {
+    let mut names = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, &e))?;
+        let path: PathBuf = entry.path();
+        if path.is_dir() && path.join("manifest.txt").is_file() {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+/// Serializes the ground truth: magic + version, varint-encoded final
+/// memory (sorted address/value pairs) and per-thread load traces, closed
+/// with a CRC32 over everything before it.
+fn encode_truth(recorded: &RecordedExecution) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(TRUTH_MAGIC);
+    out.extend_from_slice(&TRUTH_VERSION.to_le_bytes());
+
+    let mut cells: Vec<(u64, u64)> = recorded.final_mem.iter().collect();
+    cells.sort_unstable();
+    write_varint(&mut out, cells.len() as u64);
+    for (addr, value) in cells {
+        write_varint(&mut out, addr);
+        write_varint(&mut out, value);
+    }
+    write_varint(&mut out, recorded.load_traces.len() as u64);
+    for trace in &recorded.load_traces {
+        write_varint(&mut out, trace.len() as u64);
+        for &v in trace {
+            write_varint(&mut out, v);
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_truth(bytes: &[u8]) -> Result<RecordedExecution, LogDirError> {
+    const MALFORMED: LogDirError = LogDirError::Malformed("truth sidecar truncated");
+    if bytes.len() < 10 || &bytes[..4] != TRUTH_MAGIC {
+        return Err(LogDirError::Malformed("bad truth sidecar header"));
+    }
+    if u16::from_le_bytes([bytes[4], bytes[5]]) != TRUTH_VERSION {
+        return Err(LogDirError::Malformed("unsupported truth sidecar version"));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return Err(LogDirError::Malformed("truth sidecar CRC mismatch"));
+    }
+
+    let mut pos = 6usize;
+    let varint = |pos: &mut usize| read_varint(body, pos).ok_or(MALFORMED);
+    let cells = varint(&mut pos)?;
+    let mut final_mem = MemImage::new();
+    for _ in 0..cells {
+        let addr = varint(&mut pos)?;
+        let value = varint(&mut pos)?;
+        final_mem.store(addr, value);
+    }
+    let threads = varint(&mut pos)?;
+    let mut load_traces = Vec::new();
+    for _ in 0..threads {
+        let len = varint(&mut pos)?;
+        let mut trace = Vec::new();
+        for _ in 0..len {
+            trace.push(varint(&mut pos)?);
+        }
+        load_traces.push(trace);
+    }
+    if pos != body.len() {
+        return Err(LogDirError::Malformed("truth sidecar has trailing bytes"));
+    }
+    Ok(RecordedExecution {
+        final_mem,
+        load_traces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_truth() -> RecordedExecution {
+        let mut mem = MemImage::new();
+        mem.store(0x8, 300);
+        mem.store(0x1000, u64::MAX);
+        RecordedExecution {
+            final_mem: mem,
+            load_traces: vec![vec![1, 2, 3], vec![], vec![u64::MAX, 0]],
+        }
+    }
+
+    #[test]
+    fn truth_round_trips() {
+        let truth = sample_truth();
+        let bytes = encode_truth(&truth);
+        let back = decode_truth(&bytes).expect("decodes");
+        assert!(back.final_mem.contents_eq(&truth.final_mem));
+        assert_eq!(back.load_traces, truth.load_traces);
+    }
+
+    #[test]
+    fn truth_corruption_is_detected() {
+        let bytes = encode_truth(&sample_truth());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                decode_truth(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_truth(&bytes[..cut]).is_err(),
+                "truncation at {cut} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_validated() {
+        assert!(check_name("fft-small").is_ok());
+        assert!(check_name("Opt-4K").is_ok());
+        assert!(check_name("").is_err());
+        assert!(check_name("a/b").is_err());
+        assert!(check_name("..").is_err());
+    }
+}

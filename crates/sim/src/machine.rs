@@ -104,15 +104,17 @@ impl RunResult {
     }
 
     /// Log generation rate of a variant in MB/s at the configured clock
-    /// (Figures 11 and 14(b)).
+    /// (Figures 11 and 14(b)). Returns `None` if `variant` is out of
+    /// range.
     #[must_use]
-    pub fn log_rate_mbps(&self, variant: usize) -> f64 {
+    pub fn log_rate_mbps(&self, variant: usize) -> Option<f64> {
+        let v = self.variants.get(variant)?;
         if self.cycles == 0 {
-            return 0.0;
+            return Some(0.0);
         }
-        let bits = self.variants[variant].log_bits() as f64;
+        let bits = v.log_bits() as f64;
         let seconds = self.cycles as f64 / (self.clock_ghz * 1e9);
-        bits / 8.0 / 1e6 / seconds
+        Some(bits / 8.0 / 1e6 / seconds)
     }
 
     /// Total instructions retired across all cores.
@@ -326,7 +328,8 @@ pub fn record_custom(
 /// # Errors
 ///
 /// Returns a description of the first patch, replay or verification
-/// failure — any of which means determinism was broken.
+/// failure — any of which means determinism was broken — or an
+/// out-of-range `variant` index.
 pub fn replay_and_verify(
     programs: &[Program],
     initial_mem: &MemImage,
@@ -334,7 +337,12 @@ pub fn replay_and_verify(
     variant: usize,
     cost: &CostModel,
 ) -> Result<ReplayOutcome, String> {
-    let v = &result.variants[variant];
+    let v = result.variants.get(variant).ok_or_else(|| {
+        format!(
+            "variant index {variant} out of range ({} recorded)",
+            result.variants.len()
+        )
+    })?;
     let patched: Vec<_> = v
         .logs
         .iter()

@@ -265,11 +265,21 @@ pub fn run_metrics(run: &RunResult) -> MetricsRegistry {
             &format!("rec.{label}.inorder_blocks"),
             variant.inorder_blocks(),
         );
+        let mut flat_bytes = 0u64;
+        let mut wire_bytes = 0u64;
         for log in &variant.logs {
             m.observe(
                 &format!("rec.{label}.intervals_per_core"),
                 log.intervals() as u64,
             );
+            flat_bytes += log.encode_flat().len() as u64;
+            wire_bytes += log.encode().len() as u64;
+        }
+        m.set(&format!("rec.{label}.flat_bytes"), flat_bytes);
+        m.set(&format!("rec.{label}.wire_bytes"), wire_bytes);
+        // Chunked-vs-flat size as parts per thousand (smaller = better).
+        if let Some(permille) = (wire_bytes * 1000).checked_div(flat_bytes) {
+            m.set(&format!("rec.{label}.wire_compression_permille"), permille);
         }
     }
     m

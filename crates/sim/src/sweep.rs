@@ -24,6 +24,7 @@ use rr_isa::{MemImage, Program};
 use rr_replay::{patch, replay, verify, CostModel, PatchedLog, ReplayOutcome};
 
 use crate::config::{MachineConfig, RecorderSpec};
+use crate::logdir::LogDirError;
 use crate::machine::{record_custom, RunResult, SimError};
 use crate::metrics::{self, MetricsRegistry, PhaseNanos};
 
@@ -136,6 +137,21 @@ impl SweepReport {
             out.push('\n');
         }
         out
+    }
+
+    /// Saves every job's recorded run under `dir` as `.rrlog` files plus
+    /// ground-truth sidecars (see [`crate::logdir`]), keyed by job name.
+    /// Returns the total `.rrlog` bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogDirError`] on the first job that fails to save.
+    pub fn save_logs(&self, dir: &std::path::Path) -> Result<u64, LogDirError> {
+        let mut bytes = 0u64;
+        for o in &self.outputs {
+            bytes += crate::logdir::save_run(dir, &o.name, &o.run)?;
+        }
+        Ok(bytes)
     }
 }
 
