@@ -43,6 +43,10 @@
 //! * [`wire`] — the streaming `.rrlog` wire format: [`LogSink`] /
 //!   [`LogSource`] traits plus a chunked, CRC32-checksummed, varint/delta
 //!   codec that survives truncation and detects corruption.
+//! * [`trace`] — structured event tracing: bounded per-core timelines of
+//!   the recorder's internal decisions (interval opens/closes, perform and
+//!   counting events with classification verdicts, coherence traffic),
+//!   exportable as JSONL sidecars or Perfetto-loadable Chrome trace JSON.
 //!
 //! Deterministic replay of these logs lives in the `rr-replay` crate; the
 //! full simulated machine (cores + coherence + recorders) in `rr-sim`.
@@ -67,8 +71,14 @@ mod log;
 mod recorder;
 mod signature;
 mod snoop_table;
+pub mod trace;
 mod traq;
 pub mod wire;
+
+pub use trace::{
+    CloseReason, CountVerdict, RunTrace, TraceConfig, TraceEvent, TraceLevel, TraceRecord,
+    TraceRing,
+};
 
 pub use crate::log::{IntervalLog, LogDecodeError, LogEntry};
 pub use hash::H3;
@@ -76,5 +86,6 @@ pub use recorder::{Design, IntervalOrdering, Recorder, RecorderConfig, RecorderS
 pub use signature::Signature;
 pub use snoop_table::{SnoopSample, SnoopTable};
 pub use wire::{
-    ChunkedReader, ChunkedWriter, LogSink, LogSource, MemorySource, VecSink, WireError,
+    chunk_map, ChunkInfo, ChunkedReader, ChunkedWriter, LogSink, LogSource, MemorySource, VecSink,
+    WireError,
 };

@@ -4,6 +4,7 @@ use rr_mem::{AccessKind, CoreId, LineAddr};
 use crate::log::{IntervalLog, LogEntry};
 use crate::signature::Signature;
 use crate::snoop_table::SnoopTable;
+use crate::trace::{CloseReason, CountVerdict, TraceEvent, TraceRing};
 use crate::traq::{Traq, TraqEntry, TraqKind};
 use crate::wire::{LogSink, WireError};
 
@@ -247,6 +248,11 @@ pub struct Recorder {
     closing_is_barrier: bool,
     stats: RecorderStats,
     finished: bool,
+    /// Event tracing: when attached, the recorder's decisions are captured
+    /// into this bounded ring. Capture is a pure side channel — it never
+    /// feeds back into recording, so logs are byte-identical with tracing
+    /// on or off.
+    tracer: Option<TraceRing>,
     /// Streaming mode: entries drain into this sink at every interval
     /// boundary instead of accumulating in `log`.
     sink: Option<Box<dyn LogSink>>,
@@ -299,10 +305,32 @@ impl Recorder {
                 ..RecorderStats::default()
             },
             finished: false,
+            tracer: None,
             sink: None,
             sink_error: None,
             streamed_entries: 0,
             cfg,
+        }
+    }
+
+    /// Attaches an event-trace ring. The first interval's open event is
+    /// emitted immediately (at cycle 0), so the timeline starts balanced.
+    pub fn set_tracer(&mut self, ring: TraceRing) {
+        self.tracer = Some(ring);
+        let cisn = self.cisn;
+        let ordinal = self.ordering.timestamps.len() as u64;
+        self.trace(0, TraceEvent::IntervalOpen { cisn, ordinal });
+    }
+
+    /// Detaches and returns the trace ring, if any.
+    pub fn take_tracer(&mut self) -> Option<TraceRing> {
+        self.tracer.take()
+    }
+
+    /// Captures `event` if a tracer is attached (no-op otherwise).
+    fn trace(&mut self, cycle: u64, event: TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t.push(cycle, event);
         }
     }
 
@@ -407,12 +435,26 @@ impl Recorder {
     pub fn on_snoop(&mut self, line: LineAddr, is_write: bool, cycle: u64) {
         if let Some(t) = &mut self.snoop_table {
             t.record(line);
+            self.trace(
+                cycle,
+                TraceEvent::SnoopTableBump {
+                    line: line.line_number(),
+                },
+            );
         }
         let conflict = if is_write {
             self.read_sig.test(line) || self.write_sig.test(line)
         } else {
             self.write_sig.test(line)
         };
+        self.trace(
+            cycle,
+            TraceEvent::Snoop {
+                line: line.line_number(),
+                is_write,
+                conflict,
+            },
+        );
         if conflict {
             self.terminate_interval(cycle, Termination::Conflict);
         }
@@ -433,8 +475,22 @@ impl Recorder {
     pub fn on_dirty_eviction(&mut self, line: LineAddr, cycle: u64) {
         if let Some(t) = &mut self.snoop_table {
             t.record(line);
+            self.trace(
+                cycle,
+                TraceEvent::SnoopTableBump {
+                    line: line.line_number(),
+                },
+            );
         }
-        if self.read_sig.test(line) || self.write_sig.test(line) {
+        let conflict = self.read_sig.test(line) || self.write_sig.test(line);
+        self.trace(
+            cycle,
+            TraceEvent::DirtyEviction {
+                line: line.line_number(),
+                conflict,
+            },
+        );
+        if conflict {
             // For the partial order (parallel replay), an eviction-closed
             // interval must precede every later-timestamped interval: this
             // core stops observing the line, so no more edges can be
@@ -570,6 +626,28 @@ impl Recorder {
                     AccessKind::Store => self.stats.counted_stores += 1,
                     AccessKind::Rmw => self.stats.counted_rmws += 1,
                 }
+                if self.tracer.is_some() {
+                    let verdict = if same_interval {
+                        CountVerdict::InOrder
+                    } else if !reordered {
+                        CountVerdict::MovedAcross
+                    } else if self.snoop_table.is_some() {
+                        CountVerdict::ReorderedSnoopConflict
+                    } else {
+                        CountVerdict::ReorderedPisnMismatch
+                    };
+                    self.trace(
+                        cycle,
+                        TraceEvent::Count {
+                            seq: entry.seq,
+                            kind,
+                            addr: entry.addr,
+                            pisn,
+                            cisn: self.cisn,
+                            verdict,
+                        },
+                    );
+                }
                 if !reordered {
                     if !same_interval {
                         // The perform event moves across intervals to the
@@ -652,6 +730,25 @@ impl Recorder {
             Termination::MaxSize => self.stats.term_max_size += 1,
             Termination::Final => self.stats.term_final += 1,
         }
+        if self.tracer.is_some() {
+            let reason = match why {
+                Termination::Conflict => CloseReason::Conflict,
+                Termination::MaxSize => CloseReason::MaxSize,
+                Termination::Final => CloseReason::Final,
+            };
+            let cisn = self.cisn;
+            let ordinal = self.ordering.timestamps.len() as u64;
+            let instrs = self.instrs_in_interval;
+            self.trace(
+                cycle,
+                TraceEvent::IntervalClose {
+                    cisn,
+                    ordinal,
+                    why: reason,
+                    instrs,
+                },
+            );
+        }
         self.flush_block();
         self.log.entries.push(LogEntry::IntervalFrame {
             cisn: self.cisn,
@@ -668,6 +765,11 @@ impl Recorder {
         self.instrs_in_interval = 0;
         self.read_sig.clear();
         self.write_sig.clear();
+        if self.tracer.is_some() {
+            let cisn = self.cisn;
+            let ordinal = self.ordering.timestamps.len() as u64;
+            self.trace(cycle, TraceEvent::IntervalOpen { cisn, ordinal });
+        }
         self.drain_into_sink();
     }
 }
@@ -729,6 +831,15 @@ impl CoreObserver for Recorder {
 
     fn on_perform(&mut self, rec: &PerformRecord) {
         let cisn = self.cisn;
+        self.trace(
+            rec.cycle,
+            TraceEvent::Perform {
+                seq: rec.seq,
+                kind: rec.kind,
+                addr: rec.addr,
+                pisn: cisn,
+            },
+        );
         // Soundness extension over the paper (see DESIGN.md §2.2): the
         // Snoop Table must also observe this core's *own* store performs.
         // Otherwise a load whose perform is moved across intervals can
@@ -778,7 +889,8 @@ impl CoreObserver for Recorder {
         }
     }
 
-    fn on_squash_after(&mut self, bseq: u64) {
+    fn on_squash_after(&mut self, bseq: u64, cycle: u64) {
+        self.trace(cycle, TraceEvent::Squash { after_seq: bseq });
         self.traq.squash_after(bseq);
         let boundary = self
             .traq

@@ -707,6 +707,116 @@ pub fn decode_chunked_recover(bytes: &[u8]) -> (IntervalLog, Option<WireError>) 
     }
 }
 
+/// One chunk's position and health inside an `.rrlog` stream, as reported
+/// by [`chunk_map`] — the basis of `rr-inspect stat`'s chunk table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkInfo {
+    /// Chunk index (0-based), matching the indices in [`WireError`]s.
+    pub index: usize,
+    /// Byte offset of the chunk's 4-byte length prefix within the stream.
+    pub offset: usize,
+    /// Payload bytes (excluding the length prefix and trailing CRC).
+    pub payload_bytes: usize,
+    /// Entries decoded from the payload (0 if the CRC failed — a corrupt
+    /// payload is never entry-decoded).
+    pub entries: usize,
+    /// Whether the stored CRC32 matched the payload as read.
+    pub crc_ok: bool,
+}
+
+/// Walks an `.rrlog` byte stream chunk by chunk, reporting each chunk's
+/// offset, size, entry count, and CRC health without requiring the stream
+/// to be intact: a CRC mismatch marks that chunk `crc_ok: false` and the
+/// walk continues at the next length-prefixed boundary, so one flipped
+/// byte does not hide the chunks after it.
+///
+/// Returns the recorded core, the per-chunk map, and the first error that
+/// made further *entry decoding* unreliable (`None` for a clean stream;
+/// truncation ends the walk, a CRC mismatch or malformed entry is noted
+/// and the walk continues).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] only if the 7-byte header itself is missing,
+/// foreign, or version-skewed — with no header there is nothing to map.
+pub fn chunk_map(bytes: &[u8]) -> Result<(CoreId, Vec<ChunkInfo>, Option<WireError>), WireError> {
+    if bytes.len() < 7 {
+        return Err(WireError::Truncated { chunk: 0 });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion { version });
+    }
+    let core = CoreId::new(bytes[6]);
+
+    let mut map = Vec::new();
+    let mut first_err = None;
+    let note = |e: WireError, slot: &mut Option<WireError>| {
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    };
+    let mut state = DeltaState::default();
+    let mut pos = 7usize;
+    let mut index = 0usize;
+    while pos < bytes.len() {
+        let offset = pos;
+        let Some(len_bytes) = bytes.get(pos..pos + 4) else {
+            note(WireError::Truncated { chunk: index }, &mut first_err);
+            break;
+        };
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        pos += 4;
+        let Some(payload) = bytes.get(pos..pos + len) else {
+            note(WireError::Truncated { chunk: index }, &mut first_err);
+            break;
+        };
+        pos += len;
+        let Some(crc_bytes) = bytes.get(pos..pos + 4) else {
+            note(WireError::Truncated { chunk: index }, &mut first_err);
+            break;
+        };
+        pos += 4;
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let computed = crc32(payload);
+        let crc_ok = stored == computed;
+        let mut entries = 0usize;
+        if crc_ok {
+            let mut p = 0usize;
+            while p < payload.len() {
+                match decode_entry(payload, &mut p, &mut state, index) {
+                    Ok(_) => entries += 1,
+                    Err(e) => {
+                        note(e, &mut first_err);
+                        break;
+                    }
+                }
+            }
+        } else {
+            note(
+                WireError::CrcMismatch {
+                    chunk: index,
+                    stored,
+                    computed,
+                },
+                &mut first_err,
+            );
+        }
+        map.push(ChunkInfo {
+            index,
+            offset,
+            payload_bytes: len,
+            entries,
+            crc_ok,
+        });
+        index += 1;
+    }
+    Ok((core, map, first_err))
+}
+
 /// Writes `log` to `path` as an `.rrlog` file.
 ///
 /// # Errors
@@ -933,6 +1043,56 @@ mod tests {
         assert_eq!(src.core(), log.core);
         let round = read_log(&mut src).expect("memory source");
         assert_eq!(round, log);
+    }
+
+    #[test]
+    fn chunk_map_reports_every_chunk_of_a_clean_stream() {
+        let log = sample_log();
+        let bytes = encode_chunked_with(&log, 4);
+        let (core, map, err) = chunk_map(&bytes).expect("header ok");
+        assert_eq!(core, log.core);
+        assert!(err.is_none());
+        assert!(map.len() > 3, "want several chunks");
+        assert_eq!(
+            map.iter().map(|c| c.entries).sum::<usize>(),
+            log.entries.len()
+        );
+        assert!(map.iter().all(|c| c.crc_ok));
+        // Offsets tile the stream exactly: header, then framed chunks.
+        let mut pos = 7;
+        for c in &map {
+            assert_eq!(c.offset, pos);
+            pos += 4 + c.payload_bytes + 4;
+        }
+        assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn chunk_map_survives_a_corrupt_middle_chunk() {
+        let log = sample_log();
+        let bytes = encode_chunked_with(&log, 4);
+        let (_, clean, _) = chunk_map(&bytes).expect("header ok");
+        assert!(clean.len() >= 3);
+        // Flip a payload byte of the second chunk.
+        let mut corrupted = bytes.clone();
+        corrupted[clean[1].offset + 4] ^= 0x40;
+        let (_, map, err) = chunk_map(&corrupted).expect("header ok");
+        assert_eq!(map.len(), clean.len(), "later chunks still mapped");
+        assert!(map[0].crc_ok && !map[1].crc_ok && map[2].crc_ok);
+        assert_eq!(map[1].entries, 0, "corrupt payloads are not decoded");
+        assert!(matches!(err, Some(WireError::CrcMismatch { chunk: 1, .. })));
+    }
+
+    #[test]
+    fn chunk_map_flags_truncation_and_foreign_streams() {
+        let log = sample_log();
+        let bytes = encode_chunked(&log);
+        let (_, map, err) = chunk_map(&bytes[..bytes.len() - 2]).expect("header ok");
+        assert!(map.is_empty(), "the only chunk is cut short");
+        assert!(matches!(err, Some(WireError::Truncated { chunk: 0 })));
+
+        assert_eq!(chunk_map(b"RRL"), Err(WireError::Truncated { chunk: 0 }));
+        assert_eq!(chunk_map(b"NOPEnope"), Err(WireError::BadMagic));
     }
 
     #[test]

@@ -247,7 +247,7 @@ fn squash_discards_uncounted_suffix_and_recovers_nmi() {
     assert!(rec.on_dispatch(4, false));
     assert!(rec.on_dispatch(5, false));
     assert!(rec.on_dispatch(6, true)); // will be squashed
-    rec.on_squash_after(1);
+    rec.on_squash_after(1, 5);
     // Re-dispatch the correct path: one mem access, which must carry
     // NMI = 2 (the two surviving non-memory instructions).
     assert!(rec.on_dispatch(2, true));

@@ -1237,6 +1237,6 @@ impl<'p> Core<'p> {
         self.fetch_pc = new_pc;
         self.dispatch_stopped = false;
         self.redirect_ready_at = cycle + self.cfg.mispredict_penalty;
-        obs.on_squash_after(bseq);
+        obs.on_squash_after(bseq, cycle);
     }
 }

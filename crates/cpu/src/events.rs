@@ -47,8 +47,8 @@ pub trait CoreObserver {
     fn on_retire(&mut self, seq: u64, is_mem: bool, cycle: u64);
 
     /// All instructions with sequence numbers **greater than** `seq` were
-    /// squashed (branch misprediction).
-    fn on_squash_after(&mut self, seq: u64);
+    /// squashed (branch misprediction) at `cycle`.
+    fn on_squash_after(&mut self, seq: u64, cycle: u64);
 }
 
 /// An observer that ignores everything and never stalls the core.
@@ -61,7 +61,7 @@ impl CoreObserver for NullObserver {
     }
     fn on_perform(&mut self, _record: &PerformRecord) {}
     fn on_retire(&mut self, _seq: u64, _is_mem: bool, _cycle: u64) {}
-    fn on_squash_after(&mut self, _seq: u64) {}
+    fn on_squash_after(&mut self, _seq: u64, _cycle: u64) {}
 }
 
 /// Fans events out to a list of observers (used by the simulator to attach
@@ -108,9 +108,9 @@ impl CoreObserver for FanoutObserver<'_> {
             o.on_retire(seq, is_mem, cycle);
         }
     }
-    fn on_squash_after(&mut self, seq: u64) {
+    fn on_squash_after(&mut self, seq: u64, cycle: u64) {
         for o in &mut self.observers {
-            o.on_squash_after(seq);
+            o.on_squash_after(seq, cycle);
         }
     }
 }
@@ -127,7 +127,7 @@ mod tests {
         }
         fn on_perform(&mut self, _r: &PerformRecord) {}
         fn on_retire(&mut self, _s: u64, _m: bool, _c: u64) {}
-        fn on_squash_after(&mut self, _s: u64) {}
+        fn on_squash_after(&mut self, _s: u64, _c: u64) {}
     }
 
     #[test]

@@ -24,7 +24,7 @@ impl CoreObserver for PerformLog {
         self.events.push((rec.seq, rec.kind, rec.addr, rec.cycle));
     }
     fn on_retire(&mut self, _s: u64, _m: bool, _c: u64) {}
-    fn on_squash_after(&mut self, seq: u64) {
+    fn on_squash_after(&mut self, seq: u64, _cycle: u64) {
         self.events.retain(|e| e.0 <= seq);
     }
 }

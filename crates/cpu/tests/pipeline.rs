@@ -304,7 +304,7 @@ fn observer_refusals_stall_but_preserve_correctness() {
         }
         fn on_perform(&mut self, _r: &PerformRecord) {}
         fn on_retire(&mut self, _s: u64, _m: bool, _c: u64) {}
-        fn on_squash_after(&mut self, _s: u64) {}
+        fn on_squash_after(&mut self, _s: u64, _c: u64) {}
     }
     let mut bld = ProgramBuilder::new();
     let (i, sum, limit) = (r(1), r(2), r(3));
@@ -338,7 +338,7 @@ fn perform_events_carry_values_and_retire_is_in_order() {
         fn on_retire(&mut self, seq: u64, _m: bool, _c: u64) {
             self.retires.push(seq);
         }
-        fn on_squash_after(&mut self, seq: u64) {
+        fn on_squash_after(&mut self, seq: u64, _cycle: u64) {
             self.performs.retain(|p| p.seq <= seq);
             self.retires.retain(|&s| s <= seq);
         }

@@ -10,7 +10,7 @@
 use relaxreplay::{Design, RecorderConfig};
 use rr_cpu::ConsistencyModel;
 use rr_experiments::report::{pct, results_dir, write_metrics_jsonl, Table};
-use rr_experiments::ExperimentConfig;
+use rr_experiments::{write_trace_pairs, ExperimentConfig};
 use rr_sim::{JobOutput, MachineConfig, ReplayPolicy, SweepJob};
 use rr_workloads::by_name;
 
@@ -39,7 +39,7 @@ fn main() {
     if rr_experiments::handle_replay_from(&cfg) {
         return;
     }
-    let machine = MachineConfig::splash_default(cfg.threads);
+    let machine = MachineConfig::splash_default(cfg.threads).with_trace(cfg.trace);
     let dir = results_dir();
 
     const MODELS: [(ConsistencyModel, &str); 3] = [
@@ -56,7 +56,9 @@ fn main() {
                 format!("{name}/consistency/{tag}"),
                 name,
                 &cfg,
-                MachineConfig::splash_default(cfg.threads).with_consistency(model),
+                MachineConfig::splash_default(cfg.threads)
+                    .with_consistency(model)
+                    .with_trace(cfg.trace),
                 vec![RecorderConfig::splash_default(Design::Base, Some(4096))],
             ));
         }
@@ -146,6 +148,12 @@ fn main() {
         report.wall_ns as f64 / 1e9
     );
     write_metrics_jsonl(&dir, "ablation", &report.to_jsonl()).expect("write metrics");
+    let traced: Vec<_> = report
+        .outputs
+        .iter()
+        .filter_map(|o| o.run.trace.as_ref().map(|t| (o.name.clone(), t)))
+        .collect();
+    write_trace_pairs(&dir, "ablation", &traced);
     let mut outs = report.outputs.into_iter();
     let mut take = |n: usize| -> Vec<JobOutput> { outs.by_ref().take(n).collect() };
 

@@ -4,7 +4,9 @@
 
 use rr_experiments::report::{results_dir, write_metrics_jsonl};
 use rr_experiments::runner::run_scalability;
-use rr_experiments::{figures, metrics_jsonl, run_suite_timed, ExperimentConfig};
+use rr_experiments::{
+    figures, metrics_jsonl, run_suite_timed, write_trace_artifacts, ExperimentConfig,
+};
 use rr_sim::MachineConfig;
 
 fn main() {
@@ -53,6 +55,7 @@ fn main() {
         t.write_csv(&dir, slug).expect("write CSV");
     }
     write_metrics_jsonl(&dir, "all_figures", &metrics_jsonl(&runs)).expect("write metrics");
+    write_trace_artifacts(&dir, "all_figures", &runs);
 
     eprintln!("running the scalability sweep (4/8/16 cores)...");
     let scal = run_scalability(&cfg, &[4, 8, 16]);
@@ -64,5 +67,9 @@ fn main() {
         jsonl.push_str(&metrics_jsonl(runs));
     }
     write_metrics_jsonl(&dir, "fig14", &jsonl).expect("write metrics");
+
+    let summary = figures::summary(&runs);
+    summary.print();
+    summary.write_csv(&dir, "summary").expect("write CSV");
     eprintln!("CSVs and metrics sidecars written to {}", dir.display());
 }

@@ -1,7 +1,7 @@
 //! Figure 10: InorderBlock entry counts, Opt normalized to Base.
 
 use rr_experiments::report::{results_dir, write_metrics_jsonl};
-use rr_experiments::{figures, metrics_jsonl, run_suite, ExperimentConfig};
+use rr_experiments::{figures, metrics_jsonl, run_suite, write_trace_artifacts, ExperimentConfig};
 
 fn main() {
     let mut cfg = ExperimentConfig::from_env();
@@ -15,4 +15,5 @@ fn main() {
     let dir = results_dir();
     t.write_csv(&dir, "fig10").expect("write CSV");
     write_metrics_jsonl(&dir, "fig10", &metrics_jsonl(&runs)).expect("write metrics");
+    write_trace_artifacts(&dir, "fig10", &runs);
 }

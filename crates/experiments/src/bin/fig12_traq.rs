@@ -2,7 +2,7 @@
 //! recording-overhead evidence of §5.3.
 
 use rr_experiments::report::{results_dir, write_metrics_jsonl};
-use rr_experiments::{figures, metrics_jsonl, run_suite, ExperimentConfig};
+use rr_experiments::{figures, metrics_jsonl, run_suite, write_trace_artifacts, ExperimentConfig};
 
 fn main() {
     let mut cfg = ExperimentConfig::from_env();
@@ -19,4 +19,5 @@ fn main() {
     h.print();
     h.write_csv(&dir, "fig12_hist").expect("write CSV");
     write_metrics_jsonl(&dir, "fig12", &metrics_jsonl(&runs)).expect("write metrics");
+    write_trace_artifacts(&dir, "fig12", &runs);
 }

@@ -1,7 +1,7 @@
 //! Figure 13: sequential replay time relative to parallel recording.
 
 use rr_experiments::report::{results_dir, write_metrics_jsonl};
-use rr_experiments::{figures, metrics_jsonl, run_suite, ExperimentConfig};
+use rr_experiments::{figures, metrics_jsonl, run_suite, write_trace_artifacts, ExperimentConfig};
 
 fn main() {
     let cfg = ExperimentConfig::from_env(); // replay enabled by default
@@ -14,4 +14,5 @@ fn main() {
     let dir = results_dir();
     t.write_csv(&dir, "fig13").expect("write CSV");
     write_metrics_jsonl(&dir, "fig13", &metrics_jsonl(&runs)).expect("write metrics");
+    write_trace_artifacts(&dir, "fig13", &runs);
 }

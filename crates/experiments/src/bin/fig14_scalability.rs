@@ -2,7 +2,7 @@
 
 use rr_experiments::report::{results_dir, write_metrics_jsonl};
 use rr_experiments::runner::run_scalability;
-use rr_experiments::{figures, metrics_jsonl, ExperimentConfig};
+use rr_experiments::{figures, metrics_jsonl, write_trace_pairs, ExperimentConfig};
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
@@ -19,4 +19,10 @@ fn main() {
         jsonl.push_str(&metrics_jsonl(runs));
     }
     write_metrics_jsonl(&dir, "fig14", &jsonl).expect("write metrics");
+    let traced: Vec<_> = results
+        .iter()
+        .flat_map(|(_, runs)| runs)
+        .filter_map(|r| r.record.trace.as_ref().map(|t| (r.label.clone(), t)))
+        .collect();
+    write_trace_pairs(&dir, "fig14", &traced);
 }

@@ -6,7 +6,7 @@
 //! parallel sweep (one job per workload × coherence mode).
 
 use rr_experiments::report::{f2, results_dir, write_metrics_jsonl, Table};
-use rr_experiments::ExperimentConfig;
+use rr_experiments::{write_trace_pairs, ExperimentConfig};
 use rr_replay::{patch, replay_parallel, verify, CostModel};
 use rr_sim::{run_sweep, MachineConfig, RecorderSpec, ReplayPolicy, SweepJob};
 use rr_workloads::suite;
@@ -36,8 +36,10 @@ fn main() {
         design: relaxreplay::Design::Opt,
         max_interval: Some(4096),
     }];
-    let snoopy = MachineConfig::splash_default(cfg.threads);
-    let directory = MachineConfig::splash_default(cfg.threads).with_directory();
+    let snoopy = MachineConfig::splash_default(cfg.threads).with_trace(cfg.trace);
+    let directory = MachineConfig::splash_default(cfg.threads)
+        .with_directory()
+        .with_trace(cfg.trace);
 
     let workloads = suite(cfg.threads, cfg.size);
     let jobs: Vec<SweepJob> = workloads
@@ -60,6 +62,12 @@ fn main() {
     let report = run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep: {e}"));
     let dir = results_dir();
     write_metrics_jsonl(&dir, "parallel_replay", &report.to_jsonl()).expect("write metrics");
+    let traced: Vec<_> = report
+        .outputs
+        .iter()
+        .filter_map(|o| o.run.trace.as_ref().map(|t| (o.name.clone(), t)))
+        .collect();
+    write_trace_pairs(&dir, "parallel_replay", &traced);
 
     let mut t = Table::new(
         &format!(

@@ -1,0 +1,478 @@
+//! `rr-inspect` — offline forensics for RelaxReplay artifacts.
+//!
+//! ```text
+//! rr-inspect stat  <file.rrlog | run-dir>     chunk map, entry histogram,
+//!                                             per-interval reordered density
+//! rr-inspect dump  <file.rrlog> [--limit N]   print decoded entries
+//! rr-inspect check <file.rrlog | dir>         verify integrity (exit 1 on damage)
+//! rr-inspect trace <trace.jsonl> [-o out.json] convert a trace sidecar to
+//!                                             Chrome/Perfetto trace JSON
+//! ```
+//!
+//! `check` on a directory accepts either one run directory (it contains
+//! `manifest.txt`) or a `--save-logs` root holding many runs; a run check
+//! also validates the `truth.bin` ground-truth sidecar.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use relaxreplay::wire::{chunk_map, decode_chunked_recover};
+use relaxreplay::LogEntry;
+use rr_experiments::report::Table;
+
+const USAGE: &str = "usage:
+  rr-inspect stat  <file.rrlog | run-dir>
+  rr-inspect dump  <file.rrlog> [--limit N]
+  rr-inspect check <file.rrlog | dir>
+  rr-inspect trace <trace.jsonl> [-o out.json]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "stat" => cmd_stat(rest),
+            "dump" => cmd_dump(rest),
+            "check" => cmd_check(rest),
+            "trace" => cmd_trace(rest),
+            "-h" | "--help" | "help" => {
+                println!("{USAGE}");
+                0
+            }
+            other => {
+                eprintln!("unknown command {other:?}\n{USAGE}");
+                2
+            }
+        },
+        None => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    ExitCode::from(code)
+}
+
+fn one_path(args: &[String], cmd: &str) -> Result<PathBuf, u8> {
+    match args.first() {
+        Some(p) => Ok(PathBuf::from(p)),
+        None => {
+            eprintln!("rr-inspect {cmd}: missing path\n{USAGE}");
+            Err(2)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// stat
+// ---------------------------------------------------------------------------
+
+fn cmd_stat(args: &[String]) -> u8 {
+    let path = match one_path(args, "stat") {
+        Ok(p) => p,
+        Err(c) => return c,
+    };
+    if path.is_dir() {
+        stat_run_dir(&path)
+    } else {
+        stat_file(&path)
+    }
+}
+
+fn entry_name(e: &LogEntry) -> &'static str {
+    match e {
+        LogEntry::InorderBlock { .. } => "InorderBlock",
+        LogEntry::ReorderedLoad { .. } => "ReorderedLoad",
+        LogEntry::ReorderedStore { .. } => "ReorderedStore",
+        LogEntry::ReorderedRmw { .. } => "ReorderedRmw",
+        LogEntry::IntervalFrame { .. } => "IntervalFrame",
+    }
+}
+
+/// Reordered entries per interval: one count per `IntervalFrame`, plus the
+/// count of trailing entries after the last frame if any (an unterminated
+/// tail, e.g. on a truncated file).
+fn reordered_density(entries: &[LogEntry]) -> Vec<u64> {
+    let mut per_interval = Vec::new();
+    let mut current = 0u64;
+    let mut tail = false;
+    for e in entries {
+        match e {
+            LogEntry::IntervalFrame { .. } => {
+                per_interval.push(current);
+                current = 0;
+                tail = false;
+            }
+            LogEntry::InorderBlock { .. } => tail = true,
+            _ => {
+                current += 1;
+                tail = true;
+            }
+        }
+    }
+    if tail {
+        per_interval.push(current);
+    }
+    per_interval
+}
+
+fn stat_file(path: &Path) -> u8 {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return 1;
+        }
+    };
+    let (core, chunks, map_err) = match chunk_map(&bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return 1;
+        }
+    };
+    println!(
+        "{}: core {}, {} bytes, {} chunk(s)",
+        path.display(),
+        core.index(),
+        bytes.len(),
+        chunks.len()
+    );
+
+    let mut t = Table::new(
+        "chunk map",
+        &["chunk", "offset", "payload B", "entries", "crc"],
+    );
+    for c in &chunks {
+        t.row(vec![
+            format!("{}", c.index),
+            format!("{}", c.offset),
+            format!("{}", c.payload_bytes),
+            format!("{}", c.entries),
+            if c.crc_ok { "ok" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    t.print();
+
+    let (log, decode_err) = decode_chunked_recover(&bytes);
+    let mut hist: Vec<(&'static str, u64)> = Vec::new();
+    for e in &log.entries {
+        let name = entry_name(e);
+        match hist.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, c)) => *c += 1,
+            None => hist.push((name, 1)),
+        }
+    }
+    let mut t = Table::new("entry histogram", &["entry", "count"]);
+    for (name, count) in &hist {
+        t.row(vec![(*name).to_string(), format!("{count}")]);
+    }
+    t.row(vec!["TOTAL".into(), format!("{}", log.entries.len())]);
+    t.print();
+
+    let density = reordered_density(&log.entries);
+    if density.is_empty() {
+        println!("no intervals decoded");
+    } else {
+        let total: u64 = density.iter().sum();
+        let max = density.iter().copied().max().unwrap_or(0);
+        println!(
+            "reordered density: {} interval(s), {:.2} reordered/interval avg, {max} max",
+            density.len(),
+            total as f64 / density.len() as f64
+        );
+    }
+
+    match map_err.or(decode_err) {
+        None => {
+            println!("integrity: ok");
+            0
+        }
+        Some(e) => {
+            println!("integrity: DAMAGED — {e}");
+            1
+        }
+    }
+}
+
+fn stat_run_dir(run_dir: &Path) -> u8 {
+    let manifest_path = run_dir.join("manifest.txt");
+    let manifest = match std::fs::read_to_string(&manifest_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!(
+                "{}: {e} (expected a run directory saved by --save-logs)",
+                manifest_path.display()
+            );
+            return 1;
+        }
+    };
+    let mut lines = manifest.lines();
+    let Some(cores) = lines
+        .next()
+        .and_then(|l| l.strip_prefix("cores "))
+        .and_then(|n| n.parse::<usize>().ok())
+    else {
+        eprintln!("{}: manifest missing cores line", manifest_path.display());
+        return 1;
+    };
+    println!("{}: {cores} core(s)", run_dir.display());
+
+    let mut code = 0u8;
+    let mut t = Table::new(
+        "variants",
+        &["variant", "core", "bytes", "chunks", "entries", "crc"],
+    );
+    for label in lines.filter(|l| !l.is_empty()) {
+        for k in 0..cores {
+            let path = run_dir.join(label).join(format!("core{k}.rrlog"));
+            let row = match std::fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|b| {
+                    chunk_map(&b)
+                        .map(|(_, chunks, err)| (b.len(), chunks, err))
+                        .map_err(|e| e.to_string())
+                }) {
+                Ok((bytes, chunks, err)) => {
+                    if err.is_some() {
+                        code = 1;
+                    }
+                    vec![
+                        label.to_string(),
+                        format!("{k}"),
+                        format!("{bytes}"),
+                        format!("{}", chunks.len()),
+                        format!("{}", chunks.iter().map(|c| c.entries).sum::<usize>()),
+                        match err {
+                            None => "ok".to_string(),
+                            Some(e) => format!("DAMAGED ({e})"),
+                        },
+                    ]
+                }
+                Err(e) => {
+                    code = 1;
+                    vec![
+                        label.to_string(),
+                        format!("{k}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("ERROR ({e})"),
+                    ]
+                }
+            };
+            t.row(row);
+        }
+    }
+    t.print();
+    for sidecar in ["truth.bin", "trace.jsonl", "trace.json"] {
+        let p = run_dir.join(sidecar);
+        if let Ok(meta) = std::fs::metadata(&p) {
+            println!("{sidecar}: {} bytes", meta.len());
+        }
+    }
+    code
+}
+
+// ---------------------------------------------------------------------------
+// dump
+// ---------------------------------------------------------------------------
+
+fn cmd_dump(args: &[String]) -> u8 {
+    let path = match one_path(args, "dump") {
+        Ok(p) => p,
+        Err(c) => return c,
+    };
+    let mut limit = usize::MAX;
+    let mut rest = args[1..].iter();
+    while let Some(a) = rest.next() {
+        if a == "--limit" {
+            if let Some(n) = rest.next().and_then(|v| v.parse().ok()) {
+                limit = n;
+            }
+        } else if let Some(n) = a.strip_prefix("--limit=").and_then(|v| v.parse().ok()) {
+            limit = n;
+        }
+    }
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return 1;
+        }
+    };
+    let (log, err) = decode_chunked_recover(&bytes);
+    println!(
+        "{}: core {}, {} entr{}",
+        path.display(),
+        log.core.index(),
+        log.entries.len(),
+        if log.entries.len() == 1 { "y" } else { "ies" }
+    );
+    for (i, e) in log.entries.iter().take(limit).enumerate() {
+        let text = match e {
+            LogEntry::InorderBlock { instrs } => format!("InorderBlock    instrs={instrs}"),
+            LogEntry::ReorderedLoad { value } => format!("ReorderedLoad   value={value:#x}"),
+            LogEntry::ReorderedStore {
+                addr,
+                value,
+                offset,
+            } => format!("ReorderedStore  addr={addr:#x} value={value:#x} offset={offset}"),
+            LogEntry::ReorderedRmw {
+                loaded,
+                addr,
+                stored,
+                offset,
+            } => match stored {
+                Some(s) => format!(
+                    "ReorderedRmw    addr={addr:#x} loaded={loaded:#x} stored={s:#x} offset={offset}"
+                ),
+                None => format!(
+                    "ReorderedRmw    addr={addr:#x} loaded={loaded:#x} (failed) offset={offset}"
+                ),
+            },
+            LogEntry::IntervalFrame { cisn, timestamp } => {
+                format!("IntervalFrame   cisn={cisn} timestamp={timestamp}")
+            }
+        };
+        println!("{i:>8}  {text}");
+    }
+    if log.entries.len() > limit {
+        println!("... ({} more)", log.entries.len() - limit);
+    }
+    match err {
+        None => 0,
+        Some(e) => {
+            eprintln!("stream damaged after the entries above: {e}");
+            1
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// check
+// ---------------------------------------------------------------------------
+
+fn cmd_check(args: &[String]) -> u8 {
+    let path = match one_path(args, "check") {
+        Ok(p) => p,
+        Err(c) => return c,
+    };
+    if !path.is_dir() {
+        return match std::fs::read(&path) {
+            Ok(bytes) => match relaxreplay::wire::decode_chunked(&bytes) {
+                Ok(log) => {
+                    println!(
+                        "{}: ok (core {}, {} entries)",
+                        path.display(),
+                        log.core.index(),
+                        log.entries.len()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    1
+                }
+            },
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                1
+            }
+        };
+    }
+    // A run directory, or a --save-logs root full of them.
+    let (root, names) = if path.join("manifest.txt").is_file() {
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => {
+                eprintln!("{}: unusable directory name", path.display());
+                return 1;
+            }
+        };
+        let root = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+        (root, vec![name])
+    } else {
+        match rr_sim::list_runs(&path) {
+            Ok(names) if !names.is_empty() => (path.clone(), names),
+            Ok(_) => {
+                eprintln!("{}: no saved runs found", path.display());
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                return 1;
+            }
+        }
+    };
+    let mut code = 0u8;
+    for name in &names {
+        match rr_sim::load_run(&root, name) {
+            Ok(run) => {
+                let logs: usize = run.variants.iter().map(|v| v.logs.len()).sum();
+                println!(
+                    "{name}: ok ({} variant(s), {logs} .rrlog file(s), truth verified)",
+                    run.variants.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                code = 1;
+            }
+        }
+    }
+    code
+}
+
+// ---------------------------------------------------------------------------
+// trace
+// ---------------------------------------------------------------------------
+
+fn cmd_trace(args: &[String]) -> u8 {
+    let path = match one_path(args, "trace") {
+        Ok(p) => p,
+        Err(c) => return c,
+    };
+    let mut out_path: Option<PathBuf> = None;
+    let mut rest = args[1..].iter();
+    while let Some(a) = rest.next() {
+        if a == "-o" || a == "--out" {
+            out_path = rest.next().map(PathBuf::from);
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            out_path = Some(PathBuf::from(p));
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| path.with_extension("json"));
+    let input = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return 1;
+        }
+    };
+    let chrome = match relaxreplay::trace::chrome_trace_from_jsonl(&input) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}: {e}", path.display());
+            return 1;
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, &chrome) {
+        eprintln!("{}: {e}", out_path.display());
+        return 1;
+    }
+    match relaxreplay::trace::validate_chrome_trace(&chrome) {
+        Ok(stats) => {
+            println!(
+                "{} -> {} ({} events, {} track(s)) — load it in Perfetto or chrome://tracing",
+                path.display(),
+                out_path.display(),
+                stats.events,
+                stats.tracks
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("internal error: produced an invalid Chrome trace: {e}");
+            1
+        }
+    }
+}

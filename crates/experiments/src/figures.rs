@@ -358,6 +358,70 @@ pub fn fig14(results: &[(usize, Vec<WorkloadRun>)]) -> Table {
     t
 }
 
+/// End-of-run summary: how well the chunked `.rrlog` wire format compresses
+/// each variant's log versus the flat encoding (`rec.*.wire_*` metrics,
+/// parts-per-thousand — smaller is better), and where the host wall-clock
+/// went per phase (`PhaseNanos`).
+#[must_use]
+pub fn summary(runs: &[WorkloadRun]) -> Table {
+    let mut t = Table::new(
+        "Summary: wire compression (chunked/flat, permille) and host phase times",
+        &[
+            "workload",
+            "Base-4K",
+            "Opt-4K",
+            "Base-INF",
+            "Opt-INF",
+            "wire KB",
+            "record ms",
+            "patch ms",
+            "replay ms",
+            "verify ms",
+        ],
+    );
+    let mut permille_sums = [0.0f64; 4];
+    let mut wire_total = 0u64;
+    let mut phase_sums = [0u64; 4];
+    for r in runs {
+        let mut cells = vec![r.name.to_string()];
+        for (v, label) in VARIANT_NAMES.iter().enumerate() {
+            let permille = r
+                .metrics
+                .counter(&format!("rec.{label}.wire_compression_permille"));
+            permille_sums[v] += permille as f64;
+            cells.push(format!("{permille}"));
+        }
+        let wire: u64 = VARIANT_NAMES
+            .iter()
+            .map(|label| r.metrics.counter(&format!("rec.{label}.wire_bytes")))
+            .sum();
+        wire_total += wire;
+        cells.push(f2(wire as f64 / 1024.0));
+        let phases = [
+            r.phases.record,
+            r.phases.patch,
+            r.phases.replay,
+            r.phases.verify,
+        ];
+        for (sum, ns) in phase_sums.iter_mut().zip(phases) {
+            *sum += ns;
+            cells.push(f2(ns as f64 / 1e6));
+        }
+        t.row(cells);
+    }
+    let n = runs.len() as f64;
+    let mut totals = vec!["TOTAL/AVG".to_string()];
+    for s in permille_sums {
+        totals.push(format!("{:.0}", s / n));
+    }
+    totals.push(f2(wire_total as f64 / 1024.0));
+    for s in phase_sums {
+        totals.push(f2(s as f64 / 1e6));
+    }
+    t.row(totals);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +489,7 @@ mod tests {
                 recorded: RecordedExecution::default(),
                 variants,
                 clock_ghz: 2.0,
+                trace: None,
             },
             replays: Vec::new(),
         }
@@ -467,6 +532,19 @@ mod tests {
         let text = fig12(&runs).render();
         assert!(text.contains("5.00"), "avg occupancy 500/100: {text}");
         assert!(text.contains("42"), "peak: {text}");
+    }
+
+    #[test]
+    fn summary_reads_wire_metrics_and_phases() {
+        let mut run = synthetic_run();
+        run.metrics
+            .set("rec.Base-4K.wire_compression_permille", 417);
+        run.metrics.set("rec.Base-4K.wire_bytes", 2048);
+        run.phases.record = 3_000_000;
+        let text = summary(&[run]).render();
+        assert!(text.contains("417"), "{text}");
+        assert!(text.contains("2.00"), "2048 B = 2.00 KB: {text}");
+        assert!(text.contains("3.00"), "3 ms of recording: {text}");
     }
 
     #[test]

@@ -25,5 +25,6 @@ pub mod runner;
 
 pub use runner::{
     handle_replay_from, metrics_jsonl, replay_suite_from, run_suite, run_suite_timed,
-    ExperimentConfig, ReplayFromSummary, SuiteRun, WorkloadRun,
+    write_trace_artifacts, write_trace_pairs, ExperimentConfig, ReplayFromSummary, SuiteRun,
+    WorkloadRun,
 };

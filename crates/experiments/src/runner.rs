@@ -5,6 +5,7 @@
 
 use std::path::PathBuf;
 
+use relaxreplay::trace::{TraceConfig, TraceLevel};
 use rr_replay::{patch, replay, verify, CostModel, ReplayOutcome};
 use rr_sim::sweep::{run_sweep, ReplayPolicy, SweepJob, SweepReport};
 use rr_sim::{metrics, MachineConfig, MetricsRegistry, PhaseNanos, RecorderSpec, RunResult};
@@ -33,6 +34,12 @@ pub struct ExperimentConfig {
     /// directory and replay + verify them from disk
     /// (`--replay-from <dir>` / `RR_REPLAY_FROM`).
     pub replay_from: Option<PathBuf>,
+    /// Event-tracing configuration (`--trace <level>` / `RR_TRACE`).
+    /// Off by default; when enabled, every recorded run carries per-core
+    /// timelines and the binaries write `<slug>.trace.jsonl` +
+    /// `<slug>.trace.json` (Perfetto) next to their metrics sidecars.
+    /// Tracing never changes the recorded `.rrlog` bytes.
+    pub trace: TraceConfig,
 }
 
 impl ExperimentConfig {
@@ -49,12 +56,14 @@ impl ExperimentConfig {
             workers: 0,
             save_logs: None,
             replay_from: None,
+            trace: TraceConfig::off(),
         }
     }
 
     /// Reads `RR_THREADS` / `RR_SIZE` / `RR_WORKERS` / `RR_SAVE_LOGS` /
-    /// `RR_REPLAY_FROM` environment overrides and the `--workers N`,
-    /// `--save-logs <dir>`, `--replay-from <dir>` command-line flags (used
+    /// `RR_REPLAY_FROM` / `RR_TRACE` environment overrides and the
+    /// `--workers N`, `--save-logs <dir>`, `--replay-from <dir>`,
+    /// `--trace <off|intervals|accesses|full>` command-line flags (used
     /// by the binaries so runs can be scaled without recompiling).
     #[must_use]
     pub fn from_env() -> Self {
@@ -84,6 +93,11 @@ impl ExperimentConfig {
                 cfg.replay_from = Some(PathBuf::from(d));
             }
         }
+        if let Ok(l) = std::env::var("RR_TRACE") {
+            if let Some(level) = TraceLevel::parse(&l) {
+                cfg.trace = TraceConfig::level(level);
+            }
+        }
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if a == "--workers" {
@@ -100,6 +114,12 @@ impl ExperimentConfig {
                 cfg.replay_from = args.next().map(PathBuf::from);
             } else if let Some(d) = a.strip_prefix("--replay-from=") {
                 cfg.replay_from = Some(PathBuf::from(d));
+            } else if a == "--trace" {
+                if let Some(level) = args.next().and_then(|v| TraceLevel::parse(&v)) {
+                    cfg.trace = TraceConfig::level(level);
+                }
+            } else if let Some(level) = a.strip_prefix("--trace=").and_then(TraceLevel::parse) {
+                cfg.trace = TraceConfig::level(level);
             }
         }
         cfg
@@ -170,7 +190,7 @@ fn replay_policy(cfg: &ExperimentConfig) -> ReplayPolicy {
 /// either would be a correctness bug, not an experiment outcome.
 #[must_use]
 pub fn run_suite_timed(cfg: &ExperimentConfig) -> SuiteRun {
-    let machine = MachineConfig::splash_default(cfg.threads);
+    let machine = MachineConfig::splash_default(cfg.threads).with_trace(cfg.trace);
     let specs = variant_specs();
     let workloads = suite(cfg.threads, cfg.size);
     let names: Vec<&'static str> = workloads.iter().map(|w| w.name).collect();
@@ -260,7 +280,7 @@ pub fn run_scalability(
     let mut jobs = Vec::new();
     let mut names = Vec::new();
     for &cores in core_counts {
-        let machine = MachineConfig::splash_default(cores);
+        let machine = MachineConfig::splash_default(cores).with_trace(cfg.trace);
         for w in suite(cores, cfg.size) {
             names.push((cores, w.name));
             jobs.push(SweepJob::from_specs(
@@ -392,6 +412,62 @@ pub fn handle_replay_from(cfg: &ExperimentConfig) -> bool {
     true
 }
 
+/// Writes the event-trace artifacts for a set of runs next to the metrics
+/// sidecars: `<slug>.trace.jsonl` (one JSON object per trace record,
+/// every run concatenated) and `<slug>.trace.json` (Chrome trace-event
+/// format — open it in Perfetto or `chrome://tracing`, one track per
+/// core plus a coherence/replay track per run).
+///
+/// A no-op unless tracing was enabled (`--trace` / `RR_TRACE`) and at
+/// least one run carries a trace.
+///
+/// # Panics
+///
+/// Panics if writing fails — the artifact was explicitly requested.
+pub fn write_trace_artifacts(dir: &std::path::Path, slug: &str, runs: &[WorkloadRun]) {
+    let traced: Vec<(String, &relaxreplay::RunTrace)> = runs
+        .iter()
+        .filter_map(|r| r.record.trace.as_ref().map(|t| (r.label.clone(), t)))
+        .collect();
+    write_trace_pairs(dir, slug, &traced);
+}
+
+/// As [`write_trace_artifacts`], but over pre-labelled `(run, trace)`
+/// pairs — for harnesses (ablation, parallel replay) that drive sweeps
+/// directly instead of going through [`run_suite`]. No-op on an empty
+/// slice.
+///
+/// # Panics
+///
+/// Panics if writing fails — the artifact was explicitly requested.
+pub fn write_trace_pairs(
+    dir: &std::path::Path,
+    slug: &str,
+    traced: &[(String, &relaxreplay::RunTrace)],
+) {
+    if traced.is_empty() {
+        return;
+    }
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let mut jsonl = String::new();
+    for (label, trace) in traced {
+        jsonl.push_str(&trace.to_jsonl(label));
+    }
+    let jsonl_path = dir.join(format!("{slug}.trace.jsonl"));
+    std::fs::write(&jsonl_path, jsonl)
+        .unwrap_or_else(|e| panic!("write {}: {e}", jsonl_path.display()));
+    let chrome_path = dir.join(format!("{slug}.trace.json"));
+    std::fs::write(&chrome_path, relaxreplay::trace::chrome_trace(traced))
+        .unwrap_or_else(|e| panic!("write {}: {e}", chrome_path.display()));
+    eprintln!(
+        "trace artifacts: {} and {} ({} run(s), {} record(s))",
+        jsonl_path.display(),
+        chrome_path.display(),
+        traced.len(),
+        traced.iter().map(|(_, t)| t.total_records()).sum::<usize>()
+    );
+}
+
 /// Renders every run's metrics as JSONL, one line per run — the sidecar
 /// every experiments binary writes next to its CSV.
 #[must_use]
@@ -437,5 +513,40 @@ mod tests {
         let jsonl = metrics_jsonl(&suite_run.runs);
         assert_eq!(jsonl.lines().count(), 12);
         assert!(jsonl.lines().next().unwrap().contains("\"name\":\"fft\""));
+    }
+
+    #[test]
+    fn trace_artifacts_are_written_when_tracing_is_on() {
+        let cfg = ExperimentConfig {
+            threads: 2,
+            size: 1,
+            replay: false,
+            workers: 2,
+            trace: TraceConfig::level(TraceLevel::Intervals),
+            ..ExperimentConfig::paper_default()
+        };
+        let runs = run_suite(&cfg);
+        assert!(runs.iter().all(|r| r.record.trace.is_some()));
+
+        let dir = std::env::temp_dir().join("rr_trace_artifacts_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_trace_artifacts(&dir, "suite", &runs);
+        let jsonl = std::fs::read_to_string(dir.join("suite.trace.jsonl")).expect("jsonl written");
+        assert!(jsonl.lines().count() > 0);
+        assert!(jsonl.lines().all(|l| l.contains("\"run\":")));
+        let chrome = std::fs::read_to_string(dir.join("suite.trace.json")).expect("json written");
+        let stats = relaxreplay::trace::validate_chrome_trace(&chrome).expect("valid chrome trace");
+        assert!(stats.events > 0);
+
+        // And a strict no-op with tracing off.
+        let off = run_suite(&ExperimentConfig {
+            trace: TraceConfig::off(),
+            ..cfg.clone()
+        });
+        assert!(off.iter().all(|r| r.record.trace.is_none()));
+        let off_dir = std::env::temp_dir().join("rr_trace_artifacts_off_test");
+        let _ = std::fs::remove_dir_all(&off_dir);
+        write_trace_artifacts(&off_dir, "suite", &off);
+        assert!(!off_dir.exists(), "no artifacts when tracing is off");
     }
 }

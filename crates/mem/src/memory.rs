@@ -97,6 +97,19 @@ pub struct SnoopEvent {
     pub scope: SnoopScope,
 }
 
+impl SnoopEvent {
+    /// The transaction's coherence verb, for human-readable event labels
+    /// (`"GetM"` for writes, `"GetS"` for reads).
+    #[must_use]
+    pub fn kind_str(&self) -> &'static str {
+        if self.is_write {
+            "GetM"
+        } else {
+            "GetS"
+        }
+    }
+}
+
 /// Everything the memory system produced in one cycle.
 #[derive(Clone, Debug, Default)]
 pub struct MemTickOutput {

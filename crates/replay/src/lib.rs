@@ -58,13 +58,17 @@
 #![forbid(unsafe_code)]
 
 mod cost;
+pub mod forensics;
 mod parallel;
 mod patch;
 mod replayer;
 mod verify;
 
 pub use cost::{CostModel, ReplayEvents};
+pub use forensics::divergence_report;
 pub use parallel::{replay_parallel, ParallelOutcome};
 pub use patch::{patch, patch_source, PatchError, PatchSourceError, PatchedLog, ReplayOp};
-pub use replayer::{replay, replay_sources, ReplayError, ReplayOutcome, ReplaySourceError};
-pub use verify::{verify, RecordedExecution, VerifyError};
+pub use replayer::{
+    replay, replay_sources, replay_traced, ReplayError, ReplayOutcome, ReplaySourceError,
+};
+pub use verify::{verify, verify_traced, RecordedExecution, VerifyError};

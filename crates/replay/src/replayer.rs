@@ -1,5 +1,6 @@
 use core::fmt;
 
+use relaxreplay::trace::{TraceEvent, TraceRing};
 use relaxreplay::wire::LogSource;
 use rr_isa::{Instr, Interp, MemImage, Program, StepEvent};
 use rr_mem::CoreId;
@@ -111,8 +112,28 @@ impl ReplayOutcome {
 pub fn replay(
     programs: &[Program],
     logs: &[PatchedLog],
+    mem: MemImage,
+    cost: &CostModel,
+) -> Result<ReplayOutcome, ReplayError> {
+    replay_traced(programs, logs, mem, cost, None)
+}
+
+/// Like [`replay`], but additionally captures the control module's
+/// scheduling decisions into `trace` when given: a `ReplayWait` event
+/// whenever a thread's next interval had to wait for other threads'
+/// intervals in the recorded total order, and a `ReplayRelease` event after
+/// each interval completes (carrying the thread's cumulative replayed load
+/// count, which anchors divergence forensics).
+///
+/// # Errors
+///
+/// Same as [`replay`].
+pub fn replay_traced(
+    programs: &[Program],
+    logs: &[PatchedLog],
     mut mem: MemImage,
     cost: &CostModel,
+    mut trace: Option<&mut TraceRing>,
 ) -> Result<ReplayOutcome, ReplayError> {
     if programs.len() != logs.len() {
         return Err(ReplayError::ThreadCountMismatch {
@@ -146,12 +167,53 @@ pub fn replay(
     let mut traces: Vec<Vec<u64>> = vec![Vec::new(); programs.len()];
     let mut events = ReplayEvents::default();
 
-    for interval in &schedule {
+    let mut per_core_ordinal = vec![0u64; programs.len()];
+    let mut last_global: Vec<Option<usize>> = vec![None; programs.len()];
+    for (gi, interval) in schedule.iter().enumerate() {
         events.intervals += 1;
         let core = CoreId::new(interval.core as u8);
+        let ordinal = per_core_ordinal[interval.core];
+        if let Some(t) = trace.as_deref_mut() {
+            // The thread waited iff other threads' intervals ran since its
+            // previous one (or before its first).
+            let waited = match last_global[interval.core] {
+                Some(prev) => gi > prev + 1,
+                None => gi > 0,
+            };
+            if waited {
+                t.push(
+                    interval.timestamp,
+                    TraceEvent::ReplayWait {
+                        core: interval.core as u8,
+                        ordinal,
+                        timestamp: interval.timestamp,
+                    },
+                );
+            }
+        }
         let interp = &mut interps[interval.core];
-        let trace = &mut traces[interval.core];
-        exec_interval_ops(interval.ops, core, interp, &mut mem, trace, &mut events)?;
+        let load_trace = &mut traces[interval.core];
+        exec_interval_ops(
+            interval.ops,
+            core,
+            interp,
+            &mut mem,
+            load_trace,
+            &mut events,
+        )?;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(
+                interval.timestamp,
+                TraceEvent::ReplayRelease {
+                    core: interval.core as u8,
+                    ordinal,
+                    timestamp: interval.timestamp,
+                    loads_done: traces[interval.core].len() as u64,
+                },
+            );
+        }
+        last_global[interval.core] = Some(gi);
+        per_core_ordinal[interval.core] += 1;
     }
 
     // Every thread must have reached its end: either halted, or exactly at

@@ -1,5 +1,6 @@
 use core::fmt;
 
+use relaxreplay::trace::{TraceEvent, TraceRing};
 use rr_isa::MemImage;
 use rr_mem::CoreId;
 
@@ -91,6 +92,23 @@ impl std::error::Error for VerifyError {}
 ///
 /// Returns the first divergence found.
 pub fn verify(recorded: &RecordedExecution, outcome: &ReplayOutcome) -> Result<(), VerifyError> {
+    verify_traced(recorded, outcome, None)
+}
+
+/// Like [`verify`], but additionally captures progress into `trace` when
+/// given: a `VerifyProgress` event after each thread's load trace checks
+/// out, and a `Divergence` event (with the recorded and replayed values)
+/// when a load value mismatch is found — the replay-side anchor divergence
+/// forensics pivots on.
+///
+/// # Errors
+///
+/// Same as [`verify`].
+pub fn verify_traced(
+    recorded: &RecordedExecution,
+    outcome: &ReplayOutcome,
+    mut trace: Option<&mut TraceRing>,
+) -> Result<(), VerifyError> {
     if recorded.load_traces.len() != outcome.load_traces.len() {
         return Err(VerifyError::ThreadCountMismatch {
             recorded: recorded.load_traces.len(),
@@ -104,15 +122,19 @@ pub fn verify(recorded: &RecordedExecution, outcome: &ReplayOutcome) -> Result<(
         .enumerate()
     {
         let core = CoreId::new(i as u8);
-        if rec.len() != rep.len() {
-            return Err(VerifyError::TraceLengthMismatch {
-                core,
-                recorded: rec.len(),
-                replayed: rep.len(),
-            });
-        }
         for (j, (a, b)) in rec.iter().zip(rep).enumerate() {
             if a != b {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(
+                        i as u64,
+                        TraceEvent::Divergence {
+                            core: i as u8,
+                            index: j as u64,
+                            recorded: *a,
+                            replayed: *b,
+                        },
+                    );
+                }
                 return Err(VerifyError::TraceValueMismatch {
                     core,
                     index: j,
@@ -120,6 +142,22 @@ pub fn verify(recorded: &RecordedExecution, outcome: &ReplayOutcome) -> Result<(
                     replayed: *b,
                 });
             }
+        }
+        if rec.len() != rep.len() {
+            return Err(VerifyError::TraceLengthMismatch {
+                core,
+                recorded: rec.len(),
+                replayed: rep.len(),
+            });
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(
+                i as u64,
+                TraceEvent::VerifyProgress {
+                    core: i as u8,
+                    loads_checked: rec.len() as u64,
+                },
+            );
         }
     }
     if !recorded.final_mem.contents_eq(&outcome.mem) {

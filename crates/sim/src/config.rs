@@ -1,4 +1,4 @@
-use relaxreplay::{Design, RecorderConfig};
+use relaxreplay::{Design, RecorderConfig, TraceConfig};
 use rr_cpu::CpuConfig;
 use rr_mem::{CoherenceMode, MemConfig};
 
@@ -19,6 +19,10 @@ pub struct MachineConfig {
     pub invariant_check_period: u64,
     /// Abort if the machine has not finished after this many cycles.
     pub max_cycles: u64,
+    /// Event tracing (off by default). When enabled, the first recorder
+    /// variant's per-core timelines plus machine-level coherence traffic
+    /// are captured into [`crate::RunResult::trace`].
+    pub trace: TraceConfig,
 }
 
 impl MachineConfig {
@@ -32,7 +36,15 @@ impl MachineConfig {
             clock_ghz: 2.0,
             invariant_check_period: 0,
             max_cycles: 2_000_000_000,
+            trace: TraceConfig::off(),
         }
+    }
+
+    /// Same machine with event tracing enabled under `trace`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Same machine with directory-style coherence filtering (paper §4.3).

@@ -46,7 +46,10 @@ mod tracer;
 
 pub use config::{MachineConfig, RecorderSpec};
 pub use logdir::{list_runs, load_run, save_run, LogDirError, SavedRun, SavedVariant};
-pub use machine::{record, record_custom, replay_and_verify, RunResult, SimError, VariantResult};
+pub use machine::{
+    record, record_custom, replay_and_verify, replay_and_verify_forensic, RunResult, SimError,
+    VariantResult,
+};
 pub use metrics::{MetricsRegistry, PhaseNanos};
 pub use sweep::{run_sweep, JobOutput, ReplayPolicy, SweepError, SweepJob, SweepReport};
 pub use tracer::TraceCollector;

@@ -143,6 +143,16 @@ pub fn save_run(dir: &Path, name: &str, result: &RunResult) -> Result<u64, LogDi
     let truth_path = run_dir.join("truth.bin");
     fs::write(&truth_path, encode_truth(&result.recorded)).map_err(|e| io_err(&truth_path, &e))?;
 
+    // Trace sidecars ride along when the run was recorded with tracing on:
+    // the raw timeline as JSONL plus a Perfetto-loadable Chrome trace.
+    if let Some(trace) = &result.trace {
+        let jsonl_path = run_dir.join("trace.jsonl");
+        fs::write(&jsonl_path, trace.to_jsonl(name)).map_err(|e| io_err(&jsonl_path, &e))?;
+        let chrome_path = run_dir.join("trace.json");
+        let chrome = relaxreplay::trace::chrome_trace(&[(name.to_string(), trace)]);
+        fs::write(&chrome_path, chrome).map_err(|e| io_err(&chrome_path, &e))?;
+    }
+
     let manifest_path = run_dir.join("manifest.txt");
     let mut f = fs::File::create(&manifest_path).map_err(|e| io_err(&manifest_path, &e))?;
     f.write_all(manifest.as_bytes())

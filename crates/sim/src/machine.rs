@@ -1,6 +1,7 @@
 use core::fmt;
 
-use relaxreplay::{IntervalLog, Recorder, RecorderStats};
+use relaxreplay::trace::TraceEvent;
+use relaxreplay::{IntervalLog, Recorder, RecorderStats, RunTrace, TraceConfig, TraceRing};
 use rr_cpu::{Core, CoreObserver, CoreStats, FanoutObserver};
 use rr_isa::{MemImage, Program};
 use rr_mem::{CoherenceMode, CoreId, MemStats, MemorySystem};
@@ -84,6 +85,12 @@ pub struct RunResult {
     pub variants: Vec<VariantResult>,
     /// Clock frequency used for bandwidth conversions.
     pub clock_ghz: f64,
+    /// Event timelines captured during the run, when
+    /// [`MachineConfig::trace`](crate::MachineConfig) was enabled. The
+    /// per-core rings reflect the **first** recorder variant's interval
+    /// structure (variants share perform/coherence events but close
+    /// intervals at different points); the coherence ring is machine-wide.
+    pub trace: Option<RunTrace>,
 }
 
 impl RunResult {
@@ -223,6 +230,18 @@ pub fn record_custom(
         })
         .collect();
     let mut tracers: Vec<TraceCollector> = (0..n).map(|_| TraceCollector::new()).collect();
+    // Event tracing: attach per-core rings to the first recorder variant
+    // (its interval structure becomes the timeline) and keep a machine-
+    // level ring for coherence traffic. Capture never feeds back into the
+    // recorders, so enabling it cannot perturb the recorded logs.
+    let mut event_trace = if cfg.trace.enabled() && !configs.is_empty() {
+        for (i, rec) in recorders[0].iter_mut().enumerate() {
+            rec.set_tracer(TraceRing::new(CoreId::new(i as u8), &cfg.trace));
+        }
+        Some(RunTrace::new(n, &cfg.trace))
+    } else {
+        None
+    };
     let directory = cfg.mem.mode == CoherenceMode::Directory;
 
     let mut cycle = 0u64;
@@ -232,6 +251,16 @@ pub fn record_custom(
             cores[c.core.index()].push_completion(c.req);
         }
         for snoop in &out.snoops {
+            if let Some(t) = &mut event_trace {
+                t.coherence.push(
+                    cycle,
+                    TraceEvent::Coherence {
+                        from: snoop.from.index() as u8,
+                        line: snoop.line.line_number(),
+                        is_write: snoop.is_write,
+                    },
+                );
+            }
             for variant in &mut recorders {
                 // Observers process the snoop, then "reply" with ordering
                 // information for the requester's current interval — the
@@ -290,9 +319,18 @@ pub fn record_custom(
     };
 
     let mut variants = Vec::with_capacity(specs.len());
-    for (spec, mut recs) in specs.iter().zip(recorders) {
+    for (vi, (spec, mut recs)) in specs.iter().zip(recorders).enumerate() {
         for r in &mut recs {
             r.finish(final_cycle);
+        }
+        if vi == 0 {
+            if let Some(t) = &mut event_trace {
+                for (i, r) in recs.iter_mut().enumerate() {
+                    if let Some(ring) = r.take_tracer() {
+                        t.cores[i] = ring;
+                    }
+                }
+            }
         }
         let stats = recs.iter().map(|r| r.stats().clone()).collect();
         let ordering = recs.iter().map(|r| r.ordering().clone()).collect();
@@ -318,6 +356,7 @@ pub fn record_custom(
         },
         variants,
         clock_ghz: cfg.clock_ghz,
+        trace: event_trace,
     })
 }
 
@@ -354,4 +393,78 @@ pub fn replay_and_verify(
     rr_replay::verify(&result.recorded, &outcome)
         .map_err(|e| format!("verification failed [{}]: {e}", v.spec.label()))?;
     Ok(outcome)
+}
+
+/// Like [`replay_and_verify`], but with divergence forensics: the replay
+/// and verification steps are traced, and if verification fails **and**
+/// the run was recorded with tracing enabled, a `divergence.md` report —
+/// both timelines' event windows around the divergent instruction — is
+/// written into `report_dir` and its path included in the error message.
+///
+/// # Errors
+///
+/// Same as [`replay_and_verify`]; a forensic report failure (I/O) is
+/// appended to the verification error rather than masking it.
+pub fn replay_and_verify_forensic(
+    programs: &[Program],
+    initial_mem: &MemImage,
+    result: &RunResult,
+    variant: usize,
+    cost: &CostModel,
+    report_dir: &std::path::Path,
+) -> Result<ReplayOutcome, String> {
+    let v = result.variants.get(variant).ok_or_else(|| {
+        format!(
+            "variant index {variant} out of range ({} recorded)",
+            result.variants.len()
+        )
+    })?;
+    let patched: Vec<_> = v
+        .logs
+        .iter()
+        .map(patch)
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("patch failed: {e}"))?;
+    // The replay/verify ring is always captured here (the whole point of
+    // this entry is forensics); it lives outside the simulated machine, so
+    // it cannot perturb anything.
+    let mut replay_ring = TraceRing::new(CoreId::new(u8::MAX), &TraceConfig::full());
+    let outcome = rr_replay::replay_traced(
+        programs,
+        &patched,
+        initial_mem.clone(),
+        cost,
+        Some(&mut replay_ring),
+    )
+    .map_err(|e| format!("replay failed: {e}"))?;
+    match rr_replay::verify_traced(&result.recorded, &outcome, Some(&mut replay_ring)) {
+        Ok(()) => Ok(outcome),
+        Err(err) => {
+            let label = v.spec.label();
+            let Some(record_trace) = &result.trace else {
+                return Err(format!(
+                    "verification failed [{label}]: {err} (record the run with \
+                     tracing enabled to get a divergence report)"
+                ));
+            };
+            let report = rr_replay::divergence_report(
+                &err,
+                &result.recorded,
+                &outcome,
+                record_trace,
+                &replay_ring,
+                rr_replay::forensics::DEFAULT_WINDOW,
+            );
+            let path = report_dir.join("divergence.md");
+            match std::fs::create_dir_all(report_dir).and_then(|()| std::fs::write(&path, report)) {
+                Ok(()) => Err(format!(
+                    "verification failed [{label}]: {err} (forensic report: {})",
+                    path.display()
+                )),
+                Err(io) => Err(format!(
+                    "verification failed [{label}]: {err} (report write failed: {io})"
+                )),
+            }
+        }
+    }
 }

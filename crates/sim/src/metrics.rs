@@ -57,6 +57,36 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
+    /// The `p`-th percentile (0–100) of the observed distribution, as the
+    /// inclusive upper edge of the bin containing that rank — exact for
+    /// `bin_width == 1`, conservative (never under-reports) otherwise.
+    ///
+    /// Returns `None` for an empty histogram or `p` outside `[0, 100]`
+    /// rather than a misleading 0; a one-sample histogram returns that
+    /// sample's bin for every valid `p`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if !(0.0..=100.0).contains(&p) {
+            return None;
+        }
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        // Nearest-rank definition: the smallest value with at least
+        // ceil(p/100 * total) observations at or below it.
+        let rank = ((p / 100.0 * total as f64).ceil() as u64).max(1);
+        let width = self.bin_width.max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some((i as u64 + 1) * width - 1);
+            }
+        }
+        None
+    }
+
     /// Adds another histogram's counts into this one (bin widths must
     /// match).
     pub fn merge(&mut self, other: &Histogram) {
@@ -334,6 +364,44 @@ mod tests {
         let mut a = Histogram::from_bins(10, vec![1, 2]);
         a.merge(&Histogram::from_bins(10, vec![0, 1, 4]));
         assert_eq!(a.counts, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn percentile_handles_degenerate_histograms() {
+        // Empty: no rank exists — None, not a misleading 0.
+        let empty = Histogram::from_bins(1, vec![]);
+        assert_eq!(empty.percentile(50.0), None);
+        assert_eq!(empty.percentile(0.0), None);
+
+        // One sample at value 7 (bin width 1): every valid percentile is
+        // exactly 7.
+        let mut one = Histogram::default();
+        one.observe(7);
+        for p in [0.0, 1.0, 50.0, 99.9, 100.0] {
+            assert_eq!(one.percentile(p), Some(7), "p={p}");
+        }
+
+        // Out-of-range p.
+        assert_eq!(one.percentile(-1.0), None);
+        assert_eq!(one.percentile(100.1), None);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        // Values 1..=10, bin width 1.
+        let mut h = Histogram::default();
+        for v in 1..=10 {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(10.0), Some(1));
+        assert_eq!(h.percentile(50.0), Some(5));
+        assert_eq!(h.percentile(90.0), Some(9));
+        assert_eq!(h.percentile(100.0), Some(10));
+
+        // Wider bins report the containing bin's inclusive upper edge.
+        let wide = Histogram::from_bins(10, vec![5, 5]);
+        assert_eq!(wide.percentile(50.0), Some(9));
+        assert_eq!(wide.percentile(100.0), Some(19));
     }
 
     #[test]

@@ -299,6 +299,10 @@ pub fn run_sweep(jobs: &[SweepJob], workers: usize) -> Result<SweepReport, Sweep
         jobs.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
+    // A worker panic (e.g. an assert inside the simulator) must name the
+    // workload that died, not surface as a bare thread-join error; catch
+    // it per job and re-raise the lowest-indexed one after the scope.
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
@@ -306,11 +310,30 @@ pub fn run_sweep(jobs: &[SweepJob], workers: usize) -> Result<SweepReport, Sweep
                 if i >= jobs.len() {
                     break;
                 }
-                let out = run_job(i, &jobs[i]);
-                *slots[i].lock().expect("sweep slot poisoned") = Some(out);
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_job(i, &jobs[i])
+                })) {
+                    Ok(out) => *slots[i].lock().expect("sweep slot poisoned") = Some(out),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(ToString::to_string)
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        panics.lock().expect("panic list poisoned").push((i, msg));
+                    }
+                }
             });
         }
     });
+
+    let mut panics = panics.into_inner().expect("panic list poisoned");
+    if let Some((i, msg)) = {
+        panics.sort_by_key(|&(i, _)| i);
+        panics.into_iter().next()
+    } {
+        panic!("sweep job {i} ({}) panicked: {msg}", jobs[i].name);
+    }
 
     let mut outputs = Vec::with_capacity(jobs.len());
     for slot in slots {
@@ -385,6 +408,30 @@ mod tests {
             }
             SweepError::Replay { .. } => panic!("expected a sim error"),
         }
+    }
+
+    #[test]
+    fn worker_panics_name_the_workload() {
+        // Opt with a non-power-of-two Snoop Table size asserts inside
+        // SnoopTable::new — a genuine config-bug panic, not an Err.
+        let mut broken = tiny_job("broken-config", 1);
+        broken.recorders = vec![{
+            let mut c =
+                relaxreplay::RecorderConfig::splash_default(relaxreplay::Design::Opt, Some(4096));
+            c.snoop_entries = 3;
+            c
+        }];
+        let jobs = vec![tiny_job("fine", 0), broken];
+        let err = std::panic::catch_unwind(|| run_sweep(&jobs, 2)).expect_err("must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic message is a String");
+        assert!(
+            msg.contains("broken-config"),
+            "panic names the workload: {msg}"
+        );
+        assert!(msg.contains("sweep job 1"), "{msg}");
     }
 
     #[test]

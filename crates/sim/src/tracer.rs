@@ -53,7 +53,7 @@ impl CoreObserver for TraceCollector {
         }
     }
 
-    fn on_squash_after(&mut self, seq: u64) {
+    fn on_squash_after(&mut self, seq: u64, _cycle: u64) {
         self.performed.retain(|&s, _| s <= seq);
     }
 }
@@ -91,12 +91,43 @@ mod tests {
         assert_eq!(t.trace(), &[10, 20]);
     }
 
+    fn perform_rmw(seq: u64, loaded: u64, stored: u64) -> PerformRecord {
+        PerformRecord {
+            seq,
+            kind: AccessKind::Rmw,
+            addr: 0x80,
+            line: LineAddr::containing(0x80),
+            loaded: Some(loaded),
+            stored: Some(stored),
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn squashed_rmw_redispatch_captures_the_new_loaded_value() {
+        // An RMW performs with BOTH a loaded and a stored value; only the
+        // loaded side belongs in the verification trace. A squash must
+        // discard the speculative perform so the re-dispatched RMW (same
+        // seq, different loaded value) defines the trace.
+        let mut t = TraceCollector::new();
+        t.on_perform(&perform(1, Some(10)));
+        t.on_perform(&perform_rmw(2, 0xAA, 0xBB)); // speculative, squashed
+        t.on_squash_after(1, 0);
+        t.on_retire(1, true, 0);
+        assert_eq!(t.trace(), &[10], "squashed RMW must not leak its value");
+        // Re-dispatched with a different observed value (another core wrote
+        // the location in between).
+        t.on_perform(&perform_rmw(2, 0xCC, 0xDD));
+        t.on_retire(2, true, 1);
+        assert_eq!(t.trace(), &[10, 0xCC], "loaded value, never the stored one");
+    }
+
     #[test]
     fn stores_and_squashed_loads_are_excluded() {
         let mut t = TraceCollector::new();
         t.on_perform(&perform(1, None)); // a store
         t.on_perform(&perform(3, Some(30))); // speculative, will squash
-        t.on_squash_after(2);
+        t.on_squash_after(2, 0);
         t.on_retire(1, true, 0);
         assert!(t.trace().is_empty());
         // Re-dispatched seq 3 performs with a different value.

@@ -1,0 +1,146 @@
+//! Observability guarantees of the event-tracing layer, end to end:
+//!
+//! * tracing is a pure side channel — the recorded `.rrlog` bytes are
+//!   byte-identical with tracing off and at full level, on every workload
+//!   of the litmus suite;
+//! * the Chrome trace export is schema-valid with one track per core (plus
+//!   the coherence track);
+//! * a forced verification divergence produces a `divergence.md` forensics
+//!   report carrying both the record-side and replay-side event windows.
+
+use relaxreplay::trace::{validate_chrome_trace, TraceConfig, TraceLevel};
+use relaxreplay::wire::encode_chunked;
+use rr_replay::CostModel;
+use rr_sim::{record, replay_and_verify_forensic, MachineConfig, RecorderSpec};
+use rr_workloads::suite;
+
+const THREADS: usize = 2;
+const SIZE: u32 = 1;
+
+#[test]
+fn rrlog_bytes_are_identical_with_tracing_on_and_off() {
+    let specs = RecorderSpec::paper_matrix();
+    for w in suite(THREADS, SIZE) {
+        let off = record(
+            &w.programs,
+            &w.initial_mem,
+            &MachineConfig::splash_default(THREADS),
+            &specs,
+        )
+        .unwrap_or_else(|e| panic!("{}: records (trace off): {e}", w.name));
+        let on = record(
+            &w.programs,
+            &w.initial_mem,
+            &MachineConfig::splash_default(THREADS).with_trace(TraceConfig::full()),
+            &specs,
+        )
+        .unwrap_or_else(|e| panic!("{}: records (trace full): {e}", w.name));
+        assert!(off.trace.is_none(), "{}", w.name);
+        assert!(on.trace.is_some(), "{}", w.name);
+
+        for (v, (a, b)) in off.variants.iter().zip(&on.variants).enumerate() {
+            assert_eq!(a.logs.len(), b.logs.len());
+            for (core, (la, lb)) in a.logs.iter().zip(&b.logs).enumerate() {
+                assert_eq!(
+                    encode_chunked(la),
+                    encode_chunked(lb),
+                    "{} variant {v} core {core}: tracing changed the .rrlog bytes",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_has_one_track_per_core_for_a_real_run() {
+    let w = suite(THREADS, SIZE).into_iter().next().expect("fft");
+    let result = record(
+        &w.programs,
+        &w.initial_mem,
+        &MachineConfig::splash_default(THREADS)
+            .with_trace(TraceConfig::level(TraceLevel::Accesses)),
+        &RecorderSpec::paper_matrix(),
+    )
+    .expect("records");
+    let trace = result.trace.as_ref().expect("trace present");
+    assert!(trace.total_records() > 0);
+    let chrome = relaxreplay::trace::chrome_trace(&[(w.name.to_string(), trace)]);
+    let stats = validate_chrome_trace(&chrome).expect("schema-valid chrome trace");
+    assert_eq!(
+        stats.tracks,
+        THREADS + 1,
+        "one track per core plus coherence: {:?}",
+        stats.track_names
+    );
+    assert!(stats.events > 0);
+    for core in 0..THREADS {
+        assert!(
+            stats
+                .track_names
+                .iter()
+                .any(|n| n == &format!("core {core}")),
+            "{:?}",
+            stats.track_names
+        );
+    }
+}
+
+#[test]
+fn forced_divergence_writes_a_forensics_report_with_both_windows() {
+    let w = suite(THREADS, SIZE).into_iter().next().expect("fft");
+    // A generous ring so the early counting events (the anchor for load #2)
+    // are still resident when the report is written.
+    let mut result = record(
+        &w.programs,
+        &w.initial_mem,
+        &MachineConfig::splash_default(THREADS)
+            .with_trace(TraceConfig::full().with_capacity(1 << 20)),
+        &RecorderSpec::paper_matrix(),
+    )
+    .expect("records");
+
+    let report_dir = std::env::temp_dir().join("rr_observability_divergence");
+    let _ = std::fs::remove_dir_all(&report_dir);
+    std::fs::create_dir_all(&report_dir).expect("mkdir");
+
+    // Sanity: the untampered run verifies and writes no report.
+    replay_and_verify_forensic(
+        &w.programs,
+        &w.initial_mem,
+        &result,
+        0,
+        &CostModel::splash_default(),
+        &report_dir,
+    )
+    .expect("clean run verifies");
+    assert!(!report_dir.join("divergence.md").exists());
+
+    // Tamper with the recorded ground truth: claim thread 0's third load
+    // observed a different value. Replay now "diverges".
+    let trace0 = &mut result.recorded.load_traces[0];
+    assert!(trace0.len() > 3, "workload must issue a few loads");
+    trace0[2] ^= 0xDEAD;
+
+    let err = replay_and_verify_forensic(
+        &w.programs,
+        &w.initial_mem,
+        &result,
+        0,
+        &CostModel::splash_default(),
+        &report_dir,
+    )
+    .expect_err("tampered truth must fail verification");
+    assert!(
+        err.contains("divergence.md"),
+        "error should point at the report: {err}"
+    );
+
+    let report = std::fs::read_to_string(report_dir.join("divergence.md")).expect("report written");
+    assert!(report.contains("# Replay divergence report"), "{report}");
+    assert!(report.contains("## Record timeline"), "{report}");
+    assert!(report.contains("## Replay timeline"), "{report}");
+    assert!(report.contains(">>> "), "anchor marker present: {report}");
+    // The divergent load's index and both values are named.
+    assert!(report.contains("load #2"), "{report}");
+}

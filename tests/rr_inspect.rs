@@ -1,0 +1,171 @@
+//! Integration tests for the `rr-inspect` CLI: stat/dump over healthy
+//! `.rrlog` files and run directories, check over corrupted artifacts
+//! (nonzero exit), and trace-sidecar conversion to Chrome/Perfetto JSON.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use relaxreplay::trace::{TraceConfig, TraceLevel};
+use rr_isa::{MemImage, ProgramBuilder, Reg};
+use rr_sim::{record, save_run, MachineConfig, RecorderSpec};
+
+fn rr_inspect(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rr-inspect"))
+        .args(args)
+        .output()
+        .expect("rr-inspect spawns")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Records a small two-core run (with tracing, so the trace sidecars are
+/// written too) and saves it under `root/<name>`.
+fn save_sample_run(root: &Path, name: &str) -> PathBuf {
+    let mk = |mine: i64, other: i64| {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(Reg::new(1), mine);
+        b.load_imm(Reg::new(2), other);
+        for i in 0..24 {
+            b.store(Reg::new(2), Reg::new(1), 8 * i);
+            b.load(Reg::new(3), Reg::new(2), 8 * i);
+        }
+        b.halt();
+        b.build()
+    };
+    let programs = vec![mk(0x1000, 0x2000), mk(0x2000, 0x1000)];
+    let cfg = MachineConfig::splash_default(2).with_trace(TraceConfig::level(TraceLevel::Full));
+    let result = record(
+        &programs,
+        &MemImage::new(),
+        &cfg,
+        &RecorderSpec::paper_matrix(),
+    )
+    .expect("records");
+    save_run(root, name, &result).expect("saves");
+    root.join(name)
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rr_inspect_it_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn stat_and_dump_describe_a_healthy_log() {
+    let root = temp_root("stat");
+    let run_dir = save_sample_run(&root, "sample");
+    let rrlog = run_dir.join("Base-4K").join("core0.rrlog");
+    assert!(rrlog.is_file());
+
+    let out = rr_inspect(&["stat", rrlog.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("chunk map"), "{text}");
+    assert!(text.contains("entry histogram"), "{text}");
+    assert!(text.contains("reordered density"), "{text}");
+    assert!(text.contains("integrity: ok"), "{text}");
+
+    // stat over the whole run directory tabulates every variant's files.
+    let out = rr_inspect(&["stat", run_dir.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for label in ["Base-4K", "Opt-4K", "Base-INF", "Opt-INF"] {
+        assert!(text.contains(label), "{text}");
+    }
+    assert!(text.contains("truth.bin"), "{text}");
+    assert!(text.contains("trace.jsonl"), "{text}");
+
+    // dump prints entries and honours --limit.
+    let out = rr_inspect(&["dump", rrlog.to_str().unwrap(), "--limit", "2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("IntervalFrame") || text.contains("more)"),
+        "{text}"
+    );
+    let full = rr_inspect(&["dump", rrlog.to_str().unwrap()]);
+    assert!(
+        stdout(&full).lines().count() >= text.lines().count(),
+        "unlimited dump is at least as long"
+    );
+}
+
+#[test]
+fn check_passes_clean_runs_and_fails_corrupted_ones() {
+    let root = temp_root("check");
+    let run_dir = save_sample_run(&root, "sample");
+
+    // Clean: the --save-logs root and the single run dir both pass.
+    let out = rr_inspect(&["check", root.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("truth verified"));
+    let out = rr_inspect(&["check", run_dir.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // Corrupt one payload byte of one log: check must exit nonzero, on the
+    // file itself and on the containing directory tree.
+    let victim = run_dir.join("Opt-4K").join("core1.rrlog");
+    let mut bytes = std::fs::read(&victim).expect("reads");
+    assert!(bytes.len() > 16, "log long enough to corrupt");
+    let flip = bytes.len() - 6; // inside the last chunk's payload
+    bytes[flip] ^= 0x40;
+    std::fs::write(&victim, &bytes).expect("writes");
+
+    let out = rr_inspect(&["check", victim.to_str().unwrap()]);
+    assert!(!out.status.success(), "corrupt file must fail check");
+    assert!(stderr(&out).contains("CRC") || stderr(&out).contains("chunk"));
+    let out = rr_inspect(&["check", root.to_str().unwrap()]);
+    assert!(!out.status.success(), "corrupt run must fail a tree check");
+
+    // stat still works on the damaged file but reports the damage.
+    let out = rr_inspect(&["stat", victim.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("DAMAGED"), "{}", stdout(&out));
+
+    // Missing paths and bad usage are reported, not panicked.
+    let out = rr_inspect(&["stat", "/nonexistent/nope.rrlog"]);
+    assert!(!out.status.success());
+    let out = rr_inspect(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = rr_inspect(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn trace_subcommand_converts_sidecars_to_perfetto_json() {
+    let root = temp_root("trace");
+    let run_dir = save_sample_run(&root, "sample");
+    let jsonl = run_dir.join("trace.jsonl");
+    assert!(jsonl.is_file(), "tracing was on, sidecar must exist");
+
+    let converted = run_dir.join("converted.json");
+    let out = rr_inspect(&[
+        "trace",
+        jsonl.to_str().unwrap(),
+        "-o",
+        converted.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("Perfetto"), "{}", stdout(&out));
+
+    let chrome = std::fs::read_to_string(&converted).expect("converted output");
+    let stats = relaxreplay::trace::validate_chrome_trace(&chrome).expect("valid chrome trace");
+    // One track per core plus the coherence track.
+    assert_eq!(stats.tracks, 3, "{:?}", stats.track_names);
+    assert!(stats.events > 0);
+
+    // Garbage input fails with a line diagnostic, not a panic.
+    let bad = root.join("bad.jsonl");
+    std::fs::write(&bad, "{\"not\":\"a trace\"}\n").expect("writes");
+    let out = rr_inspect(&["trace", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("line 1"), "{}", stderr(&out));
+}
