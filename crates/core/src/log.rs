@@ -33,8 +33,12 @@ pub enum LogEntry {
         /// Value written.
         value: u64,
         /// `CISN - PISN`: how many intervals before this one the store
-        /// performed.
-        offset: u16,
+        /// performed. The hardware field is 16 bits; the in-memory (and
+        /// wire) width is 32 so that an access whose perform and counting
+        /// events drift ≥ 65536 intervals apart still records its exact
+        /// distance instead of aliasing to a small offset (see
+        /// [`LogEntry::bits`] for the size accounting).
+        offset: u32,
     },
     /// The next instruction in program order is an atomic read-modify-write
     /// that was reordered. Replay injects `loaded` into the destination
@@ -51,8 +55,9 @@ pub enum LogEntry {
         addr: u64,
         /// Value written, or `None` for a failed compare-and-swap.
         stored: Option<u64>,
-        /// `CISN - PISN` for the store half.
-        offset: u16,
+        /// `CISN - PISN` for the store half (see
+        /// [`LogEntry::ReorderedStore`] for the width rationale).
+        offset: u32,
     },
     /// Closes the current interval.
     IntervalFrame {
@@ -71,14 +76,25 @@ impl LogEntry {
     /// Widths follow Figure 6(c) and Table 1: a 2-bit type tag; 32-bit
     /// block size; 64-bit values/addresses; 16-bit offset; 16-bit CISN;
     /// 64-bit global timestamp. A reordered RMW is charged as a reordered
-    /// load plus a reordered store.
+    /// load plus a reordered store. An offset too large for the paper's
+    /// 16-bit field (perform and counting ≥ 65536 intervals apart) is
+    /// charged 32 bits — the escape the hardware would need.
     #[must_use]
     pub fn bits(&self) -> u64 {
+        let offset_bits = |offset: u32| -> u64 {
+            if offset <= u32::from(u16::MAX) {
+                16
+            } else {
+                32
+            }
+        };
         match self {
             LogEntry::InorderBlock { .. } => 2 + 32,
             LogEntry::ReorderedLoad { .. } => 2 + 64,
-            LogEntry::ReorderedStore { .. } => 2 + 64 + 64 + 16,
-            LogEntry::ReorderedRmw { .. } => (2 + 64) + (2 + 64 + 64 + 16),
+            LogEntry::ReorderedStore { offset, .. } => 2 + 64 + 64 + offset_bits(*offset),
+            LogEntry::ReorderedRmw { offset, .. } => {
+                (2 + 64) + (2 + 64 + 64 + offset_bits(*offset))
+            }
             LogEntry::IntervalFrame { .. } => 2 + 16 + 64,
         }
     }
@@ -259,7 +275,7 @@ impl IntervalLog {
                 2 => LogEntry::ReorderedStore {
                     addr: u64_at(take(&mut i, 8)?),
                     value: u64_at(take(&mut i, 8)?),
-                    offset: u16::from_le_bytes(take(&mut i, 2)?.try_into().expect("2 bytes")),
+                    offset: u32::from_le_bytes(take(&mut i, 4)?.try_into().expect("4 bytes")),
                 },
                 3 | 4 => {
                     let loaded = u64_at(take(&mut i, 8)?);
@@ -269,7 +285,7 @@ impl IntervalLog {
                     } else {
                         None
                     };
-                    let offset = u16::from_le_bytes(take(&mut i, 2)?.try_into().expect("2 bytes"));
+                    let offset = u32::from_le_bytes(take(&mut i, 4)?.try_into().expect("4 bytes"));
                     LogEntry::ReorderedRmw {
                         loaded,
                         addr,
@@ -373,9 +389,9 @@ mod tests {
             at += match e {
                 LogEntry::InorderBlock { .. } => 1 + 4,
                 LogEntry::ReorderedLoad { .. } => 1 + 8,
-                LogEntry::ReorderedStore { .. } => 1 + 8 + 8 + 2,
+                LogEntry::ReorderedStore { .. } => 1 + 8 + 8 + 4,
                 LogEntry::ReorderedRmw { stored, .. } => {
-                    1 + 8 + 8 + if stored.is_some() { 8 } else { 0 } + 2
+                    1 + 8 + 8 + if stored.is_some() { 8 } else { 0 } + 4
                 }
                 LogEntry::IntervalFrame { .. } => 1 + 2 + 8,
             };
@@ -468,6 +484,46 @@ mod tests {
         );
         let log = sample_log();
         assert_eq!(log.bits(), 34 + 66 + 34 + 146 + 212 + 34 + 82);
+        // An offset past the paper's 16-bit field is charged the 32-bit
+        // escape width.
+        assert_eq!(
+            LogEntry::ReorderedStore {
+                addr: 0,
+                value: 0,
+                offset: u32::from(u16::MAX) + 2,
+            }
+            .bits(),
+            162
+        );
+    }
+
+    #[test]
+    fn wide_offsets_round_trip_in_both_codecs() {
+        let log = IntervalLog {
+            core: CoreId::new(0),
+            entries: vec![
+                LogEntry::ReorderedStore {
+                    addr: 0x100,
+                    value: 7,
+                    offset: u32::from(u16::MAX) + 2,
+                },
+                LogEntry::ReorderedRmw {
+                    loaded: 1,
+                    addr: 0x200,
+                    stored: Some(9),
+                    offset: u32::MAX,
+                },
+                LogEntry::IntervalFrame {
+                    cisn: 1,
+                    timestamp: 10,
+                },
+            ],
+        };
+        assert_eq!(IntervalLog::decode(&log.encode()).expect("chunked"), log);
+        assert_eq!(
+            IntervalLog::decode_flat(&log.encode_flat()).expect("flat"),
+            log
+        );
     }
 
     #[test]

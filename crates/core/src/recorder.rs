@@ -35,6 +35,8 @@ enum Termination {
     Conflict,
     MaxSize,
     Final,
+    /// Externally forced (rr-check pressure injection).
+    Forced,
 }
 
 /// A per-processor partial order of intervals, recorded alongside the
@@ -134,6 +136,16 @@ pub struct RecorderStats {
     pub term_max_size: u64,
     /// The final termination at thread end.
     pub term_final: u64,
+    /// Interval terminations forced externally (rr-check pressure modes).
+    pub term_forced: u64,
+    /// Accesses conservatively declared reordered because ≥ `u16::MAX`
+    /// coherence transactions were observed between their perform and
+    /// counting events — enough for the 16-bit Snoop Table counters to
+    /// have wrapped all the way around to the sampled value (Opt only).
+    pub snoop_wrap_conservative: u64,
+    /// Errors the streaming sink reported (the log is poisoned after the
+    /// first one).
+    pub sink_errors: u64,
     /// Sum of TRAQ occupancy over all samples (for the average).
     pub traq_occupancy_sum: u64,
     /// Number of TRAQ occupancy samples.
@@ -197,6 +209,9 @@ impl RecorderStats {
             ("term_conflict", self.term_conflict),
             ("term_max_size", self.term_max_size),
             ("term_final", self.term_final),
+            ("term_forced", self.term_forced),
+            ("snoop_wrap_conservative", self.snoop_wrap_conservative),
+            ("sink_errors", self.sink_errors),
             ("traq_occupancy_sum", self.traq_occupancy_sum),
             ("traq_samples", self.traq_samples),
             ("traq_peak", self.traq_peak as u64),
@@ -258,8 +273,17 @@ pub struct Recorder {
     sink: Option<Box<dyn LogSink>>,
     /// First sink failure, latched until [`Recorder::take_sink_error`].
     sink_error: Option<WireError>,
-    /// Entries streamed out through the sink so far.
+    /// Set on the first sink failure; once poisoned, nothing more is sent
+    /// to the sink and un-emitted entries stay buffered for inspection.
+    poisoned: bool,
+    /// Entries streamed out through the sink so far (successful emits
+    /// only).
     streamed_entries: u64,
+    /// Total coherence transactions this recorder has observed (remote
+    /// snoops, dirty evictions, and own store performs — every event that
+    /// bumps the Snoop Table). Snapshotted into each TRAQ entry at perform
+    /// time so counting can detect a full 16-bit counter wrap.
+    snoops_seen: u64,
 }
 
 impl std::fmt::Debug for Recorder {
@@ -308,7 +332,9 @@ impl Recorder {
             tracer: None,
             sink: None,
             sink_error: None,
+            poisoned: false,
             streamed_entries: 0,
+            snoops_seen: 0,
             cfg,
         }
     }
@@ -354,33 +380,65 @@ impl Recorder {
         self.sink.take()
     }
 
-    /// The first error the sink reported, if any, clearing it. A recording
-    /// whose sink failed is incomplete and must be discarded.
+    /// The first error the sink reported, if any, clearing it. The
+    /// recorder stays [poisoned](Recorder::is_poisoned): a recording whose
+    /// sink failed is incomplete and must be discarded.
     pub fn take_sink_error(&mut self) -> Option<WireError> {
         self.sink_error.take()
     }
 
-    /// Entries streamed out through the sink so far (streaming mode only).
+    /// The first error the sink reported, if any, without clearing it.
+    #[must_use]
+    pub fn sink_error(&self) -> Option<&WireError> {
+        self.sink_error.as_ref()
+    }
+
+    /// Whether a sink failure poisoned this recording. Once poisoned,
+    /// nothing more is emitted; entries that never reached the sink stay
+    /// buffered in [`Recorder::log`] and [`Recorder::streamed_entries`]
+    /// counts only what the sink actually accepted.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Entries the sink actually accepted so far (streaming mode only).
     #[must_use]
     pub fn streamed_entries(&self) -> u64 {
         self.streamed_entries
     }
 
     /// Drains every buffered entry into the sink (streaming mode only).
+    /// On a sink failure the recording is poisoned: the failed entry and
+    /// everything after it stay buffered (nothing is silently dropped),
+    /// the error is latched, and no further emits are attempted.
     fn drain_into_sink(&mut self) {
         let Some(sink) = &mut self.sink else {
             return;
         };
-        for e in self.log.entries.drain(..) {
-            self.streamed_entries += 1;
-            if let Err(err) = sink.emit(&e) {
-                if self.sink_error.is_none() {
-                    self.sink_error = Some(err);
+        if self.poisoned {
+            return;
+        }
+        let mut emitted = 0usize;
+        let mut failure = None;
+        for e in &self.log.entries {
+            match sink.emit(e) {
+                Ok(()) => emitted += 1,
+                Err(err) => {
+                    failure = Some(err);
+                    break;
                 }
-                break;
             }
         }
-        self.log.entries.clear();
+        self.streamed_entries += emitted as u64;
+        self.log.entries.drain(..emitted);
+        if let Some(err) = failure {
+            self.stats.sink_errors += 1;
+            if self.sink_error.is_none() {
+                self.sink_error = Some(err);
+            }
+            self.poisoned = true;
+        }
     }
 
     /// The recorder's configuration.
@@ -433,6 +491,7 @@ impl Recorder {
     /// write conflicts with both sets; a remote read conflicts with local
     /// writes only.
     pub fn on_snoop(&mut self, line: LineAddr, is_write: bool, cycle: u64) {
+        self.snoops_seen += 1;
         if let Some(t) = &mut self.snoop_table {
             t.record(line);
             self.trace(
@@ -473,6 +532,7 @@ impl Recorder {
     ///   accesses performed first (the interval-ordering side of §4.3,
     ///   which the paper delegates to a directory-aware chunk scheme).
     pub fn on_dirty_eviction(&mut self, line: LineAddr, cycle: u64) {
+        self.snoops_seen += 1;
         if let Some(t) = &mut self.snoop_table {
             t.record(line);
             self.trace(
@@ -565,6 +625,8 @@ impl Recorder {
                 kind: TraqKind::Filler,
                 nmi,
                 pisn: None,
+                perform_ordinal: None,
+                snoops_at_perform: 0,
                 performed: false,
                 retired: true,
                 addr: 0,
@@ -588,9 +650,11 @@ impl Recorder {
         }
         if let Some(sink) = &mut self.sink {
             if let Err(err) = sink.close() {
+                self.stats.sink_errors += 1;
                 if self.sink_error.is_none() {
                     self.sink_error = Some(err);
                 }
+                self.poisoned = true;
             }
         }
         self.finished = true;
@@ -610,17 +674,41 @@ impl Recorder {
             }
             TraqKind::Mem(kind) => {
                 let pisn = entry.pisn.expect("counted access has performed");
-                let same_interval = pisn == self.cisn;
+                let perform_ordinal = entry.perform_ordinal.expect("counted access has performed");
+                let current_ordinal = self.intervals_completed();
+                // Classify on the exact (non-wrapping) interval ordinal,
+                // not the 16-bit PISN/CISN pair: once perform and counting
+                // drift ≥ 65536 intervals apart the hardware fields alias
+                // and an old access would look freshly in-interval.
+                let same_interval = perform_ordinal == current_ordinal;
+                // Full-wrap guard for the Snoop Table (Opt): its 16-bit
+                // counters return to the sampled value after exactly 65536
+                // bumps, hiding a conflict. Total transactions observed
+                // bound any single counter's increments, so if fewer than
+                // u16::MAX happened between perform and counting no
+                // counter can have wrapped and the table is trustworthy;
+                // otherwise conservatively declare the access reordered.
+                let snoop_wrap_possible =
+                    self.snoops_seen - entry.snoops_at_perform >= u64::from(u16::MAX);
+                let mut wrap_conservative = false;
                 let reordered = if same_interval {
                     false
                 } else {
                     match &self.snoop_table {
                         // Base: a different interval means reordered.
                         None => true,
-                        // Opt: only if a conflicting transaction was seen.
-                        Some(t) => t.is_reordered(entry.line, entry.sample),
+                        // Opt: only if a conflicting transaction was seen
+                        // (or could have been hidden by a full wrap).
+                        Some(t) => {
+                            let table_says = t.is_reordered(entry.line, entry.sample);
+                            wrap_conservative = snoop_wrap_possible && !table_says;
+                            table_says || snoop_wrap_possible
+                        }
                     }
                 };
+                if wrap_conservative {
+                    self.stats.snoop_wrap_conservative += 1;
+                }
                 match kind {
                     AccessKind::Load => self.stats.counted_loads += 1,
                     AccessKind::Store => self.stats.counted_stores += 1,
@@ -631,6 +719,8 @@ impl Recorder {
                         CountVerdict::InOrder
                     } else if !reordered {
                         CountVerdict::MovedAcross
+                    } else if wrap_conservative {
+                        CountVerdict::ReorderedSnoopWrap
                     } else if self.snoop_table.is_some() {
                         CountVerdict::ReorderedSnoopConflict
                     } else {
@@ -670,7 +760,12 @@ impl Recorder {
                     // in order; they close the current block.
                     self.block_size += entry.nmi;
                     self.flush_block();
-                    let offset = self.cisn.wrapping_sub(pisn);
+                    // Exact interval distance; the 16-bit
+                    // `cisn.wrapping_sub(pisn)` the hardware would compute
+                    // aliases once the distance reaches 65536.
+                    let offset = u32::try_from(current_ordinal - perform_ordinal)
+                        .expect("perform-to-count distance exceeds u32");
+                    debug_assert_eq!(offset as u16, self.cisn.wrapping_sub(pisn));
                     let log_entry = match kind {
                         AccessKind::Load => {
                             self.stats.reordered_loads += 1;
@@ -729,12 +824,14 @@ impl Recorder {
             Termination::Conflict => self.stats.term_conflict += 1,
             Termination::MaxSize => self.stats.term_max_size += 1,
             Termination::Final => self.stats.term_final += 1,
+            Termination::Forced => self.stats.term_forced += 1,
         }
         if self.tracer.is_some() {
             let reason = match why {
                 Termination::Conflict => CloseReason::Conflict,
                 Termination::MaxSize => CloseReason::MaxSize,
                 Termination::Final => CloseReason::Final,
+                Termination::Forced => CloseReason::Forced,
             };
             let cisn = self.cisn;
             let ordinal = self.ordering.timestamps.len() as u64;
@@ -772,6 +869,33 @@ impl Recorder {
         }
         self.drain_into_sink();
     }
+
+    // ----- pressure injection (rr-check) ---------------------------------
+
+    /// Forces the current interval to close, as if a conflicting snoop had
+    /// arrived. Sound — closing an interval early never loses ordering
+    /// information, it only shortens the atomicity unit — so rr-check uses
+    /// it to pressure interval-boundary paths (the replayed execution must
+    /// still match).
+    pub fn force_terminate(&mut self, cycle: u64) {
+        debug_assert!(!self.finished, "force_terminate after finish()");
+        self.terminate_interval(cycle, Termination::Forced);
+    }
+
+    /// Closes `n` empty intervals up front, pre-advancing the interval
+    /// counter so a short workload executes near (or across) the 16-bit
+    /// CISN wrap at 65536. rr-check's `cisn-wrap` pressure mode calls this
+    /// before the first instruction dispatches.
+    pub fn pre_advance_intervals(&mut self, n: u64, cycle: u64) {
+        debug_assert_eq!(
+            self.intervals_completed(),
+            0,
+            "pre-advance must happen before recording starts"
+        );
+        for _ in 0..n {
+            self.terminate_interval(cycle, Termination::Forced);
+        }
+    }
 }
 
 impl CoreObserver for Recorder {
@@ -790,6 +914,8 @@ impl CoreObserver for Recorder {
                 kind: TraqKind::Mem(AccessKind::Load),
                 nmi,
                 pisn: None,
+                perform_ordinal: None,
+                snoops_at_perform: 0,
                 performed: false,
                 retired: false,
                 addr: 0,
@@ -815,6 +941,8 @@ impl CoreObserver for Recorder {
                     kind: TraqKind::Filler,
                     nmi,
                     pisn: None,
+                    perform_ordinal: None,
+                    snoops_at_perform: 0,
                     performed: false,
                     retired: false,
                     addr: 0,
@@ -852,18 +980,23 @@ impl CoreObserver for Recorder {
             if let Some(t) = &mut self.snoop_table {
                 t.record(rec.line);
             }
+            self.snoops_seen += 1;
         }
         let sample = self
             .snoop_table
             .as_ref()
             .map(|t| t.sample(rec.line))
             .unwrap_or_default();
+        let perform_ordinal = self.intervals_completed();
+        let snoops_at_perform = self.snoops_seen;
         let entry = self
             .traq
             .find_mut(rec.seq)
             .expect("perform for an instruction not in the TRAQ");
         entry.kind = TraqKind::Mem(rec.kind);
         entry.pisn = Some(cisn);
+        entry.perform_ordinal = Some(perform_ordinal);
+        entry.snoops_at_perform = snoops_at_perform;
         entry.performed = true;
         entry.addr = rec.addr;
         entry.line = rec.line;
@@ -972,5 +1105,117 @@ mod tests {
         assert!(rec.take_sink_error().is_none());
         assert!(rec.streamed_entries() > 0);
         assert!(rec.take_sink().is_some());
+    }
+
+    /// Regression: a store that performs and then stays pending while more
+    /// than 65536 intervals close must log its exact interval distance.
+    /// Pre-fix, `offset = cisn.wrapping_sub(pisn)` into a 16-bit field
+    /// aliased 65537 to 1, so replay would patch the store one interval
+    /// back instead of 65537.
+    #[test]
+    fn offset_survives_cisn_wraparound() {
+        let cfg = RecorderConfig::splash_default(Design::Base, None);
+        let mut rec = Recorder::new(CoreId::new(0), cfg);
+        assert!(rec.on_dispatch(0, true));
+        rec.on_perform(&PerformRecord {
+            seq: 0,
+            kind: AccessKind::Store,
+            addr: 8,
+            line: LineAddr::containing(8),
+            loaded: None,
+            stored: Some(1),
+            cycle: 0,
+        });
+        const INTERVALS: u64 = (u16::MAX as u64) + 2; // 65537
+        for i in 0..INTERVALS {
+            rec.force_terminate(i);
+        }
+        rec.on_retire(0, true, INTERVALS);
+        rec.tick(INTERVALS);
+        rec.finish(INTERVALS + 1);
+        assert_eq!(rec.stats().reordered_stores, 1);
+        let log = rec.into_log();
+        let offset = log
+            .entries
+            .iter()
+            .find_map(|e| match e {
+                LogEntry::ReorderedStore { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .expect("pending store must be logged as reordered");
+        assert_eq!(offset, u32::try_from(INTERVALS).unwrap());
+    }
+
+    /// Regression: exactly 65536 same-line remote *read* snoops between a
+    /// load's perform and counting wrap the 16-bit Snoop Table counters
+    /// back to the sampled value. Pre-fix, Opt trusted the table and
+    /// counted the load as merely moved-across; the recorder must fall
+    /// back to the total-transaction count and conservatively declare it
+    /// reordered.
+    #[test]
+    fn full_snoop_counter_wrap_is_conservatively_reordered() {
+        let cfg = RecorderConfig::splash_default(Design::Opt, None);
+        let mut rec = Recorder::new(CoreId::new(0), cfg);
+        let line = LineAddr::containing(0x40);
+        assert!(rec.on_dispatch(0, true));
+        rec.on_perform(&PerformRecord {
+            seq: 0,
+            kind: AccessKind::Load,
+            addr: 0x40,
+            line,
+            loaded: Some(7),
+            stored: None,
+            cycle: 0,
+        });
+        // Remote reads conflict only with the write signature, so the
+        // interval stays open while the counters make a full lap.
+        let laps = 1u64 << 16;
+        for i in 0..laps {
+            rec.on_snoop(line, false, i);
+        }
+        rec.force_terminate(laps);
+        rec.on_retire(0, true, laps);
+        rec.tick(laps);
+        rec.finish(laps + 1);
+        assert_eq!(rec.stats().reordered_loads, 1);
+        assert_eq!(rec.stats().snoop_wrap_conservative, 1);
+        assert_eq!(rec.stats().moved_across_intervals, 0);
+    }
+
+    /// Regression: a sink failure mid-record must poison the recording and
+    /// keep the un-emitted entries buffered. Pre-fix, the drain dropped
+    /// every buffered entry on the floor and counted them all as streamed.
+    #[test]
+    fn sink_failure_poisons_and_keeps_unsent_entries() {
+        let cfg = RecorderConfig::splash_default(Design::Base, Some(64));
+        let mut buffered = Recorder::new(CoreId::new(0), cfg.clone());
+        drive(&mut buffered, 500);
+        let reference = buffered.into_log();
+        assert!(reference.entries.len() > 3);
+
+        let mut rec = Recorder::new(CoreId::new(0), cfg);
+        let sink = crate::wire::FailingSink::new(3);
+        let accepted = sink.handle();
+        rec.set_sink(Box::new(sink));
+        drive(&mut rec, 500);
+        assert!(rec.is_poisoned());
+        assert_eq!(rec.stats().sink_errors, 1);
+        assert_eq!(rec.streamed_entries(), 3, "only accepted emits count");
+        assert!(
+            !rec.log().entries.is_empty(),
+            "un-emitted entries stay buffered, not silently dropped"
+        );
+        assert!(matches!(rec.sink_error(), Some(WireError::Io(_))));
+        let accepted = accepted.lock().expect("lock");
+        assert_eq!(accepted[..], reference.entries[..3]);
+        // Everything the sink accepted plus everything still buffered is a
+        // prefix of the reference log: nothing was lost or reordered.
+        let recovered: Vec<_> = accepted
+            .iter()
+            .chain(rec.log().entries.iter())
+            .copied()
+            .collect();
+        assert_eq!(recovered[..], reference.entries[..recovered.len()]);
+        assert!(rec.take_sink_error().is_some());
     }
 }

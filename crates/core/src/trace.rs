@@ -182,6 +182,9 @@ pub enum CloseReason {
     MaxSize,
     /// The final termination at thread end.
     Final,
+    /// A pressure-injection hook forced the close (schedule-exploration
+    /// harness; never emitted during normal recording).
+    Forced,
 }
 
 impl CloseReason {
@@ -192,6 +195,7 @@ impl CloseReason {
             CloseReason::Conflict => "conflict",
             CloseReason::MaxSize => "max_size",
             CloseReason::Final => "final",
+            CloseReason::Forced => "forced",
         }
     }
 }
@@ -211,6 +215,11 @@ pub enum CountVerdict {
     /// Reordered because the Snoop Table saw a conflicting transaction
     /// between the perform and counting events (Opt's test).
     ReorderedSnoopConflict,
+    /// Conservatively reordered because ≥ u16::MAX coherence transactions
+    /// were observed between perform and counting — enough for the 16-bit
+    /// Snoop Table counters to have wrapped all the way around, blinding
+    /// the both-changed test (Opt only).
+    ReorderedSnoopWrap,
 }
 
 impl CountVerdict {
@@ -222,6 +231,7 @@ impl CountVerdict {
             CountVerdict::MovedAcross => "moved_across",
             CountVerdict::ReorderedPisnMismatch => "reordered_pisn_mismatch",
             CountVerdict::ReorderedSnoopConflict => "reordered_snoop_conflict",
+            CountVerdict::ReorderedSnoopWrap => "reordered_snoop_wrap",
         }
     }
 
@@ -230,7 +240,9 @@ impl CountVerdict {
     pub fn is_reordered(self) -> bool {
         matches!(
             self,
-            CountVerdict::ReorderedPisnMismatch | CountVerdict::ReorderedSnoopConflict
+            CountVerdict::ReorderedPisnMismatch
+                | CountVerdict::ReorderedSnoopConflict
+                | CountVerdict::ReorderedSnoopWrap
         )
     }
 }
@@ -1051,6 +1063,7 @@ pub fn record_from_jsonl(line: &str) -> Result<(String, u8, TraceRecord), String
                 "conflict" => CloseReason::Conflict,
                 "max_size" => CloseReason::MaxSize,
                 "final" => CloseReason::Final,
+                "forced" => CloseReason::Forced,
                 other => return Err(format!("unknown close reason {other:?}")),
             },
             instrs: u32::try_from(num("instrs")?).map_err(|_| "instrs exceeds u32".to_string())?,
@@ -1072,6 +1085,7 @@ pub fn record_from_jsonl(line: &str) -> Result<(String, u8, TraceRecord), String
                 "moved_across" => CountVerdict::MovedAcross,
                 "reordered_pisn_mismatch" => CountVerdict::ReorderedPisnMismatch,
                 "reordered_snoop_conflict" => CountVerdict::ReorderedSnoopConflict,
+                "reordered_snoop_wrap" => CountVerdict::ReorderedSnoopWrap,
                 other => return Err(format!("unknown verdict {other:?}")),
             },
         },

@@ -25,6 +25,14 @@ pub(crate) struct TraqEntry {
     pub nmi: u32,
     /// Interval in which the access performed (None until it performs).
     pub pisn: Option<u16>,
+    /// Non-wrapping ordinal of the interval in which the access performed
+    /// (None until it performs). The 16-bit PISN aliases once perform and
+    /// counting drift ≥ 65536 intervals apart; classification and offset
+    /// arithmetic use this exact ordinal instead.
+    pub perform_ordinal: Option<u64>,
+    /// Total coherence-transaction count observed by the recorder at
+    /// perform time (for the Snoop Table full-wrap conservative check).
+    pub snoops_at_perform: u64,
     pub performed: bool,
     pub retired: bool,
     pub addr: u64,
@@ -133,6 +141,8 @@ mod tests {
             kind: TraqKind::Mem(AccessKind::Load),
             nmi: 0,
             pisn: None,
+            perform_ordinal: None,
+            snoops_at_perform: 0,
             performed: false,
             retired: false,
             addr: 0,

@@ -36,7 +36,23 @@ use crate::log::{IntervalLog, LogEntry};
 pub const MAGIC: [u8; 4] = *b"RRLG";
 
 /// Current wire-format version.
-pub const VERSION: u16 = 1;
+///
+/// Version history:
+/// * **1** — initial format; reordered-entry offsets capped at 16 bits.
+/// * **2** — offsets widened to 32 bits so a perform-to-count distance
+///   ≥ 65536 intervals round-trips exactly. Offsets were always
+///   varint-encoded, so the byte stream is unchanged — only the decoder's
+///   acceptance range grew, and v1 streams decode unmodified.
+pub const VERSION: u16 = 2;
+
+/// Oldest wire-format version this decoder still reads.
+pub const MIN_VERSION: u16 = 1;
+
+/// Whether this decoder understands header version `version`.
+#[must_use]
+pub fn version_supported(version: u16) -> bool {
+    (MIN_VERSION..=VERSION).contains(&version)
+}
 
 /// Default chunk payload target in bytes: a chunk is closed at the first
 /// entry boundary at or past this size.
@@ -304,6 +320,54 @@ impl LogSink for VecSink {
     }
 }
 
+/// A [`LogSink`] that accepts a fixed number of entries and then fails
+/// every further emit with an injected I/O error — fault injection for the
+/// recorder's poisoning path (rr-check's `sink-fault` pressure mode and
+/// the mid-record-failure regression tests).
+///
+/// The accepted prefix is kept behind a shared handle
+/// ([`FailingSink::handle`]) so callers can inspect what reached "disk"
+/// after the sink was boxed away into a recorder, including from another
+/// thread (the sweep engine records on worker threads).
+#[derive(Debug)]
+pub struct FailingSink {
+    accepted: std::sync::Arc<std::sync::Mutex<Vec<LogEntry>>>,
+    fail_after: usize,
+}
+
+impl FailingSink {
+    /// A sink that accepts exactly `fail_after` entries before failing.
+    #[must_use]
+    pub fn new(fail_after: usize) -> Self {
+        FailingSink {
+            accepted: std::sync::Arc::default(),
+            fail_after,
+        }
+    }
+
+    /// A shared view of the entries accepted so far; clone before boxing
+    /// the sink into a recorder.
+    #[must_use]
+    pub fn handle(&self) -> std::sync::Arc<std::sync::Mutex<Vec<LogEntry>>> {
+        std::sync::Arc::clone(&self.accepted)
+    }
+}
+
+impl LogSink for FailingSink {
+    fn emit(&mut self, entry: &LogEntry) -> Result<(), WireError> {
+        let mut accepted = self.accepted.lock().expect("sink lock");
+        if accepted.len() >= self.fail_after {
+            return Err(WireError::Io("injected sink fault".into()));
+        }
+        accepted.push(*entry);
+        Ok(())
+    }
+
+    fn close(&mut self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Entry codec (within a chunk payload)
 // ---------------------------------------------------------------------------
@@ -391,7 +455,7 @@ fn decode_entry(
         TAG_STORE => LogEntry::ReorderedStore {
             addr: varint(pos)?,
             value: varint(pos)?,
-            offset: u16::try_from(varint(pos)?).map_err(|_| corrupt("offset exceeds u16"))?,
+            offset: u32::try_from(varint(pos)?).map_err(|_| corrupt("offset exceeds u32"))?,
         },
         TAG_RMW_STORED | TAG_RMW_FAILED => {
             let loaded = varint(pos)?;
@@ -401,7 +465,7 @@ fn decode_entry(
             } else {
                 None
             };
-            let offset = u16::try_from(varint(pos)?).map_err(|_| corrupt("offset exceeds u16"))?;
+            let offset = u32::try_from(varint(pos)?).map_err(|_| corrupt("offset exceeds u32"))?;
             LogEntry::ReorderedRmw {
                 loaded,
                 addr,
@@ -544,7 +608,7 @@ impl<R: Read> ChunkedReader<R> {
             return Err(WireError::BadMagic);
         }
         let version = u16::from_le_bytes([header[4], header[5]]);
-        if version != VERSION {
+        if !version_supported(version) {
             return Err(WireError::UnsupportedVersion { version });
         }
         Ok(ChunkedReader {
@@ -747,7 +811,7 @@ pub fn chunk_map(bytes: &[u8]) -> Result<(CoreId, Vec<ChunkInfo>, Option<WireErr
         return Err(WireError::BadMagic);
     }
     let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if version != VERSION {
+    if !version_supported(version) {
         return Err(WireError::UnsupportedVersion { version });
     }
     let core = CoreId::new(bytes[6]);

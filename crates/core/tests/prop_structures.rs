@@ -10,7 +10,7 @@ fn entry_strategy() -> impl Strategy<Value = LogEntry> {
     prop_oneof![
         any::<u32>().prop_map(|instrs| LogEntry::InorderBlock { instrs }),
         any::<u64>().prop_map(|value| LogEntry::ReorderedLoad { value }),
-        (any::<u64>(), any::<u64>(), any::<u16>()).prop_map(|(addr, value, offset)| {
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(addr, value, offset)| {
             LogEntry::ReorderedStore {
                 addr,
                 value,
@@ -21,7 +21,7 @@ fn entry_strategy() -> impl Strategy<Value = LogEntry> {
             any::<u64>(),
             any::<u64>(),
             proptest::option::of(any::<u64>()),
-            any::<u16>()
+            any::<u32>()
         )
             .prop_map(|(loaded, addr, stored, offset)| LogEntry::ReorderedRmw {
                 loaded,

@@ -267,6 +267,29 @@ impl<'p> Core<'p> {
         self.completions_in.push(req);
     }
 
+    /// Processes delivered completions without otherwise advancing the
+    /// pipeline.
+    ///
+    /// Schedule perturbation (rr-check stall strategies) calls this on
+    /// cycles where the pipeline is held: an access still *performs* at
+    /// the cycle its completion is delivered — the memory system's timing
+    /// contract, which interval-ordering correctness rests on — just as a
+    /// real core's write buffer and MSHRs keep operating through a
+    /// front-end stall. Skipping this lets a conflicting remote snoop
+    /// slip between a transaction's completion and its perform, erasing
+    /// the only ordering evidence the recorder would ever see.
+    pub fn drain_completions(
+        &mut self,
+        cycle: u64,
+        img: &mut MemImage,
+        obs: &mut dyn CoreObserver,
+    ) {
+        if self.is_done() {
+            return;
+        }
+        self.process_completions(cycle, img, obs);
+    }
+
     /// Advances the core one cycle.
     ///
     /// Must be called after the memory system's tick for the same cycle

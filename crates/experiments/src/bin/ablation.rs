@@ -31,6 +31,7 @@ fn job(
         machine,
         recorders,
         replay: ReplayPolicy::Skip,
+        options: rr_sim::RunOptions::default(),
     }
 }
 

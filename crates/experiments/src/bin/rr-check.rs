@@ -1,0 +1,301 @@
+//! `rr-check` — the schedule-exploration differential checker.
+//!
+//! ```text
+//! rr-check explore [--seeds N] [--pressure <mode>|all] [--workload <w>|litmus]
+//!                  [--workers K] [--out DIR] [--trace]
+//! rr-check modes
+//! ```
+//!
+//! For every seed, `explore` derives a deterministic schedule
+//! perturbation (stalls / priority rotation over the simulator's step
+//! loop), optionally stacks a recorder pressure mode on top (forced
+//! interval closes, TRAQ near-overflow, signature aliasing, CISN
+//! wraparound, injected sink faults), records the perturbed execution
+//! under **both** paper designs (Base-4K and Opt-4K), replays each log,
+//! and cross-checks every replay against the sequential ground truth and
+//! against each other. Any disagreement is a recorder/replayer bug: the
+//! offending spec is shrunk to a locally minimal still-failing form and
+//! re-recorded with tracing for a forensic `divergence.md` report.
+//!
+//! Exit status: 0 = all schedules agree, 1 = divergence found, 2 = usage.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rr_experiments::report::{results_dir, write_metrics_jsonl, Table};
+use rr_experiments::write_trace_pairs;
+use rr_replay::CostModel;
+use rr_sim::{
+    explore_sweep, minimize_divergence, record_with, replay_and_verify_forensic, ExploreSpec,
+    MachineConfig, PressureMode,
+};
+use rr_workloads::{litmus_suite, Workload};
+
+const USAGE: &str = "usage:
+  rr-check explore [--seeds N] [--pressure <mode>|all] [--workload <w>|litmus]
+                   [--workers K] [--out DIR] [--trace]
+  rr-check modes
+
+modes: none force-close traq sig-alias cisn-wrap sink-fault
+workloads: litmus (= sb mp lb iriw), any single litmus shape, or any
+           rr-workloads generator name (e.g. fft, ocean)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "explore" => cmd_explore(rest),
+            "modes" => {
+                for m in PressureMode::ALL {
+                    println!("{}", m.name());
+                }
+                0
+            }
+            "-h" | "--help" | "help" => {
+                println!("{USAGE}");
+                0
+            }
+            other => {
+                eprintln!("unknown command {other:?}\n{USAGE}");
+                2
+            }
+        },
+        None => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    ExitCode::from(code)
+}
+
+struct Options {
+    seeds: u64,
+    pressures: Vec<PressureMode>,
+    workloads: Vec<Workload>,
+    workers: usize,
+    out: PathBuf,
+    trace: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, u8> {
+    let mut seeds = 16u64;
+    let mut pressures = vec![PressureMode::None];
+    let mut workload = "litmus".to_string();
+    let mut workers = 0usize;
+    let mut out = results_dir().join("rr-check");
+    let mut trace = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, u8> {
+            it.next().ok_or_else(|| {
+                eprintln!("rr-check explore: {name} needs a value\n{USAGE}");
+                2
+            })
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                seeds = value("--seeds")?.parse().map_err(|e| {
+                    eprintln!("rr-check explore: bad --seeds: {e}");
+                    2
+                })?;
+            }
+            "--pressure" => {
+                let v = value("--pressure")?;
+                pressures = if v == "all" {
+                    PressureMode::ALL.to_vec()
+                } else {
+                    vec![PressureMode::parse(v).ok_or_else(|| {
+                        eprintln!("rr-check explore: unknown pressure mode {v:?}\n{USAGE}");
+                        2
+                    })?]
+                };
+            }
+            "--workload" => workload = value("--workload")?.clone(),
+            "--workers" => {
+                workers = value("--workers")?.parse().map_err(|e| {
+                    eprintln!("rr-check explore: bad --workers: {e}");
+                    2
+                })?;
+            }
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--trace" => trace = true,
+            other => {
+                eprintln!("rr-check explore: unknown flag {other:?}\n{USAGE}");
+                return Err(2);
+            }
+        }
+    }
+
+    let workloads = if workload == "litmus" {
+        litmus_suite()
+    } else {
+        match rr_workloads::by_name(&workload, 4, 1) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!("rr-check explore: unknown workload {workload:?}\n{USAGE}");
+                return Err(2);
+            }
+        }
+    };
+    Ok(Options {
+        seeds,
+        pressures,
+        workloads,
+        workers,
+        out,
+        trace,
+    })
+}
+
+fn cmd_explore(args: &[String]) -> u8 {
+    let opts = match parse(args) {
+        Ok(o) => o,
+        Err(c) => return c,
+    };
+    let mut table = Table::new(
+        "rr-check: schedule exploration",
+        &[
+            "workload", "pressure", "seeds", "diverged", "stalls", "forced", "faulted",
+        ],
+    );
+    let mut divergent_total = 0usize;
+    let mut jsonl = String::new();
+
+    for w in &opts.workloads {
+        let machine = MachineConfig::splash_default(w.programs.len());
+        for &pressure in &opts.pressures {
+            let specs: Vec<ExploreSpec> = (0..opts.seeds)
+                .map(|s| ExploreSpec::for_seed(s, pressure))
+                .collect();
+            let report = explore_sweep(&w.programs, &w.initial_mem, &machine, &specs, opts.workers)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", w.name, pressure.name()));
+            jsonl.push_str(&report.sweep.to_jsonl());
+
+            let stalls: u64 = report
+                .outcomes
+                .iter()
+                .map(|o| o.pressure.stalled_ticks)
+                .sum();
+            let forced: u64 = report
+                .outcomes
+                .iter()
+                .map(|o| o.pressure.forced_closes)
+                .sum();
+            let faulted: usize = report
+                .outcomes
+                .iter()
+                .filter_map(|o| o.pressure.sink.as_ref())
+                .filter(|s| s.poisoned.iter().any(|&p| p))
+                .count();
+            let divergent = report.divergent();
+            table.row(vec![
+                w.name.to_string(),
+                pressure.name().to_string(),
+                opts.seeds.to_string(),
+                divergent.len().to_string(),
+                stalls.to_string(),
+                forced.to_string(),
+                faulted.to_string(),
+            ]);
+
+            for o in divergent {
+                divergent_total += 1;
+                eprintln!(
+                    "DIVERGENCE {}/{}: {}",
+                    w.name,
+                    o.name,
+                    o.divergence.as_deref().unwrap_or("?")
+                );
+                report_divergence(w, &machine, o.spec.clone(), &opts.out);
+            }
+        }
+        if opts.trace {
+            write_seed0_trace(w, &opts.out);
+        }
+    }
+
+    table.print();
+    table
+        .write_csv(&opts.out, "rr-check")
+        .unwrap_or_else(|e| panic!("write csv: {e}"));
+    write_metrics_jsonl(&opts.out, "rr-check", &jsonl)
+        .unwrap_or_else(|e| panic!("write metrics: {e}"));
+
+    if divergent_total > 0 {
+        eprintln!(
+            "rr-check: {divergent_total} divergent schedule(s); minimized reports under {}",
+            opts.out.display()
+        );
+        1
+    } else {
+        println!("rr-check: all explored schedules replay deterministically");
+        0
+    }
+}
+
+/// Shrinks a divergent spec, then re-records it with tracing enabled and
+/// lets the forensics layer write `divergence.md` next to the CSVs.
+fn report_divergence(w: &Workload, machine: &MachineConfig, spec: ExploreSpec, out: &Path) {
+    let min = minimize_divergence(&w.programs, &w.initial_mem, machine, spec);
+    eprintln!(
+        "  minimized: seed={} schedule={:?} pressure={}",
+        min.seed,
+        min.schedule,
+        min.pressure.name()
+    );
+    let traced = machine.clone().with_trace(relaxreplay::TraceConfig::full());
+    let Ok((run, _)) = record_with(
+        &w.programs,
+        &w.initial_mem,
+        &traced,
+        &min.recorder_configs(),
+        &min.options(),
+    ) else {
+        eprintln!("  (forensic re-record failed)");
+        return;
+    };
+    let dir = out.join(format!(
+        "divergence-{}-{}",
+        w.name,
+        min.label().replace('/', "-")
+    ));
+    for v in 0..run.variants.len() {
+        if let Err(e) = replay_and_verify_forensic(
+            &w.programs,
+            &w.initial_mem,
+            &run,
+            v,
+            &CostModel::splash_default(),
+            &dir,
+        ) {
+            eprintln!("  [{}] {e}", run.variants[v].spec.label());
+        }
+    }
+}
+
+/// Records the unperturbed seed-0 schedule with tracing and writes the
+/// Perfetto-convertible trace sidecar (`--trace`).
+fn write_seed0_trace(w: &Workload, out: &Path) {
+    let spec = ExploreSpec::for_seed(0, PressureMode::None);
+    let machine = MachineConfig::splash_default(w.programs.len())
+        .with_trace(relaxreplay::TraceConfig::full());
+    match record_with(
+        &w.programs,
+        &w.initial_mem,
+        &machine,
+        &spec.recorder_configs(),
+        &spec.options(),
+    ) {
+        Ok((run, _)) => {
+            if let Some(trace) = &run.trace {
+                write_trace_pairs(
+                    out,
+                    &format!("rr-check-{}", w.name),
+                    &[(format!("{}/seed0", w.name), trace)],
+                );
+            }
+        }
+        Err(e) => eprintln!("rr-check: trace record of {} failed: {e}", w.name),
+    }
+}

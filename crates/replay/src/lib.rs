@@ -59,6 +59,7 @@
 
 mod cost;
 pub mod forensics;
+pub mod oracle;
 mod parallel;
 mod patch;
 mod replayer;
@@ -66,6 +67,7 @@ mod verify;
 
 pub use cost::{CostModel, ReplayEvents};
 pub use forensics::divergence_report;
+pub use oracle::{cross_check, minimize, DifferentialError, Shrink};
 pub use parallel::{replay_parallel, ParallelOutcome};
 pub use patch::{patch, patch_source, PatchError, PatchSourceError, PatchedLog, ReplayOp};
 pub use replayer::{

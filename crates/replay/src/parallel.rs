@@ -110,6 +110,15 @@ pub fn replay_parallel(
             logs: logs.len(),
         });
     }
+    // A corrupted log can name an arbitrary core; reject before indexing.
+    for log in logs {
+        if log.core.index() >= programs.len() {
+            return Err(ReplayError::CoreOutOfRange {
+                core: log.core.index(),
+                threads: programs.len(),
+            });
+        }
+    }
 
     // ---- build nodes -----------------------------------------------------
     let mut nodes: Vec<Node> = Vec::new();
@@ -169,6 +178,14 @@ pub fn replay_parallel(
             let mut seen: Vec<(usize, u64)> = Vec::new();
             for &(src_core, src_ord) in preds {
                 let sc = src_core.index();
+                // A corrupted ordering can name a core outside the thread
+                // set; `intervals_of` would index out of bounds.
+                if sc >= logs.len() {
+                    return Err(ReplayError::CoreOutOfRange {
+                        core: sc,
+                        threads: logs.len(),
+                    });
+                }
                 if sc == c || src_ord as usize >= intervals_of(sc) {
                     continue;
                 }

@@ -70,7 +70,7 @@ pub enum PatchError {
         /// Interval index (per this core) holding the store entry.
         interval: usize,
         /// The offending offset.
-        offset: u16,
+        offset: u32,
     },
     /// The log did not end with an `IntervalFrame`.
     UnterminatedInterval,
@@ -188,7 +188,7 @@ pub fn patch_source(src: &mut dyn LogSource) -> Result<PatchedLog, PatchSourceEr
         let move_back = |appendices: &mut Vec<Vec<ReplayOp>>,
                          addr: u64,
                          value: u64,
-                         offset: u16|
+                         offset: u32|
          -> Result<(), PatchError> {
             let target = i
                 .checked_sub(offset as usize)
@@ -380,6 +380,45 @@ mod tests {
                 interval: 0,
                 offset: 1
             })
+        );
+    }
+
+    /// Regression companion to the recorder's CISN-wrap fix: an offset
+    /// wider than 16 bits must move the store back its exact distance.
+    /// Pre-fix, the u16 field aliased 65537 to 1 and the store landed one
+    /// interval back instead of at the log start.
+    #[test]
+    fn wide_offset_moves_back_across_cisn_wrap() {
+        let offset = u32::from(u16::MAX) + 2; // 65537
+        let mut entries = Vec::new();
+        for i in 0..offset as usize {
+            entries.push(frame(i as u16, i as u64)); // cisn wraps naturally
+        }
+        entries.push(LogEntry::ReorderedStore {
+            addr: 0x8,
+            value: 9,
+            offset,
+        });
+        entries.push(frame(offset as u16, u64::from(offset)));
+        let log = IntervalLog {
+            core: CoreId::new(0),
+            entries,
+        };
+        let p = patch(&log).expect("patches");
+        assert_eq!(
+            p.ops[0],
+            ReplayOp::ApplyStore {
+                addr: 0x8,
+                value: 9
+            },
+            "store must land in the very first interval"
+        );
+        assert_eq!(
+            p.ops
+                .iter()
+                .filter(|o| matches!(o, ReplayOp::ApplyStore { .. }))
+                .count(),
+            1
         );
     }
 

@@ -42,6 +42,16 @@ pub enum ReplayError {
         /// Number of logs.
         logs: usize,
     },
+    /// A log (or a recorded ordering edge) names a core outside the
+    /// replayed thread set — a corrupted or misattributed log. Validated
+    /// up front so a hostile input yields a typed error instead of an
+    /// out-of-bounds panic deep in the scheduler.
+    CoreOutOfRange {
+        /// The offending core index.
+        core: usize,
+        /// Number of replayed threads.
+        threads: usize,
+    },
 }
 
 impl fmt::Display for ReplayError {
@@ -64,6 +74,12 @@ impl fmt::Display for ReplayError {
             }
             ReplayError::ThreadCountMismatch { programs, logs } => {
                 write!(f, "{programs} programs but {logs} logs")
+            }
+            ReplayError::CoreOutOfRange { core, threads } => {
+                write!(
+                    f,
+                    "log names core {core} but only {threads} threads are being replayed"
+                )
             }
         }
     }
@@ -140,6 +156,16 @@ pub fn replay_traced(
             programs: programs.len(),
             logs: logs.len(),
         });
+    }
+    // Validate core ids before any indexing: a corrupted log can claim an
+    // arbitrary core and would otherwise panic on `interps[interval.core]`.
+    for log in logs {
+        if log.core.index() >= programs.len() {
+            return Err(ReplayError::CoreOutOfRange {
+                core: log.core.index(),
+                threads: programs.len(),
+            });
+        }
     }
     // Split each core's ops into intervals and merge by (timestamp, core).
     struct IntervalRef<'a> {

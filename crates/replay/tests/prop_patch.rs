@@ -15,11 +15,11 @@ use rr_replay::{patch, PatchError, ReplayOp};
 /// the intervals differ).
 fn log_strategy() -> impl Strategy<Value = IntervalLog> {
     let body_entry = |interval: usize| {
-        let max_off = interval as u16;
+        let max_off = interval as u32;
         prop_oneof![
             (1u32..5000).prop_map(|instrs| LogEntry::InorderBlock { instrs }),
             any::<u64>().prop_map(|value| LogEntry::ReorderedLoad { value }),
-            (any::<u64>(), any::<u64>(), 0u16..=max_off).prop_map(move |(addr, value, off)| {
+            (any::<u64>(), any::<u64>(), 0u32..=max_off).prop_map(move |(addr, value, off)| {
                 LogEntry::ReorderedStore {
                     addr: addr & !7,
                     value,

@@ -135,6 +135,117 @@ fn longer_program_with_short_log_is_incomplete() {
     assert!(matches!(err, ReplayError::IncompleteReplay { .. }));
 }
 
+/// Regression: a log claiming a core outside the replayed thread set must
+/// yield a typed error. Pre-fix, the scheduler indexed
+/// `interps[interval.core]` unchecked and panicked out of bounds on a
+/// corrupted (or misattributed) log.
+#[test]
+fn out_of_range_core_is_a_typed_error() {
+    let programs = vec![tiny_program(), tiny_program()];
+    let log = IntervalLog {
+        core: CoreId::new(7), // only threads 0–1 exist
+        entries: vec![
+            LogEntry::InorderBlock { instrs: 2 },
+            LogEntry::IntervalFrame {
+                cisn: 0,
+                timestamp: 1,
+            },
+        ],
+    };
+    let ok = log_of(vec![
+        LogEntry::InorderBlock { instrs: 2 },
+        LogEntry::IntervalFrame {
+            cisn: 0,
+            timestamp: 0,
+        },
+    ]);
+    let patched = vec![patch(&ok).expect("patches"), patch(&log).expect("patches")];
+    let err = replay(
+        &programs,
+        &patched,
+        MemImage::new(),
+        &CostModel::splash_default(),
+    )
+    .expect_err("must fail");
+    assert_eq!(
+        err,
+        ReplayError::CoreOutOfRange {
+            core: 7,
+            threads: 2
+        }
+    );
+}
+
+/// The parallel replayer validates both the logs' own core ids and the
+/// cores named by recorded predecessor edges.
+#[test]
+fn parallel_replay_rejects_out_of_range_cores() {
+    let p = tiny_program();
+    let log = IntervalLog {
+        core: CoreId::new(9),
+        entries: vec![
+            LogEntry::InorderBlock { instrs: 2 },
+            LogEntry::IntervalFrame {
+                cisn: 0,
+                timestamp: 1,
+            },
+        ],
+    };
+    let patched = patch(&log).expect("patches");
+    let ordering = relaxreplay::IntervalOrdering {
+        preds: vec![vec![]],
+        barriers: vec![false],
+        timestamps: vec![1],
+    };
+    let err = replay_parallel(
+        std::slice::from_ref(&p),
+        std::slice::from_ref(&patched),
+        std::slice::from_ref(&ordering),
+        MemImage::new(),
+        &CostModel::splash_default(),
+        2,
+    )
+    .expect_err("must fail");
+    assert_eq!(
+        err,
+        ReplayError::CoreOutOfRange {
+            core: 9,
+            threads: 1
+        }
+    );
+
+    // An ordering edge from a phantom core is rejected too.
+    let ok = log_of(vec![
+        LogEntry::InorderBlock { instrs: 2 },
+        LogEntry::IntervalFrame {
+            cisn: 0,
+            timestamp: 1,
+        },
+    ]);
+    let patched = patch(&ok).expect("patches");
+    let ordering = relaxreplay::IntervalOrdering {
+        preds: vec![vec![(CoreId::new(5), 0)]],
+        barriers: vec![false],
+        timestamps: vec![1],
+    };
+    let err = replay_parallel(
+        std::slice::from_ref(&p),
+        std::slice::from_ref(&patched),
+        std::slice::from_ref(&ordering),
+        MemImage::new(),
+        &CostModel::splash_default(),
+        2,
+    )
+    .expect_err("must fail");
+    assert_eq!(
+        err,
+        ReplayError::CoreOutOfRange {
+            core: 5,
+            threads: 1
+        }
+    );
+}
+
 #[test]
 fn parallel_replay_rejects_length_mismatch() {
     let p = tiny_program();

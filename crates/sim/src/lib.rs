@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+pub mod explore;
 pub mod logdir;
 mod machine;
 pub mod metrics;
@@ -45,10 +46,15 @@ pub mod sweep;
 mod tracer;
 
 pub use config::{MachineConfig, RecorderSpec};
+pub use explore::{
+    explore_one, explore_sweep, minimize_divergence, ExploreOutcome, ExploreReport, ExploreSpec,
+    PressureMode,
+};
 pub use logdir::{list_runs, load_run, save_run, LogDirError, SavedRun, SavedVariant};
 pub use machine::{
-    record, record_custom, replay_and_verify, replay_and_verify_forensic, RunResult, SimError,
-    VariantResult,
+    record, record_custom, record_with, replay_and_verify, replay_and_verify_forensic,
+    PressureReport, PressureSpec, RunOptions, RunResult, ScheduleStrategy, SimError,
+    SinkFaultReport, VariantResult,
 };
 pub use metrics::{MetricsRegistry, PhaseNanos};
 pub use sweep::{run_sweep, JobOutput, ReplayPolicy, SweepError, SweepJob, SweepReport};

@@ -161,6 +161,175 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// How the per-cycle core schedule is perturbed — the `rr-check`
+/// schedule-exploration knob. Every strategy is a pure function of its
+/// parameters and the cycle count: the same strategy always produces the
+/// same execution, regardless of host, worker count, or wall clock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum ScheduleStrategy {
+    /// The untouched baseline order: core 0 ticks first, every core ticks
+    /// every cycle. [`record_custom`] is exactly this.
+    #[default]
+    Baseline,
+    /// Seeded stalls: each cycle, each core skips its pipeline tick with
+    /// probability `stall_permille`/1000 (never more than
+    /// `max_consecutive` skips in a row), decided by hashing
+    /// (seed, cycle, core). Stalling a core is always legal — it is
+    /// indistinguishable from a structural hazard — so every stall
+    /// schedule is a valid execution the recorder must handle.
+    SeededStall {
+        /// Hash seed; different seeds give unrelated stall patterns.
+        seed: u64,
+        /// Per-core per-cycle stall probability in 1/1000ths.
+        stall_permille: u16,
+        /// Upper bound on consecutive stalls of one core (forward
+        /// progress guarantee).
+        max_consecutive: u32,
+    },
+    /// Rotate which core ticks first every `period` cycles, reordering
+    /// same-cycle memory-system arrivals between cores.
+    RotatePriority {
+        /// Cycles between rotations (0 is treated as 1).
+        period: u64,
+    },
+}
+
+/// SplitMix64 finalizer — the stateless hash behind
+/// [`ScheduleStrategy::SeededStall`].
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Per-run schedule state: the tick order for the current cycle and the
+/// consecutive-stall counters enforcing forward progress.
+struct SchedulePlanner {
+    strategy: ScheduleStrategy,
+    consecutive: Vec<u32>,
+}
+
+impl SchedulePlanner {
+    fn new(strategy: &ScheduleStrategy, n: usize) -> Self {
+        SchedulePlanner {
+            strategy: strategy.clone(),
+            consecutive: vec![0; n],
+        }
+    }
+
+    /// Writes this cycle's core tick order (a rotation of `0..n`) into
+    /// `order`.
+    fn fill_order(&self, cycle: u64, order: &mut [usize]) {
+        let n = order.len();
+        let start = match self.strategy {
+            ScheduleStrategy::RotatePriority { period } if n > 0 => {
+                ((cycle / period.max(1)) % n as u64) as usize
+            }
+            _ => 0,
+        };
+        for (k, slot) in order.iter_mut().enumerate() {
+            *slot = (start + k) % n.max(1);
+        }
+    }
+
+    /// Whether `core` skips its pipeline tick this cycle.
+    fn stalls(&mut self, cycle: u64, core: usize) -> bool {
+        let ScheduleStrategy::SeededStall {
+            seed,
+            stall_permille,
+            max_consecutive,
+        } = self.strategy
+        else {
+            return false;
+        };
+        let h = mix64(seed ^ mix64(cycle ^ mix64(core as u64)));
+        if h % 1000 < u64::from(stall_permille) && self.consecutive[core] < max_consecutive {
+            self.consecutive[core] += 1;
+            true
+        } else {
+            self.consecutive[core] = 0;
+            false
+        }
+    }
+}
+
+/// Targeted recorder stress applied during a run — the `rr-check`
+/// pressure modes. Pressure perturbs only the *recorders* (which are pure
+/// observers), never the cores or the memory system, so the sequential
+/// ground truth of the execution is untouched and every pressured log
+/// must still replay to it exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PressureSpec {
+    /// Force-close every recorder's current interval every `period`
+    /// cycles (`Some(0)` is treated as every cycle’s guard, i.e. never),
+    /// exercising the `Forced` termination path and pathologically small
+    /// intervals.
+    pub force_close_period: Option<u64>,
+    /// Advance every recorder's interval counter by this many empty
+    /// intervals before the first cycle, pushing the 16-bit CISN toward
+    /// and across its wrap point (65 500 puts the wrap mid-run).
+    pub preadvance_intervals: u64,
+    /// Attach a *shadow* copy of the first recorder variant whose log
+    /// streams into a sink that fails after accepting this many entries.
+    /// The shadow observes the identical execution, so its poisoning and
+    /// retention behavior can be audited byte-for-byte against the real
+    /// variant's log (see [`SinkFaultReport`]).
+    pub sink_fail_after: Option<usize>,
+}
+
+impl PressureSpec {
+    /// True when no pressure is configured.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        *self == PressureSpec::default()
+    }
+}
+
+/// Options for [`record_with`]: a schedule strategy plus recorder
+/// pressure. The default is byte-identical to [`record_custom`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Per-cycle core schedule perturbation.
+    pub schedule: ScheduleStrategy,
+    /// Recorder stress injection.
+    pub pressure: PressureSpec,
+}
+
+/// What the injected pressure actually did — the contract `rr-check`
+/// audits after each run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PressureReport {
+    /// Empty intervals pre-advanced per recorder.
+    pub preadvanced: u64,
+    /// `force_terminate` calls issued across all cores and variants.
+    pub forced_closes: u64,
+    /// Core pipeline ticks skipped by the schedule strategy.
+    pub stalled_ticks: u64,
+    /// Audit of the failing-sink shadow recorder, when one was attached.
+    pub sink: Option<SinkFaultReport>,
+}
+
+/// Per-core audit of the failing-sink shadow recorder: what survived the
+/// injected mid-record sink fault, checked against the fault-free first
+/// variant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SinkFaultReport {
+    /// Whether each shadow recorder latched its poisoned flag.
+    pub poisoned: Vec<bool>,
+    /// Entries each shadow streamed successfully before the fault.
+    pub streamed: Vec<u64>,
+    /// Entries still buffered in each shadow after `finish` — retained,
+    /// not dropped.
+    pub retained: Vec<usize>,
+    /// First sink error per core (empty string = no fault hit).
+    pub errors: Vec<String>,
+    /// Whether on every core the accepted entries plus the retained
+    /// buffer reproduce the fault-free variant's log exactly — nothing
+    /// lost, nothing duplicated, nothing reordered.
+    pub prefix_intact: bool,
+}
+
 /// Records one parallel execution of `programs` (one thread per core)
 /// against `initial_mem`, with every recorder variant in `specs` attached
 /// simultaneously.
@@ -199,6 +368,25 @@ pub fn record_custom(
     cfg: &MachineConfig,
     configs: &[relaxreplay::RecorderConfig],
 ) -> Result<RunResult, SimError> {
+    record_with(programs, initial_mem, cfg, configs, &RunOptions::default()).map(|(run, _)| run)
+}
+
+/// Like [`record_custom`] but with a [`ScheduleStrategy`] perturbing the
+/// per-cycle core schedule and a [`PressureSpec`] stressing the recorders
+/// — the entry point of the `rr-check` schedule explorer. With
+/// `RunOptions::default()` the run is byte-identical to
+/// [`record_custom`].
+///
+/// # Errors
+///
+/// Same as [`record`].
+pub fn record_with(
+    programs: &[Program],
+    initial_mem: &MemImage,
+    cfg: &MachineConfig,
+    configs: &[relaxreplay::RecorderConfig],
+    options: &RunOptions,
+) -> Result<(RunResult, PressureReport), SimError> {
     if programs.len() > cfg.num_cores {
         return Err(SimError::TooManyThreads {
             threads: programs.len(),
@@ -229,6 +417,44 @@ pub fn record_custom(
                 .collect()
         })
         .collect();
+    let mut report = PressureReport {
+        preadvanced: options.pressure.preadvance_intervals,
+        ..PressureReport::default()
+    };
+    // Failing-sink pressure: a shadow copy of the first variant, streaming
+    // into sinks that fault mid-record. It rides along as an extra
+    // recorder "variant" (observing the identical event stream) and is
+    // popped before results are collected, so it can be audited against
+    // the fault-free first variant without disturbing it.
+    let mut sink_handles: Vec<std::sync::Arc<std::sync::Mutex<Vec<relaxreplay::LogEntry>>>> =
+        Vec::new();
+    if let Some(fail_after) = options.pressure.sink_fail_after {
+        if let Some(first) = configs.first() {
+            let shadow: Vec<Recorder> = (0..n)
+                .map(|i| {
+                    let mut rec = Recorder::new(CoreId::new(i as u8), first.clone());
+                    let sink = relaxreplay::FailingSink::new(fail_after);
+                    sink_handles.push(sink.handle());
+                    rec.set_sink(Box::new(sink));
+                    rec
+                })
+                .collect();
+            recorders.push(shadow);
+        }
+    }
+    let has_shadow = !sink_handles.is_empty();
+    // CISN-wrap pressure: burn through empty intervals before the first
+    // instruction so the interesting part of the run records with its
+    // interval counters near (and past) the 16-bit wrap point.
+    if options.pressure.preadvance_intervals > 0 {
+        for variant in &mut recorders {
+            for rec in variant.iter_mut() {
+                rec.pre_advance_intervals(options.pressure.preadvance_intervals, 0);
+            }
+        }
+    }
+    let mut planner = SchedulePlanner::new(&options.schedule, n);
+    let mut tick_order: Vec<usize> = (0..n).collect();
     let mut tracers: Vec<TraceCollector> = (0..n).map(|_| TraceCollector::new()).collect();
     // Event tracing: attach per-core rings to the first recorder variant
     // (its interval structure becomes the timeline) and keep a machine-
@@ -292,14 +518,36 @@ pub fn record_custom(
                 }
             }
         }
-        for (i, core) in cores.iter_mut().enumerate() {
+        planner.fill_order(cycle, &mut tick_order);
+        for &i in &tick_order {
+            let stalled = planner.stalls(cycle, i);
             let mut observers: Vec<&mut dyn CoreObserver> = recorders
                 .iter_mut()
                 .map(|v| &mut v[i] as &mut dyn CoreObserver)
                 .collect();
             observers.push(&mut tracers[i]);
             let mut fanout = FanoutObserver::new(observers);
-            core.tick(cycle, &mut img, &mut mem, &mut fanout);
+            if stalled {
+                // A stalled pipeline still performs accesses whose
+                // completions arrive this cycle (the memory system's
+                // perform-at-delivery contract): otherwise a remote
+                // conflicting snoop can land between completion and
+                // perform and the recorder never sees the conflict.
+                report.stalled_ticks += 1;
+                cores[i].drain_completions(cycle, &mut img, &mut fanout);
+            } else {
+                cores[i].tick(cycle, &mut img, &mut mem, &mut fanout);
+            }
+        }
+        if let Some(period) = options.pressure.force_close_period {
+            if period > 0 && cycle > 0 && cycle.is_multiple_of(period) {
+                for variant in &mut recorders {
+                    for rec in variant.iter_mut() {
+                        rec.force_terminate(cycle);
+                        report.forced_closes += 1;
+                    }
+                }
+            }
         }
         for variant in &mut recorders {
             for rec in variant.iter_mut() {
@@ -318,6 +566,7 @@ pub fn record_custom(
         }
     };
 
+    let shadow_recs = if has_shadow { recorders.pop() } else { None };
     let mut variants = Vec::with_capacity(specs.len());
     for (vi, (spec, mut recs)) in specs.iter().zip(recorders).enumerate() {
         for r in &mut recs {
@@ -343,21 +592,60 @@ pub fn record_custom(
         });
     }
 
-    Ok(RunResult {
-        cycles: final_cycle,
-        core_stats: cores.iter().map(|c| c.stats().clone()).collect(),
-        mem_stats: mem.stats().clone(),
-        recorded: RecordedExecution {
-            final_mem: img,
-            load_traces: tracers
-                .into_iter()
-                .map(TraceCollector::into_trace)
-                .collect(),
+    // Audit the failing-sink shadow against the (fault-free) first
+    // variant's final log: accepted prefix + retained buffer must
+    // reproduce it exactly on every core.
+    if let Some(mut shadow) = shadow_recs {
+        for r in &mut shadow {
+            r.finish(final_cycle);
+        }
+        let mut sink_report = SinkFaultReport {
+            prefix_intact: true,
+            ..SinkFaultReport::default()
+        };
+        for r in &shadow {
+            sink_report.poisoned.push(r.is_poisoned());
+            sink_report.streamed.push(r.streamed_entries());
+            sink_report
+                .errors
+                .push(r.sink_error().map(ToString::to_string).unwrap_or_default());
+        }
+        for (i, r) in shadow.into_iter().enumerate() {
+            let buffered = r.into_log().entries;
+            sink_report.retained.push(buffered.len());
+            let mut combined = sink_handles[i]
+                .lock()
+                .expect("sink handle poisoned")
+                .clone();
+            combined.extend(buffered);
+            if variants
+                .first()
+                .is_none_or(|v| v.logs[i].entries != combined)
+            {
+                sink_report.prefix_intact = false;
+            }
+        }
+        report.sink = Some(sink_report);
+    }
+
+    Ok((
+        RunResult {
+            cycles: final_cycle,
+            core_stats: cores.iter().map(|c| c.stats().clone()).collect(),
+            mem_stats: mem.stats().clone(),
+            recorded: RecordedExecution {
+                final_mem: img,
+                load_traces: tracers
+                    .into_iter()
+                    .map(TraceCollector::into_trace)
+                    .collect(),
+            },
+            variants,
+            clock_ghz: cfg.clock_ghz,
+            trace: event_trace,
         },
-        variants,
-        clock_ghz: cfg.clock_ghz,
-        trace: event_trace,
-    })
+        report,
+    ))
 }
 
 /// Patches and replays one variant's logs, verifying the replay against the

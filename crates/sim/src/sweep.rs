@@ -25,7 +25,7 @@ use rr_replay::{patch, replay, verify, CostModel, PatchedLog, ReplayOutcome};
 
 use crate::config::{MachineConfig, RecorderSpec};
 use crate::logdir::LogDirError;
-use crate::machine::{record_custom, RunResult, SimError};
+use crate::machine::{record_with, PressureReport, RunOptions, RunResult, SimError};
 use crate::metrics::{self, MetricsRegistry, PhaseNanos};
 
 /// Whether (and how) a sweep job replays what it recorded.
@@ -63,6 +63,9 @@ pub struct SweepJob {
     pub recorders: Vec<relaxreplay::RecorderConfig>,
     /// Replay-and-verify policy.
     pub replay: ReplayPolicy,
+    /// Schedule perturbation and recorder pressure (default: none — the
+    /// plain machine).
+    pub options: RunOptions,
 }
 
 impl SweepJob {
@@ -83,6 +86,7 @@ impl SweepJob {
             machine,
             recorders: specs.iter().map(RecorderSpec::recorder_config).collect(),
             replay,
+            options: RunOptions::default(),
         }
     }
 }
@@ -99,6 +103,8 @@ pub struct JobOutput {
     /// Replay outcomes, parallel to `run.variants` (empty under
     /// [`ReplayPolicy::Skip`]).
     pub replays: Vec<ReplayOutcome>,
+    /// What the job's injected pressure (if any) actually did.
+    pub pressure: PressureReport,
     /// Deterministic counters and histograms for this run.
     pub metrics: MetricsRegistry,
     /// Host wall-clock per phase (not deterministic; excluded from
@@ -209,14 +215,18 @@ fn run_job(job: usize, j: &SweepJob) -> Result<JobOutput, SweepError> {
     let mut phases = PhaseNanos::default();
 
     let t = Instant::now();
-    let run =
-        record_custom(&j.programs, &j.initial_mem, &j.machine, &j.recorders).map_err(|err| {
-            SweepError::Sim {
-                job,
-                name: j.name.clone(),
-                err,
-            }
-        })?;
+    let (run, pressure) = record_with(
+        &j.programs,
+        &j.initial_mem,
+        &j.machine,
+        &j.recorders,
+        &j.options,
+    )
+    .map_err(|err| SweepError::Sim {
+        job,
+        name: j.name.clone(),
+        err,
+    })?;
     phases.record = t.elapsed().as_nanos() as u64;
 
     let cost = match &j.replay {
@@ -274,6 +284,7 @@ fn run_job(job: usize, j: &SweepJob) -> Result<JobOutput, SweepError> {
         name: j.name.clone(),
         run,
         replays,
+        pressure,
         metrics,
         phases,
     })

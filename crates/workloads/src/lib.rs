@@ -40,6 +40,7 @@ pub mod compute;
 mod grid;
 mod irregular;
 mod kernels;
+pub mod litmus;
 mod queue;
 pub mod sync;
 
@@ -48,6 +49,7 @@ use rr_isa::{MemImage, Program};
 pub use grid::{ocean, water_nsq, water_sp};
 pub use irregular::{barnes, fmm};
 pub use kernels::{cholesky, fft, lu, radix};
+pub use litmus::{litmus_by_name, litmus_suite};
 pub use queue::{radiosity, raytrace, volrend};
 
 /// A runnable multi-threaded workload: one program per thread plus the
@@ -115,8 +117,14 @@ pub fn suite(threads: usize, size: u32) -> Vec<Workload> {
 }
 
 /// Builds a single workload by name (see the crate docs for the list).
+/// The four litmus shapes (`sb`, `mp`, `lb`, `iriw`) are also accepted;
+/// their thread counts are intrinsic, so `threads` and `size` are
+/// ignored for them.
 #[must_use]
 pub fn by_name(name: &str, threads: usize, size: u32) -> Option<Workload> {
+    if let Some(w) = litmus_by_name(name) {
+        return Some(w);
+    }
     let w = match name {
         "fft" => fft(threads, size),
         "lu" => lu(threads, size),

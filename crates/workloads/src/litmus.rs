@@ -1,0 +1,221 @@
+//! The four classic relaxed-memory litmus shapes — SB, MP, LB, IRIW —
+//! as runnable [`Workload`]s.
+//!
+//! These are the *log-level* variants from the tier-1 litmus suite: each
+//! shape is padded and cache-warmed so that on the release-consistent
+//! machine the interesting access reliably performs out of program order
+//! **and** an interval boundary falls between its perform and its count,
+//! forcing the recorder down its reordered paths. That makes them the
+//! sharpest probes `rr-check` has: tiny programs, deterministic, and
+//! dense in exactly the events the recorder can get wrong.
+//!
+//! Thread counts are intrinsic to the shapes (SB/MP/LB: 2, IRIW: 4), so
+//! unlike the SPLASH-like generators these take no `threads` parameter.
+
+use rr_isa::{BranchCond, MemImage, ProgramBuilder, Reg};
+
+use crate::Workload;
+
+/// First contended variable (its own cache line).
+pub const X: i64 = 0x100;
+/// Second contended variable (its own cache line).
+pub const Y: i64 = 0x200;
+/// Base of the per-thread observation slots.
+pub const OUT: i64 = 0x1000;
+
+/// Filler before the slow older access: keeps the Base-4K recorder's
+/// max-size interval boundary ahead of it (counted prefix < 4096).
+pub const PRE_PAD: usize = 4000;
+/// Filler after it: together with [`PRE_PAD`] the boundary is crossed
+/// while the older access's cold miss is still in flight.
+pub const POST_PAD: usize = 100;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Store buffering: each thread stores to its own variable and loads the
+/// other's. The loaded line is warmed, the stored line is cold, so the
+/// load performs (hits) while the older store is still draining — the
+/// classic `r1 = r2 = 0` outcome, logged as a `ReorderedLoad` per core.
+#[must_use]
+pub fn sb() -> Workload {
+    let thread = |my: i64, other: i64, out_slot: i64| {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(1), my);
+        b.load_imm(r(3), other);
+        b.load(r(6), r(3), 0); // warm the loaded line: the bypass is a hit
+        b.nops(PRE_PAD);
+        b.load_imm(r(2), 1);
+        b.store(r(2), r(1), 0); // cold buffered store: performs late...
+        b.nops(POST_PAD);
+        b.load(r(4), r(3), 0); // ...bypassed by this load (performs early)
+        b.load_imm(r(5), OUT + out_slot);
+        b.store(r(4), r(5), 0);
+        b.halt();
+        b.build()
+    };
+    Workload {
+        name: "sb",
+        programs: vec![thread(X, Y, 0), thread(Y, X, 8)],
+        initial_mem: MemImage::new(),
+    }
+}
+
+/// Message passing without fences: the producer's data store misses
+/// while its flag store hits, so the flag becomes visible first (a
+/// `ReorderedStore`); the consumer spins on the flag and may read stale
+/// data.
+#[must_use]
+pub fn mp() -> Workload {
+    let mut producer = ProgramBuilder::new();
+    // Warm only the flag line: the data store will miss (slow) while the
+    // flag store hits (fast), so the flag becomes visible first.
+    producer.load_imm(r(1), X);
+    producer.load_imm(r(3), Y);
+    producer.load(r(6), r(3), 0);
+    producer.nops(600);
+    producer.load_imm(r(2), 41);
+    producer.store(r(2), r(1), 0); // data = 41 (miss, slow)
+    producer.load_imm(r(4), 1);
+    producer.store(r(4), r(3), 0); // flag = 1 (hit, performs early)
+    producer.halt();
+
+    let mut consumer = ProgramBuilder::new();
+    consumer.load_imm(r(1), Y);
+    consumer.load_imm(r(2), 1);
+    let spin = consumer.bind_new();
+    consumer.load(r(3), r(1), 0);
+    consumer.branch(BranchCond::Ne, r(3), r(2), spin);
+    consumer.load_imm(r(4), X);
+    consumer.load(r(5), r(4), 0); // may read stale data — no acquire fence
+    consumer.load_imm(r(6), OUT);
+    consumer.store(r(5), r(6), 0);
+    consumer.halt();
+
+    Workload {
+        name: "mp",
+        programs: vec![producer.build(), consumer.build()],
+        initial_mem: MemImage::new(),
+    }
+}
+
+/// Load buffering: each thread loads one variable then stores the other,
+/// with an older cold store (to private scratch) still draining — the LB
+/// load performs under that miss and is logged as a `ReorderedLoad`.
+#[must_use]
+pub fn lb() -> Workload {
+    let thread = |read: i64, write: i64, scratch: i64, out_slot: i64| {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(1), read);
+        b.load_imm(r(2), write);
+        b.load_imm(r(7), scratch);
+        b.load_imm(r(6), 0);
+        b.store(r(6), r(2), 0); // own the store's line (write 0 = initial)
+        b.nops(PRE_PAD);
+        b.store(r(6), r(7), 0); // older cold store: drains slowly
+        b.nops(POST_PAD);
+        b.load(r(3), r(1), 0); // LB load: performs under the miss
+        b.load_imm(r(4), 1);
+        b.store(r(4), r(2), 0); // LB store: drains out of order too
+        b.load_imm(r(5), OUT + out_slot);
+        b.store(r(3), r(5), 0);
+        b.halt();
+        b.build()
+    };
+    Workload {
+        name: "lb",
+        programs: vec![thread(X, Y, 0x300, 0), thread(Y, X, 0x400, 8)],
+        initial_mem: MemImage::new(),
+    }
+}
+
+/// Independent reads of independent writes, unfenced: two writers, two
+/// readers reading the variables in opposite orders. The writers' nop pad
+/// is sized so their stores' invalidations land between the readers'
+/// loads' performs and their counting — both reads log as
+/// `ReorderedLoad` on each reader.
+#[must_use]
+pub fn iriw() -> Workload {
+    let writer = |addr: i64| {
+        let mut b = ProgramBuilder::new();
+        b.nops(4650); // mid-plateau: invalidations arrive perform < t < count
+        b.load_imm(r(1), addr);
+        b.load_imm(r(2), 1);
+        b.store(r(2), r(1), 0);
+        b.halt();
+        b.build()
+    };
+    let reader = |first: i64, second: i64, out: i64| {
+        let mut b = ProgramBuilder::new();
+        b.load_imm(r(1), first);
+        b.load_imm(r(3), second);
+        b.load(r(6), r(3), 0); // warm the second line only
+        b.nops(PRE_PAD);
+        b.load(r(2), r(1), 0); // cold: performs under the invalidations
+        b.nops(POST_PAD);
+        b.load(r(4), r(3), 0); // warmed: performs under them too
+        b.load_imm(r(5), out);
+        b.store(r(2), r(5), 0);
+        b.store(r(4), r(5), 8);
+        b.halt();
+        b.build()
+    };
+    Workload {
+        name: "iriw",
+        programs: vec![
+            writer(X),
+            writer(Y),
+            reader(X, Y, OUT),
+            reader(Y, X, OUT + 0x40),
+        ],
+        initial_mem: MemImage::new(),
+    }
+}
+
+/// All four litmus shapes, in canonical order.
+#[must_use]
+pub fn litmus_suite() -> Vec<Workload> {
+    vec![sb(), mp(), lb(), iriw()]
+}
+
+/// A single litmus shape by name.
+#[must_use]
+pub fn litmus_by_name(name: &str) -> Option<Workload> {
+    match name {
+        "sb" => Some(sb()),
+        "mp" => Some(mp()),
+        "lb" => Some(lb()),
+        "iriw" => Some(iriw()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_have_their_intrinsic_thread_counts() {
+        assert_eq!(sb().programs.len(), 2);
+        assert_eq!(mp().programs.len(), 2);
+        assert_eq!(lb().programs.len(), 2);
+        assert_eq!(iriw().programs.len(), 4);
+    }
+
+    #[test]
+    fn suite_and_by_name_agree() {
+        for w in litmus_suite() {
+            let again = litmus_by_name(w.name).expect("known");
+            assert_eq!(again.programs, w.programs);
+        }
+        assert!(litmus_by_name("sc").is_none());
+    }
+
+    #[test]
+    fn shapes_are_deterministic() {
+        for (a, b) in litmus_suite().iter().zip(litmus_suite().iter()) {
+            assert_eq!(a.programs, b.programs, "{} differs between builds", a.name);
+        }
+    }
+}

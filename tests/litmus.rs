@@ -230,41 +230,19 @@ fn iriw_anomaly_is_forbidden() {
 //
 // An access is logged reordered when an interval boundary separates the
 // interval where it performed from the interval where it is counted
-// (paper §3.2: PISN != CISN). These shapes manufacture that situation
-// deterministically: ~3800 filler instructions land before the slow older
-// access and ~600 after it, so the Base-4K recorder's 4096-instruction
-// max-size boundary falls *between* the older access's counting and the
-// early-performed younger access's counting. Replay fidelity is checked
-// by `run_and_verify` as everywhere else.
-// PRE_PAD keeps the boundary ahead (counted prefix < 4096); PRE_PAD +
-// POST_PAD crosses it. POST_PAD also bounds how long the younger access's
-// issue is delayed (~POST_PAD/4 retire cycles), which must stay well under
-// the older access's ~164-cycle cold-miss latency for the bypass to occur.
-const PRE_PAD: usize = 4000;
-const POST_PAD: usize = 100;
+// (paper §3.2: PISN != CISN). The shared shapes in
+// `rr_workloads::litmus` manufacture that situation deterministically
+// (see that module's padding rationale); they double as the `rr-check`
+// schedule explorer's tier-1 workloads, so the exact programs checked
+// here are the ones swept over hundreds of perturbed schedules. Replay
+// fidelity is checked by `run_and_verify` as everywhere else.
 
 /// Store buffering, log-level: the load that bypasses the buffered store
 /// is the access that makes `r1 = r2 = 0` possible, and the recorder must
 /// log it as a `ReorderedLoad` on each core.
 #[test]
 fn sb_bypassing_load_is_logged_reordered() {
-    let thread = |my: i64, other: i64, out_slot: i64| {
-        let mut b = ProgramBuilder::new();
-        b.load_imm(r(1), my);
-        b.load_imm(r(3), other);
-        b.load(r(6), r(3), 0); // warm the loaded line: the bypass is a hit
-        b.nops(PRE_PAD);
-        b.load_imm(r(2), 1);
-        b.store(r(2), r(1), 0); // cold buffered store: performs late...
-        b.nops(POST_PAD);
-        b.load(r(4), r(3), 0); // ...bypassed by this load (performs early)
-        b.load_imm(r(5), OUT + out_slot);
-        b.store(r(4), r(5), 0);
-        b.halt();
-        b.build()
-    };
-    let programs = vec![thread(X, Y, 0), thread(Y, X, 8)];
-    let result = run_and_verify(&programs);
+    let result = run_and_verify(&rr_workloads::litmus::sb().programs);
     let m = &result.recorded.final_mem;
     assert_eq!(
         (m.load(OUT as u64), m.load(OUT as u64 + 8)),
@@ -285,33 +263,7 @@ fn sb_bypassing_load_is_logged_reordered() {
 /// `ReorderedStore`.
 #[test]
 fn mp_unfenced_early_flag_store_is_logged_reordered() {
-    let mut producer = ProgramBuilder::new();
-    // Warm only the flag line: the data store will miss (slow) while the
-    // flag store hits (fast), so the flag becomes visible first.
-    producer.load_imm(r(1), X);
-    producer.load_imm(r(3), Y);
-    producer.load(r(6), r(3), 0);
-    producer.nops(600);
-    producer.load_imm(r(2), 41);
-    producer.store(r(2), r(1), 0); // data = 41 (miss, slow)
-    producer.load_imm(r(4), 1);
-    producer.store(r(4), r(3), 0); // flag = 1 (hit, performs early)
-    producer.halt();
-
-    let mut consumer = ProgramBuilder::new();
-    consumer.load_imm(r(1), Y);
-    consumer.load_imm(r(2), 1);
-    let spin = consumer.bind_new();
-    consumer.load(r(3), r(1), 0);
-    consumer.branch(BranchCond::Ne, r(3), r(2), spin);
-    consumer.load_imm(r(4), X);
-    consumer.load(r(5), r(4), 0); // may read stale data — no acquire fence
-    consumer.load_imm(r(6), OUT);
-    consumer.store(r(5), r(6), 0);
-    consumer.halt();
-
-    let programs = vec![producer.build(), consumer.build()];
-    let result = run_and_verify(&programs);
+    let result = run_and_verify(&rr_workloads::litmus::mp().programs);
     assert!(
         reordered_stores(&result, 0) >= 1,
         "producer's flag store performed before the older data store and \
@@ -334,26 +286,7 @@ fn mp_unfenced_early_flag_store_is_logged_reordered() {
 /// path is exercised by the MP test above.)
 #[test]
 fn lb_accesses_overtaking_older_store_are_logged_reordered() {
-    let thread = |read: i64, write: i64, scratch: i64, out_slot: i64| {
-        let mut b = ProgramBuilder::new();
-        b.load_imm(r(1), read);
-        b.load_imm(r(2), write);
-        b.load_imm(r(7), scratch);
-        b.load_imm(r(6), 0);
-        b.store(r(6), r(2), 0); // own the store's line (write 0 = initial)
-        b.nops(PRE_PAD);
-        b.store(r(6), r(7), 0); // older cold store: drains slowly
-        b.nops(POST_PAD);
-        b.load(r(3), r(1), 0); // LB load: performs under the miss
-        b.load_imm(r(4), 1);
-        b.store(r(4), r(2), 0); // LB store: drains out of order too
-        b.load_imm(r(5), OUT + out_slot);
-        b.store(r(3), r(5), 0);
-        b.halt();
-        b.build()
-    };
-    let programs = vec![thread(X, Y, 0x300, 0), thread(Y, X, 0x400, 8)];
-    let result = run_and_verify(&programs);
+    let result = run_and_verify(&rr_workloads::litmus::lb().programs);
     let m = &result.recorded.final_mem;
     for slot in [OUT, OUT + 8] {
         let v = m.load(slot as u64);
@@ -380,38 +313,9 @@ fn lb_accesses_overtaking_older_store_are_logged_reordered() {
 fn iriw_unfenced_reordered_reads_are_logged() {
     // The writers' nop pad is sized so their stores' invalidations reach
     // the readers after the reads performed but before they were counted;
-    // the probe plateau is wide (≈4550–4750 nops), this sits mid-plateau.
-    let writer = |addr: i64| {
-        let mut b = ProgramBuilder::new();
-        b.nops(4650);
-        b.load_imm(r(1), addr);
-        b.load_imm(r(2), 1);
-        b.store(r(2), r(1), 0);
-        b.halt();
-        b.build()
-    };
-    let reader = |first: i64, second: i64, out: i64| {
-        let mut b = ProgramBuilder::new();
-        b.load_imm(r(1), first);
-        b.load_imm(r(3), second);
-        b.load(r(6), r(3), 0); // warm the second line only
-        b.nops(PRE_PAD);
-        b.load(r(2), r(1), 0); // cold: performs under the invalidations
-        b.nops(POST_PAD);
-        b.load(r(4), r(3), 0); // warmed: performs under them too
-        b.load_imm(r(5), out);
-        b.store(r(2), r(5), 0);
-        b.store(r(4), r(5), 8);
-        b.halt();
-        b.build()
-    };
-    let programs = vec![
-        writer(X),
-        writer(Y),
-        reader(X, Y, OUT),
-        reader(Y, X, OUT + 0x40),
-    ];
-    let result = run_and_verify(&programs);
+    // the probe plateau is wide (≈4550–4750 nops), the shape sits
+    // mid-plateau.
+    let result = run_and_verify(&rr_workloads::litmus::iriw().programs);
     let m = &result.recorded.final_mem;
     for slot in [OUT, OUT + 8, OUT + 0x40, OUT + 0x48] {
         let v = m.load(slot as u64);
