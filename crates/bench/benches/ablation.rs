@@ -8,7 +8,7 @@ use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use relaxreplay::Design;
 use rr_bench::bench_workload;
-use rr_sim::{record, MachineConfig, RecorderSpec};
+use rr_sim::{MachineConfig, RecordSession, RecorderSpec};
 
 fn bench_design_and_interval(c: &mut Criterion) {
     let w = bench_workload("barnes");
@@ -47,13 +47,11 @@ fn bench_design_and_interval(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
             b.iter(|| {
                 black_box(
-                    record(
-                        &w.programs,
-                        &w.initial_mem,
-                        &cfg,
-                        std::slice::from_ref(spec),
-                    )
-                    .expect("records"),
+                    RecordSession::new(&w.programs, &w.initial_mem)
+                        .config(&cfg)
+                        .specs(std::slice::from_ref(spec))
+                        .run()
+                        .expect("records"),
                 )
             })
         });
@@ -72,7 +70,15 @@ fn bench_coherence_mode(c: &mut Criterion) {
     let directory = MachineConfig::splash_default(2).with_directory();
     for (label, cfg) in [("snoopy", &snoopy), ("directory", &directory)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), cfg, |b, cfg| {
-            b.iter(|| black_box(record(&w.programs, &w.initial_mem, cfg, &specs).expect("records")))
+            b.iter(|| {
+                black_box(
+                    RecordSession::new(&w.programs, &w.initial_mem)
+                        .config(cfg)
+                        .specs(&specs)
+                        .run()
+                        .expect("records"),
+                )
+            })
         });
     }
     group.finish();
@@ -87,7 +93,15 @@ fn bench_attached_variants(c: &mut Criterion) {
     for n in [0usize, 1, 4] {
         let specs: Vec<RecorderSpec> = RecorderSpec::paper_matrix().into_iter().take(n).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &specs, |b, specs| {
-            b.iter(|| black_box(record(&w.programs, &w.initial_mem, &cfg, specs).expect("records")))
+            b.iter(|| {
+                black_box(
+                    RecordSession::new(&w.programs, &w.initial_mem)
+                        .config(&cfg)
+                        .specs(specs)
+                        .run()
+                        .expect("records"),
+                )
+            })
         });
     }
     group.finish();

@@ -1,0 +1,361 @@
+//! Wire-codec throughput benches — the evidence behind the fast-path
+//! decode work (batched varint decode, sliced CRC32, zero-copy chunk
+//! cursor, parallel per-core ingest).
+//!
+//! This bench owns its harness (the vendored criterion shim has no CLI or
+//! machine-readable output): it times encode/decode at 1K / 100K / 10M
+//! entries and `decode_logs_parallel` at 1/2/8 workers, writes the
+//! results as `BENCH_codec.json`, and — on every invocation — decodes the
+//! checked-in sample `.rrlog` files with both the fast decoder and the
+//! byte-at-a-time reference decoder, exiting nonzero on any disagreement
+//! (the CI `bench-smoke` gate).
+//!
+//! ```text
+//! cargo bench -p rr-bench --bench codec            full measurement
+//! cargo bench -p rr-bench --bench codec -- --test  CI smoke (fast, same JSON)
+//! cargo bench -p rr-bench --bench codec -- --out path/to.json
+//! cargo bench -p rr-bench --bench codec -- --regen-data  rewrite data/*.rrlog
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use relaxreplay::wire::{
+    decode_chunked, decode_chunked_reference, encode_chunked, read_rrlog, ChunkedReader,
+    DecodeScratch,
+};
+use relaxreplay::{IntervalLog, LogEntry, LogSource};
+use rr_mem::CoreId;
+use rr_replay::decode_logs_parallel;
+
+/// A synthetic log with the recorder's real entry mix: long inorder runs,
+/// periodic reordered loads/stores, the odd RMW, one frame per interval.
+fn synthetic_log(core: u8, entries: usize) -> IntervalLog {
+    let mut log = IntervalLog::new(CoreId::new(core));
+    log.entries.reserve(entries);
+    let mut i = 0u64;
+    while log.entries.len() < entries {
+        log.entries.push(LogEntry::InorderBlock {
+            instrs: 50 + (i % 100) as u32,
+        });
+        if i.is_multiple_of(3) {
+            log.entries.push(LogEntry::ReorderedLoad {
+                value: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            });
+        }
+        if i.is_multiple_of(5) {
+            log.entries.push(LogEntry::ReorderedStore {
+                addr: (i % 4096) * 8,
+                value: i,
+                offset: (i % 7) as u32,
+            });
+        }
+        if i.is_multiple_of(17) {
+            log.entries.push(LogEntry::ReorderedRmw {
+                loaded: i,
+                addr: (i % 512) * 8,
+                stored: if i.is_multiple_of(2) {
+                    Some(i + 1)
+                } else {
+                    None
+                },
+                offset: 1,
+            });
+        }
+        log.entries.push(LogEntry::IntervalFrame {
+            cisn: i as u16,
+            timestamp: i * 170 + (i % 13),
+        });
+        i += 1;
+    }
+    log.entries.truncate(entries);
+    // Keep the stream well-formed: a log should end on a frame.
+    if !matches!(log.entries.last(), Some(LogEntry::IntervalFrame { .. })) {
+        log.entries.pop();
+        log.entries.push(LogEntry::IntervalFrame {
+            cisn: i as u16,
+            timestamp: i * 170,
+        });
+    }
+    log
+}
+
+struct Sample {
+    name: String,
+    entries: usize,
+    bytes: usize,
+    median_ns: f64,
+    mb_per_s: f64,
+}
+
+/// Times `f` and returns the median per-iteration nanoseconds. `bytes` is
+/// the payload size used for throughput. In smoke mode everything runs
+/// once or twice — enough to prove the path works, not to measure it.
+fn measure<F: FnMut()>(smoke: bool, bytes: usize, mut f: F) -> f64 {
+    // Warm-up + rate estimate.
+    let t = Instant::now();
+    f();
+    let one = t.elapsed().as_secs_f64().max(1e-9);
+    if smoke {
+        let t = Instant::now();
+        f();
+        return t.elapsed().as_nanos() as f64;
+    }
+    // ~0.2 s per sample, 7 samples, at least 1 iter per sample.
+    let iters = ((0.2 / one).ceil() as u64).clamp(1, 1_000_000);
+    let _ = bytes;
+    let mut samples = Vec::with_capacity(7);
+    for _ in 0..7 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn push_sample(out: &mut Vec<Sample>, name: String, entries: usize, bytes: usize, median_ns: f64) {
+    let mb_per_s = bytes as f64 / median_ns * 1e9 / 1e6;
+    println!("{name:<28} {median_ns:>12.0} ns/iter  {mb_per_s:>9.1} MB/s  ({bytes} B)");
+    out.push(Sample {
+        name,
+        entries,
+        bytes,
+        median_ns,
+        mb_per_s,
+    });
+}
+
+fn bench_codec(smoke: bool, out: &mut Vec<Sample>) {
+    let sizes: &[(usize, &str)] = if smoke {
+        &[(1_000, "1k"), (100_000, "100k")]
+    } else {
+        &[(1_000, "1k"), (100_000, "100k"), (10_000_000, "10m")]
+    };
+    for &(entries, tag) in sizes {
+        let log = synthetic_log(0, entries);
+        let bytes = encode_chunked(&log);
+        let ns = measure(smoke, bytes.len(), || {
+            std::hint::black_box(encode_chunked(std::hint::black_box(&log)));
+        });
+        push_sample(
+            out,
+            format!("encode_chunked/{tag}"),
+            entries,
+            bytes.len(),
+            ns,
+        );
+        let ns = measure(smoke, bytes.len(), || {
+            std::hint::black_box(decode_chunked(std::hint::black_box(&bytes)).expect("decodes"));
+        });
+        push_sample(
+            out,
+            format!("decode_chunked/{tag}"),
+            entries,
+            bytes.len(),
+            ns,
+        );
+    }
+}
+
+fn bench_parallel(smoke: bool, out: &mut Vec<Sample>) {
+    let entries = if smoke { 20_000 } else { 400_000 };
+    let logs: Vec<Vec<u8>> = (0..8)
+        .map(|core| encode_chunked(&synthetic_log(core, entries)))
+        .collect();
+    let streams: Vec<&[u8]> = logs.iter().map(Vec::as_slice).collect();
+    let total: usize = logs.iter().map(Vec::len).sum();
+    for workers in [1usize, 2, 8] {
+        let ns = measure(smoke, total, || {
+            std::hint::black_box(
+                decode_logs_parallel(std::hint::black_box(&streams), workers).expect("decodes"),
+            );
+        });
+        push_sample(
+            out,
+            format!("parallel_decode/{workers}"),
+            entries * 8,
+            total,
+            ns,
+        );
+    }
+}
+
+fn data_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("data")
+}
+
+/// Rewrites the checked-in sample logs: a current-version stream and the
+/// same payload re-stamped as wire version 1 (the header is the only
+/// difference between v1 and v2 framing, so both must decode to the same
+/// entries).
+fn regen_data() -> std::io::Result<()> {
+    let dir = data_dir();
+    std::fs::create_dir_all(&dir)?;
+    let log = synthetic_log(0, 4_000);
+    let v2 = encode_chunked(&log);
+    std::fs::write(dir.join("sample_v2.rrlog"), &v2)?;
+    let mut v1 = v2;
+    v1[4..6].copy_from_slice(&1u16.to_le_bytes());
+    std::fs::write(dir.join("sample_v1.rrlog"), &v1)?;
+    println!("sample logs rewritten under {}", dir.display());
+    Ok(())
+}
+
+/// Decodes every checked-in sample with the fast path, the reference
+/// decoder, and the streaming `LogSource` reader; any disagreement is a
+/// codec bug and fails the bench (and CI).
+fn reference_check() -> Result<usize, String> {
+    let dir = data_dir();
+    let mut checked = 0usize;
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rrlog"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no sample .rrlog files under {}", dir.display()));
+    }
+    for path in names {
+        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let fast = decode_chunked(&bytes);
+        let reference = decode_chunked_reference(&bytes);
+        if fast != reference {
+            return Err(format!(
+                "{}: fast decoder disagrees with the reference decoder\n  fast: {fast:?}\n  ref:  {reference:?}",
+                path.display()
+            ));
+        }
+        let log = fast.map_err(|e| format!("{}: sample does not decode: {e}", path.display()))?;
+        // The streaming reader (replay's actual input path) must agree too.
+        let mut src = ChunkedReader::new(bytes.as_slice())
+            .map_err(|e| format!("{}: streaming open: {e}", path.display()))?;
+        let mut streamed = IntervalLog::new(log.core);
+        while let Some(e) = src
+            .next_entry()
+            .map_err(|e| format!("{}: streaming decode: {e}", path.display()))?
+        {
+            streamed.entries.push(e);
+        }
+        if streamed != log {
+            return Err(format!(
+                "{}: streaming reader disagrees with one-shot decode",
+                path.display()
+            ));
+        }
+        // And the file-based entry point.
+        let from_file = read_rrlog(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        if from_file != log {
+            return Err(format!("{}: read_rrlog disagrees", path.display()));
+        }
+        checked += 1;
+    }
+    // Scratch reuse across unrelated streams must not leak state.
+    let mut scratch = DecodeScratch::new();
+    let a = encode_chunked(&synthetic_log(1, 500));
+    let b = encode_chunked(&synthetic_log(2, 300));
+    for bytes in [&a, &b, &a] {
+        let mut r = relaxreplay::wire::ChunkedReader::with_scratch(bytes.as_slice(), scratch)
+            .map_err(|e| format!("scratch reader: {e}"))?;
+        let mut n = 0usize;
+        while r
+            .next_entry()
+            .map_err(|e| format!("scratch reader: {e}"))?
+            .is_some()
+        {
+            n += 1;
+        }
+        let expect = decode_chunked(bytes).expect("decodes").entries.len();
+        if n != expect {
+            return Err(format!(
+                "scratch reuse decoded {n} entries, expected {expect}"
+            ));
+        }
+        scratch = r.into_scratch();
+    }
+    Ok(checked)
+}
+
+fn write_json(path: &Path, mode: &str, samples: &[Sample], checked: usize) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"rr-bench/codec/v1\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"reference_check\": {{ \"files\": {checked}, \"ok\": true }},\n"
+    ));
+    s.push_str("  \"benches\": [\n");
+    for (i, b) in samples.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"entries\": {}, \"bytes\": {}, \"median_ns\": {:.0}, \"mb_per_s\": {:.1} }}{}\n",
+            b.name,
+            b.entries,
+            b.bytes,
+            b.median_ns,
+            b.mb_per_s,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--test" | "--smoke" => smoke = true,
+            "--regen-data" => {
+                return match regen_data() {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("codec bench: regen-data: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            "--out" => out_path = it.next().map(PathBuf::from),
+            "--bench" => {} // cargo bench passes this through
+            other => {
+                // Ignore filters (cargo bench -- <filter> conventions).
+                eprintln!("codec bench: ignoring argument {other:?}");
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_codec.json")
+    });
+
+    let checked = match reference_check() {
+        Ok(n) => {
+            println!("reference check: {n} sample log(s) decode identically on both decoders");
+            n
+        }
+        Err(e) => {
+            eprintln!("codec bench: REFERENCE CHECK FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut samples = Vec::new();
+    bench_codec(smoke, &mut samples);
+    bench_parallel(smoke, &mut samples);
+
+    let mode = if smoke { "test" } else { "full" };
+    if let Err(e) = write_json(&out_path, mode, &samples, checked) {
+        eprintln!("codec bench: writing {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("results written to {}", out_path.display());
+    ExitCode::SUCCESS
+}

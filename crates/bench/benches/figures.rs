@@ -28,7 +28,7 @@ fn small_cfg() -> ExperimentConfig {
 /// recording for the recording-bound figures).
 fn shared_runs() -> &'static Vec<rr_experiments::WorkloadRun> {
     static RUNS: OnceLock<Vec<rr_experiments::WorkloadRun>> = OnceLock::new();
-    RUNS.get_or_init(|| run_suite(&small_cfg()))
+    RUNS.get_or_init(|| run_suite(&small_cfg()).expect("bench suite records"))
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -91,11 +91,11 @@ fn bench_fig14(c: &mut Criterion) {
         replay: false,
         ..small_cfg()
     };
-    let results = run_scalability(&cfg, &[2, 4]);
+    let results = run_scalability(&cfg, &[2, 4]).expect("scalability sweep");
     figures::fig14(&results).print();
     c.bench_function("fig14_scalability_pipeline", |b| {
         b.iter(|| {
-            let results = run_scalability(&cfg, &[2]);
+            let results = run_scalability(&cfg, &[2]).expect("scalability sweep");
             black_box(figures::fig14(&results))
         })
     });

@@ -17,7 +17,7 @@
 #![forbid(unsafe_code)]
 
 use rr_isa::MemImage;
-use rr_sim::{record, MachineConfig, RecorderSpec, RunResult};
+use rr_sim::{MachineConfig, RecordSession, RecorderSpec, RunResult};
 use rr_workloads::{by_name, Workload};
 
 /// A small, deterministic workload used by the benches (2 threads, size 1
@@ -32,13 +32,11 @@ pub fn bench_workload(name: &str) -> Workload {
 #[must_use]
 pub fn bench_record(workload: &Workload) -> RunResult {
     let cfg = MachineConfig::splash_default(workload.programs.len());
-    record(
-        &workload.programs,
-        &workload.initial_mem,
-        &cfg,
-        &RecorderSpec::paper_matrix(),
-    )
-    .expect("bench recording")
+    RecordSession::new(&workload.programs, &workload.initial_mem)
+        .config(&cfg)
+        .specs(&RecorderSpec::paper_matrix())
+        .run()
+        .expect("bench recording")
 }
 
 /// An empty initial memory (helper so benches avoid the import).

@@ -86,6 +86,6 @@ pub use recorder::{Design, IntervalOrdering, Recorder, RecorderConfig, RecorderS
 pub use signature::Signature;
 pub use snoop_table::{SnoopSample, SnoopTable};
 pub use wire::{
-    chunk_map, ChunkInfo, ChunkedReader, ChunkedWriter, FailingSink, LogSink, LogSource,
-    MemorySource, VecSink, WireError,
+    chunk_map, chunk_map_with, ChunkInfo, ChunkedReader, ChunkedWriter, DecodeScratch, FailingSink,
+    LogSink, LogSource, MemorySource, VecSink, WireError,
 };

@@ -134,6 +134,62 @@ proptest! {
         }
     }
 
+    /// The batched fast-path decoder is bit-identical to the retained
+    /// entry-at-a-time reference decoder on arbitrary clean logs at
+    /// arbitrary chunk sizes.
+    #[test]
+    fn fast_decoder_matches_reference_on_arbitrary_logs(
+        core in 0u8..32,
+        entries in proptest::collection::vec(entry_strategy(), 0..300),
+        chunk_bytes in 1usize..128,
+    ) {
+        let log = IntervalLog {
+            core: CoreId::new(core),
+            entries,
+        };
+        let bytes = wire::encode_chunked_with(&log, chunk_bytes);
+        let fast = wire::decode_chunked(&bytes);
+        let reference = wire::decode_chunked_reference(&bytes);
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// ... and on arbitrarily damaged streams: a bit flip anywhere (header,
+    /// framing, payload, CRC) or a truncation at any byte produces the
+    /// exact same `Result` — same recovered value or same typed error.
+    #[test]
+    fn fast_decoder_matches_reference_under_arbitrary_damage(
+        entries in proptest::collection::vec(entry_strategy(), 1..120),
+        flip_pick in any::<u64>(),
+        bit in 0u8..8,
+        cut_pick in any::<u64>(),
+    ) {
+        let log = IntervalLog {
+            core: CoreId::new(2),
+            entries,
+        };
+        let bytes = wire::encode_chunked_with(&log, 32);
+        let mut bad = bytes.clone();
+        bad[(flip_pick as usize) % bytes.len()] ^= 1 << bit;
+        prop_assert_eq!(
+            wire::decode_chunked(&bad),
+            wire::decode_chunked_reference(&bad)
+        );
+        let cut = (cut_pick as usize) % (bytes.len() + 1);
+        prop_assert_eq!(
+            wire::decode_chunked(&bytes[..cut]),
+            wire::decode_chunked_reference(&bytes[..cut])
+        );
+        // The lenient skip decoder agrees with the chunk map on how many
+        // entries the damaged stream still holds.
+        let (salvaged, _) = wire::decode_chunked_skip(&bad);
+        if let Ok((_, map, _)) = wire::chunk_map(&bad) {
+            prop_assert_eq!(
+                salvaged.entries.len(),
+                map.iter().map(|c| c.entries).sum::<usize>()
+            );
+        }
+    }
+
     #[test]
     fn flat_and_chunked_decode_agree(
         core in 0u8..32,

@@ -35,10 +35,20 @@ fn job(
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ablation: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), rr_sim::Error> {
     let cfg = ExperimentConfig::from_env();
-    if rr_experiments::handle_replay_from(&cfg) {
-        return;
+    if rr_experiments::handle_replay_from(&cfg)? {
+        return Ok(());
     }
     let machine = MachineConfig::splash_default(cfg.threads).with_trace(cfg.trace);
     let dir = results_dir();
@@ -141,20 +151,21 @@ fn main() {
         }
     }
 
-    let report = rr_sim::run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep: {e}"));
+    let report = rr_sim::run_sweep(&jobs, cfg.workers)
+        .map_err(|e| rr_sim::Error::from(e).context("ablation sweep"))?;
     eprintln!(
         "ablation sweep: {} runs on {} workers in {:.2}s",
         report.outputs.len(),
         report.workers,
         report.wall_ns as f64 / 1e9
     );
-    write_metrics_jsonl(&dir, "ablation", &report.to_jsonl()).expect("write metrics");
+    write_metrics_jsonl(&dir, "ablation", &report.to_jsonl())?;
     let traced: Vec<_> = report
         .outputs
         .iter()
         .filter_map(|o| o.run.trace.as_ref().map(|t| (o.name.clone(), t)))
         .collect();
-    write_trace_pairs(&dir, "ablation", &traced);
+    write_trace_pairs(&dir, "ablation", &traced)?;
     let mut outs = report.outputs.into_iter();
     let mut take = |n: usize| -> Vec<JobOutput> { outs.by_ref().take(n).collect() };
 
@@ -178,8 +189,7 @@ fn main() {
         t.row(cells);
     }
     t.print();
-    t.write_csv(&dir, "ablation_consistency")
-        .expect("write CSV");
+    t.write_csv(&dir, "ablation_consistency")?;
 
     // --- Snoop Table size (Opt-INF): aliasing vs reordered fraction -----
     let mut t = Table::new(
@@ -196,8 +206,7 @@ fn main() {
         ]);
     }
     t.print();
-    t.write_csv(&dir, "ablation_snoop_table")
-        .expect("write CSV");
+    t.write_csv(&dir, "ablation_snoop_table")?;
 
     // --- Signature size (Base-INF): false positives vs intervals --------
     let mut t = Table::new(
@@ -221,7 +230,7 @@ fn main() {
         ]);
     }
     t.print();
-    t.write_csv(&dir, "ablation_signature").expect("write CSV");
+    t.write_csv(&dir, "ablation_signature")?;
 
     // --- TRAQ depth: dispatch stalls and reordered fraction -------------
     let mut t = Table::new(
@@ -240,7 +249,7 @@ fn main() {
         t.row(cells);
     }
     t.print();
-    t.write_csv(&dir, "ablation_traq").expect("write CSV");
+    t.write_csv(&dir, "ablation_traq")?;
 
     // --- Counting bandwidth: TRAQ occupancy ------------------------------
     let mut t = Table::new(
@@ -257,7 +266,7 @@ fn main() {
         t.row(cells);
     }
     t.print();
-    t.write_csv(&dir, "ablation_counting").expect("write CSV");
+    t.write_csv(&dir, "ablation_counting")?;
 
     // --- NMI width: filler entries vs block sizes ------------------------
     let mut t = Table::new(
@@ -272,5 +281,6 @@ fn main() {
         t.row(cells);
     }
     t.print();
-    t.write_csv(&dir, "ablation_nmi").expect("write CSV");
+    t.write_csv(&dir, "ablation_nmi")?;
+    Ok(())
 }

@@ -9,10 +9,20 @@ use rr_experiments::{
 };
 use rr_sim::MachineConfig;
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("all_figures: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), rr_sim::Error> {
     let cfg = ExperimentConfig::from_env();
-    if rr_experiments::handle_replay_from(&cfg) {
-        return;
+    if rr_experiments::handle_replay_from(&cfg)? {
+        return Ok(());
     }
     let dir = results_dir();
     eprintln!(
@@ -29,9 +39,9 @@ fn main() {
 
     let t1 = figures::table1(&MachineConfig::splash_default(cfg.threads));
     t1.print();
-    t1.write_csv(&dir, "table1").expect("write CSV");
+    t1.write_csv(&dir, "table1")?;
 
-    let suite_run = run_suite_timed(&cfg);
+    let suite_run = run_suite_timed(&cfg)?;
     eprintln!(
         "suite sweep: {} runs on {} workers in {:.2}s",
         suite_run.runs.len(),
@@ -52,24 +62,25 @@ fn main() {
         (figures::fig13(&runs), "fig13"),
     ] {
         t.print();
-        t.write_csv(&dir, slug).expect("write CSV");
+        t.write_csv(&dir, slug)?;
     }
-    write_metrics_jsonl(&dir, "all_figures", &metrics_jsonl(&runs)).expect("write metrics");
-    write_trace_artifacts(&dir, "all_figures", &runs);
+    write_metrics_jsonl(&dir, "all_figures", &metrics_jsonl(&runs))?;
+    write_trace_artifacts(&dir, "all_figures", &runs)?;
 
     eprintln!("running the scalability sweep (4/8/16 cores)...");
-    let scal = run_scalability(&cfg, &[4, 8, 16]);
+    let scal = run_scalability(&cfg, &[4, 8, 16])?;
     let t = figures::fig14(&scal);
     t.print();
-    t.write_csv(&dir, "fig14").expect("write CSV");
+    t.write_csv(&dir, "fig14")?;
     let mut jsonl = String::new();
     for (_, runs) in &scal {
         jsonl.push_str(&metrics_jsonl(runs));
     }
-    write_metrics_jsonl(&dir, "fig14", &jsonl).expect("write metrics");
+    write_metrics_jsonl(&dir, "fig14", &jsonl)?;
 
     let summary = figures::summary(&runs);
     summary.print();
-    summary.write_csv(&dir, "summary").expect("write CSV");
+    summary.write_csv(&dir, "summary")?;
     eprintln!("CSVs and metrics sidecars written to {}", dir.display());
+    Ok(())
 }

@@ -4,20 +4,31 @@
 use rr_experiments::report::{results_dir, write_metrics_jsonl};
 use rr_experiments::{figures, metrics_jsonl, run_suite, write_trace_artifacts, ExperimentConfig};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig12: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), rr_sim::Error> {
     let mut cfg = ExperimentConfig::from_env();
     cfg.replay = false;
-    if rr_experiments::handle_replay_from(&cfg) {
-        return;
+    if rr_experiments::handle_replay_from(&cfg)? {
+        return Ok(());
     }
-    let runs = run_suite(&cfg);
+    let runs = run_suite(&cfg)?;
     let t = figures::fig12(&runs);
     t.print();
     let dir = results_dir();
-    t.write_csv(&dir, "fig12").expect("write CSV");
+    t.write_csv(&dir, "fig12")?;
     let h = figures::fig12_histogram(&runs, &["fft", "radix", "barnes", "water_nsq"]);
     h.print();
-    h.write_csv(&dir, "fig12_hist").expect("write CSV");
-    write_metrics_jsonl(&dir, "fig12", &metrics_jsonl(&runs)).expect("write metrics");
-    write_trace_artifacts(&dir, "fig12", &runs);
+    h.write_csv(&dir, "fig12_hist")?;
+    write_metrics_jsonl(&dir, "fig12", &metrics_jsonl(&runs))?;
+    write_trace_artifacts(&dir, "fig12", &runs)?;
+    Ok(())
 }

@@ -3,16 +3,27 @@
 use rr_experiments::report::{results_dir, write_metrics_jsonl};
 use rr_experiments::{figures, metrics_jsonl, run_suite, write_trace_artifacts, ExperimentConfig};
 
-fn main() {
-    let cfg = ExperimentConfig::from_env(); // replay enabled by default
-    if rr_experiments::handle_replay_from(&cfg) {
-        return;
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig13: {e}");
+            std::process::ExitCode::FAILURE
+        }
     }
-    let runs = run_suite(&cfg);
+}
+
+fn run() -> Result<(), rr_sim::Error> {
+    let cfg = ExperimentConfig::from_env(); // replay enabled by default
+    if rr_experiments::handle_replay_from(&cfg)? {
+        return Ok(());
+    }
+    let runs = run_suite(&cfg)?;
     let t = figures::fig13(&runs);
     t.print();
     let dir = results_dir();
-    t.write_csv(&dir, "fig13").expect("write CSV");
-    write_metrics_jsonl(&dir, "fig13", &metrics_jsonl(&runs)).expect("write metrics");
-    write_trace_artifacts(&dir, "fig13", &runs);
+    t.write_csv(&dir, "fig13")?;
+    write_metrics_jsonl(&dir, "fig13", &metrics_jsonl(&runs))?;
+    write_trace_artifacts(&dir, "fig13", &runs)?;
+    Ok(())
 }

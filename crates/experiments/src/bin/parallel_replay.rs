@@ -11,9 +11,18 @@ use rr_replay::{patch, replay_parallel, verify, CostModel};
 use rr_sim::{run_sweep, MachineConfig, RecorderSpec, ReplayPolicy, SweepJob};
 use rr_workloads::suite;
 
-fn speedup(w: &rr_workloads::Workload, result: &rr_sim::RunResult, workers: usize) -> f64 {
+fn speedup(
+    w: &rr_workloads::Workload,
+    result: &rr_sim::RunResult,
+    workers: usize,
+) -> Result<f64, rr_sim::Error> {
     let v = &result.variants[0];
-    let patched: Vec<_> = v.logs.iter().map(|l| patch(l).expect("patches")).collect();
+    let patched: Vec<_> = v
+        .logs
+        .iter()
+        .map(patch)
+        .collect::<Result<_, _>>()
+        .map_err(|e| rr_sim::Error::from(e).context(format!("{}: patch", w.name)))?;
     let outcome = replay_parallel(
         &w.programs,
         &patched,
@@ -22,15 +31,27 @@ fn speedup(w: &rr_workloads::Workload, result: &rr_sim::RunResult, workers: usiz
         &CostModel::splash_default(),
         workers,
     )
-    .expect("parallel replay");
-    verify(&result.recorded, &outcome.outcome).expect("parallel replay must verify");
-    outcome.speedup()
+    .map_err(|e| rr_sim::Error::from(e).context(format!("{}: parallel replay", w.name)))?;
+    verify(&result.recorded, &outcome.outcome).map_err(|e| {
+        rr_sim::Error::from(e).context(format!("{}: parallel replay must verify", w.name))
+    })?;
+    Ok(outcome.speedup())
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("parallel_replay: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), rr_sim::Error> {
     let cfg = ExperimentConfig::from_env();
-    if rr_experiments::handle_replay_from(&cfg) {
-        return;
+    if rr_experiments::handle_replay_from(&cfg)? {
+        return Ok(());
     }
     let specs = vec![RecorderSpec {
         design: relaxreplay::Design::Opt,
@@ -59,15 +80,16 @@ fn main() {
                 })
         })
         .collect();
-    let report = run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep: {e}"));
+    let report = run_sweep(&jobs, cfg.workers)
+        .map_err(|e| rr_sim::Error::from(e).context("parallel-replay sweep"))?;
     let dir = results_dir();
-    write_metrics_jsonl(&dir, "parallel_replay", &report.to_jsonl()).expect("write metrics");
+    write_metrics_jsonl(&dir, "parallel_replay", &report.to_jsonl())?;
     let traced: Vec<_> = report
         .outputs
         .iter()
         .filter_map(|o| o.run.trace.as_ref().map(|t| (o.name.clone(), t)))
         .collect();
-    write_trace_pairs(&dir, "parallel_replay", &traced);
+    write_trace_pairs(&dir, "parallel_replay", &traced)?;
 
     let mut t = Table::new(
         &format!(
@@ -80,7 +102,7 @@ fn main() {
     for (i, w) in workloads.iter().enumerate() {
         let rs = &report.outputs[2 * i].run;
         let rd = &report.outputs[2 * i + 1].run;
-        let (a, b) = (speedup(w, rs, cfg.threads), speedup(w, rd, cfg.threads));
+        let (a, b) = (speedup(w, rs, cfg.threads)?, speedup(w, rd, cfg.threads)?);
         ss += a;
         sd += b;
         t.row(vec![w.name.into(), f2(a), f2(b)]);
@@ -88,5 +110,6 @@ fn main() {
     let n = workloads.len() as f64;
     t.row(vec!["AVERAGE".into(), f2(ss / n), f2(sd / n)]);
     t.print();
-    t.write_csv(&dir, "parallel_replay").expect("write CSV");
+    t.write_csv(&dir, "parallel_replay")?;
+    Ok(())
 }

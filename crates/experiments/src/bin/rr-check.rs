@@ -26,8 +26,8 @@ use rr_experiments::report::{results_dir, write_metrics_jsonl, Table};
 use rr_experiments::write_trace_pairs;
 use rr_replay::CostModel;
 use rr_sim::{
-    explore_sweep, minimize_divergence, record_with, replay_and_verify_forensic, ExploreSpec,
-    MachineConfig, PressureMode,
+    explore_sweep, minimize_divergence, replay_and_verify_forensic, Error, ExploreSpec,
+    MachineConfig, PressureMode, RecordSession,
 };
 use rr_workloads::{litmus_suite, Workload};
 
@@ -153,6 +153,16 @@ fn cmd_explore(args: &[String]) -> u8 {
         Ok(o) => o,
         Err(c) => return c,
     };
+    match run_explore(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("rr-check explore: {e}");
+            1
+        }
+    }
+}
+
+fn run_explore(opts: &Options) -> Result<u8, Error> {
     let mut table = Table::new(
         "rr-check: schedule exploration",
         &[
@@ -169,7 +179,7 @@ fn cmd_explore(args: &[String]) -> u8 {
                 .map(|s| ExploreSpec::for_seed(s, pressure))
                 .collect();
             let report = explore_sweep(&w.programs, &w.initial_mem, &machine, &specs, opts.workers)
-                .unwrap_or_else(|e| panic!("{}/{}: {e}", w.name, pressure.name()));
+                .map_err(|e| Error::from(e).context(format!("{}/{}", w.name, pressure.name())))?;
             jsonl.push_str(&report.sweep.to_jsonl());
 
             let stalls: u64 = report
@@ -218,19 +228,19 @@ fn cmd_explore(args: &[String]) -> u8 {
     table.print();
     table
         .write_csv(&opts.out, "rr-check")
-        .unwrap_or_else(|e| panic!("write csv: {e}"));
+        .map_err(|e| Error::from(e).context("write csv"))?;
     write_metrics_jsonl(&opts.out, "rr-check", &jsonl)
-        .unwrap_or_else(|e| panic!("write metrics: {e}"));
+        .map_err(|e| Error::from(e).context("write metrics"))?;
 
     if divergent_total > 0 {
         eprintln!(
             "rr-check: {divergent_total} divergent schedule(s); minimized reports under {}",
             opts.out.display()
         );
-        1
+        Ok(1)
     } else {
         println!("rr-check: all explored schedules replay deterministically");
-        0
+        Ok(0)
     }
 }
 
@@ -245,13 +255,12 @@ fn report_divergence(w: &Workload, machine: &MachineConfig, spec: ExploreSpec, o
         min.pressure.name()
     );
     let traced = machine.clone().with_trace(relaxreplay::TraceConfig::full());
-    let Ok((run, _)) = record_with(
-        &w.programs,
-        &w.initial_mem,
-        &traced,
-        &min.recorder_configs(),
-        &min.options(),
-    ) else {
+    let Ok(run) = RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&traced)
+        .recorder_configs(&min.recorder_configs())
+        .options(&min.options())
+        .run()
+    else {
         eprintln!("  (forensic re-record failed)");
         return;
     };
@@ -280,20 +289,21 @@ fn write_seed0_trace(w: &Workload, out: &Path) {
     let spec = ExploreSpec::for_seed(0, PressureMode::None);
     let machine = MachineConfig::splash_default(w.programs.len())
         .with_trace(relaxreplay::TraceConfig::full());
-    match record_with(
-        &w.programs,
-        &w.initial_mem,
-        &machine,
-        &spec.recorder_configs(),
-        &spec.options(),
-    ) {
-        Ok((run, _)) => {
+    match RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&machine)
+        .recorder_configs(&spec.recorder_configs())
+        .options(&spec.options())
+        .run()
+    {
+        Ok(run) => {
             if let Some(trace) = &run.trace {
-                write_trace_pairs(
+                if let Err(e) = write_trace_pairs(
                     out,
                     &format!("rr-check-{}", w.name),
                     &[(format!("{}/seed0", w.name), trace)],
-                );
+                ) {
+                    eprintln!("rr-check: trace write for {} failed: {e}", w.name);
+                }
             }
         }
         Err(e) => eprintln!("rr-check: trace record of {} failed: {e}", w.name),

@@ -16,7 +16,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use relaxreplay::wire::{chunk_map, decode_chunked_recover};
+use relaxreplay::wire::{chunk_map, decode_chunked_recover, decode_chunked_skip};
 use relaxreplay::LogEntry;
 use rr_experiments::report::Table;
 
@@ -152,7 +152,10 @@ fn stat_file(path: &Path) -> u8 {
     }
     t.print();
 
-    let (log, decode_err) = decode_chunked_recover(&bytes);
+    // The lenient decoder skips damaged chunks, so the histogram totals
+    // always agree with the chunk-map table's per-chunk entry counts —
+    // including the chunks *after* a corrupt one.
+    let (log, decode_err) = decode_chunked_skip(&bytes);
     let mut hist: Vec<(&'static str, u64)> = Vec::new();
     for e in &log.entries {
         let name = entry_name(e);

@@ -4,16 +4,26 @@ use rr_experiments::report::{results_dir, write_metrics_jsonl};
 use rr_experiments::{figures, ExperimentConfig};
 use rr_sim::{metrics, MachineConfig, MetricsRegistry, PhaseNanos};
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("table1: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), rr_sim::Error> {
     let cfg = ExperimentConfig::from_env();
-    if rr_experiments::handle_replay_from(&cfg) {
-        return;
+    if rr_experiments::handle_replay_from(&cfg)? {
+        return Ok(());
     }
     let machine = MachineConfig::splash_default(cfg.threads);
     let t = figures::table1(&machine);
     t.print();
     let dir = results_dir();
-    t.write_csv(&dir, "table1").expect("write CSV");
+    t.write_csv(&dir, "table1")?;
 
     // Table 1 runs no simulation; its sidecar records the machine's
     // parameters so downstream tooling sees the campaign configuration.
@@ -31,5 +41,6 @@ fn main() {
         "{}\n",
         metrics::jsonl_object("table1", 0, &m, &PhaseNanos::default())
     );
-    write_metrics_jsonl(&dir, "table1", &line).expect("write metrics");
+    write_metrics_jsonl(&dir, "table1", &line)?;
+    Ok(())
 }

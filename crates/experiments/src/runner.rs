@@ -8,7 +8,7 @@ use std::path::PathBuf;
 use relaxreplay::trace::{TraceConfig, TraceLevel};
 use rr_replay::{patch, replay, verify, CostModel, ReplayOutcome};
 use rr_sim::sweep::{run_sweep, ReplayPolicy, SweepJob, SweepReport};
-use rr_sim::{metrics, MachineConfig, MetricsRegistry, PhaseNanos, RecorderSpec, RunResult};
+use rr_sim::{metrics, Error, MachineConfig, MetricsRegistry, PhaseNanos, RecorderSpec, RunResult};
 use rr_workloads::suite;
 
 /// Configuration of an experiment campaign.
@@ -184,12 +184,12 @@ fn replay_policy(cfg: &ExperimentConfig) -> ReplayPolicy {
 /// Records (and optionally replays + verifies) the entire workload suite,
 /// one sweep job per workload, returning runs plus sweep timing.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any recording deadlocks or any replay fails verification —
-/// either would be a correctness bug, not an experiment outcome.
-#[must_use]
-pub fn run_suite_timed(cfg: &ExperimentConfig) -> SuiteRun {
+/// Returns the first sweep failure (a recording deadlock or a replay
+/// verification mismatch — either a correctness bug, not an experiment
+/// outcome) or a `--save-logs` write failure.
+pub fn run_suite_timed(cfg: &ExperimentConfig) -> Result<SuiteRun, Error> {
     let machine = MachineConfig::splash_default(cfg.threads).with_trace(cfg.trace);
     let specs = variant_specs();
     let workloads = suite(cfg.threads, cfg.size);
@@ -207,38 +207,34 @@ pub fn run_suite_timed(cfg: &ExperimentConfig) -> SuiteRun {
             )
         })
         .collect();
-    let report = run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep failed: {e}"));
-    save_report_logs(cfg, &report);
-    report_to_suite(report, &names)
+    let report = run_sweep(&jobs, cfg.workers).map_err(|e| Error::from(e).context("sweep"))?;
+    save_report_logs(cfg, &report)?;
+    Ok(report_to_suite(report, &names))
 }
 
 /// Saves every run of a sweep under `cfg.save_logs` (no-op when unset).
-///
-/// # Panics
-///
-/// Panics if saving fails — the artifact was explicitly requested.
-fn save_report_logs(cfg: &ExperimentConfig, report: &SweepReport) {
+fn save_report_logs(cfg: &ExperimentConfig, report: &SweepReport) -> Result<(), Error> {
     if let Some(dir) = &cfg.save_logs {
         let bytes = report
             .save_logs(dir)
-            .unwrap_or_else(|e| panic!("--save-logs failed: {e}"));
+            .map_err(|e| Error::from(e).context("--save-logs"))?;
         eprintln!(
             "saved {} run(s), {bytes} .rrlog bytes, under {}",
             report.outputs.len(),
             dir.display()
         );
     }
+    Ok(())
 }
 
 /// [`run_suite_timed`] without the envelope — the shape every figure
 /// helper consumes.
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`run_suite_timed`].
-#[must_use]
-pub fn run_suite(cfg: &ExperimentConfig) -> Vec<WorkloadRun> {
-    run_suite_timed(cfg).runs
+pub fn run_suite(cfg: &ExperimentConfig) -> Result<Vec<WorkloadRun>, Error> {
+    Ok(run_suite_timed(cfg)?.runs)
 }
 
 fn report_to_suite(report: SweepReport, names: &[&'static str]) -> SuiteRun {
@@ -268,14 +264,13 @@ fn report_to_suite(report: SweepReport, names: &[&'static str]) -> SuiteRun {
 /// parallel sweep. Returns `(cores, runs)` pairs. Replay is skipped
 /// (Figure 14 is about recording).
 ///
-/// # Panics
+/// # Errors
 ///
 /// As [`run_suite_timed`].
-#[must_use]
 pub fn run_scalability(
     cfg: &ExperimentConfig,
     core_counts: &[usize],
-) -> Vec<(usize, Vec<WorkloadRun>)> {
+) -> Result<Vec<(usize, Vec<WorkloadRun>)>, Error> {
     let specs = variant_specs();
     let mut jobs = Vec::new();
     let mut names = Vec::new();
@@ -293,8 +288,8 @@ pub fn run_scalability(
             ));
         }
     }
-    let report = run_sweep(&jobs, cfg.workers).unwrap_or_else(|e| panic!("sweep failed: {e}"));
-    save_report_logs(cfg, &report);
+    let report = run_sweep(&jobs, cfg.workers).map_err(|e| Error::from(e).context("sweep"))?;
+    save_report_logs(cfg, &report)?;
 
     let mut grouped: Vec<(usize, Vec<WorkloadRun>)> =
         core_counts.iter().map(|&c| (c, Vec::new())).collect();
@@ -312,7 +307,7 @@ pub fn run_scalability(
             phases: o.phases,
         });
     }
-    grouped
+    Ok(grouped)
 }
 
 /// Summary of a replay-from-disk verification pass.
@@ -335,25 +330,28 @@ pub struct ReplayFromSummary {
 ///
 /// # Errors
 ///
-/// Returns a description of the first load, patch, replay, or
-/// verification failure.
+/// Returns the first load, patch, replay, or verification failure, with
+/// the run and variant named in the error's context and the underlying
+/// typed error preserved in its source chain.
 pub fn replay_suite_from(
     cfg: &ExperimentConfig,
     dir: &std::path::Path,
-) -> Result<ReplayFromSummary, String> {
-    let names = rr_sim::list_runs(dir).map_err(|e| e.to_string())?;
+) -> Result<ReplayFromSummary, Error> {
+    let names = rr_sim::list_runs(dir).map_err(|e| Error::from(e).context("listing saved runs"))?;
     if names.is_empty() {
-        return Err(format!("no saved runs under {}", dir.display()));
+        return Err(Error::msg(format!("no saved runs under {}", dir.display())));
     }
     let mut variants = 0usize;
     for name in &names {
-        let saved = rr_sim::load_run(dir, name).map_err(|e| format!("{name}: {e}"))?;
+        // Per-core logs of a saved run decode on the parallel ingest pool.
+        let saved = rr_sim::load_run_with(dir, name, cfg.workers)
+            .map_err(|e| Error::from(e).context(name.clone()))?;
         let (base, threads) = match name.split_once('@') {
             Some((b, suffix)) => {
                 let cores = suffix
                     .strip_suffix('c')
                     .and_then(|n| n.parse().ok())
-                    .ok_or_else(|| format!("{name}: unparseable core-count suffix"))?;
+                    .ok_or_else(|| Error::msg(format!("{name}: unparseable core-count suffix")))?;
                 (b, cores)
             }
             None => (name.as_str(), cfg.threads),
@@ -361,24 +359,26 @@ pub fn replay_suite_from(
         let workload = suite(threads, cfg.size)
             .into_iter()
             .find(|w| w.name == base)
-            .ok_or_else(|| format!("{name}: no workload named {base:?} in the suite"))?;
+            .ok_or_else(|| {
+                Error::msg(format!("{name}: no workload named {base:?} in the suite"))
+            })?;
         for v in &saved.variants {
-            let fail = |stage: &str, e: String| format!("{name} [{}]: {stage}: {e}", v.label);
+            let at = |stage: &str| format!("{name} [{}]: {stage}", v.label);
             let patched: Vec<_> = v
                 .logs
                 .iter()
                 .map(patch)
                 .collect::<Result<_, _>>()
-                .map_err(|e| fail("patch failed", e.to_string()))?;
+                .map_err(|e| Error::from(e).context(at("patch failed")))?;
             let outcome = replay(
                 &workload.programs,
                 &patched,
                 workload.initial_mem.clone(),
                 &cfg.cost,
             )
-            .map_err(|e| fail("replay failed", e.to_string()))?;
+            .map_err(|e| Error::from(e).context(at("replay failed")))?;
             verify(&saved.recorded, &outcome)
-                .map_err(|e| fail("verification failed", e.to_string()))?;
+                .map_err(|e| Error::from(e).context(at("verification failed")))?;
             variants += 1;
         }
     }
@@ -392,24 +392,22 @@ pub fn replay_suite_from(
 /// flag is set, replays all saved runs from disk, prints a verification
 /// summary, and returns `true` so the binary exits without recording.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any saved run fails to load, replay, or verify — the whole
-/// point of the flag is to prove the durable artifact is sound.
-#[must_use]
-pub fn handle_replay_from(cfg: &ExperimentConfig) -> bool {
+/// Returns the failure of any saved run to load, replay, or verify — the
+/// whole point of the flag is to prove the durable artifact is sound.
+pub fn handle_replay_from(cfg: &ExperimentConfig) -> Result<bool, Error> {
     let Some(dir) = &cfg.replay_from else {
-        return false;
+        return Ok(false);
     };
-    let summary =
-        replay_suite_from(cfg, dir).unwrap_or_else(|e| panic!("--replay-from failed: {e}"));
+    let summary = replay_suite_from(cfg, dir).map_err(|e| e.context("--replay-from"))?;
     println!(
         "replay-from {}: {} run(s), {} variant replay(s) verified against the recorded ground truth",
         dir.display(),
         summary.runs,
         summary.variants
     );
-    true
+    Ok(true)
 }
 
 /// Writes the event-trace artifacts for a set of runs next to the metrics
@@ -421,15 +419,19 @@ pub fn handle_replay_from(cfg: &ExperimentConfig) -> bool {
 /// A no-op unless tracing was enabled (`--trace` / `RR_TRACE`) and at
 /// least one run carries a trace.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if writing fails — the artifact was explicitly requested.
-pub fn write_trace_artifacts(dir: &std::path::Path, slug: &str, runs: &[WorkloadRun]) {
+/// Returns the write failure — the artifact was explicitly requested.
+pub fn write_trace_artifacts(
+    dir: &std::path::Path,
+    slug: &str,
+    runs: &[WorkloadRun],
+) -> Result<(), Error> {
     let traced: Vec<(String, &relaxreplay::RunTrace)> = runs
         .iter()
         .filter_map(|r| r.record.trace.as_ref().map(|t| (r.label.clone(), t)))
         .collect();
-    write_trace_pairs(dir, slug, &traced);
+    write_trace_pairs(dir, slug, &traced)
 }
 
 /// As [`write_trace_artifacts`], but over pre-labelled `(run, trace)`
@@ -437,28 +439,29 @@ pub fn write_trace_artifacts(dir: &std::path::Path, slug: &str, runs: &[Workload
 /// directly instead of going through [`run_suite`]. No-op on an empty
 /// slice.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if writing fails — the artifact was explicitly requested.
+/// Returns the write failure — the artifact was explicitly requested.
 pub fn write_trace_pairs(
     dir: &std::path::Path,
     slug: &str,
     traced: &[(String, &relaxreplay::RunTrace)],
-) {
+) -> Result<(), Error> {
     if traced.is_empty() {
-        return;
+        return Ok(());
     }
-    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    std::fs::create_dir_all(dir)
+        .map_err(|e| Error::from(e).context(format!("create {}", dir.display())))?;
     let mut jsonl = String::new();
     for (label, trace) in traced {
         jsonl.push_str(&trace.to_jsonl(label));
     }
     let jsonl_path = dir.join(format!("{slug}.trace.jsonl"));
     std::fs::write(&jsonl_path, jsonl)
-        .unwrap_or_else(|e| panic!("write {}: {e}", jsonl_path.display()));
+        .map_err(|e| Error::from(e).context(format!("write {}", jsonl_path.display())))?;
     let chrome_path = dir.join(format!("{slug}.trace.json"));
     std::fs::write(&chrome_path, relaxreplay::trace::chrome_trace(traced))
-        .unwrap_or_else(|e| panic!("write {}: {e}", chrome_path.display()));
+        .map_err(|e| Error::from(e).context(format!("write {}", chrome_path.display())))?;
     eprintln!(
         "trace artifacts: {} and {} ({} run(s), {} record(s))",
         jsonl_path.display(),
@@ -466,6 +469,7 @@ pub fn write_trace_pairs(
         traced.len(),
         traced.iter().map(|(_, t)| t.total_records()).sum::<usize>()
     );
+    Ok(())
 }
 
 /// Renders every run's metrics as JSONL, one line per run — the sidecar
@@ -501,7 +505,7 @@ mod tests {
             workers: 4,
             ..ExperimentConfig::paper_default()
         };
-        let suite_run = run_suite_timed(&cfg);
+        let suite_run = run_suite_timed(&cfg).expect("suite");
         assert_eq!(suite_run.runs.len(), 12);
         assert_eq!(suite_run.runs[0].name, "fft");
         assert!(suite_run.workers >= 1);
@@ -525,12 +529,12 @@ mod tests {
             trace: TraceConfig::level(TraceLevel::Intervals),
             ..ExperimentConfig::paper_default()
         };
-        let runs = run_suite(&cfg);
+        let runs = run_suite(&cfg).expect("suite");
         assert!(runs.iter().all(|r| r.record.trace.is_some()));
 
         let dir = std::env::temp_dir().join("rr_trace_artifacts_test");
         let _ = std::fs::remove_dir_all(&dir);
-        write_trace_artifacts(&dir, "suite", &runs);
+        write_trace_artifacts(&dir, "suite", &runs).expect("artifacts");
         let jsonl = std::fs::read_to_string(dir.join("suite.trace.jsonl")).expect("jsonl written");
         assert!(jsonl.lines().count() > 0);
         assert!(jsonl.lines().all(|l| l.contains("\"run\":")));
@@ -542,11 +546,12 @@ mod tests {
         let off = run_suite(&ExperimentConfig {
             trace: TraceConfig::off(),
             ..cfg.clone()
-        });
+        })
+        .expect("suite");
         assert!(off.iter().all(|r| r.record.trace.is_none()));
         let off_dir = std::env::temp_dir().join("rr_trace_artifacts_off_test");
         let _ = std::fs::remove_dir_all(&off_dir);
-        write_trace_artifacts(&off_dir, "suite", &off);
+        write_trace_artifacts(&off_dir, "suite", &off).expect("artifacts");
         assert!(!off_dir.exists(), "no artifacts when tracing is off");
     }
 }

@@ -59,6 +59,7 @@
 
 mod cost;
 pub mod forensics;
+mod ingest;
 pub mod oracle;
 mod parallel;
 mod patch;
@@ -67,6 +68,7 @@ mod verify;
 
 pub use cost::{CostModel, ReplayEvents};
 pub use forensics::divergence_report;
+pub use ingest::{decode_logs_parallel, default_ingest_workers, read_rrlogs_parallel, IngestError};
 pub use oracle::{cross_check, minimize, DifferentialError, Shrink};
 pub use parallel::{replay_parallel, ParallelOutcome};
 pub use patch::{patch, patch_source, PatchError, PatchSourceError, PatchedLog, ReplayOp};

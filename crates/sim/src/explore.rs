@@ -23,7 +23,8 @@ use rr_isa::{MemImage, Program};
 use rr_replay::{cross_check, patch, replay, CostModel, PatchedLog, Shrink};
 
 use crate::config::MachineConfig;
-use crate::machine::{record_with, PressureSpec, RunOptions, ScheduleStrategy, SimError};
+use crate::machine::{PressureSpec, RunOptions, ScheduleStrategy, SimError};
+use crate::session::RecordSession;
 use crate::sweep::{run_sweep, ReplayPolicy, SweepError, SweepJob, SweepReport};
 
 /// The targeted stress modes `rr-check` can apply on top of a schedule.
@@ -337,13 +338,11 @@ pub fn explore_one(
     machine: &MachineConfig,
     spec: &ExploreSpec,
 ) -> Result<ExploreOutcome, SimError> {
-    let (run, pressure) = record_with(
-        programs,
-        initial_mem,
-        machine,
-        &spec.recorder_configs(),
-        &spec.options(),
-    )?;
+    let (run, pressure) = RecordSession::new(programs, initial_mem)
+        .config(machine)
+        .recorder_configs(&spec.recorder_configs())
+        .options(&spec.options())
+        .run_reported()?;
     let divergence = check_run(
         programs,
         initial_mem,
@@ -529,14 +528,21 @@ mod tests {
 
     #[test]
     fn default_options_are_byte_identical_to_record_custom() {
-        use crate::machine::{record_custom, PressureReport};
+        use crate::machine::PressureReport;
         let (programs, mem) = racy_pair();
         let machine = MachineConfig::splash_default(2);
         let configs = ExploreSpec::for_seed(0, PressureMode::None).recorder_configs();
-        let plain = record_custom(&programs, &mem, &machine, &configs).expect("sim ok");
-        let (with, report) =
-            record_with(&programs, &mem, &machine, &configs, &RunOptions::default())
-                .expect("sim ok");
+        let plain = RecordSession::new(&programs, &mem)
+            .config(&machine)
+            .recorder_configs(&configs)
+            .run()
+            .expect("sim ok");
+        let (with, report) = RecordSession::new(&programs, &mem)
+            .config(&machine)
+            .recorder_configs(&configs)
+            .options(&RunOptions::default())
+            .run_reported()
+            .expect("sim ok");
         assert_eq!(plain.cycles, with.cycles);
         assert_eq!(report, PressureReport::default());
         for (a, b) in plain.variants.iter().zip(&with.variants) {
@@ -552,14 +558,12 @@ mod tests {
         let machine = MachineConfig::splash_default(2);
         let spec = ExploreSpec::for_seed(5, PressureMode::ForceClose);
         let mut runs = (0..2).map(|_| {
-            record_with(
-                &programs,
-                &mem,
-                &machine,
-                &spec.recorder_configs(),
-                &spec.options(),
-            )
-            .expect("sim ok")
+            RecordSession::new(&programs, &mem)
+                .config(&machine)
+                .recorder_configs(&spec.recorder_configs())
+                .options(&spec.options())
+                .run_reported()
+                .expect("sim ok")
         });
         let (a, ra) = runs.next().unwrap();
         let (b, rb) = runs.next().unwrap();

@@ -8,27 +8,26 @@
 //! * a [`TraceCollector`] capturing the ground truth for replay
 //!   verification.
 //!
-//! The headline API is [`record`], which runs one thread per core to
-//! completion and returns a [`RunResult`] carrying per-variant interval
-//! logs plus every statistic the paper's figures need, and
+//! The headline API is [`RecordSession`], a builder that runs one thread
+//! per core to completion and returns a [`RunResult`] carrying per-variant
+//! interval logs plus every statistic the paper's figures need, and
 //! [`replay_and_verify`], which closes the loop: patch → sequential replay
 //! → determinism check against the recorded execution.
 //!
 //! ```no_run
 //! use rr_isa::{MemImage, ProgramBuilder, Reg};
 //! use rr_replay::CostModel;
-//! use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+//! use rr_sim::{replay_and_verify, RecordSession};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut b = ProgramBuilder::new();
 //! b.load_imm(Reg::new(1), 1);
 //! b.halt();
 //! let programs = vec![b.build()];
-//! let cfg = MachineConfig::splash_default(1);
-//! let specs = RecorderSpec::paper_matrix();
-//! let result = record(&programs, &MemImage::new(), &cfg, &specs)?;
-//! for v in 0..specs.len() {
-//!     replay_and_verify(&programs, &MemImage::new(), &result, v, &CostModel::splash_default())?;
+//! let mem = MemImage::new();
+//! let result = RecordSession::new(&programs, &mem).run()?;
+//! for v in 0..result.variants.len() {
+//!     replay_and_verify(&programs, &mem, &result, v, &CostModel::splash_default())?;
 //! }
 //! # Ok(())
 //! # }
@@ -38,24 +37,31 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod error;
 pub mod explore;
 pub mod logdir;
 mod machine;
 pub mod metrics;
+mod session;
 pub mod sweep;
 mod tracer;
 
 pub use config::{MachineConfig, RecorderSpec};
+pub use error::Error;
 pub use explore::{
     explore_one, explore_sweep, minimize_divergence, ExploreOutcome, ExploreReport, ExploreSpec,
     PressureMode,
 };
-pub use logdir::{list_runs, load_run, save_run, LogDirError, SavedRun, SavedVariant};
+pub use logdir::{
+    list_runs, load_run, load_run_with, save_run, LogDirError, SavedRun, SavedVariant,
+};
+#[allow(deprecated)]
+pub use machine::{record, record_custom, record_with};
 pub use machine::{
-    record, record_custom, record_with, replay_and_verify, replay_and_verify_forensic,
-    PressureReport, PressureSpec, RunOptions, RunResult, ScheduleStrategy, SimError,
-    SinkFaultReport, VariantResult,
+    replay_and_verify, replay_and_verify_forensic, PressureReport, PressureSpec, RunOptions,
+    RunResult, ScheduleStrategy, SimError, SinkFaultReport, VariantResult,
 };
 pub use metrics::{MetricsRegistry, PhaseNanos};
+pub use session::RecordSession;
 pub use sweep::{run_sweep, JobOutput, ReplayPolicy, SweepError, SweepJob, SweepReport};
 pub use tracer::TraceCollector;

@@ -19,10 +19,10 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use relaxreplay::wire::{crc32, read_rrlog, read_varint, write_rrlog, write_varint};
+use relaxreplay::wire::{crc32, read_varint, write_rrlog, write_varint};
 use relaxreplay::{IntervalLog, WireError};
 use rr_isa::MemImage;
-use rr_replay::RecordedExecution;
+use rr_replay::{read_rrlogs_parallel, IngestError, RecordedExecution};
 
 use crate::machine::RunResult;
 
@@ -67,6 +67,18 @@ impl From<WireError> for LogDirError {
 
 fn io_err(path: &Path, e: &std::io::Error) -> LogDirError {
     LogDirError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Lowers a parallel-ingest failure to the log-dir error surface,
+/// preserving the failing path in I/O messages.
+fn ingest_err(e: IngestError) -> LogDirError {
+    match e.source {
+        WireError::Io(m) => LogDirError::Io(match e.path {
+            Some(p) => format!("{}: {m}", p.display()),
+            None => m,
+        }),
+        other => LogDirError::Wire(other),
+    }
 }
 
 fn check_name(name: &str) -> Result<(), LogDirError> {
@@ -160,7 +172,9 @@ pub fn save_run(dir: &Path, name: &str, result: &RunResult) -> Result<u64, LogDi
     Ok(log_bytes)
 }
 
-/// Loads a run previously written by [`save_run`] from `dir/name`.
+/// Loads a run previously written by [`save_run`] from `dir/name`,
+/// decoding the per-core `.rrlog` files on the default-width ingest pool
+/// (see [`load_run_with`]).
 ///
 /// # Errors
 ///
@@ -168,6 +182,19 @@ pub fn save_run(dir: &Path, name: &str, result: &RunResult) -> Result<u64, LogDi
 /// sidecar is malformed, or any `.rrlog` fails to decode (truncation and
 /// corruption surface as typed [`WireError`]s, never panics).
 pub fn load_run(dir: &Path, name: &str) -> Result<SavedRun, LogDirError> {
+    load_run_with(dir, name, 0)
+}
+
+/// As [`load_run`] with an explicit ingest worker count (0 = the host's
+/// available parallelism). Every core's log of every variant is an
+/// independent stream, so the whole run's `.rrlog` set is decoded in one
+/// parallel batch before the variants are assembled; the result is
+/// identical for any worker count.
+///
+/// # Errors
+///
+/// As [`load_run`].
+pub fn load_run_with(dir: &Path, name: &str, workers: usize) -> Result<SavedRun, LogDirError> {
     check_name(name)?;
     let run_dir = dir.join(name);
     let manifest_path = run_dir.join("manifest.txt");
@@ -179,18 +206,25 @@ pub fn load_run(dir: &Path, name: &str) -> Result<SavedRun, LogDirError> {
         .and_then(|n| n.parse().ok())
         .ok_or(LogDirError::Malformed("manifest missing cores line"))?;
 
-    let mut variants = Vec::new();
-    for label in lines.filter(|l| !l.is_empty()) {
+    let labels: Vec<&str> = lines.filter(|l| !l.is_empty()).collect();
+    let mut paths = Vec::with_capacity(labels.len() * cores);
+    for label in &labels {
         check_name(label)?;
         let vdir = run_dir.join(label);
-        let mut logs = Vec::with_capacity(cores);
         for k in 0..cores {
-            let path = vdir.join(format!("core{k}.rrlog"));
-            let log = read_rrlog(&path)?;
+            paths.push(vdir.join(format!("core{k}.rrlog")));
+        }
+    }
+    let logs = read_rrlogs_parallel(&paths, workers).map_err(ingest_err)?;
+
+    let mut variants = Vec::new();
+    let mut it = logs.into_iter();
+    for label in labels {
+        let logs: Vec<IntervalLog> = it.by_ref().take(cores).collect();
+        for (k, log) in logs.iter().enumerate() {
             if log.core.index() != k {
                 return Err(LogDirError::Malformed("core id does not match file name"));
             }
-            logs.push(log);
         }
         variants.push(SavedVariant {
             label: label.to_string(),

@@ -344,6 +344,10 @@ pub struct SinkFaultReport {
 ///
 /// Returns [`SimError::Deadlock`] if the machine exceeds
 /// `cfg.max_cycles`, or [`SimError::TooManyThreads`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use RecordSession::new(programs, initial_mem).config(cfg).specs(specs).run()"
+)]
 pub fn record(
     programs: &[Program],
     initial_mem: &MemImage,
@@ -351,7 +355,7 @@ pub fn record(
     specs: &[RecorderSpec],
 ) -> Result<RunResult, SimError> {
     let configs: Vec<_> = specs.iter().map(RecorderSpec::recorder_config).collect();
-    record_custom(programs, initial_mem, cfg, &configs)
+    run_machine(programs, initial_mem, cfg, &configs, &RunOptions::default()).map(|(run, _)| run)
 }
 
 /// Like [`record`] but with fully custom recorder configurations (used by
@@ -362,13 +366,17 @@ pub fn record(
 /// # Errors
 ///
 /// Same as [`record`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use RecordSession::new(programs, initial_mem).config(cfg).recorder_configs(configs).run()"
+)]
 pub fn record_custom(
     programs: &[Program],
     initial_mem: &MemImage,
     cfg: &MachineConfig,
     configs: &[relaxreplay::RecorderConfig],
 ) -> Result<RunResult, SimError> {
-    record_with(programs, initial_mem, cfg, configs, &RunOptions::default()).map(|(run, _)| run)
+    run_machine(programs, initial_mem, cfg, configs, &RunOptions::default()).map(|(run, _)| run)
 }
 
 /// Like [`record_custom`] but with a [`ScheduleStrategy`] perturbing the
@@ -380,7 +388,26 @@ pub fn record_custom(
 /// # Errors
 ///
 /// Same as [`record`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use RecordSession::new(programs, initial_mem).config(cfg)\
+            .recorder_configs(configs).options(options).run_reported()"
+)]
 pub fn record_with(
+    programs: &[Program],
+    initial_mem: &MemImage,
+    cfg: &MachineConfig,
+    configs: &[relaxreplay::RecorderConfig],
+    options: &RunOptions,
+) -> Result<(RunResult, PressureReport), SimError> {
+    run_machine(programs, initial_mem, cfg, configs, options)
+}
+
+/// The recording engine behind [`crate::RecordSession`] (and the
+/// deprecated `record*` wrappers): one parallel execution of `programs`
+/// against `initial_mem` with every recorder variant attached, under the
+/// given schedule/pressure options.
+pub(crate) fn run_machine(
     programs: &[Program],
     initial_mem: &MemImage,
     cfg: &MachineConfig,
@@ -654,8 +681,8 @@ pub fn record_with(
 ///
 /// # Errors
 ///
-/// Returns a description of the first patch, replay or verification
-/// failure — any of which means determinism was broken — or an
+/// Returns the first patch, replay or verification failure as a typed
+/// [`crate::Error`] — any of which means determinism was broken — or an
 /// out-of-range `variant` index.
 pub fn replay_and_verify(
     programs: &[Program],
@@ -663,23 +690,24 @@ pub fn replay_and_verify(
     result: &RunResult,
     variant: usize,
     cost: &CostModel,
-) -> Result<ReplayOutcome, String> {
+) -> Result<ReplayOutcome, crate::Error> {
     let v = result.variants.get(variant).ok_or_else(|| {
-        format!(
+        crate::Error::msg(format!(
             "variant index {variant} out of range ({} recorded)",
             result.variants.len()
-        )
+        ))
     })?;
     let patched: Vec<_> = v
         .logs
         .iter()
         .map(patch)
         .collect::<Result<_, _>>()
-        .map_err(|e| format!("patch failed: {e}"))?;
+        .map_err(|e| crate::Error::from(e).context("patch failed"))?;
     let outcome = replay(programs, &patched, initial_mem.clone(), cost)
-        .map_err(|e| format!("replay failed: {e}"))?;
-    rr_replay::verify(&result.recorded, &outcome)
-        .map_err(|e| format!("verification failed [{}]: {e}", v.spec.label()))?;
+        .map_err(|e| crate::Error::from(e).context("replay failed"))?;
+    rr_replay::verify(&result.recorded, &outcome).map_err(|e| {
+        crate::Error::from(e).context(format!("verification failed [{}]", v.spec.label()))
+    })?;
     Ok(outcome)
 }
 
@@ -692,7 +720,7 @@ pub fn replay_and_verify(
 /// # Errors
 ///
 /// Same as [`replay_and_verify`]; a forensic report failure (I/O) is
-/// appended to the verification error rather than masking it.
+/// appended to the verification error's context rather than masking it.
 pub fn replay_and_verify_forensic(
     programs: &[Program],
     initial_mem: &MemImage,
@@ -700,19 +728,19 @@ pub fn replay_and_verify_forensic(
     variant: usize,
     cost: &CostModel,
     report_dir: &std::path::Path,
-) -> Result<ReplayOutcome, String> {
+) -> Result<ReplayOutcome, crate::Error> {
     let v = result.variants.get(variant).ok_or_else(|| {
-        format!(
+        crate::Error::msg(format!(
             "variant index {variant} out of range ({} recorded)",
             result.variants.len()
-        )
+        ))
     })?;
     let patched: Vec<_> = v
         .logs
         .iter()
         .map(patch)
         .collect::<Result<_, _>>()
-        .map_err(|e| format!("patch failed: {e}"))?;
+        .map_err(|e| crate::Error::from(e).context("patch failed"))?;
     // The replay/verify ring is always captured here (the whole point of
     // this entry is forensics); it lives outside the simulated machine, so
     // it cannot perturb anything.
@@ -724,16 +752,16 @@ pub fn replay_and_verify_forensic(
         cost,
         Some(&mut replay_ring),
     )
-    .map_err(|e| format!("replay failed: {e}"))?;
+    .map_err(|e| crate::Error::from(e).context("replay failed"))?;
     match rr_replay::verify_traced(&result.recorded, &outcome, Some(&mut replay_ring)) {
         Ok(()) => Ok(outcome),
         Err(err) => {
             let label = v.spec.label();
             let Some(record_trace) = &result.trace else {
-                return Err(format!(
-                    "verification failed [{label}]: {err} (record the run with \
+                return Err(crate::Error::from(err).context(format!(
+                    "verification failed [{label}] (record the run with \
                      tracing enabled to get a divergence report)"
-                ));
+                )));
             };
             let report = rr_replay::divergence_report(
                 &err,
@@ -745,13 +773,13 @@ pub fn replay_and_verify_forensic(
             );
             let path = report_dir.join("divergence.md");
             match std::fs::create_dir_all(report_dir).and_then(|()| std::fs::write(&path, report)) {
-                Ok(()) => Err(format!(
-                    "verification failed [{label}]: {err} (forensic report: {})",
+                Ok(()) => Err(crate::Error::from(err).context(format!(
+                    "verification failed [{label}] (forensic report: {})",
                     path.display()
-                )),
-                Err(io) => Err(format!(
-                    "verification failed [{label}]: {err} (report write failed: {io})"
-                )),
+                ))),
+                Err(io) => Err(crate::Error::from(err).context(format!(
+                    "verification failed [{label}] (report write failed: {io})"
+                ))),
             }
         }
     }

@@ -25,8 +25,9 @@ use rr_replay::{patch, replay, verify, CostModel, PatchedLog, ReplayOutcome};
 
 use crate::config::{MachineConfig, RecorderSpec};
 use crate::logdir::LogDirError;
-use crate::machine::{record_with, PressureReport, RunOptions, RunResult, SimError};
+use crate::machine::{PressureReport, RunOptions, RunResult, SimError};
 use crate::metrics::{self, MetricsRegistry, PhaseNanos};
+use crate::session::RecordSession;
 
 /// Whether (and how) a sweep job replays what it recorded.
 #[derive(Clone, Debug)]
@@ -215,18 +216,16 @@ fn run_job(job: usize, j: &SweepJob) -> Result<JobOutput, SweepError> {
     let mut phases = PhaseNanos::default();
 
     let t = Instant::now();
-    let (run, pressure) = record_with(
-        &j.programs,
-        &j.initial_mem,
-        &j.machine,
-        &j.recorders,
-        &j.options,
-    )
-    .map_err(|err| SweepError::Sim {
-        job,
-        name: j.name.clone(),
-        err,
-    })?;
+    let (run, pressure) = RecordSession::new(&j.programs, &j.initial_mem)
+        .config(&j.machine)
+        .recorder_configs(&j.recorders)
+        .options(&j.options)
+        .run_reported()
+        .map_err(|err| SweepError::Sim {
+            job,
+            name: j.name.clone(),
+            err,
+        })?;
     phases.record = t.elapsed().as_nanos() as u64;
 
     let cost = match &j.replay {

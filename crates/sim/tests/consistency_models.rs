@@ -7,7 +7,7 @@
 use rr_cpu::ConsistencyModel;
 use rr_isa::{MemImage, Program, ProgramBuilder, Reg};
 use rr_replay::CostModel;
-use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec, RunResult};
+use rr_sim::{replay_and_verify, MachineConfig, RecordSession, RecorderSpec, RunResult};
 use rr_workloads::suite;
 
 fn r(i: u8) -> Reg {
@@ -41,7 +41,11 @@ fn sb_programs() -> Vec<Program> {
 fn run_and_verify(programs: &[Program], model: ConsistencyModel) -> RunResult {
     let cfg = MachineConfig::splash_default(programs.len()).with_consistency(model);
     let specs = RecorderSpec::paper_matrix();
-    let result = record(programs, &MemImage::new(), &cfg, &specs).expect("records");
+    let result = RecordSession::new(programs, &MemImage::new())
+        .config(&cfg)
+        .specs(&specs)
+        .run()
+        .expect("records");
     for v in 0..specs.len() {
         replay_and_verify(
             programs,
@@ -88,13 +92,11 @@ fn reordering_rates_order_as_sc_below_tso_below_rc() {
     let ooo = |model| {
         let w = rr_workloads::by_name("ocean", 4, 1).expect("known");
         let cfg = MachineConfig::splash_default(4).with_consistency(model);
-        let result = record(
-            &w.programs,
-            &w.initial_mem,
-            &cfg,
-            &RecorderSpec::paper_matrix(),
-        )
-        .expect("records");
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&RecorderSpec::paper_matrix())
+            .run()
+            .expect("records");
         result.ooo_fraction()
     };
     let (sc, tso, rc) = (
@@ -122,7 +124,10 @@ fn the_suite_replays_under_sc_and_tso() {
         let cfg = MachineConfig::splash_default(threads).with_consistency(model);
         let specs = RecorderSpec::paper_matrix();
         for w in suite(threads, 1).into_iter().take(6) {
-            let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+            let result = RecordSession::new(&w.programs, &w.initial_mem)
+                .config(&cfg)
+                .specs(&specs)
+                .run()
                 .unwrap_or_else(|e| panic!("{} under {model:?}: {e}", w.name));
             for v in 0..specs.len() {
                 replay_and_verify(

@@ -10,7 +10,7 @@ use std::path::PathBuf;
 
 use rr_replay::{patch, replay, verify, CostModel};
 use rr_sim::{
-    list_runs, load_run, record, replay_and_verify, save_run, LogDirError, MachineConfig,
+    list_runs, load_run, replay_and_verify, save_run, LogDirError, MachineConfig, RecordSession,
     RecorderSpec,
 };
 use rr_workloads::suite;
@@ -43,7 +43,10 @@ fn every_workload_round_trips_through_disk() {
     let workloads = suite(threads, 1);
     let mut results = Vec::new();
     for w in &workloads {
-        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
             .unwrap_or_else(|e| panic!("{}: recording failed: {e}", w.name));
         let bytes = save_run(&scratch.0, w.name, &result)
             .unwrap_or_else(|e| panic!("{}: save failed: {e}", w.name));
@@ -111,7 +114,11 @@ fn corrupted_rrlog_fails_with_a_typed_error_not_a_panic() {
     let scratch = ScratchDir::new("disk_corrupt");
 
     let w = &suite(threads, 1)[0];
-    let result = record(&w.programs, &w.initial_mem, &cfg, &specs).expect("records");
+    let result = RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&cfg)
+        .specs(&specs)
+        .run()
+        .expect("records");
     save_run(&scratch.0, w.name, &result).expect("saves");
 
     let label = specs[0].label();
@@ -147,7 +154,11 @@ fn out_of_range_variant_indexes_are_rejected() {
     let cfg = MachineConfig::splash_default(threads);
     let specs = RecorderSpec::paper_matrix();
     let w = &suite(threads, 1)[0];
-    let result = record(&w.programs, &w.initial_mem, &cfg, &specs).expect("records");
+    let result = RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&cfg)
+        .specs(&specs)
+        .run()
+        .expect("records");
 
     assert!(result.log_rate_mbps(0).is_some());
     assert!(result.log_rate_mbps(specs.len()).is_none());
@@ -161,5 +172,5 @@ fn out_of_range_variant_indexes_are_rejected() {
         &CostModel::splash_default(),
     )
     .expect_err("out-of-range variant must not panic");
-    assert!(err.contains("out of range"), "{err}");
+    assert!(err.to_string().contains("out of range"), "{err}");
 }

@@ -4,7 +4,7 @@
 //! order — must still reproduce every load value and the final memory.
 
 use rr_replay::{patch, replay_parallel, verify, CostModel};
-use rr_sim::{record, MachineConfig, RecorderSpec, RunResult};
+use rr_sim::{MachineConfig, RecordSession, RecorderSpec, RunResult};
 use rr_workloads::{suite, Workload};
 
 fn check_parallel(w: &Workload, result: &RunResult, variant: usize, workers: usize) -> f64 {
@@ -41,7 +41,11 @@ fn parallel_replay_reproduces_every_workload_snoopy() {
     let cfg = MachineConfig::splash_default(threads);
     let specs = RecorderSpec::paper_matrix();
     for w in suite(threads, 1) {
-        let result = record(&w.programs, &w.initial_mem, &cfg, &specs).expect("records");
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
+            .expect("records");
         for v in 0..specs.len() {
             for workers in [1, 4] {
                 let s = check_parallel(&w, &result, v, workers);
@@ -68,7 +72,11 @@ fn parallel_replay_reproduces_every_workload_directory() {
         },
     ];
     for w in suite(threads, 1) {
-        let result = record(&w.programs, &w.initial_mem, &cfg, &specs).expect("records");
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
+            .expect("records");
         for v in 0..specs.len() {
             check_parallel(&w, &result, v, threads);
         }
@@ -87,7 +95,11 @@ fn directory_mode_exposes_replay_parallelism() {
     }];
     let mut best: f64 = 0.0;
     for w in suite(threads, 2) {
-        let result = record(&w.programs, &w.initial_mem, &cfg, &specs).expect("records");
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
+            .expect("records");
         let s = check_parallel(&w, &result, 0, threads);
         best = best.max(s);
     }

@@ -5,7 +5,7 @@
 
 use rr_isa::{BranchCond, FenceKind, MemImage, Program, ProgramBuilder, Reg};
 use rr_replay::CostModel;
-use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+use rr_sim::{replay_and_verify, MachineConfig, RecordSession, RecorderSpec};
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
@@ -14,7 +14,11 @@ fn r(i: u8) -> Reg {
 fn check_all_variants(programs: &[Program], initial: &MemImage, cores: usize) {
     let cfg = MachineConfig::splash_default(cores);
     let specs = RecorderSpec::paper_matrix();
-    let result = record(programs, initial, &cfg, &specs).expect("recording finishes");
+    let result = RecordSession::new(programs, initial)
+        .config(&cfg)
+        .specs(&specs)
+        .run()
+        .expect("recording finishes");
     assert!(result.total_instrs() > 0);
     for v in 0..specs.len() {
         replay_and_verify(programs, initial, &result, v, &CostModel::splash_default())
@@ -139,7 +143,11 @@ fn spinlock_critical_sections_replay() {
     let programs = vec![make(), make(), make()];
     let cfg = MachineConfig::splash_default(4);
     let specs = RecorderSpec::paper_matrix();
-    let result = record(&programs, &MemImage::new(), &cfg, &specs).expect("records");
+    let result = RecordSession::new(&programs, &MemImage::new())
+        .config(&cfg)
+        .specs(&specs)
+        .run()
+        .expect("records");
     // Functional sanity: the lock worked.
     assert_eq!(result.recorded.final_mem.load(0x5100), 90);
     for v in 0..specs.len() {
@@ -203,7 +211,11 @@ fn directory_mode_replays() {
     let cfg = MachineConfig::splash_default(2).with_directory();
     let specs = RecorderSpec::paper_matrix();
     let initial = MemImage::new();
-    let result = record(&programs, &initial, &cfg, &specs).expect("records");
+    let result = RecordSession::new(&programs, &initial)
+        .config(&cfg)
+        .specs(&specs)
+        .run()
+        .expect("records");
     for v in 0..specs.len() {
         replay_and_verify(
             &programs,
@@ -229,8 +241,16 @@ fn recording_is_deterministic() {
     let programs = vec![make(), make()];
     let cfg = MachineConfig::splash_default(2);
     let specs = RecorderSpec::paper_matrix();
-    let a = record(&programs, &MemImage::new(), &cfg, &specs).expect("records");
-    let b = record(&programs, &MemImage::new(), &cfg, &specs).expect("records");
+    let a = RecordSession::new(&programs, &MemImage::new())
+        .config(&cfg)
+        .specs(&specs)
+        .run()
+        .expect("records");
+    let b = RecordSession::new(&programs, &MemImage::new())
+        .config(&cfg)
+        .specs(&specs)
+        .run()
+        .expect("records");
     assert_eq!(a.cycles, b.cycles);
     for (va, vb) in a.variants.iter().zip(&b.variants) {
         assert_eq!(va.logs, vb.logs, "logs must be bit-identical");
@@ -244,5 +264,9 @@ fn too_many_threads_is_an_error() {
     let p = b.build();
     let programs = vec![p.clone(), p];
     let cfg = MachineConfig::splash_default(1);
-    assert!(record(&programs, &MemImage::new(), &cfg, &[]).is_err());
+    assert!(RecordSession::new(&programs, &MemImage::new())
+        .config(&cfg)
+        .specs(&[])
+        .run()
+        .is_err());
 }

@@ -1,0 +1,126 @@
+//! `RecordSession` is a pure re-packaging of the legacy `record` /
+//! `record_custom` / `record_with` entry points: for every litmus shape,
+//! the builder must produce **byte-identical** `.rrlog` streams (and the
+//! same cycle count and pressure report) as each deprecated function it
+//! replaces. This is the compatibility contract that lets the trio be
+//! deleted in a later release.
+#![allow(deprecated)]
+
+use relaxreplay::wire::encode_chunked;
+use relaxreplay::RecorderConfig;
+use rr_sim::{
+    record, record_custom, record_with, MachineConfig, PressureSpec, RecordSession, RecorderSpec,
+    RunOptions, RunResult, ScheduleStrategy,
+};
+use rr_workloads::litmus_suite;
+
+/// Every recorded `.rrlog`, encoded, across all variants — the strongest
+/// equality two runs can have.
+fn wire_bytes(run: &RunResult) -> Vec<Vec<u8>> {
+    run.variants
+        .iter()
+        .flat_map(|v| v.logs.iter().map(encode_chunked))
+        .collect()
+}
+
+fn assert_same(name: &str, legacy: &RunResult, builder: &RunResult) {
+    assert_eq!(legacy.cycles, builder.cycles, "{name}: cycle count");
+    assert_eq!(
+        legacy.variants.len(),
+        builder.variants.len(),
+        "{name}: variant count"
+    );
+    assert_eq!(
+        wire_bytes(legacy),
+        wire_bytes(builder),
+        "{name}: .rrlog bytes differ"
+    );
+}
+
+#[test]
+fn builder_matches_record_on_the_litmus_suite() {
+    let specs = RecorderSpec::paper_matrix();
+    for w in litmus_suite() {
+        let cfg = MachineConfig::splash_default(w.programs.len());
+        let legacy = record(&w.programs, &w.initial_mem, &cfg, &specs)
+            .unwrap_or_else(|e| panic!("{}: legacy record: {e}", w.name));
+        let builder = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: builder: {e}", w.name));
+        assert_same(w.name, &legacy, &builder);
+
+        // The sized default config must also match an explicit
+        // splash_default — i.e. a bare builder equals the common legacy
+        // call shape.
+        let bare = RecordSession::new(&w.programs, &w.initial_mem)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: bare builder: {e}", w.name));
+        assert_same(w.name, &legacy, &bare);
+    }
+}
+
+#[test]
+fn builder_matches_record_custom_on_the_litmus_suite() {
+    let configs: Vec<RecorderConfig> = RecorderSpec::paper_matrix()
+        .iter()
+        .map(RecorderSpec::recorder_config)
+        .collect();
+    for w in litmus_suite() {
+        let cfg = MachineConfig::splash_default(w.programs.len());
+        let legacy = record_custom(&w.programs, &w.initial_mem, &cfg, &configs)
+            .unwrap_or_else(|e| panic!("{}: legacy record_custom: {e}", w.name));
+        let builder = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .recorder_configs(&configs)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: builder: {e}", w.name));
+        assert_same(w.name, &legacy, &builder);
+    }
+}
+
+#[test]
+fn builder_matches_record_with_under_schedule_and_pressure() {
+    let configs: Vec<RecorderConfig> = RecorderSpec::paper_matrix()
+        .iter()
+        .map(RecorderSpec::recorder_config)
+        .collect();
+    let options = RunOptions {
+        schedule: ScheduleStrategy::SeededStall {
+            seed: 7,
+            stall_permille: 250,
+            max_consecutive: 3,
+        },
+        pressure: PressureSpec {
+            force_close_period: Some(64),
+            ..PressureSpec::default()
+        },
+    };
+    for w in litmus_suite() {
+        let cfg = MachineConfig::splash_default(w.programs.len());
+        let (legacy, legacy_report) =
+            record_with(&w.programs, &w.initial_mem, &cfg, &configs, &options)
+                .unwrap_or_else(|e| panic!("{}: legacy record_with: {e}", w.name));
+        let (builder, builder_report) = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .recorder_configs(&configs)
+            .options(&options)
+            .run_reported()
+            .unwrap_or_else(|e| panic!("{}: builder: {e}", w.name));
+        assert_same(w.name, &legacy, &builder);
+        assert_eq!(legacy_report, builder_report, "{}: pressure report", w.name);
+
+        // The granular setters compose to the same run as the option
+        // block.
+        let (granular, granular_report) = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .recorder_configs(&configs)
+            .schedule(options.schedule.clone())
+            .pressure(options.pressure.clone())
+            .run_reported()
+            .unwrap_or_else(|e| panic!("{}: granular builder: {e}", w.name));
+        assert_same(w.name, &legacy, &granular);
+        assert_eq!(legacy_report, granular_report, "{}: report", w.name);
+    }
+}

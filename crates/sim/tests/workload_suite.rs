@@ -3,7 +3,7 @@
 //! suite: every workload, every recorder variant, must replay exactly.
 
 use rr_replay::CostModel;
-use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+use rr_sim::{replay_and_verify, MachineConfig, RecordSession, RecorderSpec};
 use rr_workloads::suite;
 
 #[test]
@@ -12,7 +12,10 @@ fn every_workload_replays_under_every_variant() {
     let cfg = MachineConfig::splash_default(threads);
     let specs = RecorderSpec::paper_matrix();
     for w in suite(threads, 1) {
-        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
             .unwrap_or_else(|e| panic!("{}: recording failed: {e}", w.name));
         assert!(
             result.total_instrs() > 1000,
@@ -48,7 +51,10 @@ fn two_thread_suite_replays() {
         },
     ];
     for w in suite(threads, 1) {
-        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
             .unwrap_or_else(|e| panic!("{}: recording failed: {e}", w.name));
         for v in 0..specs.len() {
             replay_and_verify(

@@ -10,7 +10,7 @@
 
 use rr_isa::{BranchCond, FenceKind, MemImage, Program, ProgramBuilder, Reg};
 use rr_replay::{patch, replay, CostModel};
-use rr_sim::{record, MachineConfig, RecorderSpec};
+use rr_sim::{MachineConfig, RecordSession, RecorderSpec};
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
@@ -64,7 +64,11 @@ fn main() {
 
     // The bug manifests as a wrong final balance: with no lost updates it
     // would be 40*(5+7+11) = 920.
-    let result = record(&programs, &initial, &machine, &specs).expect("recording");
+    let result = RecordSession::new(&programs, &initial)
+        .config(&machine)
+        .specs(&specs)
+        .run()
+        .expect("recording");
     let recorded_balance = result.recorded.final_mem.load(BALANCE as u64);
     println!("expected balance (no race): {}", 40 * (5 + 7 + 11));
     println!("recorded balance          : {recorded_balance}");

@@ -10,7 +10,7 @@
 
 use rr_isa::{FenceKind, MemImage, Program, ProgramBuilder, Reg};
 use rr_replay::CostModel;
-use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+use rr_sim::{replay_and_verify, MachineConfig, RecordSession, RecorderSpec};
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
@@ -72,7 +72,11 @@ fn mp_threads(fenced: bool) -> Vec<Program> {
 fn run(programs: &[Program]) -> rr_sim::RunResult {
     let machine = MachineConfig::splash_default(programs.len());
     let specs = RecorderSpec::paper_matrix();
-    let result = record(programs, &MemImage::new(), &machine, &specs).expect("recording");
+    let result = RecordSession::new(programs, &MemImage::new())
+        .config(&machine)
+        .specs(&specs)
+        .run()
+        .expect("recording");
     for v in 0..specs.len() {
         replay_and_verify(
             programs,

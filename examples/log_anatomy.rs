@@ -10,7 +10,7 @@
 
 use rr_isa::{BranchCond, MemImage, Program, ProgramBuilder, Reg};
 use rr_replay::{patch, ReplayOp};
-use rr_sim::{record, MachineConfig, RecorderSpec};
+use rr_sim::{MachineConfig, RecordSession, RecorderSpec};
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
@@ -45,7 +45,11 @@ fn main() {
         design: relaxreplay::Design::Base,
         max_interval: Some(4096),
     }];
-    let result = record(&programs, &MemImage::new(), &machine, &specs).expect("recording");
+    let result = RecordSession::new(&programs, &MemImage::new())
+        .config(&machine)
+        .specs(&specs)
+        .run()
+        .expect("recording");
     let log = &result.variants[0].logs[0];
 
     println!(

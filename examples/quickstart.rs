@@ -8,7 +8,7 @@
 
 use rr_isa::{BranchCond, MemImage, Program, ProgramBuilder, Reg};
 use rr_replay::CostModel;
-use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+use rr_sim::{replay_and_verify, MachineConfig, RecordSession, RecorderSpec};
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
@@ -41,7 +41,11 @@ fn main() {
         design: relaxreplay::Design::Opt,
         max_interval: Some(4096),
     }];
-    let result = record(&programs, &initial, &machine, &specs).expect("recording");
+    let result = RecordSession::new(&programs, &initial)
+        .config(&machine)
+        .specs(&specs)
+        .run()
+        .expect("recording");
 
     let counter = result.recorded.final_mem.load(0x1000);
     println!("recorded execution:");

@@ -5,14 +5,17 @@
 //! (deterministic replay of relaxed-consistency executions).
 
 use rr_replay::CostModel;
-use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+use rr_sim::{replay_and_verify, MachineConfig, RecordSession, RecorderSpec};
 use rr_workloads::suite;
 
 fn check_matrix(threads: usize, size: u32) {
     let cfg = MachineConfig::splash_default(threads);
     let specs = RecorderSpec::paper_matrix();
     for w in suite(threads, size) {
-        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
             .unwrap_or_else(|e| panic!("{} @{threads}c: recording failed: {e}", w.name));
         for v in 0..specs.len() {
             replay_and_verify(
@@ -53,7 +56,10 @@ fn suite_replays_under_directory_coherence() {
     let cfg = MachineConfig::splash_default(threads).with_directory();
     let specs = RecorderSpec::paper_matrix();
     for w in suite(threads, 1) {
-        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
             .unwrap_or_else(|e| panic!("{} (dir): recording failed: {e}", w.name));
         for v in 0..specs.len() {
             replay_and_verify(
@@ -74,7 +80,11 @@ fn logs_round_trip_through_the_binary_codec() {
     let cfg = MachineConfig::splash_default(threads);
     let specs = RecorderSpec::paper_matrix();
     for w in suite(threads, 1).into_iter().take(3) {
-        let result = record(&w.programs, &w.initial_mem, &cfg, &specs).expect("records");
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
+            .expect("records");
         for v in &result.variants {
             for log in &v.logs {
                 let decoded =

@@ -6,7 +6,7 @@
 use relaxreplay::{Design, RecorderConfig};
 use rr_isa::{BranchCond, MemImage, ProgramBuilder, Reg};
 use rr_replay::{patch, replay, verify, CostModel};
-use rr_sim::{record_custom, MachineConfig};
+use rr_sim::{MachineConfig, RecordSession};
 use rr_workloads::by_name;
 
 fn r(i: u8) -> Reg {
@@ -19,7 +19,11 @@ fn verify_all(
     machine: &MachineConfig,
     configs: &[RecorderConfig],
 ) {
-    let result = record_custom(programs, initial, machine, configs).expect("records");
+    let result = RecordSession::new(programs, initial)
+        .config(machine)
+        .recorder_configs(configs)
+        .run()
+        .expect("records");
     for (i, v) in result.variants.iter().enumerate() {
         let patched: Vec<_> = v.logs.iter().map(|l| patch(l).expect("patches")).collect();
         let outcome = replay(
@@ -42,7 +46,11 @@ fn tiny_traq_forces_stalls_but_stays_correct() {
         traq_entries: 8,
         ..RecorderConfig::splash_default(Design::Opt, Some(4096))
     }];
-    let result = record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+    let result = RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&machine)
+        .recorder_configs(&configs)
+        .run()
+        .expect("records");
     let stalls: u64 = result.core_stats.iter().map(|s| s.traq_stall_cycles).sum();
     assert!(stalls > 0, "an 8-entry TRAQ must stall dispatch");
     // And still replay correctly.
@@ -60,13 +68,11 @@ fn saturated_signatures_terminate_more_but_stay_correct() {
         ..RecorderConfig::splash_default(Design::Base, None)
     };
     let normal = RecorderConfig::splash_default(Design::Base, None);
-    let result = record_custom(
-        &w.programs,
-        &w.initial_mem,
-        &machine,
-        &[tiny.clone(), normal.clone()],
-    )
-    .expect("records");
+    let result = RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&machine)
+        .recorder_configs(&[tiny.clone(), normal.clone()])
+        .run()
+        .expect("records");
     let intervals =
         |v: usize| -> usize { result.variants[v].logs.iter().map(|l| l.intervals()).sum() };
     assert!(
@@ -87,13 +93,11 @@ fn tiny_snoop_table_aliases_but_stays_correct() {
         ..RecorderConfig::splash_default(Design::Opt, None)
     };
     let normal = RecorderConfig::splash_default(Design::Opt, None);
-    let result = record_custom(
-        &w.programs,
-        &w.initial_mem,
-        &machine,
-        &[tiny.clone(), normal.clone()],
-    )
-    .expect("records");
+    let result = RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&machine)
+        .recorder_configs(&[tiny.clone(), normal.clone()])
+        .run()
+        .expect("records");
     assert!(
         result.variants[0].reordered() >= result.variants[1].reordered(),
         "a 2-entry snoop table cannot reorder less than the 64-entry one"
@@ -134,7 +138,11 @@ fn squash_storm_with_sharing_stays_correct() {
         RecorderConfig::splash_default(Design::Base, Some(4096)),
         RecorderConfig::splash_default(Design::Opt, Some(4096)),
     ];
-    let result = record_custom(&programs, &MemImage::new(), &machine, &configs).expect("records");
+    let result = RecordSession::new(&programs, &MemImage::new())
+        .config(&machine)
+        .recorder_configs(&configs)
+        .run()
+        .expect("records");
     let squashes: u64 = result.core_stats.iter().map(|s| s.squashes).sum();
     assert!(squashes > 100, "expected a squash storm, got {squashes}");
     verify_all(&programs, &MemImage::new(), &machine, &configs);
@@ -151,7 +159,11 @@ fn dirty_eviction_storm_in_directory_mode_stays_correct() {
         RecorderConfig::splash_default(Design::Opt, Some(4096)),
         RecorderConfig::splash_default(Design::Base, Some(4096)),
     ];
-    let result = record_custom(&w.programs, &w.initial_mem, &machine, &configs).expect("records");
+    let result = RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&machine)
+        .recorder_configs(&configs)
+        .run()
+        .expect("records");
     assert!(
         result.mem_stats.dirty_evictions > 100,
         "expected an eviction storm, got {}",

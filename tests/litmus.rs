@@ -6,7 +6,7 @@
 use relaxreplay::LogEntry;
 use rr_isa::{BranchCond, FenceKind, MemImage, Program, ProgramBuilder, Reg};
 use rr_replay::CostModel;
-use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec, RunResult};
+use rr_sim::{replay_and_verify, MachineConfig, RecordSession, RecorderSpec, RunResult};
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
@@ -38,7 +38,11 @@ const OUT: i64 = 0x1000;
 fn run_and_verify(programs: &[Program]) -> RunResult {
     let cfg = MachineConfig::splash_default(programs.len());
     let specs = RecorderSpec::paper_matrix();
-    let result = record(programs, &MemImage::new(), &cfg, &specs).expect("records");
+    let result = RecordSession::new(programs, &MemImage::new())
+        .config(&cfg)
+        .specs(&specs)
+        .run()
+        .expect("records");
     for v in 0..specs.len() {
         replay_and_verify(
             programs,

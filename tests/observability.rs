@@ -11,7 +11,7 @@
 use relaxreplay::trace::{validate_chrome_trace, TraceConfig, TraceLevel};
 use relaxreplay::wire::encode_chunked;
 use rr_replay::CostModel;
-use rr_sim::{record, replay_and_verify_forensic, MachineConfig, RecorderSpec};
+use rr_sim::{replay_and_verify_forensic, RecordSession, RecorderSpec};
 use rr_workloads::suite;
 
 const THREADS: usize = 2;
@@ -21,20 +21,15 @@ const SIZE: u32 = 1;
 fn rrlog_bytes_are_identical_with_tracing_on_and_off() {
     let specs = RecorderSpec::paper_matrix();
     for w in suite(THREADS, SIZE) {
-        let off = record(
-            &w.programs,
-            &w.initial_mem,
-            &MachineConfig::splash_default(THREADS),
-            &specs,
-        )
-        .unwrap_or_else(|e| panic!("{}: records (trace off): {e}", w.name));
-        let on = record(
-            &w.programs,
-            &w.initial_mem,
-            &MachineConfig::splash_default(THREADS).with_trace(TraceConfig::full()),
-            &specs,
-        )
-        .unwrap_or_else(|e| panic!("{}: records (trace full): {e}", w.name));
+        let off = RecordSession::new(&w.programs, &w.initial_mem)
+            .specs(&specs)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: records (trace off): {e}", w.name));
+        let on = RecordSession::new(&w.programs, &w.initial_mem)
+            .specs(&specs)
+            .trace(TraceConfig::full())
+            .run()
+            .unwrap_or_else(|e| panic!("{}: records (trace full): {e}", w.name));
         assert!(off.trace.is_none(), "{}", w.name);
         assert!(on.trace.is_some(), "{}", w.name);
 
@@ -55,14 +50,10 @@ fn rrlog_bytes_are_identical_with_tracing_on_and_off() {
 #[test]
 fn chrome_trace_has_one_track_per_core_for_a_real_run() {
     let w = suite(THREADS, SIZE).into_iter().next().expect("fft");
-    let result = record(
-        &w.programs,
-        &w.initial_mem,
-        &MachineConfig::splash_default(THREADS)
-            .with_trace(TraceConfig::level(TraceLevel::Accesses)),
-        &RecorderSpec::paper_matrix(),
-    )
-    .expect("records");
+    let result = RecordSession::new(&w.programs, &w.initial_mem)
+        .trace(TraceConfig::level(TraceLevel::Accesses))
+        .run()
+        .expect("records");
     let trace = result.trace.as_ref().expect("trace present");
     assert!(trace.total_records() > 0);
     let chrome = relaxreplay::trace::chrome_trace(&[(w.name.to_string(), trace)]);
@@ -91,14 +82,10 @@ fn forced_divergence_writes_a_forensics_report_with_both_windows() {
     let w = suite(THREADS, SIZE).into_iter().next().expect("fft");
     // A generous ring so the early counting events (the anchor for load #2)
     // are still resident when the report is written.
-    let mut result = record(
-        &w.programs,
-        &w.initial_mem,
-        &MachineConfig::splash_default(THREADS)
-            .with_trace(TraceConfig::full().with_capacity(1 << 20)),
-        &RecorderSpec::paper_matrix(),
-    )
-    .expect("records");
+    let mut result = RecordSession::new(&w.programs, &w.initial_mem)
+        .trace(TraceConfig::full().with_capacity(1 << 20))
+        .run()
+        .expect("records");
 
     let report_dir = std::env::temp_dir().join("rr_observability_divergence");
     let _ = std::fs::remove_dir_all(&report_dir);
@@ -132,7 +119,7 @@ fn forced_divergence_writes_a_forensics_report_with_both_windows() {
     )
     .expect_err("tampered truth must fail verification");
     assert!(
-        err.contains("divergence.md"),
+        err.to_string().contains("divergence.md"),
         "error should point at the report: {err}"
     );
 

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use rr_isa::{AluOp, MemImage, Program, ProgramBuilder, Reg};
 use rr_replay::{patch, replay, replay_parallel, verify, CostModel, ReplayOutcome};
-use rr_sim::{record, replay_and_verify, MachineConfig, RecorderSpec};
+use rr_sim::{replay_and_verify, MachineConfig, RecordSession, RecorderSpec};
 use rr_workloads::suite;
 
 fn r(i: u8) -> Reg {
@@ -107,7 +107,10 @@ proptest! {
         let programs: Vec<Program> = threads.iter().map(|s| build_thread(s)).collect();
         let cfg = MachineConfig::splash_default(programs.len());
         let specs = RecorderSpec::paper_matrix();
-        let result = record(&programs, &MemImage::new(), &cfg, &specs)
+        let result = RecordSession::new(&programs, &MemImage::new())
+        .config(&cfg)
+        .specs(&specs)
+        .run()
             .expect("recording finishes");
         for v in 0..specs.len() {
             replay_and_verify(
@@ -134,7 +137,10 @@ fn base_and_opt_replays_are_identical_on_every_workload() {
     for w in suite(2, 1) {
         let cfg = MachineConfig::splash_default(w.programs.len());
         let specs = RecorderSpec::paper_matrix();
-        let result = record(&w.programs, &w.initial_mem, &cfg, &specs)
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
             .unwrap_or_else(|e| panic!("{}: recording failed: {e}", w.name));
 
         let mut outcomes: Vec<ReplayOutcome> = Vec::new();

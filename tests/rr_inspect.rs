@@ -7,7 +7,7 @@ use std::process::{Command, Output};
 
 use relaxreplay::trace::{TraceConfig, TraceLevel};
 use rr_isa::{MemImage, ProgramBuilder, Reg};
-use rr_sim::{record, save_run, MachineConfig, RecorderSpec};
+use rr_sim::{save_run, MachineConfig, RecordSession, RecorderSpec};
 
 fn rr_inspect(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_rr-inspect"))
@@ -40,13 +40,11 @@ fn save_sample_run(root: &Path, name: &str) -> PathBuf {
     };
     let programs = vec![mk(0x1000, 0x2000), mk(0x2000, 0x1000)];
     let cfg = MachineConfig::splash_default(2).with_trace(TraceConfig::level(TraceLevel::Full));
-    let result = record(
-        &programs,
-        &MemImage::new(),
-        &cfg,
-        &RecorderSpec::paper_matrix(),
-    )
-    .expect("records");
+    let result = RecordSession::new(&programs, &MemImage::new())
+        .config(&cfg)
+        .specs(&RecorderSpec::paper_matrix())
+        .run()
+        .expect("records");
     save_run(root, name, &result).expect("saves");
     root.join(name)
 }
@@ -168,4 +166,74 @@ fn trace_subcommand_converts_sidecars_to_perfetto_json() {
     let out = rr_inspect(&["trace", bad.to_str().unwrap()]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("line 1"), "{}", stderr(&out));
+}
+
+#[test]
+fn stat_histogram_agrees_with_chunk_map_around_a_corrupt_middle_chunk() {
+    let root = temp_root("stat_corrupt");
+    let run_dir = save_sample_run(&root, "sample");
+    let rrlog = run_dir.join("Base-4K").join("core0.rrlog");
+
+    // Re-encode the log with tiny chunks so it spans many chunks, then
+    // flip a payload byte in a middle chunk (keeping the framing intact).
+    let log = relaxreplay::wire::read_rrlog(&rrlog).expect("reads");
+    let mut bytes = relaxreplay::wire::encode_chunked_with(&log, 16);
+    let (_, chunks, _) = relaxreplay::wire::chunk_map(&bytes).expect("maps");
+    assert!(
+        chunks.len() >= 3,
+        "need a middle chunk, got {}",
+        chunks.len()
+    );
+    let mid = &chunks[chunks.len() / 2];
+    bytes[mid.offset + 4] ^= 0x01; // first payload byte, after the u32 len
+    let corrupt = root.join("corrupt.rrlog");
+    std::fs::write(&corrupt, &bytes).expect("writes");
+
+    let out = rr_inspect(&["stat", corrupt.to_str().unwrap()]);
+    assert!(!out.status.success(), "corrupt file must exit nonzero");
+    let text = stdout(&out);
+    assert!(text.contains("integrity: DAMAGED"), "{text}");
+    assert!(text.contains("MISMATCH"), "{text}");
+
+    // The chunk-map table's per-chunk entry counts must sum to exactly
+    // the histogram's TOTAL: the skip decoder keeps decoding after the
+    // damaged chunk instead of stopping at it.
+    let mut in_map = false;
+    let mut map_sum = 0u64;
+    let mut total = None;
+    for line in text.lines() {
+        if line.starts_with("== chunk map ==") {
+            in_map = true;
+            continue;
+        }
+        if line.starts_with("== ") {
+            in_map = false;
+        }
+        let cells: Vec<&str> = line.split_whitespace().collect();
+        if in_map && cells.len() == 5 {
+            if let Ok(entries) = cells[3].parse::<u64>() {
+                map_sum += entries;
+            }
+        }
+        if cells.first() == Some(&"TOTAL") {
+            total = cells[1].parse::<u64>().ok();
+        }
+    }
+    let total = total.expect("histogram TOTAL row present");
+    assert!(map_sum > 0, "chunk map parsed:\n{text}");
+    assert_eq!(
+        map_sum, total,
+        "chunk-map entry sum and histogram TOTAL disagree:\n{text}"
+    );
+
+    // Entries from chunks after the damaged one are counted (strictly
+    // more than the clean prefix alone).
+    let prefix: u64 = chunks[..chunks.len() / 2]
+        .iter()
+        .map(|c| c.entries as u64)
+        .sum();
+    assert!(
+        total > prefix,
+        "skip decoder must keep decoding past the damaged chunk ({total} <= {prefix})"
+    );
 }
