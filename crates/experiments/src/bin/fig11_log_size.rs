@@ -1,7 +1,9 @@
 //! Figure 11: uncompressed log size and log bandwidth.
 
 use rr_experiments::report::{results_dir, write_metrics_jsonl};
-use rr_experiments::{figures, metrics_jsonl, run_suite, write_trace_artifacts, ExperimentConfig};
+use rr_experiments::{
+    figures, metrics_jsonl, run_corpus_suite, run_suite, write_trace_artifacts, ExperimentConfig,
+};
 
 fn main() -> std::process::ExitCode {
     match run() {
@@ -26,5 +28,14 @@ fn run() -> Result<(), rr_sim::Error> {
     t.write_csv(&dir, "fig11")?;
     write_metrics_jsonl(&dir, "fig11", &metrics_jsonl(&runs))?;
     write_trace_artifacts(&dir, "fig11", &runs)?;
+
+    // The data-structure corpus gets its own table so the paper's
+    // SPLASH-2 AVERAGE row stays comparable to the original figure.
+    let corpus = run_corpus_suite(&cfg)?;
+    let tc = figures::fig11_corpus(&corpus);
+    tc.print();
+    tc.write_csv(&dir, "fig11-corpus")?;
+    write_metrics_jsonl(&dir, "fig11-corpus", &metrics_jsonl(&corpus))?;
+    write_trace_artifacts(&dir, "fig11-corpus", &corpus)?;
     Ok(())
 }

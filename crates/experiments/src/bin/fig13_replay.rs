@@ -1,7 +1,9 @@
 //! Figure 13: sequential replay time relative to parallel recording.
 
 use rr_experiments::report::{results_dir, write_metrics_jsonl};
-use rr_experiments::{figures, metrics_jsonl, run_suite, write_trace_artifacts, ExperimentConfig};
+use rr_experiments::{
+    figures, metrics_jsonl, run_corpus_suite, run_suite, write_trace_artifacts, ExperimentConfig,
+};
 
 fn main() -> std::process::ExitCode {
     match run() {
@@ -25,5 +27,14 @@ fn run() -> Result<(), rr_sim::Error> {
     t.write_csv(&dir, "fig13")?;
     write_metrics_jsonl(&dir, "fig13", &metrics_jsonl(&runs))?;
     write_trace_artifacts(&dir, "fig13", &runs)?;
+
+    // Corpus shapes replay under the same policy; reported separately so
+    // the paper's SPLASH-2 ratios stay comparable to the original figure.
+    let corpus = run_corpus_suite(&cfg)?;
+    let tc = figures::fig13_corpus(&corpus);
+    tc.print();
+    tc.write_csv(&dir, "fig13-corpus")?;
+    write_metrics_jsonl(&dir, "fig13-corpus", &metrics_jsonl(&corpus))?;
+    write_trace_artifacts(&dir, "fig13-corpus", &corpus)?;
     Ok(())
 }

@@ -1,8 +1,10 @@
 //! `rr-check` — the schedule-exploration differential checker.
 //!
 //! ```text
-//! rr-check explore [--seeds N] [--pressure <mode>|all] [--workload <w>|litmus]
+//! rr-check explore [--seeds N] [--pressure <mode>|all] [--workload <w>|litmus|corpus]
 //!                  [--workers K] [--out DIR] [--trace]
+//! rr-check fuzz    [--count N] [--start-seed S] [--schedules K]
+//!                  [--pressure <mode>|all] [--workers K] [--out DIR]
 //! rr-check modes
 //! ```
 //!
@@ -17,6 +19,13 @@
 //! offending spec is shrunk to a locally minimal still-failing form and
 //! re-recorded with tracing for a forensic `divergence.md` report.
 //!
+//! `fuzz` runs the same differential check over generated workloads:
+//! each seed produces a random racy `.asm` program
+//! (`rr_workloads::fuzz`), assembled through the text frontend and
+//! explored under several schedule perturbations. A divergence saves the
+//! generated source next to the forensic report so the case can be
+//! replayed by hand.
+//!
 //! Exit status: 0 = all schedules agree, 1 = divergence found, 2 = usage.
 
 use std::path::{Path, PathBuf};
@@ -29,22 +38,26 @@ use rr_sim::{
     explore_sweep, minimize_divergence, replay_and_verify_forensic, Error, ExploreSpec,
     MachineConfig, PressureMode, RecordSession,
 };
-use rr_workloads::{litmus_suite, Workload};
+use rr_workloads::{corpus_suite, fuzz_case, litmus_suite, FuzzCase, Workload};
 
 const USAGE: &str = "usage:
-  rr-check explore [--seeds N] [--pressure <mode>|all] [--workload <w>|litmus]
+  rr-check explore [--seeds N] [--pressure <mode>|all] [--workload <w>|litmus|corpus]
                    [--workers K] [--out DIR] [--trace]
+  rr-check fuzz    [--count N] [--start-seed S] [--schedules K]
+                   [--pressure <mode>|all] [--workers K] [--out DIR]
   rr-check modes
 
 modes: none force-close traq sig-alias cisn-wrap sink-fault
-workloads: litmus (= sb mp lb iriw), any single litmus shape, or any
-           rr-workloads generator name (e.g. fft, ocean)";
+workloads: litmus (= sb mp lb iriw), corpus (all data-structure shapes),
+           or any single workload name — a SPLASH-2 analogue (e.g. fft),
+           a litmus shape, or a corpus shape (e.g. spinlock)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "explore" => cmd_explore(rest),
+            "fuzz" => cmd_fuzz(rest),
             "modes" => {
                 for m in PressureMode::ALL {
                     println!("{}", m.name());
@@ -127,16 +140,20 @@ fn parse(args: &[String]) -> Result<Options, u8> {
         }
     }
 
-    let workloads = if workload == "litmus" {
-        litmus_suite()
-    } else {
-        match rr_workloads::by_name(&workload, 4, 1) {
+    let workloads = match workload.as_str() {
+        "litmus" => litmus_suite(),
+        "corpus" => corpus_suite(),
+        name => match rr_workloads::by_name(name, 4, 1) {
             Some(w) => vec![w],
             None => {
-                eprintln!("rr-check explore: unknown workload {workload:?}\n{USAGE}");
+                eprintln!(
+                    "rr-check explore: unknown workload {workload:?}\n\
+                     known workloads: litmus, corpus, {}",
+                    rr_workloads::known_names().join(", ")
+                );
                 return Err(2);
             }
-        }
+        },
     };
     Ok(Options {
         seeds,
@@ -241,6 +258,148 @@ fn run_explore(opts: &Options) -> Result<u8, Error> {
     } else {
         println!("rr-check: all explored schedules replay deterministically");
         Ok(0)
+    }
+}
+
+struct FuzzOptions {
+    count: u64,
+    start_seed: u64,
+    schedules: u64,
+    pressures: Vec<PressureMode>,
+    workers: usize,
+    out: PathBuf,
+}
+
+fn parse_fuzz(args: &[String]) -> Result<FuzzOptions, u8> {
+    let mut opts = FuzzOptions {
+        count: 50,
+        start_seed: 0,
+        schedules: 2,
+        pressures: vec![PressureMode::None],
+        workers: 0,
+        out: results_dir().join("rr-check"),
+    };
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, u8> {
+            it.next().ok_or_else(|| {
+                eprintln!("rr-check fuzz: {name} needs a value\n{USAGE}");
+                2
+            })
+        };
+        let parsed = |name: &str, v: &str| -> Result<u64, u8> {
+            v.parse().map_err(|e| {
+                eprintln!("rr-check fuzz: bad {name}: {e}");
+                2
+            })
+        };
+        match flag.as_str() {
+            "--count" => opts.count = parsed("--count", value("--count")?)?,
+            "--start-seed" => opts.start_seed = parsed("--start-seed", value("--start-seed")?)?,
+            "--schedules" => opts.schedules = parsed("--schedules", value("--schedules")?)?,
+            "--pressure" => {
+                let v = value("--pressure")?;
+                opts.pressures = if v == "all" {
+                    PressureMode::ALL.to_vec()
+                } else {
+                    vec![PressureMode::parse(v).ok_or_else(|| {
+                        eprintln!("rr-check fuzz: unknown pressure mode {v:?}\n{USAGE}");
+                        2
+                    })?]
+                };
+            }
+            "--workers" => {
+                opts.workers = parsed("--workers", value("--workers")?)? as usize;
+            }
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            other => {
+                eprintln!("rr-check fuzz: unknown flag {other:?}\n{USAGE}");
+                return Err(2);
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_fuzz(args: &[String]) -> u8 {
+    let opts = match parse_fuzz(args) {
+        Ok(o) => o,
+        Err(c) => return c,
+    };
+    match run_fuzz(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("rr-check fuzz: {e}");
+            1
+        }
+    }
+}
+
+fn run_fuzz(opts: &FuzzOptions) -> Result<u8, Error> {
+    let mut divergent_total = 0usize;
+    let mut schedules_total = 0u64;
+    for seed in opts.start_seed..opts.start_seed.saturating_add(opts.count) {
+        let case = fuzz_case(seed);
+        let w = &case.workload;
+        let machine = MachineConfig::splash_default(w.programs.len());
+        for &pressure in &opts.pressures {
+            // Decorrelate schedule seeds from the generator seed so two
+            // fuzz cases never explore the same perturbation sequence.
+            let specs: Vec<ExploreSpec> = (0..opts.schedules)
+                .map(|s| ExploreSpec::for_seed(seed.wrapping_mul(7919).wrapping_add(s), pressure))
+                .collect();
+            let report = explore_sweep(&w.programs, &w.initial_mem, &machine, &specs, opts.workers)
+                .map_err(|e| {
+                    Error::from(e).context(format!("{}/{}", case.label, pressure.name()))
+                })?;
+            schedules_total += opts.schedules;
+            for o in report.divergent() {
+                divergent_total += 1;
+                eprintln!(
+                    "DIVERGENCE {}/{}: {}",
+                    case.label,
+                    o.name,
+                    o.divergence.as_deref().unwrap_or("?")
+                );
+                save_fuzz_source(&case, &opts.out);
+                report_divergence(w, &machine, o.spec.clone(), &opts.out);
+            }
+        }
+    }
+
+    if divergent_total > 0 {
+        eprintln!(
+            "rr-check fuzz: {divergent_total} divergent schedule(s) over {} case(s); \
+             generated sources and minimized reports under {}",
+            opts.count,
+            opts.out.display()
+        );
+        Ok(1)
+    } else {
+        println!(
+            "rr-check fuzz: {} case(s) (seeds {}..{}), {schedules_total} explored schedule(s), \
+             all replay deterministically",
+            opts.count,
+            opts.start_seed,
+            opts.start_seed.saturating_add(opts.count)
+        );
+        Ok(0)
+    }
+}
+
+/// Saves a divergent fuzz case's generated `.asm` source so the failure
+/// can be re-run by hand (`rr-check explore` can't regenerate it without
+/// the seed; the source is the durable artifact).
+fn save_fuzz_source(case: &FuzzCase, out: &Path) {
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("rr-check fuzz: create {}: {e}", out.display());
+        return;
+    }
+    let path = out.join(format!("{}.asm", case.label));
+    match std::fs::write(&path, &case.asm) {
+        Ok(()) => eprintln!("  generated source saved to {}", path.display()),
+        Err(e) => eprintln!("rr-check fuzz: could not save {}: {e}", path.display()),
     }
 }
 

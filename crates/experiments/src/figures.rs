@@ -181,8 +181,25 @@ pub fn fig10(runs: &[WorkloadRun]) -> Table {
 /// implied log bandwidth in MB/s at the simulated clock.
 #[must_use]
 pub fn fig11(runs: &[WorkloadRun]) -> Table {
-    let mut t = Table::new(
+    fig11_titled(
         "Figure 11: log size (bits / kilo-instruction) and rate (MB/s)",
+        runs,
+    )
+}
+
+/// [`fig11`] over the concurrent data-structure corpus: per-shape log
+/// sizes for the `.asm` workloads (locks, seqlock, lock-free structures).
+#[must_use]
+pub fn fig11_corpus(runs: &[WorkloadRun]) -> Table {
+    fig11_titled(
+        "Figure 11 (corpus): log size (bits / kilo-instruction) and rate (MB/s)",
+        runs,
+    )
+}
+
+fn fig11_titled(title: &str, runs: &[WorkloadRun]) -> Table {
+    let mut t = Table::new(
+        title,
         &[
             "workload",
             "Base-4K",
@@ -284,8 +301,24 @@ pub fn fig12_histogram(runs: &[WorkloadRun], names: &[&str]) -> Table {
 /// time, with the user/OS-cycle split.
 #[must_use]
 pub fn fig13(runs: &[WorkloadRun]) -> Table {
-    let mut t = Table::new(
+    fig13_titled(
         "Figure 13: replay time / recording time (user + OS cycles)",
+        runs,
+    )
+}
+
+/// [`fig13`] over the concurrent data-structure corpus.
+#[must_use]
+pub fn fig13_corpus(runs: &[WorkloadRun]) -> Table {
+    fig13_titled(
+        "Figure 13 (corpus): replay time / recording time (user + OS cycles)",
+        runs,
+    )
+}
+
+fn fig13_titled(title: &str, runs: &[WorkloadRun]) -> Table {
+    let mut t = Table::new(
+        title,
         &[
             "workload", "Base-4K", "(os%)", "Opt-4K", "(os%)", "Base-INF", "(os%)", "Opt-INF",
             "(os%)",

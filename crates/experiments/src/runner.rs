@@ -237,6 +237,40 @@ pub fn run_suite(cfg: &ExperimentConfig) -> Result<Vec<WorkloadRun>, Error> {
     Ok(run_suite_timed(cfg)?.runs)
 }
 
+/// Records (and optionally replays + verifies) the concurrent
+/// data-structure corpus (`rr_workloads::corpus_suite`) the same way
+/// [`run_suite`] runs the SPLASH-2 analogues. Corpus core counts are
+/// intrinsic to each `.asm` source, so `cfg.threads` / `cfg.size` are
+/// ignored; everything else (replay policy, `--save-logs`, tracing)
+/// applies as usual.
+///
+/// # Errors
+///
+/// As [`run_suite_timed`].
+pub fn run_corpus_suite(cfg: &ExperimentConfig) -> Result<Vec<WorkloadRun>, Error> {
+    let specs = variant_specs();
+    let workloads = rr_workloads::corpus_suite();
+    let names: Vec<&'static str> = workloads.iter().map(|w| w.name).collect();
+    let jobs: Vec<SweepJob> = workloads
+        .into_iter()
+        .map(|w| {
+            let machine = MachineConfig::splash_default(w.programs.len()).with_trace(cfg.trace);
+            SweepJob::from_specs(
+                w.name,
+                w.programs,
+                w.initial_mem,
+                machine,
+                &specs,
+                replay_policy(cfg),
+            )
+        })
+        .collect();
+    let report =
+        run_sweep(&jobs, cfg.workers).map_err(|e| Error::from(e).context("corpus sweep"))?;
+    save_report_logs(cfg, &report)?;
+    Ok(report_to_suite(report, &names).runs)
+}
+
 fn report_to_suite(report: SweepReport, names: &[&'static str]) -> SuiteRun {
     let workers = report.workers;
     let wall_ns = report.wall_ns;
@@ -321,8 +355,9 @@ pub struct ReplayFromSummary {
 
 /// Replays every run saved under `dir` (by a prior `--save-logs`
 /// invocation), verifying each variant's replay against the on-disk
-/// ground truth. Programs and initial memory are regenerated from the
-/// workload suite by name — the generators are deterministic, so the
+/// ground truth. Programs and initial memory are regenerated by name
+/// (`rr_workloads::by_name`, which also resolves litmus and corpus
+/// shapes) — generators and the assembler are deterministic, so the
 /// `.rrlog` files plus `(threads, size)` fully determine the execution.
 ///
 /// Run names of the form `fft@16c` (the scalability sweep) override the
@@ -356,12 +391,8 @@ pub fn replay_suite_from(
             }
             None => (name.as_str(), cfg.threads),
         };
-        let workload = suite(threads, cfg.size)
-            .into_iter()
-            .find(|w| w.name == base)
-            .ok_or_else(|| {
-                Error::msg(format!("{name}: no workload named {base:?} in the suite"))
-            })?;
+        let workload = rr_workloads::by_name(base, threads, cfg.size)
+            .ok_or_else(|| Error::msg(format!("{name}: no workload named {base:?} is known")))?;
         for v in &saved.variants {
             let at = |stage: &str| format!("{name} [{}]: {stage}", v.label);
             let patched: Vec<_> = v

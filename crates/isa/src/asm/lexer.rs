@@ -1,0 +1,294 @@
+//! Tokenizer for the `.asm` frontend.
+//!
+//! The lexer is line-oriented: newlines are tokens (statements end at end
+//! of line), comments (`;`, `#`, `//`) run to end of line, and every token
+//! carries its 1-based line and column for diagnostics.
+
+use super::AsmError;
+
+/// A token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier: mnemonics (`ld`, `fence.rel`), label names, constant
+    /// names, and directives (leading `.`, e.g. `.core`).
+    Ident(String),
+    /// A register, `r0`..`r31`.
+    Reg(u8),
+    /// An integer literal (decimal or `0x` hex).
+    Int(i64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// End of a source line.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// The exact source text of the token (for diagnostics).
+    pub text: String,
+}
+
+impl Token {
+    /// A short human label for error messages ("end of line", "`,`", ...).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self.kind {
+            Tok::Newline => "end of line".to_string(),
+            Tok::Eof => "end of input".to_string(),
+            _ => format!("`{}`", self.text),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenizes `src`, appending a trailing [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on an unknown character, a malformed integer
+/// literal, or a register index outside `r0..r31`.
+pub fn lex(src: &str) -> Result<Vec<Token>, AsmError> {
+    let mut out = Vec::new();
+    for (line_idx, line) in src.lines().enumerate() {
+        let line_no = line_idx as u32 + 1;
+        let mut chars = line.char_indices().peekable();
+        while let Some(&(byte, c)) = chars.peek() {
+            let col = line[..byte].chars().count() as u32 + 1;
+            // Comments run to end of line.
+            if c == ';' || c == '#' || (c == '/' && line[byte..].starts_with("//")) {
+                break;
+            }
+            if c.is_whitespace() {
+                chars.next();
+                continue;
+            }
+            let mut push = |kind: Tok, text: String| {
+                out.push(Token {
+                    kind,
+                    line: line_no,
+                    col,
+                    text,
+                });
+            };
+            match c {
+                ',' | '(' | ')' | ':' | '=' | '+' | '-' | '*' => {
+                    chars.next();
+                    let kind = match c {
+                        ',' => Tok::Comma,
+                        '(' => Tok::LParen,
+                        ')' => Tok::RParen,
+                        ':' => Tok::Colon,
+                        '=' => Tok::Eq,
+                        '+' => Tok::Plus,
+                        '-' => Tok::Minus,
+                        _ => Tok::Star,
+                    };
+                    push(kind, c.to_string());
+                }
+                '0'..='9' => {
+                    let start = byte;
+                    let mut end = byte;
+                    while let Some(&(b, ch)) = chars.peek() {
+                        if ch.is_ascii_alphanumeric() || ch == '_' {
+                            end = b + ch.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &line[start..end];
+                    let digits = text.replace('_', "");
+                    let parsed = if let Some(hex) = digits
+                        .strip_prefix("0x")
+                        .or_else(|| digits.strip_prefix("0X"))
+                    {
+                        u64::from_str_radix(hex, 16).map(|v| v as i64)
+                    } else {
+                        digits.parse::<i64>()
+                    };
+                    match parsed {
+                        Ok(v) => push(Tok::Int(v), text.to_string()),
+                        Err(_) => {
+                            return Err(AsmError::new(
+                                line_no,
+                                col,
+                                text,
+                                format!("malformed integer literal `{text}`"),
+                            ));
+                        }
+                    }
+                }
+                c if is_ident_start(c) => {
+                    let start = byte;
+                    let mut end = byte;
+                    while let Some(&(b, ch)) = chars.peek() {
+                        if is_ident_continue(ch) {
+                            end = b + ch.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &line[start..end];
+                    // `r<digits>` is always a register reference.
+                    if let Some(idx) = text
+                        .strip_prefix('r')
+                        .filter(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+                    {
+                        let idx: u32 = idx.parse().unwrap_or(u32::MAX);
+                        if idx >= crate::NUM_REGS as u32 {
+                            return Err(AsmError::new(
+                                line_no,
+                                col,
+                                text,
+                                format!(
+                                    "register `{text}` out of range (registers are r0..r{})",
+                                    crate::NUM_REGS - 1
+                                ),
+                            ));
+                        }
+                        push(Tok::Reg(idx as u8), text.to_string());
+                    } else {
+                        push(Tok::Ident(text.to_string()), text.to_string());
+                    }
+                }
+                other => {
+                    return Err(AsmError::new(
+                        line_no,
+                        col,
+                        other.to_string(),
+                        format!("unexpected character `{other}`"),
+                    ));
+                }
+            }
+        }
+        out.push(Token {
+            kind: Tok::Newline,
+            line: line_no,
+            col: line.chars().count() as u32 + 1,
+            text: String::new(),
+        });
+    }
+    let last_line = src.lines().count().max(1) as u32;
+    out.push(Token {
+        kind: Tok::Eof,
+        line: last_line,
+        col: 1,
+        text: String::new(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_an_instruction_line() {
+        assert_eq!(
+            kinds("ld r1, 8(r2)"),
+            vec![
+                Tok::Ident("ld".into()),
+                Tok::Reg(1),
+                Tok::Comma,
+                Tok::Int(8),
+                Tok::LParen,
+                Tok::Reg(2),
+                Tok::RParen,
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_hex_and_negatives() {
+        assert_eq!(
+            kinds("li r1, 0x10 ; comment\n# full\n// also\nsubi r2, r1, -3"),
+            vec![
+                Tok::Ident("li".into()),
+                Tok::Reg(1),
+                Tok::Comma,
+                Tok::Int(16),
+                Tok::Newline,
+                Tok::Newline,
+                Tok::Newline,
+                Tok::Ident("subi".into()),
+                Tok::Reg(2),
+                Tok::Comma,
+                Tok::Reg(1),
+                Tok::Comma,
+                Tok::Minus,
+                Tok::Int(3),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn directives_and_dotted_mnemonics_are_idents() {
+        assert_eq!(
+            kinds(".core 1\nfence.rel"),
+            vec![
+                Tok::Ident(".core".into()),
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Ident("fence.rel".into()),
+                Tok::Newline,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn register_out_of_range_is_positioned() {
+        let err = lex("  li r32, 1").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 6));
+        assert_eq!(err.token, "r32");
+    }
+
+    #[test]
+    fn bad_character_is_positioned() {
+        let err = lex("li r1, 1\nld r2, @foo").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 8));
+    }
+}

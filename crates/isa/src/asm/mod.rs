@@ -1,0 +1,173 @@
+//! Text assembler frontend for the mini ISA.
+//!
+//! Workloads can be written as `.asm` files instead of Rust code against
+//! [`ProgramBuilder`](crate::ProgramBuilder). A source file describes one
+//! *multi-core* workload: directives set shared parameters and initial
+//! memory, a prologue (everything before the first `.core`) is replicated
+//! into every core's program, and `.core n` sections hold per-core code.
+//!
+//! # Grammar sketch
+//!
+//! ```text
+//! file      := line*
+//! line      := directive | label? instr? comment?
+//! directive := ".name" IDENT
+//!            | ".cores" expr            ; core count (SPMD replication)
+//!            | ".core" INT              ; start per-core section
+//!            | ".param" IDENT ("=" expr)?   ; overridable constant
+//!            | ".const" IDENT "=" expr      ; fixed constant
+//!            | ".init" expr "," expr        ; initial memory word
+//!            | ".reg" REG "=" expr          ; register-passed parameter (li)
+//! label     := IDENT ":"
+//! instr     := "add" REG "," REG "," REG      (also sub/mul/and/or/xor/shl/shr/sltu/slt)
+//!            | "addi" REG "," REG "," expr    (immediate forms, `i` suffix)
+//!            | "li" REG "," expr
+//!            | "ld" REG "," expr? "(" REG ")"
+//!            | "st" REG "," expr? "(" REG ")"
+//!            | "cas" REG "," "(" REG ")" "," REG "," REG
+//!            | "fadd" REG "," "(" REG ")" "," REG
+//!            | "swap" REG "," "(" REG ")" "," REG
+//!            | "beq" REG "," REG "," IDENT    (also bne/blt/bge/bltu/bgeu)
+//!            | "j" IDENT
+//!            | "fence" | "fence.acq" | "fence.rel" | "fence.full"
+//!            | "nop" | "halt"
+//! expr      := constant arithmetic over INT, names, `+ - *`, parens
+//! ```
+//!
+//! Expressions may reference `.param`/`.const` names plus the per-core
+//! builtins `TID` (this core's index) and `NCORES`. Comments are `;`, `#`
+//! or `//` to end of line.
+//!
+//! ```
+//! use rr_isa::asm;
+//!
+//! let out = asm::assemble(
+//!     ".name counter
+//!      .cores 2
+//!      .const CTR = 0x100
+//!      .init CTR, 0
+//!      .reg r2 = CTR
+//!      .reg r3 = 1
+//!      fadd r1, (r2), r3
+//!      halt",
+//! )
+//! .expect("assembles");
+//! assert_eq!(out.programs.len(), 2);
+//! assert_eq!(out.name.as_deref(), Some("counter"));
+//! ```
+
+use core::fmt;
+
+use crate::{MemImage, Program};
+
+mod lexer;
+mod parser;
+mod printer;
+
+pub use lexer::{lex, Tok, Token};
+
+/// An assembly diagnostic: what went wrong, and exactly where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line (0 when the error has no source position,
+    /// e.g. a bad parameter override).
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// The offending token's source text.
+    pub token: String,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl AsmError {
+    /// Creates a diagnostic at `line:col` blaming `token`.
+    pub fn new(line: u32, col: u32, token: impl Into<String>, msg: impl Into<String>) -> Self {
+        AsmError {
+            line,
+            col,
+            token: token.into(),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "asm: {}", self.msg)
+        } else {
+            write!(
+                f,
+                "asm: line {}, column {}: {}",
+                self.line, self.col, self.msg
+            )
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Caller-side knobs for [`assemble_with`].
+#[derive(Clone, Debug, Default)]
+pub struct AsmOptions {
+    /// Overrides for `.param` values, by name. Later entries win.
+    /// Every entry must name a declared `.param`.
+    pub params: Vec<(String, i64)>,
+}
+
+impl AsmOptions {
+    /// Empty options (all parameters take their defaults).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a parameter override.
+    #[must_use]
+    pub fn param(mut self, name: &str, value: i64) -> Self {
+        self.params.push((name.to_string(), value));
+        self
+    }
+}
+
+/// The result of assembling a source file: one [`Program`] per core plus
+/// the initial shared-memory image from `.init` directives.
+#[derive(Clone, Debug)]
+pub struct Assembled {
+    /// The `.name` directive's value, if present.
+    pub name: Option<String>,
+    /// One program per core, indexed by core id.
+    pub programs: Vec<Program>,
+    /// Initial memory from `.init` directives.
+    pub initial_mem: MemImage,
+}
+
+/// Assembles `src` with default options.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the line, column and offending token on
+/// any lexical, syntactic or semantic problem.
+pub fn assemble(src: &str) -> Result<Assembled, AsmError> {
+    parser::assemble_impl(src, &AsmOptions::default())
+}
+
+/// Assembles `src` with parameter overrides.
+///
+/// # Errors
+///
+/// As [`assemble`]; additionally rejects overrides that do not name a
+/// declared `.param`.
+pub fn assemble_with(src: &str, opts: &AsmOptions) -> Result<Assembled, AsmError> {
+    parser::assemble_impl(src, opts)
+}
+
+/// Renders per-core programs back to parseable assembly text.
+///
+/// The output round-trips: `assemble(&disassemble(p))` yields programs
+/// equal to `p`. Branch targets become synthesized `L<pc>` labels.
+#[must_use]
+pub fn disassemble(programs: &[Program]) -> String {
+    printer::disassemble_impl(programs)
+}

@@ -1,0 +1,853 @@
+//! Parser and two-pass assembler for the `.asm` frontend.
+//!
+//! Parsing produces a directive-annotated item list; assembly then runs
+//! once per core (prologue items are shared, `.core n` sections are
+//! per-core), so expressions can reference the per-core builtins `TID`
+//! and `NCORES` and every core gets its own label namespace.
+
+use std::collections::HashMap;
+
+use crate::{AluOp, AtomicOp, BranchCond, FenceKind, Instr, MemImage, ProgramBuilder, Reg};
+
+use super::lexer::{lex, Tok, Token};
+use super::{AsmError, AsmOptions, Assembled};
+
+/// Mnemonic table for the three-register ALU forms; immediate forms are
+/// the same names with an `i` suffix. Shared with the disassembler so the
+/// two stay in sync by construction.
+pub(super) const ALU_NAMES: [(&str, AluOp); 10] = [
+    ("add", AluOp::Add),
+    ("sub", AluOp::Sub),
+    ("mul", AluOp::Mul),
+    ("and", AluOp::And),
+    ("or", AluOp::Or),
+    ("xor", AluOp::Xor),
+    ("shl", AluOp::Shl),
+    ("shr", AluOp::Shr),
+    ("sltu", AluOp::Sltu),
+    ("slt", AluOp::Slt),
+];
+
+/// Branch-condition mnemonics. Shared with the disassembler.
+pub(super) const BRANCH_NAMES: [(&str, BranchCond); 6] = [
+    ("beq", BranchCond::Eq),
+    ("bne", BranchCond::Ne),
+    ("blt", BranchCond::Lt),
+    ("bge", BranchCond::Ge),
+    ("bltu", BranchCond::Ltu),
+    ("bgeu", BranchCond::Geu),
+];
+
+/// A constant expression, evaluated per core (so `TID` works).
+#[derive(Clone, Debug)]
+enum Expr {
+    Int(i64),
+    Name { name: String, line: u32, col: u32 },
+    Neg(Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, env: &HashMap<String, i64>) -> Result<i64, AsmError> {
+        match self {
+            Expr::Int(v) => Ok(*v),
+            Expr::Name { name, line, col } => env.get(name).copied().ok_or_else(|| {
+                AsmError::new(*line, *col, name, format!("undefined name `{name}`"))
+            }),
+            Expr::Neg(e) => Ok(e.eval(env)?.wrapping_neg()),
+            Expr::Add(a, b) => Ok(a.eval(env)?.wrapping_add(b.eval(env)?)),
+            Expr::Sub(a, b) => Ok(a.eval(env)?.wrapping_sub(b.eval(env)?)),
+            Expr::Mul(a, b) => Ok(a.eval(env)?.wrapping_mul(b.eval(env)?)),
+        }
+    }
+}
+
+/// An unresolved instruction: registers are final, immediates are
+/// expressions, branch targets are label names.
+#[derive(Clone, Debug)]
+enum InstrAst {
+    Op {
+        op: AluOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    OpImm {
+        op: AluOp,
+        dst: Reg,
+        a: Reg,
+        imm: Expr,
+    },
+    LoadImm {
+        dst: Reg,
+        imm: Expr,
+    },
+    Load {
+        dst: Reg,
+        base: Reg,
+        offset: Expr,
+    },
+    Store {
+        src: Reg,
+        base: Reg,
+        offset: Expr,
+    },
+    Atomic {
+        op: AtomicOp,
+        dst: Reg,
+        addr: Reg,
+        expected: Reg,
+        operand: Reg,
+    },
+    Branch {
+        cond: BranchCond,
+        a: Reg,
+        b: Reg,
+        target: LabelRef,
+    },
+    Jump {
+        target: LabelRef,
+    },
+    Fence(FenceKind),
+    Nop,
+    Halt,
+}
+
+#[derive(Clone, Debug)]
+struct LabelRef {
+    name: String,
+    line: u32,
+    col: u32,
+}
+
+/// Which cores an item belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Section {
+    /// Before the first `.core` directive: shared by every core.
+    Prologue,
+    /// Inside `.core n`.
+    Core(usize),
+}
+
+#[derive(Clone, Debug)]
+enum ItemKind {
+    Label { name: String },
+    Instr(InstrAst),
+    Init { addr: Expr, value: Expr },
+}
+
+#[derive(Clone, Debug)]
+struct Item {
+    section: Section,
+    line: u32,
+    col: u32,
+    kind: ItemKind,
+}
+
+#[derive(Clone, Debug)]
+enum DefKind {
+    Param,
+    Const,
+}
+
+#[derive(Clone, Debug)]
+struct Def {
+    kind: DefKind,
+    name: String,
+    value: Option<Expr>,
+    line: u32,
+    col: u32,
+}
+
+#[derive(Debug, Default)]
+struct Module {
+    name: Option<String>,
+    cores_expr: Option<(Expr, u32, u32)>,
+    defs: Vec<Def>,
+    items: Vec<Item>,
+    max_core: Option<usize>,
+}
+
+/// Names reserved for per-core builtins.
+const BUILTINS: [&str; 2] = ["TID", "NCORES"];
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    section: Section,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> AsmError {
+        let t = self.peek();
+        AsmError::new(t.line, t.col, &t.text, msg)
+    }
+
+    fn expect(&mut self, kind: &Tok, what: &str) -> Result<Token, AsmError> {
+        if std::mem::discriminant(&self.peek().kind) == std::mem::discriminant(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.err_here(format!("expected {what}, found {}", self.peek().describe())))
+        }
+    }
+
+    fn expect_reg(&mut self, what: &str) -> Result<Reg, AsmError> {
+        match self.peek().kind {
+            Tok::Reg(i) => {
+                self.bump();
+                Ok(Reg::new(i))
+            }
+            _ => Err(self.err_here(format!(
+                "expected {what} register, found {}",
+                self.peek().describe()
+            ))),
+        }
+    }
+
+    fn expect_comma(&mut self) -> Result<(), AsmError> {
+        self.expect(&Tok::Comma, "`,`").map(|_| ())
+    }
+
+    fn expect_end_of_line(&mut self) -> Result<(), AsmError> {
+        match self.peek().kind {
+            Tok::Newline | Tok::Eof => {
+                self.bump();
+                Ok(())
+            }
+            _ => Err(self.err_here(format!(
+                "expected end of line, found {}",
+                self.peek().describe()
+            ))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Token), AsmError> {
+        match &self.peek().kind {
+            Tok::Ident(name) if !name.starts_with('.') => {
+                let name = name.clone();
+                let tok = self.bump();
+                Ok((name, tok))
+            }
+            _ => Err(self.err_here(format!("expected {what}, found {}", self.peek().describe()))),
+        }
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn parse_expr(&mut self) -> Result<Expr, AsmError> {
+        let mut e = self.parse_term()?;
+        loop {
+            match self.peek().kind {
+                Tok::Plus => {
+                    self.bump();
+                    e = Expr::Add(Box::new(e), Box::new(self.parse_term()?));
+                }
+                Tok::Minus => {
+                    self.bump();
+                    e = Expr::Sub(Box::new(e), Box::new(self.parse_term()?));
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    // term := factor ('*' factor)*
+    fn parse_term(&mut self) -> Result<Expr, AsmError> {
+        let mut e = self.parse_factor()?;
+        while self.peek().kind == Tok::Star {
+            self.bump();
+            e = Expr::Mul(Box::new(e), Box::new(self.parse_factor()?));
+        }
+        Ok(e)
+    }
+
+    // factor := INT | NAME | '-' factor | '(' expr ')'
+    fn parse_factor(&mut self) -> Result<Expr, AsmError> {
+        match &self.peek().kind {
+            Tok::Int(v) => {
+                let v = *v;
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.parse_factor()?)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) if !name.starts_with('.') => {
+                let t = self.bump();
+                Ok(Expr::Name {
+                    name: match t.kind {
+                        Tok::Ident(n) => n,
+                        _ => unreachable!(),
+                    },
+                    line: t.line,
+                    col: t.col,
+                })
+            }
+            Tok::Reg(_) => Err(self.err_here(format!(
+                "expected an immediate expression, found register {}",
+                self.peek().describe()
+            ))),
+            _ => Err(self.err_here(format!(
+                "expected an immediate expression, found {}",
+                self.peek().describe()
+            ))),
+        }
+    }
+
+    fn parse_directive(&mut self, module: &mut Module) -> Result<(), AsmError> {
+        let tok = self.bump();
+        let name = match &tok.kind {
+            Tok::Ident(n) => n.clone(),
+            _ => unreachable!("caller checked"),
+        };
+        match name.as_str() {
+            ".name" => {
+                let (n, _) = self.expect_ident("a workload name")?;
+                module.name = Some(n);
+            }
+            ".cores" => {
+                let e = self.parse_expr()?;
+                module.cores_expr = Some((e, tok.line, tok.col));
+            }
+            ".core" => {
+                let e = self.parse_expr()?;
+                // A core index must be a plain constant over already-known
+                // names; evaluate at end (needs params). Store as marker by
+                // evaluating eagerly with an empty env only if literal;
+                // otherwise defer. Keep it simple: require a literal index.
+                let idx = match e {
+                    Expr::Int(v) if v >= 0 => v as usize,
+                    _ => {
+                        return Err(AsmError::new(
+                            tok.line,
+                            tok.col,
+                            &tok.text,
+                            "`.core` takes a literal, non-negative core index",
+                        ));
+                    }
+                };
+                self.section = Section::Core(idx);
+                module.max_core = Some(module.max_core.map_or(idx, |m| m.max(idx)));
+            }
+            ".param" | ".const" => {
+                let (def_name, name_tok) = self.expect_ident("a name")?;
+                if BUILTINS.contains(&def_name.as_str()) {
+                    return Err(AsmError::new(
+                        name_tok.line,
+                        name_tok.col,
+                        &def_name,
+                        format!("`{def_name}` is a reserved builtin"),
+                    ));
+                }
+                let value = if self.peek().kind == Tok::Eq {
+                    self.bump();
+                    Some(self.parse_expr()?)
+                } else if name == ".const" {
+                    return Err(self.err_here("`.const` needs `= <expr>`"));
+                } else {
+                    None
+                };
+                module.defs.push(Def {
+                    kind: if name == ".param" {
+                        DefKind::Param
+                    } else {
+                        DefKind::Const
+                    },
+                    name: def_name,
+                    value,
+                    line: name_tok.line,
+                    col: name_tok.col,
+                });
+            }
+            ".init" => {
+                let addr = self.parse_expr()?;
+                self.expect_comma()?;
+                let value = self.parse_expr()?;
+                module.items.push(Item {
+                    section: self.section,
+                    line: tok.line,
+                    col: tok.col,
+                    kind: ItemKind::Init { addr, value },
+                });
+            }
+            ".reg" => {
+                // `.reg rN = expr` — register-passed parameter, lowered to
+                // a `li` at this point in the program.
+                let dst = self.expect_reg("a destination")?;
+                self.expect(&Tok::Eq, "`=`")?;
+                let imm = self.parse_expr()?;
+                module.items.push(Item {
+                    section: self.section,
+                    line: tok.line,
+                    col: tok.col,
+                    kind: ItemKind::Instr(InstrAst::LoadImm { dst, imm }),
+                });
+            }
+            other => {
+                return Err(AsmError::new(
+                    tok.line,
+                    tok.col,
+                    other,
+                    format!("unknown directive `{other}`"),
+                ));
+            }
+        }
+        self.expect_end_of_line()
+    }
+
+    fn parse_mem_operand(&mut self) -> Result<(Expr, Reg), AsmError> {
+        // `<expr>(rB)` with the offset optional: `(rB)` means offset 0.
+        let offset = if self.peek().kind == Tok::LParen
+            && matches!(self.peek2().map(|t| &t.kind), Some(Tok::Reg(_)))
+        {
+            Expr::Int(0)
+        } else {
+            self.parse_expr()?
+        };
+        self.expect(&Tok::LParen, "`(`")?;
+        let base = self.expect_reg("a base-address")?;
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok((offset, base))
+    }
+
+    fn parse_atomic_addr(&mut self) -> Result<Reg, AsmError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let addr = self.expect_reg("an address")?;
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(addr)
+    }
+
+    fn parse_label_ref(&mut self) -> Result<LabelRef, AsmError> {
+        let (name, tok) = self.expect_ident("a label name")?;
+        Ok(LabelRef {
+            name,
+            line: tok.line,
+            col: tok.col,
+        })
+    }
+
+    fn parse_instr(&mut self, mnemonic: &str, tok: &Token) -> Result<InstrAst, AsmError> {
+        if let Some(&(_, op)) = ALU_NAMES.iter().find(|(n, _)| *n == mnemonic) {
+            let dst = self.expect_reg("a destination")?;
+            self.expect_comma()?;
+            let a = self.expect_reg("a source")?;
+            self.expect_comma()?;
+            let b = self.expect_reg("a source")?;
+            return Ok(InstrAst::Op { op, dst, a, b });
+        }
+        if let Some(&(_, op)) = ALU_NAMES
+            .iter()
+            .find(|(n, _)| mnemonic.strip_suffix('i') == Some(n))
+        {
+            let dst = self.expect_reg("a destination")?;
+            self.expect_comma()?;
+            let a = self.expect_reg("a source")?;
+            self.expect_comma()?;
+            let imm = self.parse_expr()?;
+            return Ok(InstrAst::OpImm { op, dst, a, imm });
+        }
+        if let Some(&(_, cond)) = BRANCH_NAMES.iter().find(|(n, _)| *n == mnemonic) {
+            let a = self.expect_reg("a comparison")?;
+            self.expect_comma()?;
+            let b = self.expect_reg("a comparison")?;
+            self.expect_comma()?;
+            let target = self.parse_label_ref()?;
+            return Ok(InstrAst::Branch { cond, a, b, target });
+        }
+        match mnemonic {
+            "li" => {
+                let dst = self.expect_reg("a destination")?;
+                self.expect_comma()?;
+                let imm = self.parse_expr()?;
+                Ok(InstrAst::LoadImm { dst, imm })
+            }
+            "ld" => {
+                let dst = self.expect_reg("a destination")?;
+                self.expect_comma()?;
+                let (offset, base) = self.parse_mem_operand()?;
+                Ok(InstrAst::Load { dst, base, offset })
+            }
+            "st" => {
+                let src = self.expect_reg("a source")?;
+                self.expect_comma()?;
+                let (offset, base) = self.parse_mem_operand()?;
+                Ok(InstrAst::Store { src, base, offset })
+            }
+            "cas" => {
+                let dst = self.expect_reg("a destination")?;
+                self.expect_comma()?;
+                let addr = self.parse_atomic_addr()?;
+                self.expect_comma()?;
+                let expected = self.expect_reg("an expected-value")?;
+                self.expect_comma()?;
+                let operand = self.expect_reg("a desired-value")?;
+                Ok(InstrAst::Atomic {
+                    op: AtomicOp::Cas,
+                    dst,
+                    addr,
+                    expected,
+                    operand,
+                })
+            }
+            "fadd" | "swap" => {
+                let op = if mnemonic == "fadd" {
+                    AtomicOp::FetchAdd
+                } else {
+                    AtomicOp::Swap
+                };
+                let dst = self.expect_reg("a destination")?;
+                self.expect_comma()?;
+                let addr = self.parse_atomic_addr()?;
+                self.expect_comma()?;
+                let operand = self.expect_reg("an operand")?;
+                Ok(InstrAst::Atomic {
+                    op,
+                    dst,
+                    addr,
+                    expected: Reg::ZERO,
+                    operand,
+                })
+            }
+            "j" => Ok(InstrAst::Jump {
+                target: self.parse_label_ref()?,
+            }),
+            "fence" | "fence.full" => Ok(InstrAst::Fence(FenceKind::Full)),
+            "fence.acq" | "fence.acquire" => Ok(InstrAst::Fence(FenceKind::Acquire)),
+            "fence.rel" | "fence.release" => Ok(InstrAst::Fence(FenceKind::Release)),
+            "nop" => Ok(InstrAst::Nop),
+            "halt" => Ok(InstrAst::Halt),
+            other => Err(AsmError::new(
+                tok.line,
+                tok.col,
+                other,
+                format!("unknown instruction mnemonic `{other}`"),
+            )),
+        }
+    }
+
+    fn parse_module(&mut self) -> Result<Module, AsmError> {
+        let mut module = Module::default();
+        loop {
+            match &self.peek().kind {
+                Tok::Eof => break,
+                Tok::Newline => {
+                    self.bump();
+                }
+                Tok::Ident(name) if name.starts_with('.') => {
+                    self.parse_directive(&mut module)?;
+                }
+                Tok::Ident(_) => {
+                    // `name:` is a label; anything else is an instruction.
+                    if matches!(self.peek2().map(|t| &t.kind), Some(Tok::Colon)) {
+                        let (name, tok) = self.expect_ident("a label")?;
+                        self.bump(); // the colon
+                        module.items.push(Item {
+                            section: self.section,
+                            line: tok.line,
+                            col: tok.col,
+                            kind: ItemKind::Label { name },
+                        });
+                        // A label may share its line with an instruction.
+                        if matches!(self.peek().kind, Tok::Newline | Tok::Eof) {
+                            self.bump();
+                        }
+                    } else {
+                        let tok = self.peek().clone();
+                        let (mnemonic, _) = self.expect_ident("an instruction")?;
+                        let instr = self.parse_instr(&mnemonic, &tok)?;
+                        module.items.push(Item {
+                            section: self.section,
+                            line: tok.line,
+                            col: tok.col,
+                            kind: ItemKind::Instr(instr),
+                        });
+                        self.expect_end_of_line()?;
+                    }
+                }
+                _ => {
+                    return Err(self.err_here(format!(
+                        "expected an instruction, label or directive, found {}",
+                        self.peek().describe()
+                    )));
+                }
+            }
+        }
+        Ok(module)
+    }
+}
+
+/// Resolves `.param`/`.const` definitions (with CLI/caller overrides) into
+/// the global name environment.
+fn resolve_defs(module: &Module, opts: &AsmOptions) -> Result<HashMap<String, i64>, AsmError> {
+    let mut env: HashMap<String, i64> = HashMap::new();
+    let mut is_param: HashMap<&str, bool> = HashMap::new();
+    for def in &module.defs {
+        if env.contains_key(&def.name) {
+            return Err(AsmError::new(
+                def.line,
+                def.col,
+                &def.name,
+                format!("`{}` is defined more than once", def.name),
+            ));
+        }
+        let overridden = match def.kind {
+            DefKind::Param => opts
+                .params
+                .iter()
+                .rev()
+                .find(|(k, _)| *k == def.name)
+                .map(|&(_, v)| v),
+            DefKind::Const => None,
+        };
+        let value = match (overridden, &def.value) {
+            (Some(v), _) => v,
+            (None, Some(e)) => e.eval(&env)?,
+            (None, None) => {
+                return Err(AsmError::new(
+                    def.line,
+                    def.col,
+                    &def.name,
+                    format!(
+                        "parameter `{}` has no default and no override was supplied",
+                        def.name
+                    ),
+                ));
+            }
+        };
+        is_param.insert(&def.name, matches!(def.kind, DefKind::Param));
+        env.insert(def.name.clone(), value);
+    }
+    // Overrides must name declared parameters — a typo here would
+    // otherwise silently change nothing.
+    for (k, _) in &opts.params {
+        match is_param.get(k.as_str()) {
+            Some(true) => {}
+            Some(false) => {
+                return Err(AsmError::new(
+                    0,
+                    0,
+                    k,
+                    format!("`{k}` is a constant, not an overridable parameter"),
+                ));
+            }
+            None => {
+                return Err(AsmError::new(
+                    0,
+                    0,
+                    k,
+                    format!("override for undeclared parameter `{k}`"),
+                ));
+            }
+        }
+    }
+    Ok(env)
+}
+
+fn lower(
+    instr: &InstrAst,
+    env: &HashMap<String, i64>,
+    labels: &HashMap<&str, u32>,
+) -> Result<Instr, AsmError> {
+    let target = |r: &LabelRef| -> Result<u32, AsmError> {
+        labels.get(r.name.as_str()).copied().ok_or_else(|| {
+            AsmError::new(
+                r.line,
+                r.col,
+                &r.name,
+                format!("unknown label `{}`", r.name),
+            )
+        })
+    };
+    Ok(match instr {
+        InstrAst::Op { op, dst, a, b } => Instr::Op {
+            op: *op,
+            dst: *dst,
+            a: *a,
+            b: *b,
+        },
+        InstrAst::OpImm { op, dst, a, imm } => Instr::OpImm {
+            op: *op,
+            dst: *dst,
+            a: *a,
+            imm: imm.eval(env)?,
+        },
+        InstrAst::LoadImm { dst, imm } => Instr::LoadImm {
+            dst: *dst,
+            imm: imm.eval(env)?,
+        },
+        InstrAst::Load { dst, base, offset } => Instr::Load {
+            dst: *dst,
+            base: *base,
+            offset: offset.eval(env)?,
+        },
+        InstrAst::Store { src, base, offset } => Instr::Store {
+            src: *src,
+            base: *base,
+            offset: offset.eval(env)?,
+        },
+        InstrAst::Atomic {
+            op,
+            dst,
+            addr,
+            expected,
+            operand,
+        } => Instr::Atomic {
+            op: *op,
+            dst: *dst,
+            addr: *addr,
+            expected: *expected,
+            operand: *operand,
+        },
+        InstrAst::Branch {
+            cond,
+            a,
+            b,
+            target: t,
+        } => Instr::Branch {
+            cond: *cond,
+            a: *a,
+            b: *b,
+            target: target(t)?,
+        },
+        InstrAst::Jump { target: t } => Instr::Jump { target: target(t)? },
+        InstrAst::Fence(kind) => Instr::Fence(*kind),
+        InstrAst::Nop => Instr::Nop,
+        InstrAst::Halt => Instr::Halt,
+    })
+}
+
+/// Parses and assembles `src` under `opts`.
+pub(super) fn assemble_impl(src: &str, opts: &AsmOptions) -> Result<Assembled, AsmError> {
+    let toks = lex(src)?;
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        section: Section::Prologue,
+    };
+    let module = parser.parse_module()?;
+    let env = resolve_defs(&module, opts)?;
+
+    // Core count: `.cores` wins (and must cover every `.core` section);
+    // otherwise the highest section index + 1; otherwise 1.
+    let ncores = match &module.cores_expr {
+        Some((e, line, col)) => {
+            let n = e.eval(&env)?;
+            if n < 1 {
+                return Err(AsmError::new(
+                    *line,
+                    *col,
+                    ".cores",
+                    format!("`.cores` must be at least 1, got {n}"),
+                ));
+            }
+            let n = n as usize;
+            if let Some(max) = module.max_core {
+                if max >= n {
+                    return Err(AsmError::new(
+                        *line,
+                        *col,
+                        ".cores",
+                        format!("`.core {max}` section exceeds `.cores {n}`"),
+                    ));
+                }
+            }
+            n
+        }
+        None => module.max_core.map_or(1, |m| m + 1),
+    };
+
+    // Initial memory: prologue `.init`s see no TID; section `.init`s do.
+    let mut initial_mem = MemImage::new();
+    for item in &module.items {
+        if let ItemKind::Init { addr, value } = &item.kind {
+            let mut env = env.clone();
+            env.insert("NCORES".to_string(), ncores as i64);
+            if let Section::Core(c) = item.section {
+                env.insert("TID".to_string(), c as i64);
+            }
+            let addr = addr.eval(&env)?;
+            if addr < 0 || !(addr as u64).is_multiple_of(crate::WORD_BYTES) {
+                return Err(AsmError::new(
+                    item.line,
+                    item.col,
+                    ".init",
+                    format!("`.init` address {addr:#x} is not 8-byte aligned"),
+                ));
+            }
+            initial_mem.store(addr as u64, value.eval(&env)? as u64);
+        }
+    }
+
+    // Per-core assembly: prologue + this core's sections, two passes
+    // (label placement, then lowering).
+    let mut programs = Vec::with_capacity(ncores);
+    for core in 0..ncores {
+        let in_core = |s: Section| s == Section::Prologue || s == Section::Core(core);
+        let mut env = env.clone();
+        env.insert("TID".to_string(), core as i64);
+        env.insert("NCORES".to_string(), ncores as i64);
+
+        let mut labels: HashMap<&str, u32> = HashMap::new();
+        let mut pc: u32 = 0;
+        for item in &module.items {
+            if !in_core(item.section) {
+                continue;
+            }
+            match &item.kind {
+                ItemKind::Label { name } => {
+                    if labels.insert(name, pc).is_some() {
+                        return Err(AsmError::new(
+                            item.line,
+                            item.col,
+                            name,
+                            format!("label `{name}` is defined more than once (core {core})"),
+                        ));
+                    }
+                }
+                ItemKind::Instr(_) => pc += 1,
+                ItemKind::Init { .. } => {}
+            }
+        }
+
+        let mut b = ProgramBuilder::new();
+        for item in &module.items {
+            if !in_core(item.section) {
+                continue;
+            }
+            if let ItemKind::Instr(ast) = &item.kind {
+                b.emit(lower(ast, &env, &labels)?);
+            }
+        }
+        programs.push(b.build());
+    }
+
+    Ok(Assembled {
+        name: module.name,
+        programs,
+        initial_mem,
+    })
+}

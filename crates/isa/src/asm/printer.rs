@@ -1,0 +1,111 @@
+//! Disassembler: renders [`Program`]s back to parseable assembly text.
+//!
+//! The printer and parser share mnemonic tables, so
+//! `assemble(&disassemble(p))` reproduces `p` exactly (labels are
+//! synthesized as `L<pc>` at every branch/jump target).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::{AtomicOp, FenceKind, Instr, Program};
+
+use super::parser::{ALU_NAMES, BRANCH_NAMES};
+
+fn alu_name(op: crate::AluOp) -> &'static str {
+    ALU_NAMES
+        .iter()
+        .find(|(_, o)| *o == op)
+        .map(|(n, _)| *n)
+        .expect("every AluOp has a mnemonic")
+}
+
+fn branch_name(cond: crate::BranchCond) -> &'static str {
+    BRANCH_NAMES
+        .iter()
+        .find(|(_, c)| *c == cond)
+        .map(|(n, _)| *n)
+        .expect("every BranchCond has a mnemonic")
+}
+
+fn print_program(out: &mut String, p: &Program) {
+    // Collect branch/jump targets so we can drop labels there.
+    let targets: BTreeSet<u32> = p
+        .instrs()
+        .iter()
+        .filter_map(|i| match i {
+            Instr::Branch { target, .. } | Instr::Jump { target } => Some(*target),
+            _ => None,
+        })
+        .collect();
+    let label = |pc: u32| format!("L{pc}");
+
+    for (pc, instr) in p.instrs().iter().enumerate() {
+        let pc = pc as u32;
+        if targets.contains(&pc) {
+            let _ = writeln!(out, "{}:", label(pc));
+        }
+        let _ = match instr {
+            Instr::Op { op, dst, a, b } => {
+                writeln!(out, "    {} {dst}, {a}, {b}", alu_name(*op))
+            }
+            Instr::OpImm { op, dst, a, imm } => {
+                writeln!(out, "    {}i {dst}, {a}, {imm}", alu_name(*op))
+            }
+            Instr::LoadImm { dst, imm } => writeln!(out, "    li {dst}, {imm}"),
+            Instr::Load { dst, base, offset } => {
+                writeln!(out, "    ld {dst}, {offset}({base})")
+            }
+            Instr::Store { src, base, offset } => {
+                writeln!(out, "    st {src}, {offset}({base})")
+            }
+            Instr::Atomic {
+                op,
+                dst,
+                addr,
+                expected,
+                operand,
+            } => match op {
+                AtomicOp::Cas => {
+                    writeln!(out, "    cas {dst}, ({addr}), {expected}, {operand}")
+                }
+                AtomicOp::FetchAdd => writeln!(out, "    fadd {dst}, ({addr}), {operand}"),
+                AtomicOp::Swap => writeln!(out, "    swap {dst}, ({addr}), {operand}"),
+            },
+            Instr::Branch { cond, a, b, target } => writeln!(
+                out,
+                "    {} {a}, {b}, {}",
+                branch_name(*cond),
+                label(*target)
+            ),
+            Instr::Jump { target } => writeln!(out, "    j {}", label(*target)),
+            Instr::Fence(kind) => writeln!(
+                out,
+                "    {}",
+                match kind {
+                    FenceKind::Acquire => "fence.acq",
+                    FenceKind::Release => "fence.rel",
+                    FenceKind::Full => "fence.full",
+                }
+            ),
+            Instr::Nop => writeln!(out, "    nop"),
+            Instr::Halt => writeln!(out, "    halt"),
+        };
+    }
+    // A trailing label (branch to just past the end) still needs a home.
+    let end = p.len() as u32;
+    if targets.contains(&end) {
+        let _ = writeln!(out, "{}:", label(end));
+    }
+}
+
+pub(super) fn disassemble_impl(programs: &[Program]) -> String {
+    let mut out = String::new();
+    for (core, p) in programs.iter().enumerate() {
+        if core > 0 {
+            out.push('\n');
+        }
+        let _ = writeln!(out, ".core {core}");
+        print_program(&mut out, p);
+    }
+    out
+}

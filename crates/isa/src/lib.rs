@@ -9,6 +9,9 @@
 //!   atomic read-modify-writes, conditional branches, fences),
 //! * [`ProgramBuilder`] — an assembler-like builder with labels for writing
 //!   workloads programmatically,
+//! * [`asm`] — a text assembler (`.asm` source with labels, per-core
+//!   sections, fences and parameters → per-core [`Program`]s plus an
+//!   initial [`MemImage`]), and a matching disassembler,
 //! * [`MemImage`] — a sparse, word-granular shared-memory image,
 //! * [`Interp`] — a sequential interpreter used both as the functional
 //!   reference during recording and as the "native hardware" during replay
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod asm;
 mod instr;
 mod interp;
 mod mem_image;

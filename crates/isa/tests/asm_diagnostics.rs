@@ -1,0 +1,182 @@
+//! Golden tests for assembler diagnostics: every error names the 1-based
+//! line and column and the offending token, so a workload author can go
+//! straight to the problem.
+
+use rr_isa::asm::{self, AsmOptions};
+
+/// Asserts that `src` fails to assemble, blaming exactly `(line, col)` and
+/// `token`, with a message containing `msg_part`.
+#[track_caller]
+fn assert_diag(src: &str, line: u32, col: u32, token: &str, msg_part: &str) {
+    let err = asm::assemble(src).expect_err("source should not assemble");
+    assert_eq!(
+        (err.line, err.col),
+        (line, col),
+        "wrong position; full error: {err}"
+    );
+    assert_eq!(err.token, token, "wrong token; full error: {err}");
+    assert!(
+        err.msg.contains(msg_part),
+        "message {:?} does not contain {msg_part:?}",
+        err.msg
+    );
+}
+
+#[test]
+fn register_out_of_range() {
+    assert_diag("li r32, 1", 1, 4, "r32", "out of range");
+}
+
+#[test]
+fn unexpected_character() {
+    assert_diag("li r1, 1\nld r2, @foo", 2, 8, "@", "unexpected character");
+}
+
+#[test]
+fn malformed_integer_literal() {
+    assert_diag("li r1, 0xzz", 1, 8, "0xzz", "malformed integer literal");
+}
+
+#[test]
+fn unknown_mnemonic() {
+    assert_diag(
+        "  frobnicate r1",
+        1,
+        3,
+        "frobnicate",
+        "unknown instruction mnemonic",
+    );
+}
+
+#[test]
+fn unknown_directive() {
+    assert_diag(".bogus 3", 1, 1, ".bogus", "unknown directive");
+}
+
+#[test]
+fn missing_comma_names_the_found_token() {
+    let err = asm::assemble("add r1 r2, r3").expect_err("missing comma");
+    assert_eq!((err.line, err.col), (1, 8));
+    assert_eq!(err.token, "r2");
+    assert!(err.msg.contains("expected `,`"), "got: {}", err.msg);
+    assert!(err.msg.contains("`r2`"), "got: {}", err.msg);
+}
+
+#[test]
+fn register_where_immediate_expected() {
+    assert_diag("li r1, r2", 1, 8, "r2", "expected an immediate expression");
+}
+
+#[test]
+fn trailing_garbage_after_instruction() {
+    assert_diag("nop nop", 1, 5, "nop", "expected end of line");
+}
+
+#[test]
+fn unknown_label_in_branch() {
+    assert_diag(
+        "beq r1, r2, missing",
+        1,
+        13,
+        "missing",
+        "unknown label `missing`",
+    );
+}
+
+#[test]
+fn duplicate_label_in_one_core() {
+    assert_diag("x:\nnop\nx:\nnop", 3, 1, "x", "defined more than once");
+}
+
+#[test]
+fn same_label_in_different_cores_is_fine() {
+    asm::assemble(".core 0\nx:\nj x\n.core 1\nx:\nj x").expect("per-core label namespaces");
+}
+
+#[test]
+fn undefined_name_in_expression() {
+    assert_diag("li r1, UNDEFINED + 2", 1, 8, "UNDEFINED", "undefined name");
+}
+
+#[test]
+fn reserved_builtin_cannot_be_redefined() {
+    assert_diag(".const TID = 3", 1, 8, "TID", "reserved builtin");
+}
+
+#[test]
+fn duplicate_definition() {
+    assert_diag(
+        ".param N = 1\n.const N = 2",
+        2,
+        8,
+        "N",
+        "defined more than once",
+    );
+}
+
+#[test]
+fn const_requires_a_value() {
+    let err = asm::assemble(".const N").expect_err("const needs value");
+    assert_eq!(err.line, 1);
+    assert!(err.msg.contains("needs `= <expr>`"), "got: {}", err.msg);
+}
+
+#[test]
+fn param_without_default_or_override() {
+    let err = asm::assemble(".param N\nli r1, N").expect_err("param unset");
+    assert_eq!((err.line, err.col, err.token.as_str()), (1, 8, "N"));
+    assert!(err.msg.contains("no default"), "got: {}", err.msg);
+
+    // Supplying the override fixes it.
+    asm::assemble_with(".param N\nli r1, N", &asm::AsmOptions::new().param("N", 5))
+        .expect("override supplies the value");
+}
+
+#[test]
+fn override_of_const_is_rejected() {
+    let err = asm::assemble_with(".const N = 1", &AsmOptions::new().param("N", 2))
+        .expect_err("consts are not overridable");
+    assert!(
+        err.msg.contains("not an overridable parameter"),
+        "got: {}",
+        err.msg
+    );
+}
+
+#[test]
+fn cores_must_cover_core_sections() {
+    let err = asm::assemble(".cores 2\n.core 5\nnop").expect_err("section out of range");
+    assert!(
+        err.msg.contains("`.core 5` section exceeds `.cores 2`"),
+        "got: {}",
+        err.msg
+    );
+}
+
+#[test]
+fn core_index_must_be_a_literal() {
+    let err = asm::assemble(".param C = 1\n.core C\nnop").expect_err("non-literal core index");
+    assert_eq!(err.line, 2);
+    assert!(err.msg.contains("literal"), "got: {}", err.msg);
+}
+
+#[test]
+fn misaligned_init_address() {
+    let err = asm::assemble(".init 0x104 + 3, 1").expect_err("misaligned init");
+    assert_eq!(err.line, 1);
+    assert!(err.msg.contains("not 8-byte aligned"), "got: {}", err.msg);
+}
+
+#[test]
+fn display_formats_position_and_message() {
+    let err = asm::assemble("li r32, 1").unwrap_err();
+    let shown = err.to_string();
+    assert!(
+        shown.contains("line 1, column 4"),
+        "display should carry the position: {shown}"
+    );
+    assert!(
+        shown.contains("r32"),
+        "display should name the token: {shown}"
+    );
+}

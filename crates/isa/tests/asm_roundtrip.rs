@@ -1,0 +1,284 @@
+//! Property and example tests for the `.asm` frontend: the disassembler's
+//! output reassembles to the identical program (print→parse round-trip),
+//! and source-level features (prologue replication, `TID`, parameters,
+//! `.init`) mean what DESIGN.md §2.7 says they mean.
+
+use proptest::prelude::*;
+use rr_isa::asm::{self, AsmOptions};
+use rr_isa::{AluOp, AtomicOp, BranchCond, FenceKind, Instr, Program, ProgramBuilder, Reg};
+
+/// A flat, always-valid encoding of one instruction: `kind_op` packs the
+/// instruction kind (low byte) and sub-operation (high byte); the final
+/// branch targets are resolved after the program length is known.
+type RawInstr = (u16, u8, u8, u8, i16, u16);
+
+fn raw_instr() -> impl Strategy<Value = RawInstr> {
+    (
+        any::<u16>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<i16>(),
+        any::<u16>(),
+    )
+}
+
+fn reg(r: u8) -> Reg {
+    Reg::new(r % 32)
+}
+
+fn alu(op: u8) -> AluOp {
+    [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sltu,
+        AluOp::Slt,
+    ][op as usize % 10]
+}
+
+fn build_program(raw: &[RawInstr]) -> Program {
+    let len = raw.len() as u32;
+    let mut b = ProgramBuilder::new();
+    for &(kind_op, r1, r2, r3, imm, tgt) in raw {
+        let (kind, op) = ((kind_op & 0xff) as u8, (kind_op >> 8) as u8);
+        // Branch targets point anywhere in 0..=len (one past the end is
+        // legal: running off the end halts).
+        let target = u32::from(tgt) % (len + 1);
+        let instr = match kind % 12 {
+            0 => Instr::Op {
+                op: alu(op),
+                dst: reg(r1),
+                a: reg(r2),
+                b: reg(r3),
+            },
+            1 => Instr::OpImm {
+                op: alu(op),
+                dst: reg(r1),
+                a: reg(r2),
+                imm: i64::from(imm),
+            },
+            2 => Instr::LoadImm {
+                dst: reg(r1),
+                imm: i64::from(imm),
+            },
+            3 => Instr::Load {
+                dst: reg(r1),
+                base: reg(r2),
+                offset: i64::from(imm),
+            },
+            4 => Instr::Store {
+                src: reg(r1),
+                base: reg(r2),
+                offset: i64::from(imm),
+            },
+            5 => Instr::Atomic {
+                op: [AtomicOp::Cas, AtomicOp::FetchAdd, AtomicOp::Swap][op as usize % 3],
+                dst: reg(r1),
+                addr: reg(r2),
+                // Non-CAS atomics always carry expected == r0, as the
+                // builder (and the parser) construct them.
+                expected: if op % 3 == 0 { reg(r3) } else { Reg::ZERO },
+                operand: reg(r3.wrapping_add(1)),
+            },
+            6 => Instr::Branch {
+                cond: [
+                    BranchCond::Eq,
+                    BranchCond::Ne,
+                    BranchCond::Lt,
+                    BranchCond::Ge,
+                    BranchCond::Ltu,
+                    BranchCond::Geu,
+                ][op as usize % 6],
+                a: reg(r1),
+                b: reg(r2),
+                target,
+            },
+            7 => Instr::Jump { target },
+            8 => Instr::Fence(
+                [FenceKind::Acquire, FenceKind::Release, FenceKind::Full][op as usize % 3],
+            ),
+            9 => Instr::Nop,
+            10 => Instr::Halt,
+            _ => Instr::OpImm {
+                op: AluOp::Add,
+                dst: reg(r1),
+                a: reg(r1),
+                imm: 1,
+            },
+        };
+        b.emit(instr);
+    }
+    b.build()
+}
+
+proptest! {
+    /// print → parse reproduces the exact instruction sequence, for any
+    /// number of cores.
+    #[test]
+    fn disassemble_then_assemble_is_identity(
+        cores in proptest::collection::vec(
+            proptest::collection::vec(raw_instr(), 0..40),
+            1..4,
+        ),
+    ) {
+        let programs: Vec<Program> = cores.iter().map(|c| build_program(c)).collect();
+        let text = asm::disassemble(&programs);
+        let out = asm::assemble(&text).expect("disassembler output must reassemble");
+        prop_assert_eq!(&out.programs, &programs);
+
+        // And the printer is a fixed point: parse → print is stable.
+        let text2 = asm::disassemble(&out.programs);
+        prop_assert_eq!(text2, text);
+    }
+}
+
+#[test]
+fn prologue_is_replicated_and_tid_differs_per_core() {
+    let out = asm::assemble(
+        "
+        .cores 3
+        .reg r1 = TID
+        li r2, NCORES
+        ",
+    )
+    .expect("assembles");
+    assert_eq!(out.programs.len(), 3);
+    for (core, p) in out.programs.iter().enumerate() {
+        assert_eq!(
+            p.instrs(),
+            &[
+                Instr::LoadImm {
+                    dst: Reg::new(1),
+                    imm: core as i64
+                },
+                Instr::LoadImm {
+                    dst: Reg::new(2),
+                    imm: 3
+                },
+            ]
+        );
+    }
+}
+
+#[test]
+fn core_sections_get_their_own_code_and_labels() {
+    let out = asm::assemble(
+        "
+        .core 0
+        spin:
+        j spin
+        .core 1
+        li r1, 1
+        spin:
+        bne r1, r0, spin
+        ",
+    )
+    .expect("assembles");
+    assert_eq!(out.programs.len(), 2);
+    assert_eq!(out.programs[0].instrs(), &[Instr::Jump { target: 0 }]);
+    assert_eq!(
+        out.programs[1].instrs()[1],
+        Instr::Branch {
+            cond: BranchCond::Ne,
+            a: Reg::new(1),
+            b: Reg::ZERO,
+            target: 1
+        }
+    );
+}
+
+#[test]
+fn params_consts_and_init_shape_the_memory_image() {
+    let out = asm::assemble(
+        "
+        .cores 2
+        .param N = 4
+        .const BASE = 0x1000
+        .init BASE, N * 2
+        .core 0
+        .init BASE + 8 * (TID + 1), TID + 10
+        nop
+        .core 1
+        .init BASE + 8 * (TID + 1), TID + 10
+        nop
+        ",
+    )
+    .expect("assembles");
+    assert_eq!(out.initial_mem.load(0x1000), 8);
+    // The per-core `.init` in each section sees its own TID.
+    assert_eq!(out.initial_mem.load(0x1000 + 8), 10);
+    assert_eq!(out.initial_mem.load(0x1000 + 16), 11);
+}
+
+#[test]
+fn param_overrides_replace_defaults_and_are_checked() {
+    let src = "
+        .param N = 4
+        li r1, N
+    ";
+    let out = asm::assemble_with(src, &AsmOptions::new().param("N", 9)).expect("assembles");
+    assert_eq!(
+        out.programs[0].instrs()[0],
+        Instr::LoadImm {
+            dst: Reg::new(1),
+            imm: 9
+        }
+    );
+
+    let err = asm::assemble_with(src, &AsmOptions::new().param("M", 1)).unwrap_err();
+    assert!(err.msg.contains("undeclared parameter"), "got: {}", err.msg);
+}
+
+#[test]
+fn offsetless_memory_operand_means_offset_zero() {
+    let out = asm::assemble("ld r1, (r2)\nst r3, (r4)").expect("assembles");
+    assert_eq!(
+        out.programs[0].instrs(),
+        &[
+            Instr::Load {
+                dst: Reg::new(1),
+                base: Reg::new(2),
+                offset: 0
+            },
+            Instr::Store {
+                src: Reg::new(3),
+                base: Reg::new(4),
+                offset: 0
+            },
+        ]
+    );
+}
+
+#[test]
+fn named_workload_runs_on_the_interpreter() {
+    // End-to-end: assemble a small program, run it, check the result.
+    let out = asm::assemble(
+        "
+        .name sum
+        .const OUT = 0x100
+        .const N = 10
+        li r1, 0          ; i
+        li r2, 0          ; sum
+        li r3, N
+        loop:
+        add r2, r2, r1
+        addi r1, r1, 1
+        blt r1, r3, loop
+        li r4, OUT
+        st r2, (r4)
+        halt
+        ",
+    )
+    .expect("assembles");
+    assert_eq!(out.name.as_deref(), Some("sum"));
+    let mut mem = out.initial_mem.clone();
+    let mut interp = rr_isa::Interp::new(&out.programs[0]);
+    assert_eq!(interp.run(&mut mem, u64::MAX), rr_isa::StopReason::Halted);
+    assert_eq!(mem.load(0x100), 45);
+}

@@ -8,7 +8,7 @@ use rr_cpu::ConsistencyModel;
 use rr_isa::{MemImage, Program, ProgramBuilder, Reg};
 use rr_replay::CostModel;
 use rr_sim::{replay_and_verify, MachineConfig, RecordSession, RecorderSpec, RunResult};
-use rr_workloads::suite;
+use rr_workloads::{litmus_suite, suite};
 
 fn r(i: u8) -> Reg {
     Reg::new(i)
@@ -113,6 +113,106 @@ fn reordering_rates_order_as_sc_below_tso_below_rc() {
         "expected SC ≤ TSO < RC: {sc:.4} / {tso:.4} / {rc:.4}"
     );
     assert!(rc > 0.3, "RC should reorder heavily, got {rc:.4}");
+}
+
+/// The full litmus suite (SB, MP, LB, IRIW) under SC and TSO: every
+/// shape records and replays under all four recorder variants, and the
+/// `ReorderedLoad` / `ReorderedStore` logging obeys each model's
+/// contract.
+///
+/// "Reordered" here is the *recorder's* classification — the access
+/// performed in an earlier interval than it was counted in (PISN ≠
+/// CISN, §3.2) — not ISA-level program-order reordering. Two
+/// consequences the assertions pin down:
+///
+/// - Stores perform at commit under SC and TSO (the TSO store buffer
+///   drains in order), so neither model ever logs a `ReorderedStore`.
+/// - A conflict can close an interval *between* a load's perform and
+///   its count even when the load performed in program order, so
+///   communication-heavy shapes (MP's spin loop, IRIW's racing readers)
+///   log `ReorderedLoad`s even under SC. What separates the models is
+///   the buffering-only shapes: SB and LB log zero reordered accesses
+///   under SC, and a nonzero count under TSO, where loads bypass the
+///   store buffer.
+#[test]
+fn litmus_suite_reordered_logging_matches_each_model() {
+    let reordered = |model: ConsistencyModel, w: &rr_workloads::Workload| -> (u64, u64) {
+        let cfg = MachineConfig::splash_default(w.programs.len()).with_consistency(model);
+        let specs = RecorderSpec::paper_matrix();
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .specs(&specs)
+            .run()
+            .unwrap_or_else(|e| panic!("{} under {model:?}: {e}", w.name));
+        let per_variant: Vec<(u64, u64)> = result
+            .variants
+            .iter()
+            .map(|v| {
+                (
+                    v.stats.iter().map(|s| s.reordered_loads).sum(),
+                    v.stats.iter().map(|s| s.reordered_stores).sum(),
+                )
+            })
+            .collect();
+        // Base and Opt (at both interval sizes) classify identically —
+        // they differ in how a reordered access is *encoded*, never in
+        // whether it is reordered.
+        for (v, counts) in per_variant.iter().enumerate() {
+            assert_eq!(
+                *counts,
+                per_variant[0],
+                "{} {model:?}: variant {} disagrees on classification",
+                w.name,
+                specs[v].label()
+            );
+        }
+        for v in 0..specs.len() {
+            replay_and_verify(
+                &w.programs,
+                &w.initial_mem,
+                &result,
+                v,
+                &CostModel::splash_default(),
+            )
+            .unwrap_or_else(|e| panic!("{} {model:?} [{}]: {e}", w.name, specs[v].label()));
+        }
+        per_variant[0]
+    };
+
+    for w in litmus_suite() {
+        let (sc_loads, sc_stores) = reordered(ConsistencyModel::Sc, &w);
+        let (tso_loads, tso_stores) = reordered(ConsistencyModel::Tso, &w);
+
+        assert_eq!(sc_stores, 0, "{}: SC must log no ReorderedStore", w.name);
+        assert_eq!(tso_stores, 0, "{}: TSO must log no ReorderedStore", w.name);
+        assert!(
+            tso_loads >= sc_loads,
+            "{}: TSO cannot log fewer ReorderedLoads than SC ({tso_loads} < {sc_loads})",
+            w.name
+        );
+        match w.name {
+            // Pure store-buffering shapes: in-order SC keeps every load
+            // in its counting interval; TSO's load bypass does not.
+            "sb" | "lb" => {
+                assert_eq!(sc_loads, 0, "{}: SC logs no ReorderedLoad", w.name);
+                assert!(
+                    tso_loads > 0,
+                    "{}: TSO's store-buffer bypass must be logged as reordered",
+                    w.name
+                );
+            }
+            // Communication shapes: conflict-driven interval closes
+            // land between perform and count even under SC.
+            "mp" | "iriw" => {
+                assert!(
+                    sc_loads > 0,
+                    "{}: conflict closes should cross perform/count even under SC",
+                    w.name
+                );
+            }
+            other => panic!("unexpected litmus shape {other}"),
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,90 @@
+; Bounded MPMC ring buffer with per-slot sequence numbers (Vyukov style).
+;
+; Two producers and two consumers share a 4-slot ring. Each slot carries a
+; sequence word: slot i starts at seq == i; a producer may fill position
+; pos when seq == pos (then publishes seq = pos+1), a consumer may drain
+; position pos when seq == pos+1 (then recycles seq = pos+CAP). Claiming a
+; position is a CAS on the shared enqueue/dequeue cursor. Producers block
+; on a full ring and consumers on an empty one; production == consumption
+; totals, so every wait is eventually satisfied.
+;
+; Slot layout: [seq, data], 16 bytes, CAP = 4 (mask 3).
+
+.name mpmc_ring
+.cores 4
+.param M = 8                    ; items per producer == items per consumer
+
+.const EP   = 0x100000          ; enqueue cursor
+.const DP   = 0x100040          ; dequeue cursor
+.const BUF  = 0x100100          ; slot array
+.const CAP  = 4
+.const MASK = CAP - 1
+.const OUT  = 0x300000
+
+.init BUF + 0  * 16, 0          ; slot seq words start at their index
+.init BUF + 1  * 16, 1
+.init BUF + 2  * 16, 2
+.init BUF + 3  * 16, 3
+
+.reg r9  = MASK
+.reg r12 = M
+.reg r13 = 0                    ; items processed
+.reg r15 = 0                    ; consumer checksum
+.reg r20 = OUT + TID * 64
+.reg r22 = TID
+
+    li   r1, 2
+    blt  r22, r1, producer      ; cores 0,1 produce; cores 2,3 consume
+    j    consumer
+
+; ------------------------------------------------------------ producer --
+producer:
+.reg r10 = EP
+ploop:
+    ld   r1, (r10)              ; pos = enqueue cursor
+    and  r2, r1, r9             ; slot index = pos & MASK
+    shli r2, r2, 4
+    li   r3, BUF
+    add  r3, r3, r2             ; slot address
+    ld   r4, (r3)               ; slot seq
+    bne  r4, r1, ploop          ; not my turn yet (ring full or raced)
+    addi r5, r1, 1
+    cas  r6, (r10), r1, r5      ; claim the position
+    bne  r6, r1, ploop
+    muli r7, r1, 3
+    addi r7, r7, 100            ; data = 100 + 3*pos (position-determined)
+    st   r7, 8(r3)
+    fence.rel
+    st   r5, (r3)               ; publish: seq = pos + 1
+    addi r13, r13, 1
+    blt  r13, r12, ploop
+    j    done
+
+; ------------------------------------------------------------ consumer --
+consumer:
+.reg r10 = DP
+cloop:
+    ld   r1, (r10)              ; pos = dequeue cursor
+    and  r2, r1, r9
+    shli r2, r2, 4
+    li   r3, BUF
+    add  r3, r3, r2
+    ld   r4, (r3)               ; slot seq
+    addi r5, r1, 1
+    bne  r4, r5, cloop          ; nothing published here yet
+    cas  r6, (r10), r1, r5      ; claim the position
+    bne  r6, r1, cloop
+    fence.acq
+    ld   r7, 8(r3)              ; take the data
+    add  r15, r15, r7
+    addi r8, r1, CAP
+    fence.rel
+    st   r8, (r3)               ; recycle: seq = pos + CAP
+    addi r13, r13, 1
+    blt  r13, r12, cloop
+
+done:
+    st   r13, (r20)
+    st   r15, 8(r20)            ; consumer checksum (0 for producers)
+    fence.rel
+    halt

@@ -1,0 +1,107 @@
+; RCU-style epoch reclamation: one updater, three readers.
+;
+; A shared pointer PTR aims at one of two data blocks. Readers announce
+; the global epoch in a per-reader slot, fence, dereference PTR and check
+; the block is not poisoned; then mark themselves quiescent (announce =
+; INACTIVE). The updater swings PTR to the other block, advances the
+; epoch, waits for every reader slot to reach the new epoch (or be
+; inactive), and only then "reclaims" the old block by poisoning it.
+; A reader observing POISON means a grace period was violated — it sets
+; an error flag the harness asserts stays zero.
+;
+; Termination: readers never block; the updater's grace-period wait ends
+; because every reader either advances its announced epoch on its next
+; iteration or halts as INACTIVE forever.
+
+.name rcu_epoch
+.cores 4
+.param WN = 5                   ; updater rounds
+.param RN = 10                  ; reads per reader
+
+.const PTR      = 0x100000      ; the RCU-protected pointer
+.const EPOCH    = 0x100040      ; global epoch
+.const ANN      = 0x100100      ; reader announce slots (64-byte stride)
+.const BLK_A    = 0x200000      ; data block A
+.const BLK_B    = 0x200040      ; data block B
+.const POISON   = 0xDEAD        ; value written into reclaimed blocks
+.const INACTIVE = 0x100000000   ; announce value for "not in a read"
+.const MAGIC    = 0x5000        ; live blocks hold MAGIC + round
+.const OUT      = 0x300000
+.const ERR      = 0x300200
+
+.init PTR, BLK_A
+.init BLK_A, MAGIC              ; round-0 payload, already live
+.init ANN + 0 * 64, INACTIVE    ; core 0 is the updater, never reads
+.init ANN + 1 * 64, INACTIVE
+.init ANN + 2 * 64, INACTIVE
+.init ANN + 3 * 64, INACTIVE
+
+.reg r9  = PTR
+.reg r10 = EPOCH
+.reg r20 = OUT + TID * 64
+.reg r21 = ERR + TID * 64
+.reg r22 = TID
+
+    bne  r22, r0, reader
+
+; ------------------------------------------------------------ updater --
+.reg r12 = WN
+.reg r13 = 0                    ; round
+.reg r14 = BLK_B                ; next block to install
+uloop:
+    addi r13, r13, 1
+    li   r1, MAGIC
+    add  r1, r1, r13
+    st   r1, (r14)              ; fill the fresh block
+    fence.rel
+    swap r2, (r9), r14          ; swing PTR; r2 = old block
+    ; Start a new grace period.
+    li   r3, 1
+    fadd r4, (r10), r3
+    addi r4, r4, 1              ; r4 = new epoch value
+    ; Wait for every reader to catch up or go quiescent.
+    li   r5, ANN + 64           ; reader slots start at core 1
+    li   r6, 3                  ; readers to check
+grace:
+    ld   r7, (r5)
+    bgeu r7, r4, grace_ok       ; caught up (INACTIVE is huge, also ok)
+    j    grace
+grace_ok:
+    addi r5, r5, 64
+    subi r6, r6, 1
+    bne  r6, r0, grace
+    ; Old block is now unreachable: poison it, then reuse it next round.
+    li   r1, POISON
+    st   r1, (r2)
+    fence.rel
+    add  r14, r2, r0            ; the reclaimed block is next round's fresh one
+    blt  r13, r12, uloop
+    st   r13, (r20)
+    fence.rel
+    halt
+
+; ------------------------------------------------------------- reader --
+reader:
+.reg r11 = ANN + TID * 64
+.reg r12 = RN
+.reg r13 = 0                    ; reads done
+rloop:
+    ld   r1, (r10)              ; current epoch
+    st   r1, (r11)              ; announce: I am reading in this epoch
+    fence.full                  ; announce before dereference
+    ld   r2, (r9)               ; p = PTR
+    fence.acq
+    ld   r3, (r2)               ; *p
+    li   r4, POISON
+    bne  r3, r4, read_ok
+    li   r5, 1
+    st   r5, (r21)              ; read a reclaimed block!
+read_ok:
+    li   r6, INACTIVE
+    fence.rel
+    st   r6, (r11)              ; quiesce
+    addi r13, r13, 1
+    blt  r13, r12, rloop
+    st   r13, (r20)
+    fence.rel
+    halt

@@ -1,0 +1,73 @@
+; Seqlock: one writer, two readers over a two-word payload.
+;
+; The writer bumps the sequence word to odd, updates both payload words to
+; the same value, then bumps the sequence back to even. Readers retry
+; until they see a stable even sequence around a consistent payload
+; snapshot; a torn read (D1 != D2 inside a stable even section) sets an
+; error flag the test harness asserts stays zero. Written SPMD-style: the
+; whole body is prologue, each core branches on TID to its role.
+;
+; Reader retries always terminate: once the writer halts, the sequence is
+; stable and even forever after.
+
+.name seqlock
+.cores 3
+.param WN = 8                   ; writer rounds
+.param RN = 8                   ; consistent snapshots per reader
+
+.const SEQ = 0x100000           ; sequence word
+.const D1  = 0x100040           ; payload word 0
+.const D2  = 0x100048           ; payload word 1
+.const OUT = 0x300000           ; per-core progress slots
+.const ERR = 0x300200           ; per-core torn-read flags
+
+.reg r10 = SEQ
+.reg r11 = D1
+.reg r20 = OUT + TID * 64
+.reg r21 = ERR + TID * 64
+.reg r22 = TID
+
+    bne  r22, r0, reader        ; core 0 writes, everyone else reads
+
+; ------------------------------------------------------------- writer --
+.reg r12 = WN
+.reg r13 = 0                    ; round
+wloop:
+    ld   r1, (r10)
+    addi r1, r1, 1
+    st   r1, (r10)              ; seq -> odd: writer in progress
+    fence.rel
+    addi r13, r13, 1
+    st   r13, (r11)             ; D1 = round
+    st   r13, 8(r11)            ; D2 = round
+    fence.rel
+    addi r1, r1, 1
+    st   r1, (r10)              ; seq -> even: snapshot published
+    blt  r13, r12, wloop
+    st   r13, (r20)
+    fence.rel
+    halt
+
+; ------------------------------------------------------------- reader --
+reader:
+.reg r12 = RN
+.reg r14 = 0                    ; consistent snapshots taken
+rloop:
+    ld   r1, (r10)              ; s1
+    andi r2, r1, 1
+    bne  r2, r0, rloop          ; odd: writer active, retry
+    fence.acq
+    ld   r3, (r11)              ; d1
+    ld   r4, 8(r11)             ; d2
+    fence.acq
+    ld   r5, (r10)              ; s2
+    bne  r5, r1, rloop          ; sequence moved under us, retry
+    beq  r3, r4, snap_ok        ; stable section must be consistent
+    li   r6, 1
+    st   r6, (r21)              ; torn read!
+snap_ok:
+    addi r14, r14, 1
+    blt  r14, r12, rloop
+    st   r14, (r20)
+    fence.rel
+    halt

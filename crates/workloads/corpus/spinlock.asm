@@ -1,0 +1,50 @@
+; Test-and-test-and-set spinlock protecting a shared counter.
+;
+; Every core acquires the lock N times and increments the counter inside
+; the critical section. The lock word and the counter sit on different
+; cache lines; the CAS supplies acquire semantics, the release is a
+; fence.rel followed by a plain store — the classic way this lowers on a
+; release-consistent machine. Final state: CTR == NCORES * N, and each
+; core publishes its completed iteration count at OUT + TID*64.
+
+.name spinlock
+.cores 4
+.param N = 12
+
+.const LOCK = 0x100000          ; lock word (own line)
+.const CTR  = 0x100040          ; protected counter (own line)
+.const OUT  = 0x300000          ; per-core result slots
+
+.reg r10 = LOCK
+.reg r11 = CTR
+.reg r12 = N
+.reg r13 = 0                    ; i
+.reg r20 = OUT + TID * 64
+
+loop:
+acquire:
+    ld   r1, (r10)              ; test: poll until the lock looks free
+    beq  r1, r0, try
+    li   r2, 8                  ; backoff between polls
+backoff:
+    subi r2, r2, 1
+    bne  r2, r0, backoff
+    j    acquire
+try:
+    li   r2, 0
+    li   r3, 1
+    cas  r4, (r10), r2, r3      ; test-and-set (acquire)
+    bne  r4, r0, acquire
+    ; --- critical section ---
+    ld   r5, (r11)
+    addi r5, r5, 1
+    st   r5, (r11)
+    ; --- release ---
+    fence.rel
+    st   r0, (r10)
+    addi r13, r13, 1
+    blt  r13, r12, loop
+
+    st   r13, (r20)             ; publish my iteration count
+    fence.rel
+    halt

@@ -1,0 +1,52 @@
+; Ticket lock (FIFO spinlock) protecting a shared counter.
+;
+; Acquire is a fetch-add on the next-ticket word, then a spin on the
+; now-serving word until it equals the acquired ticket. Release is a plain
+; store of ticket+1 behind a release fence (only the holder ever writes
+; now-serving). This produces a different communication structure than the
+; TTAS lock: the next-ticket line is all-RMW contention, the now-serving
+; line is single-writer/many-reader. Final state: CTR == NCORES * N.
+
+.name ticket_lock
+.cores 4
+.param N = 10
+
+.const NEXT  = 0x100000         ; next ticket to hand out
+.const SERVE = 0x100040         ; now serving
+.const CTR   = 0x100080         ; protected counter
+.const OUT   = 0x300000
+
+.reg r10 = NEXT
+.reg r11 = SERVE
+.reg r12 = CTR
+.reg r13 = N
+.reg r14 = 0                    ; i
+.reg r20 = OUT + TID * 64
+.reg r21 = 1
+
+loop:
+    fadd r1, (r10), r21         ; r1 = my ticket
+wait:
+    ld   r2, (r11)
+    beq  r2, r1, enter
+    li   r3, 6                  ; backoff between polls
+backoff:
+    subi r3, r3, 1
+    bne  r3, r0, backoff
+    j    wait
+enter:
+    fence.acq
+    ; --- critical section ---
+    ld   r4, (r12)
+    addi r4, r4, 1
+    st   r4, (r12)
+    ; --- release: pass the lock to the next ticket ---
+    fence.rel
+    addi r2, r1, 1
+    st   r2, (r11)
+    addi r14, r14, 1
+    blt  r14, r13, loop
+
+    st   r14, (r20)
+    fence.rel
+    halt

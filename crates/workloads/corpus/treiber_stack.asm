@@ -1,0 +1,65 @@
+; Treiber stack: lock-free LIFO with CAS on the top-of-stack pointer.
+;
+; Each core pushes M nodes from its own arena (so no node is ever reused
+; and the classic ABA hazard cannot bite), then pops M nodes — possibly
+; other cores' — summing the popped values. Push links node.next to the
+; observed top and CASes top to the node; pop CASes top to top.next.
+; An empty stack makes poppers wait: every core pushes all its nodes
+; before popping any, and total pushes == total pops, so the remaining
+; pushes a waiting popper needs are never behind a pop (no deadlock).
+;
+; Node layout: [value, next], 16 bytes. Null is 0.
+
+.name treiber_stack
+.cores 4
+.param M = 6
+
+.const TOP   = 0x100000         ; top-of-stack pointer (0 = empty)
+.const ARENA = 0x100100         ; per-core node arenas
+.const OUT   = 0x300000         ; per-core popped-value sums
+
+.reg r10 = TOP
+.reg r11 = ARENA + TID * M * 16 ; my arena cursor
+.reg r12 = M
+.reg r13 = 0                    ; pushes done
+.reg r14 = TID * 100            ; value tag: distinct per core
+.reg r20 = OUT + TID * 64
+
+; ----------------------------------------------------------------- push --
+push:
+    addi r14, r14, 1
+    st   r14, (r11)             ; node.value
+push_retry:
+    ld   r1, (r10)              ; old top
+    st   r1, 8(r11)             ; node.next = old top
+    fence.rel
+    cas  r2, (r10), r1, r11
+    bne  r2, r1, push_retry
+    addi r11, r11, 16           ; next node in my arena
+    addi r13, r13, 1
+    blt  r13, r12, push
+
+; ------------------------------------------------------------------ pop --
+.reg r13 = 0                    ; pops done
+.reg r15 = 0                    ; sum of popped values
+pop:
+    ld   r1, (r10)              ; candidate top
+    bne  r1, r0, pop_go
+    li   r3, 8                  ; empty: wait for a straggler's push
+pop_backoff:
+    subi r3, r3, 1
+    bne  r3, r0, pop_backoff
+    j    pop
+pop_go:
+    fence.acq
+    ld   r2, 8(r1)              ; next
+    cas  r4, (r10), r1, r2
+    bne  r4, r1, pop            ; lost the race, retry
+    ld   r5, (r1)               ; claimed the node: read its value
+    add  r15, r15, r5
+    addi r13, r13, 1
+    blt  r13, r12, pop
+
+    st   r15, (r20)
+    fence.rel
+    halt

@@ -1,0 +1,105 @@
+; Work-stealing deque (Chase-Lev shape, no wraparound).
+;
+; Core 0 owns the deque: it pushes M tasks at the bottom, then takes from
+; the bottom. Cores 1..3 are thieves stealing from the top with a CAS.
+; The owner's take decrements bottom, fences, re-reads top, and resolves
+; the one-element race with the same CAS the thieves use. Every obtained
+; task bumps a global DONE counter; all cores run until DONE == M, which
+; bounds every loop (tasks are finite and each is obtained exactly once).
+;
+; The buffer never wraps: capacity == M.
+
+.name ws_deque
+.cores 4
+.param M = 10
+
+.const BOT  = 0x100000          ; owner's bottom index
+.const TOPI = 0x100040          ; steal-side top index
+.const DONE = 0x100080          ; tasks consumed (fetch-add)
+.const BUF  = 0x100100          ; task array, 8-byte entries
+.const OUT  = 0x300000
+
+.reg r9  = BUF
+.reg r10 = BOT
+.reg r11 = TOPI
+.reg r12 = DONE
+.reg r13 = M
+.reg r15 = 0                    ; sum of my obtained tasks
+.reg r16 = 0                    ; count of my obtained tasks
+.reg r20 = OUT + TID * 64
+.reg r21 = 1
+.reg r22 = TID
+
+    bne  r22, r0, thief
+
+; -------------------------------------------------------------- owner --
+; Push all M tasks: buf[b] = 10 + b; publish; b += 1.
+.reg r1 = 0                     ; b
+push:
+    shli r2, r1, 3
+    add  r2, r9, r2
+    addi r3, r1, 10
+    st   r3, (r2)               ; buf[b] = task value
+    fence.rel
+    addi r1, r1, 1
+    st   r1, (r10)              ; bottom = b + 1
+    blt  r1, r13, push
+
+take:
+    ld   r4, (r12)              ; all tasks consumed? then stop
+    bge  r4, r13, finish
+    ld   r1, (r10)
+    beq  r1, r0, take           ; deque empty: wait for DONE to catch up
+    subi r1, r1, 1
+    st   r1, (r10)              ; bottom = b - 1 (claim tentatively)
+    fence.full
+    ld   r5, (r11)              ; top
+    blt  r5, r1, take_mine      ; more than one element: it's mine
+    bgeu r5, r1, take_race      ; top >= b: zero or one element left
+take_mine:
+    shli r2, r1, 3
+    add  r2, r9, r2
+    ld   r3, (r2)               ; task = buf[b-1]
+    add  r15, r15, r3
+    addi r16, r16, 1
+    fadd r6, (r12), r21         ; DONE += 1
+    j    take
+take_race:
+    addi r7, r1, 1
+    st   r7, (r10)              ; restore bottom
+    bne  r5, r1, take           ; top > b-1: already empty
+    addi r8, r5, 1
+    cas  r6, (r11), r5, r8      ; fight the thieves for the last task
+    bne  r6, r5, take
+    shli r2, r5, 3
+    add  r2, r9, r2
+    ld   r3, (r2)
+    add  r15, r15, r3
+    addi r16, r16, 1
+    fadd r6, (r12), r21
+    j    take
+
+; -------------------------------------------------------------- thief --
+thief:
+    ld   r4, (r12)
+    bge  r4, r13, finish        ; all tasks consumed
+    ld   r5, (r11)              ; t = top
+    fence.acq
+    ld   r1, (r10)              ; b = bottom
+    bge  r5, r1, thief          ; empty-looking: retry (DONE will stop us)
+    shli r2, r5, 3
+    add  r2, r9, r2
+    ld   r3, (r2)               ; read the task first (may be stale)
+    addi r8, r5, 1
+    cas  r6, (r11), r5, r8      ; claim it
+    bne  r6, r5, thief          ; lost the race
+    add  r15, r15, r3
+    addi r16, r16, 1
+    fadd r6, (r12), r21         ; DONE += 1
+    j    thief
+
+finish:
+    st   r16, (r20)             ; tasks I obtained
+    st   r15, 8(r20)            ; sum of their values
+    fence.rel
+    halt

@@ -1,0 +1,203 @@
+//! The concurrent data-structure corpus: workloads shipped as `.asm` text
+//! (see `crates/workloads/corpus/*.asm`) and assembled on demand with
+//! [`rr_isa::asm`].
+//!
+//! These shapes — locks, a seqlock, a lock-free stack, an MPMC ring, a
+//! work-stealing deque, epoch reclamation — are the access patterns that
+//! actually stress relaxed-memory recording: contended RMWs, single-
+//! writer/many-reader lines, publication via release fences, and racy
+//! reads resolved by retry. Each file encodes its own correctness checks
+//! (error-flag words the test harness asserts stay zero).
+//!
+//! Every shape's thread count is intrinsic to its `.asm` source (roles
+//! are baked into the code), so there is no `threads`/`size` knob here.
+
+use rr_isa::asm;
+
+use crate::Workload;
+
+/// Name → `.asm` source for every shipped corpus shape. The name always
+/// matches the file's `.name` directive (asserted in tests).
+pub const CORPUS_SOURCES: [(&str, &str); 7] = [
+    ("spinlock", include_str!("../corpus/spinlock.asm")),
+    ("ticket_lock", include_str!("../corpus/ticket_lock.asm")),
+    ("seqlock", include_str!("../corpus/seqlock.asm")),
+    ("treiber_stack", include_str!("../corpus/treiber_stack.asm")),
+    ("mpmc_ring", include_str!("../corpus/mpmc_ring.asm")),
+    ("ws_deque", include_str!("../corpus/ws_deque.asm")),
+    ("rcu_epoch", include_str!("../corpus/rcu_epoch.asm")),
+];
+
+/// The names of all corpus shapes, in catalog order.
+#[must_use]
+pub fn corpus_names() -> Vec<&'static str> {
+    CORPUS_SOURCES.iter().map(|&(n, _)| n).collect()
+}
+
+/// Returns the `.asm` source of a corpus shape, if `name` is one.
+#[must_use]
+pub fn corpus_source(name: &str) -> Option<&'static str> {
+    CORPUS_SOURCES
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map(|&(_, src)| src)
+}
+
+/// Assembles one corpus shape by name.
+///
+/// # Panics
+///
+/// Panics if a shipped `.asm` file fails to assemble — that is a bug in
+/// the corpus, and the diagnostics point at the offending line.
+#[must_use]
+pub fn corpus_by_name(name: &str) -> Option<Workload> {
+    let (static_name, src) = CORPUS_SOURCES.iter().find(|&&(n, _)| n == name)?;
+    let out = match asm::assemble(src) {
+        Ok(out) => out,
+        Err(e) => panic!("shipped corpus file `{name}.asm` does not assemble: {e}"),
+    };
+    Some(Workload {
+        name: static_name,
+        programs: out.programs,
+        initial_mem: out.initial_mem,
+    })
+}
+
+/// Assembles the whole corpus, in catalog order.
+#[must_use]
+pub fn corpus_suite() -> Vec<Workload> {
+    corpus_names()
+        .into_iter()
+        .map(|n| corpus_by_name(n).expect("catalog name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rr_isa::asm::assemble;
+
+    #[test]
+    fn every_corpus_file_assembles_and_names_match() {
+        for &(name, src) in &CORPUS_SOURCES {
+            let out = assemble(src).unwrap_or_else(|e| panic!("{name}.asm: {e}"));
+            assert_eq!(
+                out.name.as_deref(),
+                Some(name),
+                "`.name` directive of {name}.asm disagrees with the catalog"
+            );
+            assert!(
+                out.programs.len() >= 2,
+                "{name}.asm should be a multi-core workload"
+            );
+            for (i, p) in out.programs.iter().enumerate() {
+                assert!(!p.is_empty(), "{name}.asm core {i} has no code");
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_suite_has_seven_unique_shapes() {
+        let suite = corpus_suite();
+        assert_eq!(suite.len(), 7);
+        let mut names: Vec<_> = suite.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn corpus_by_name_rejects_unknowns() {
+        assert!(corpus_by_name("nonesuch").is_none());
+        assert!(corpus_source("nonesuch").is_none());
+    }
+
+    /// Runs a workload round-robin on the interpreter with the given
+    /// per-turn quantum, panicking if it fails to terminate.
+    fn run_interleaved(w: &Workload, quantum: u64) -> rr_isa::MemImage {
+        let mut mem = w.initial_mem.clone();
+        let mut interps: Vec<_> = w.programs.iter().map(rr_isa::Interp::new).collect();
+        for _ in 0..2_000_000 {
+            let mut all_done = true;
+            for i in &mut interps {
+                if !i.is_halted() {
+                    all_done = false;
+                    let _ = i.run(&mut mem, quantum);
+                }
+            }
+            if all_done {
+                return mem;
+            }
+        }
+        panic!("{} did not terminate (quantum {quantum})", w.name);
+    }
+
+    /// Per-core error flags (torn seqlock reads, RCU poison reads) live
+    /// at 0x300200 + tid*64 and must stay zero.
+    fn assert_no_error_flags(name: &str, mem: &rr_isa::MemImage, cores: usize) {
+        for tid in 0..cores {
+            assert_eq!(
+                mem.load(0x30_0200 + (tid as u64) * 64),
+                0,
+                "{name}: core {tid} raised its error flag"
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_algorithms_are_functionally_correct() {
+        // Interleave at several quanta to vary the schedule; the cycle-
+        // accurate machine exercises real reordering in the top-level
+        // differential tests.
+        for quantum in [1, 3, 7] {
+            for w in corpus_suite() {
+                let mem = run_interleaved(&w, quantum);
+                let cores = w.programs.len();
+                assert_no_error_flags(w.name, &mem, cores);
+                match w.name {
+                    // Both locks guard a counter: NCORES * N increments.
+                    "spinlock" => assert_eq!(mem.load(0x10_0040), 4 * 12),
+                    "ticket_lock" => assert_eq!(mem.load(0x10_0080), 4 * 10),
+                    // Each core publishes its completed-iteration count.
+                    "seqlock" => {
+                        assert_eq!(mem.load(0x30_0000), 8, "writer rounds");
+                        assert_eq!(mem.load(0x30_0000 + 64), 8, "reader 1 snapshots");
+                        assert_eq!(mem.load(0x30_0000 + 128), 8, "reader 2 snapshots");
+                    }
+                    // Every pushed value is popped exactly once: the
+                    // per-core sums add up to the sum of all values.
+                    "treiber_stack" => {
+                        let total: u64 = (0..4).map(|t| mem.load(0x30_0000 + t * 64)).sum();
+                        let expect: u64 = (0..4u64)
+                            .map(|t| (1..=6).map(|k| t * 100 + k).sum::<u64>())
+                            .sum();
+                        assert_eq!(total, expect);
+                    }
+                    // Consumers drain exactly what producers put in.
+                    "mpmc_ring" => {
+                        let consumed: u64 = (2..4).map(|t| mem.load(0x30_0000 + t * 64 + 8)).sum();
+                        let expect: u64 = (0..16u64).map(|pos| 100 + 3 * pos).sum();
+                        assert_eq!(consumed, expect);
+                        for t in 0..4u64 {
+                            assert_eq!(mem.load(0x30_0000 + t * 64), 8, "items per core");
+                        }
+                    }
+                    // Every task obtained exactly once, values intact.
+                    "ws_deque" => {
+                        let count: u64 = (0..4).map(|t| mem.load(0x30_0000 + t * 64)).sum();
+                        let sum: u64 = (0..4).map(|t| mem.load(0x30_0000 + t * 64 + 8)).sum();
+                        assert_eq!(count, 10);
+                        assert_eq!(sum, (0..10u64).map(|b| 10 + b).sum::<u64>());
+                    }
+                    "rcu_epoch" => {
+                        assert_eq!(mem.load(0x30_0000), 5, "updater rounds");
+                        for t in 1..4u64 {
+                            assert_eq!(mem.load(0x30_0000 + t * 64), 10, "reads per reader");
+                        }
+                    }
+                    other => panic!("no functional check for corpus shape {other}"),
+                }
+            }
+        }
+    }
+}

@@ -37,6 +37,8 @@
 #![forbid(unsafe_code)]
 
 pub mod compute;
+pub mod corpus;
+pub mod fuzz;
 mod grid;
 mod irregular;
 mod kernels;
@@ -46,6 +48,8 @@ pub mod sync;
 
 use rr_isa::{MemImage, Program};
 
+pub use corpus::{corpus_by_name, corpus_names, corpus_source, corpus_suite};
+pub use fuzz::{fuzz_case, FuzzCase};
 pub use grid::{ocean, water_nsq, water_sp};
 pub use irregular::{barnes, fmm};
 pub use kernels::{cholesky, fft, lu, radix};
@@ -117,12 +121,16 @@ pub fn suite(threads: usize, size: u32) -> Vec<Workload> {
 }
 
 /// Builds a single workload by name (see the crate docs for the list).
-/// The four litmus shapes (`sb`, `mp`, `lb`, `iriw`) are also accepted;
-/// their thread counts are intrinsic, so `threads` and `size` are
-/// ignored for them.
+/// The four litmus shapes (`sb`, `mp`, `lb`, `iriw`) and the
+/// data-structure corpus shapes (see [`corpus_names`]) are also
+/// accepted; their thread counts are intrinsic, so `threads` and `size`
+/// are ignored for them.
 #[must_use]
 pub fn by_name(name: &str, threads: usize, size: u32) -> Option<Workload> {
     if let Some(w) = litmus_by_name(name) {
+        return Some(w);
+    }
+    if let Some(w) = corpus_by_name(name) {
         return Some(w);
     }
     let w = match name {
@@ -141,6 +149,32 @@ pub fn by_name(name: &str, threads: usize, size: u32) -> Option<Workload> {
         _ => return None,
     };
     Some(w)
+}
+
+/// Every name [`by_name`] accepts: the twelve SPLASH-2 analogues, the
+/// four litmus shapes, and the data-structure corpus, in that order.
+#[must_use]
+pub fn known_names() -> Vec<&'static str> {
+    let mut names = vec![
+        "fft",
+        "lu",
+        "radix",
+        "cholesky",
+        "ocean",
+        "water_nsq",
+        "water_sp",
+        "barnes",
+        "fmm",
+        "raytrace",
+        "volrend",
+        "radiosity",
+        "sb",
+        "mp",
+        "lb",
+        "iriw",
+    ];
+    names.extend(corpus_names());
+    names
 }
 
 #[cfg(test)]
@@ -164,6 +198,16 @@ mod tests {
             assert_eq!(again.programs.len(), w.programs.len());
         }
         assert!(by_name("nonesuch", 2, 1).is_none());
+    }
+
+    #[test]
+    fn known_names_all_resolve() {
+        let names = known_names();
+        assert!(names.len() >= 23, "12 analogues + 4 litmus + 7 corpus");
+        for name in names {
+            let w = by_name(name, 2, 1).expect("every advertised name resolves");
+            assert_eq!(w.name, name);
+        }
     }
 
     #[test]
