@@ -1,9 +1,89 @@
-//! Figure 13: sequential replay time relative to parallel recording.
+//! Figure 13: sequential replay time relative to parallel recording,
+//! plus a replay-engine scaling table — measured wall-clock of the
+//! multithreaded DAG executor at 1/2/4/8 workers on the same runs
+//! (Opt-4K, every outcome verified). The scaling table lands in
+//! `results/fig13-scaling.csv`; measured speedup tracks the host's
+//! actual core count, while the modeled column is the list scheduler's
+//! host-independent makespan bound.
 
-use rr_experiments::report::{results_dir, write_metrics_jsonl};
+use std::time::Instant;
+
+use rr_experiments::report::{f2, results_dir, write_metrics_jsonl, Table};
 use rr_experiments::{
     figures, metrics_jsonl, run_corpus_suite, run_suite, write_trace_artifacts, ExperimentConfig,
+    WorkloadRun,
 };
+use rr_replay::{patch, replay_parallel, replay_threaded, verify, CostModel};
+
+/// Worker counts for the measured scaling columns.
+const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Opt-4K's index in the `RecorderSpec::paper_matrix()` variant order.
+const OPT_4K: usize = 1;
+
+fn scaling_table(runs: &[WorkloadRun], size: u32) -> Result<Table, rr_sim::Error> {
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut t = Table::new(
+        &format!("Replay-engine scaling (Opt-4K, verified; host cpus {host_cpus})"),
+        &["workload", "modeled x", "w1 ms", "w2 x", "w4 x", "w8 x"],
+    );
+    let cost = CostModel::splash_default();
+    for r in runs {
+        let v = &r.record.variants[OPT_4K];
+        let at = |stage: &str| format!("{} [{}]: {stage}", r.name, v.spec.label());
+        let patched: Vec<_> = v
+            .logs
+            .iter()
+            .map(patch)
+            .collect::<Result<_, _>>()
+            .map_err(|e| rr_sim::Error::from(e).context(at("patch failed")))?;
+        // Regenerate the workload by name — generators are deterministic,
+        // so `(name, threads, size)` reproduces the recorded programs and
+        // initial memory exactly (same contract as `--replay-from`).
+        let w = rr_workloads::by_name(r.name, v.logs.len(), size)
+            .ok_or_else(|| rr_sim::Error::msg(at("unknown workload")))?;
+        let modeled = replay_parallel(
+            &w.programs,
+            &patched,
+            &v.ordering,
+            w.initial_mem.clone(),
+            &cost,
+            v.logs.len(),
+        )
+        .map_err(|e| rr_sim::Error::from(e).context(at("modeled replay failed")))?
+        .speedup();
+        let mut secs = Vec::with_capacity(SCALING_WORKERS.len());
+        for &workers in &SCALING_WORKERS {
+            let start = Instant::now();
+            let outcome = replay_threaded(
+                &w.programs,
+                &patched,
+                &v.ordering,
+                w.initial_mem.clone(),
+                &cost,
+                workers,
+            )
+            .map_err(|e| {
+                rr_sim::Error::from(e).context(at(&format!("threaded replay (w={workers})")))
+            })?;
+            secs.push(start.elapsed().as_secs_f64());
+            verify(&r.record.recorded, &outcome).map_err(|e| {
+                rr_sim::Error::from(e).context(at(&format!("threaded verify (w={workers})")))
+            })?;
+        }
+        t.row(vec![
+            r.name.to_string(),
+            f2(modeled),
+            format!("{:.3}", secs[0] * 1e3),
+            f2(secs[0] / secs[1]),
+            f2(secs[0] / secs[2]),
+            f2(secs[0] / secs[3]),
+        ]);
+    }
+    Ok(t)
+}
 
 fn main() -> std::process::ExitCode {
     match run() {
@@ -27,6 +107,10 @@ fn run() -> Result<(), rr_sim::Error> {
     t.write_csv(&dir, "fig13")?;
     write_metrics_jsonl(&dir, "fig13", &metrics_jsonl(&runs))?;
     write_trace_artifacts(&dir, "fig13", &runs)?;
+
+    let ts = scaling_table(&runs, cfg.size)?;
+    ts.print();
+    ts.write_csv(&dir, "fig13-scaling")?;
 
     // Corpus shapes replay under the same policy; reported separately so
     // the paper's SPLASH-2 ratios stay comparable to the original figure.

@@ -2,11 +2,16 @@
 //!
 //! ```text
 //! rr-check explore [--seeds N] [--pressure <mode>|all] [--workload <w>|litmus|corpus]
-//!                  [--workers K] [--out DIR] [--trace]
+//!                  [--workers K] [--replay-workers LIST] [--out DIR] [--trace]
 //! rr-check fuzz    [--count N] [--start-seed S] [--schedules K]
-//!                  [--pressure <mode>|all] [--workers K] [--out DIR]
+//!                  [--pressure <mode>|all] [--workers K] [--replay-workers LIST] [--out DIR]
 //! rr-check modes
 //! ```
+//!
+//! `--replay-workers 1,2,4,8` additionally replays every recording on the
+//! multithreaded replay engine at each listed worker count; those outcomes
+//! join the same differential cross-check, so the zero-divergence gate
+//! covers every engine.
 //!
 //! For every seed, `explore` derives a deterministic schedule
 //! perturbation (stalls / priority rotation over the simulator's step
@@ -35,22 +40,25 @@ use rr_experiments::report::{results_dir, write_metrics_jsonl, Table};
 use rr_experiments::write_trace_pairs;
 use rr_replay::CostModel;
 use rr_sim::{
-    explore_sweep, minimize_divergence, replay_and_verify_forensic, Error, ExploreSpec,
+    explore_sweep_with, minimize_divergence, replay_and_verify_forensic, Error, ExploreSpec,
     MachineConfig, PressureMode, RecordSession,
 };
 use rr_workloads::{corpus_suite, fuzz_case, litmus_suite, FuzzCase, Workload};
 
 const USAGE: &str = "usage:
   rr-check explore [--seeds N] [--pressure <mode>|all] [--workload <w>|litmus|corpus]
-                   [--workers K] [--out DIR] [--trace]
+                   [--workers K] [--replay-workers LIST] [--out DIR] [--trace]
   rr-check fuzz    [--count N] [--start-seed S] [--schedules K]
-                   [--pressure <mode>|all] [--workers K] [--out DIR]
+                   [--pressure <mode>|all] [--workers K] [--replay-workers LIST] [--out DIR]
   rr-check modes
 
 modes: none force-close traq sig-alias cisn-wrap sink-fault
 workloads: litmus (= sb mp lb iriw), corpus (all data-structure shapes),
            or any single workload name — a SPLASH-2 analogue (e.g. fft),
-           a litmus shape, or a corpus shape (e.g. spinlock)";
+           a litmus shape, or a corpus shape (e.g. spinlock)
+--replay-workers: comma-separated threaded-engine worker counts (e.g. 1,2,4,8);
+           each recording is additionally replayed on the multithreaded engine
+           at every listed count and cross-checked against the sequential replay";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,8 +94,16 @@ struct Options {
     pressures: Vec<PressureMode>,
     workloads: Vec<Workload>,
     workers: usize,
+    replay_workers: Vec<usize>,
     out: PathBuf,
     trace: bool,
+}
+
+/// Parses a `--replay-workers` list: comma-separated positive counts.
+fn parse_worker_list(v: &str) -> Option<Vec<usize>> {
+    v.split(',')
+        .map(|s| s.trim().parse::<usize>().ok().filter(|&w| w >= 1))
+        .collect()
 }
 
 fn parse(args: &[String]) -> Result<Options, u8> {
@@ -95,6 +111,7 @@ fn parse(args: &[String]) -> Result<Options, u8> {
     let mut pressures = vec![PressureMode::None];
     let mut workload = "litmus".to_string();
     let mut workers = 0usize;
+    let mut replay_workers = Vec::new();
     let mut out = results_dir().join("rr-check");
     let mut trace = false;
 
@@ -131,6 +148,13 @@ fn parse(args: &[String]) -> Result<Options, u8> {
                     2
                 })?;
             }
+            "--replay-workers" => {
+                let v = value("--replay-workers")?;
+                replay_workers = parse_worker_list(v).ok_or_else(|| {
+                    eprintln!("rr-check explore: bad --replay-workers {v:?} (want e.g. 1,2,4,8)");
+                    2
+                })?;
+            }
             "--out" => out = PathBuf::from(value("--out")?),
             "--trace" => trace = true,
             other => {
@@ -160,6 +184,7 @@ fn parse(args: &[String]) -> Result<Options, u8> {
         pressures,
         workloads,
         workers,
+        replay_workers,
         out,
         trace,
     })
@@ -195,8 +220,15 @@ fn run_explore(opts: &Options) -> Result<u8, Error> {
             let specs: Vec<ExploreSpec> = (0..opts.seeds)
                 .map(|s| ExploreSpec::for_seed(s, pressure))
                 .collect();
-            let report = explore_sweep(&w.programs, &w.initial_mem, &machine, &specs, opts.workers)
-                .map_err(|e| Error::from(e).context(format!("{}/{}", w.name, pressure.name())))?;
+            let report = explore_sweep_with(
+                &w.programs,
+                &w.initial_mem,
+                &machine,
+                &specs,
+                opts.workers,
+                &opts.replay_workers,
+            )
+            .map_err(|e| Error::from(e).context(format!("{}/{}", w.name, pressure.name())))?;
             jsonl.push_str(&report.sweep.to_jsonl());
 
             let stalls: u64 = report
@@ -267,6 +299,7 @@ struct FuzzOptions {
     schedules: u64,
     pressures: Vec<PressureMode>,
     workers: usize,
+    replay_workers: Vec<usize>,
     out: PathBuf,
 }
 
@@ -277,6 +310,7 @@ fn parse_fuzz(args: &[String]) -> Result<FuzzOptions, u8> {
         schedules: 2,
         pressures: vec![PressureMode::None],
         workers: 0,
+        replay_workers: Vec::new(),
         out: results_dir().join("rr-check"),
     };
 
@@ -311,6 +345,13 @@ fn parse_fuzz(args: &[String]) -> Result<FuzzOptions, u8> {
             }
             "--workers" => {
                 opts.workers = parsed("--workers", value("--workers")?)? as usize;
+            }
+            "--replay-workers" => {
+                let v = value("--replay-workers")?;
+                opts.replay_workers = parse_worker_list(v).ok_or_else(|| {
+                    eprintln!("rr-check fuzz: bad --replay-workers {v:?} (want e.g. 1,2,4,8)");
+                    2
+                })?;
             }
             "--out" => opts.out = PathBuf::from(value("--out")?),
             other => {
@@ -349,10 +390,15 @@ fn run_fuzz(opts: &FuzzOptions) -> Result<u8, Error> {
             let specs: Vec<ExploreSpec> = (0..opts.schedules)
                 .map(|s| ExploreSpec::for_seed(seed.wrapping_mul(7919).wrapping_add(s), pressure))
                 .collect();
-            let report = explore_sweep(&w.programs, &w.initial_mem, &machine, &specs, opts.workers)
-                .map_err(|e| {
-                    Error::from(e).context(format!("{}/{}", case.label, pressure.name()))
-                })?;
+            let report = explore_sweep_with(
+                &w.programs,
+                &w.initial_mem,
+                &machine,
+                &specs,
+                opts.workers,
+                &opts.replay_workers,
+            )
+            .map_err(|e| Error::from(e).context(format!("{}/{}", case.label, pressure.name())))?;
             schedules_total += opts.schedules;
             for o in report.divergent() {
                 divergent_total += 1;

@@ -5,13 +5,22 @@
 //!                                             per-interval reordered density
 //! rr-inspect dump  <file.rrlog> [--limit N]   print decoded entries
 //! rr-inspect check <file.rrlog | dir>         verify integrity (exit 1 on damage)
+//! rr-inspect dag   <run-dir> [--dot DIR]      interval-DAG stats per variant
+//!                                             (+ Graphviz export with --dot)
 //! rr-inspect trace <trace.jsonl> [-o out.json] convert a trace sidecar to
 //!                                             Chrome/Perfetto trace JSON
 //! ```
 //!
-//! `check` on a directory accepts either one run directory (it contains
-//! `manifest.txt`) or a `--save-logs` root holding many runs; a run check
-//! also validates the `truth.bin` ground-truth sidecar.
+//! `check` and `dag` on a directory accept either one run directory (it
+//! contains `manifest.txt`) or a `--save-logs` root holding many runs; a
+//! run check also validates the `truth.bin` ground-truth sidecar.
+//!
+//! `dag` patches each variant's logs and builds the replay interval DAG —
+//! the recorded partial order when the run carries an `ordering.bin`
+//! sidecar, otherwise the timestamp total order — and reports the node and
+//! edge counts, critical-path length, maximum antichain width, and the
+//! ideal speedup bound `nodes / critical_path` that the parallel replay
+//! engine cannot exceed (paper §3.6).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -24,6 +33,7 @@ const USAGE: &str = "usage:
   rr-inspect stat  <file.rrlog | run-dir>
   rr-inspect dump  <file.rrlog> [--limit N]
   rr-inspect check <file.rrlog | dir>
+  rr-inspect dag   <run-dir> [--dot DIR]
   rr-inspect trace <trace.jsonl> [-o out.json]";
 
 fn main() -> ExitCode {
@@ -33,6 +43,7 @@ fn main() -> ExitCode {
             "stat" => cmd_stat(rest),
             "dump" => cmd_dump(rest),
             "check" => cmd_check(rest),
+            "dag" => cmd_dag(rest),
             "trace" => cmd_trace(rest),
             "-h" | "--help" | "help" => {
                 println!("{USAGE}");
@@ -383,28 +394,9 @@ fn cmd_check(args: &[String]) -> u8 {
         };
     }
     // A run directory, or a --save-logs root full of them.
-    let (root, names) = if path.join("manifest.txt").is_file() {
-        let name = match path.file_name().and_then(|n| n.to_str()) {
-            Some(n) => n.to_string(),
-            None => {
-                eprintln!("{}: unusable directory name", path.display());
-                return 1;
-            }
-        };
-        let root = path.parent().unwrap_or(Path::new(".")).to_path_buf();
-        (root, vec![name])
-    } else {
-        match rr_sim::list_runs(&path) {
-            Ok(names) if !names.is_empty() => (path.clone(), names),
-            Ok(_) => {
-                eprintln!("{}: no saved runs found", path.display());
-                return 1;
-            }
-            Err(e) => {
-                eprintln!("{}: {e}", path.display());
-                return 1;
-            }
-        }
+    let (root, names) = match resolve_runs(&path) {
+        Ok(t) => t,
+        Err(c) => return c,
     };
     let mut code = 0u8;
     for name in &names {
@@ -421,6 +413,151 @@ fn cmd_check(args: &[String]) -> u8 {
                 code = 1;
             }
         }
+    }
+    code
+}
+
+/// Resolves a path to `(root, run names)`: a single run directory (it
+/// contains `manifest.txt`) yields itself; anything else is treated as a
+/// `--save-logs` root and enumerated.
+fn resolve_runs(path: &Path) -> Result<(PathBuf, Vec<String>), u8> {
+    if path.join("manifest.txt").is_file() {
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n.to_string(),
+            None => {
+                eprintln!("{}: unusable directory name", path.display());
+                return Err(1);
+            }
+        };
+        let root = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+        Ok((root, vec![name]))
+    } else {
+        match rr_sim::list_runs(path) {
+            Ok(names) if !names.is_empty() => Ok((path.to_path_buf(), names)),
+            Ok(_) => {
+                eprintln!("{}: no saved runs found", path.display());
+                Err(1)
+            }
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                Err(1)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dag
+// ---------------------------------------------------------------------------
+
+fn cmd_dag(args: &[String]) -> u8 {
+    let path = match one_path(args, "dag") {
+        Ok(p) => p,
+        Err(c) => return c,
+    };
+    if !path.is_dir() {
+        eprintln!(
+            "rr-inspect dag: {} is not a directory (expected a run saved by --save-logs)",
+            path.display()
+        );
+        return 1;
+    }
+    let mut dot_dir: Option<PathBuf> = None;
+    let mut rest = args[1..].iter();
+    while let Some(a) = rest.next() {
+        if a == "--dot" {
+            dot_dir = rest.next().map(PathBuf::from);
+            if dot_dir.is_none() {
+                eprintln!("rr-inspect dag: --dot needs an output directory\n{USAGE}");
+                return 2;
+            }
+        } else if let Some(d) = a.strip_prefix("--dot=") {
+            dot_dir = Some(PathBuf::from(d));
+        }
+    }
+    let (root, names) = match resolve_runs(&path) {
+        Ok(t) => t,
+        Err(c) => return c,
+    };
+    if let Some(dir) = &dot_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("{}: {e}", dir.display());
+            return 1;
+        }
+    }
+    let mut code = 0u8;
+    for name in &names {
+        let run = match rr_sim::load_run(&root, name) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                code = 1;
+                continue;
+            }
+        };
+        let mut t = Table::new(
+            &format!("{name}: interval DAG"),
+            &[
+                "variant",
+                "order",
+                "nodes",
+                "edges",
+                "crit path",
+                "max width",
+                "ideal x",
+            ],
+        );
+        for v in &run.variants {
+            let cores = v.logs.len();
+            let patched: Result<Vec<_>, _> = v.logs.iter().map(rr_replay::patch).collect();
+            let patched = match patched {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{name}/{}: patch failed: {e}", v.label);
+                    code = 1;
+                    continue;
+                }
+            };
+            let (dag, order) = match &v.ordering {
+                Some(ord) => match rr_replay::IntervalDag::partial_order(cores, &patched, ord) {
+                    Ok(d) => (d, "partial"),
+                    Err(e) => {
+                        eprintln!("{name}/{}: DAG build failed: {e}", v.label);
+                        code = 1;
+                        continue;
+                    }
+                },
+                None => match rr_replay::IntervalDag::total_order(cores, &patched) {
+                    Ok(d) => (d, "total"),
+                    Err(e) => {
+                        eprintln!("{name}/{}: DAG build failed: {e}", v.label);
+                        code = 1;
+                        continue;
+                    }
+                },
+            };
+            let s = dag.stats();
+            t.row(vec![
+                v.label.clone(),
+                order.to_string(),
+                format!("{}", s.nodes),
+                format!("{}", s.edges),
+                format!("{}", s.critical_path),
+                format!("{}", s.max_width),
+                format!("{:.2}", s.ideal_speedup()),
+            ]);
+            if let Some(dir) = &dot_dir {
+                let file = dir.join(format!("{name}-{}.dot", v.label));
+                let dot = dag.to_dot(&format!("{name}/{}", v.label));
+                if let Err(e) = std::fs::write(&file, dot) {
+                    eprintln!("{}: {e}", file.display());
+                    code = 1;
+                } else {
+                    println!("wrote {}", file.display());
+                }
+            }
+        }
+        t.print();
     }
     code
 }

@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 
 use relaxreplay::trace::{TraceConfig, TraceLevel};
-use rr_replay::{patch, replay, verify, CostModel, ReplayOutcome};
+use rr_replay::{patch, replay_with, verify, CostModel, ReplayEngine, ReplayOutcome};
 use rr_sim::sweep::{run_sweep, ReplayPolicy, SweepJob, SweepReport};
 use rr_sim::{metrics, Error, MachineConfig, MetricsRegistry, PhaseNanos, RecorderSpec, RunResult};
 use rr_workloads::suite;
@@ -34,6 +34,12 @@ pub struct ExperimentConfig {
     /// directory and replay + verify them from disk
     /// (`--replay-from <dir>` / `RR_REPLAY_FROM`).
     pub replay_from: Option<PathBuf>,
+    /// Replay executor for the `--replay-from` verification pass
+    /// (`--replay-workers N` / `RR_REPLAY_WORKERS`; N ≥ 1 selects the
+    /// multithreaded engine, 0 its host-parallel default). Sequential
+    /// unless set. Saved runs carrying an `ordering.bin` sidecar replay
+    /// the recorded partial order; older runs fall back to total order.
+    pub replay_engine: ReplayEngine,
     /// Event-tracing configuration (`--trace <level>` / `RR_TRACE`).
     /// Off by default; when enabled, every recorded run carries per-core
     /// timelines and the binaries write `<slug>.trace.jsonl` +
@@ -56,13 +62,15 @@ impl ExperimentConfig {
             workers: 0,
             save_logs: None,
             replay_from: None,
+            replay_engine: ReplayEngine::Sequential,
             trace: TraceConfig::off(),
         }
     }
 
     /// Reads `RR_THREADS` / `RR_SIZE` / `RR_WORKERS` / `RR_SAVE_LOGS` /
-    /// `RR_REPLAY_FROM` / `RR_TRACE` environment overrides and the
-    /// `--workers N`, `--save-logs <dir>`, `--replay-from <dir>`,
+    /// `RR_REPLAY_FROM` / `RR_REPLAY_WORKERS` / `RR_TRACE` environment
+    /// overrides and the `--workers N`, `--save-logs <dir>`,
+    /// `--replay-from <dir>`, `--replay-workers N`,
     /// `--trace <off|intervals|accesses|full>` command-line flags (used
     /// by the binaries so runs can be scaled without recompiling).
     #[must_use]
@@ -98,6 +106,11 @@ impl ExperimentConfig {
                 cfg.trace = TraceConfig::level(level);
             }
         }
+        if let Ok(w) = std::env::var("RR_REPLAY_WORKERS") {
+            if let Ok(w) = w.parse() {
+                cfg.replay_engine = ReplayEngine::Threaded { workers: w };
+            }
+        }
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             if a == "--workers" {
@@ -114,6 +127,15 @@ impl ExperimentConfig {
                 cfg.replay_from = args.next().map(PathBuf::from);
             } else if let Some(d) = a.strip_prefix("--replay-from=") {
                 cfg.replay_from = Some(PathBuf::from(d));
+            } else if a == "--replay-workers" {
+                if let Some(w) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.replay_engine = ReplayEngine::Threaded { workers: w };
+                }
+            } else if let Some(w) = a
+                .strip_prefix("--replay-workers=")
+                .and_then(|v| v.parse().ok())
+            {
+                cfg.replay_engine = ReplayEngine::Threaded { workers: w };
             } else if a == "--trace" {
                 if let Some(level) = args.next().and_then(|v| TraceLevel::parse(&v)) {
                     cfg.trace = TraceConfig::level(level);
@@ -401,11 +423,13 @@ pub fn replay_suite_from(
                 .map(patch)
                 .collect::<Result<_, _>>()
                 .map_err(|e| Error::from(e).context(at("patch failed")))?;
-            let outcome = replay(
+            let outcome = replay_with(
                 &workload.programs,
                 &patched,
+                v.ordering.as_deref(),
                 workload.initial_mem.clone(),
                 &cfg.cost,
+                cfg.replay_engine,
             )
             .map_err(|e| Error::from(e).context(at("replay failed")))?;
             verify(&saved.recorded, &outcome)
@@ -433,10 +457,12 @@ pub fn handle_replay_from(cfg: &ExperimentConfig) -> Result<bool, Error> {
     };
     let summary = replay_suite_from(cfg, dir).map_err(|e| e.context("--replay-from"))?;
     println!(
-        "replay-from {}: {} run(s), {} variant replay(s) verified against the recorded ground truth",
+        "replay-from {}: {} run(s), {} variant replay(s) verified against the recorded \
+         ground truth [{}]",
         dir.display(),
         summary.runs,
-        summary.variants
+        summary.variants,
+        cfg.replay_engine.label()
     );
     Ok(true)
 }

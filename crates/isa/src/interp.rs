@@ -1,4 +1,4 @@
-use crate::{AtomicOp, Instr, MemImage, Program, Reg, NUM_REGS};
+use crate::{AtomicOp, Instr, Memory, Program, Reg, NUM_REGS};
 
 /// What a single interpreted instruction did.
 ///
@@ -146,8 +146,10 @@ impl<'p> Interp<'p> {
         }
     }
 
-    /// Executes one instruction against `mem`.
-    pub fn step(&mut self, mem: &mut MemImage) -> StepEvent {
+    /// Executes one instruction against `mem` — any [`Memory`]
+    /// implementation: the plain [`MemImage`](crate::MemImage) or a
+    /// concurrently shared [`SharedMemHandle`](crate::SharedMemHandle).
+    pub fn step<M: Memory>(&mut self, mem: &mut M) -> StepEvent {
         if self.halted {
             return StepEvent::Halted;
         }
@@ -232,7 +234,7 @@ impl<'p> Interp<'p> {
     }
 
     /// Runs up to `max_instrs` instructions, stopping early on halt.
-    pub fn run(&mut self, mem: &mut MemImage, max_instrs: u64) -> StopReason {
+    pub fn run<M: Memory>(&mut self, mem: &mut M, max_instrs: u64) -> StopReason {
         for _ in 0..max_instrs {
             if let StepEvent::Halted = self.step(mem) {
                 return StopReason::Halted;
@@ -249,7 +251,7 @@ impl<'p> Interp<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BranchCond, ProgramBuilder};
+    use crate::{BranchCond, MemImage, ProgramBuilder};
 
     fn r(i: u8) -> Reg {
         Reg::new(i)

@@ -47,14 +47,18 @@ pub mod asm;
 mod instr;
 mod interp;
 mod mem_image;
+mod memory;
 mod program;
 mod reg;
+mod shared_mem;
 
 pub use instr::{AluOp, AtomicOp, BranchCond, FenceKind, Instr};
 pub use interp::{Interp, StepEvent, StopReason};
 pub use mem_image::MemImage;
+pub use memory::Memory;
 pub use program::{Label, Program, ProgramBuilder, ProgramError};
 pub use reg::Reg;
+pub use shared_mem::{SharedMem, SharedMemHandle};
 
 /// Number of architectural registers in the ISA.
 pub const NUM_REGS: usize = 32;

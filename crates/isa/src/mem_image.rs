@@ -2,8 +2,10 @@ use std::collections::HashMap;
 
 use crate::WORD_BYTES;
 
-/// Words per page of the sparse memory image (4 KiB pages).
-const PAGE_WORDS: usize = 512;
+/// Words per page of the sparse memory image (4 KiB pages). Shared with
+/// the concurrently shareable image in `shared_mem`, so the two address
+/// spaces tile identically.
+pub(crate) const PAGE_WORDS: usize = 512;
 
 /// A sparse, word-granular memory image.
 ///

@@ -1,0 +1,43 @@
+use crate::MemImage;
+
+/// The memory interface the interpreter executes against.
+///
+/// [`Interp::step`](crate::Interp::step) is generic over this trait so the
+/// same functional core can run against the single-threaded sparse
+/// [`MemImage`] (recording, sequential replay) or against a concurrently
+/// shared image ([`SharedMem`](crate::SharedMem) handles, the multithreaded
+/// replay engine). All methods take `&mut self`: a shared-memory handle
+/// mutates worker-local page caches even on loads.
+///
+/// Addresses are byte addresses aligned to [`WORD_BYTES`](crate::WORD_BYTES);
+/// unwritten memory reads as zero — the same contract [`MemImage`]
+/// documents.
+pub trait Memory {
+    /// Reads the word at `addr`.
+    fn load(&mut self, addr: u64) -> u64;
+
+    /// Writes the word at `addr`.
+    fn store(&mut self, addr: u64, value: u64);
+
+    /// Atomically performs a read-modify-write, returning the old value.
+    ///
+    /// `f` maps the old value to `Some(new)` (store `new`) or `None` (leave
+    /// memory unchanged, as in a failed compare-and-swap). Implementations
+    /// backed by compare-and-swap loops may call `f` more than once, so it
+    /// must be a pure function of its argument.
+    fn rmw(&mut self, addr: u64, f: impl FnMut(u64) -> Option<u64>) -> u64;
+}
+
+impl Memory for MemImage {
+    fn load(&mut self, addr: u64) -> u64 {
+        MemImage::load(self, addr)
+    }
+
+    fn store(&mut self, addr: u64, value: u64) {
+        MemImage::store(self, addr, value);
+    }
+
+    fn rmw(&mut self, addr: u64, f: impl FnMut(u64) -> Option<u64>) -> u64 {
+        MemImage::rmw(self, addr, f)
+    }
+}

@@ -19,6 +19,20 @@ pub struct ReplayEvents {
     pub injected_rmws: u64,
 }
 
+impl ReplayEvents {
+    /// Accumulates another event count into this one — used to merge the
+    /// threaded engine's per-core counts into a machine-wide total.
+    pub fn merge(&mut self, other: &ReplayEvents) {
+        self.user_instrs += other.user_instrs;
+        self.intervals += other.intervals;
+        self.blocks += other.blocks;
+        self.injected_loads += other.injected_loads;
+        self.applied_stores += other.applied_stores;
+        self.skips += other.skips;
+        self.injected_rmws += other.injected_rmws;
+    }
+}
+
 /// Cycle-cost model for sequential replay (paper §3.5, §5.4).
 ///
 /// The paper measures replay by linking a control module with the

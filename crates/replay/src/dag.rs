@@ -1,0 +1,426 @@
+//! The interval-dependency DAG — the one intermediate representation all
+//! replay executors consume.
+//!
+//! A recorded execution patches into per-core op streams
+//! ([`PatchedLog`]); this module lifts them into an explicit graph whose
+//! nodes are intervals (with their op slices) and whose edges are the
+//! constraints replay must honour:
+//!
+//! * **same-core chains** — a core's intervals replay in log order;
+//! * **cross-core predecessor edges** — the Cyrus-style partial order the
+//!   recorder piggybacks on coherence replies ([`IntervalOrdering::preds`]);
+//! * **barrier intervals** — conservative total ordering around
+//!   directory-mode dirty evictions ([`IntervalOrdering::barriers`]).
+//!
+//! Two constructors cover the two ordering sources: [`IntervalDag::total_order`]
+//! chains every interval in recorded (timestamp, core) order — the paper's
+//! §3.5 sequential schedule, available from the logs alone — while
+//! [`IntervalDag::partial_order`] keeps only the recorded communication
+//! edges, exposing the replay parallelism of §3.6. Both validate their
+//! inputs (thread counts, core ids, ordering lengths, acyclicity) and
+//! return typed [`ReplayError`]s, so corrupt or hostile inputs can neither
+//! panic nor hang an executor.
+//!
+//! Three executors consume the DAG: the sequential replayer
+//! ([`crate::replay`] = this DAG executed at one worker), the cost-model
+//! list scheduler ([`crate::replay_parallel`]), and the multithreaded
+//! engine ([`crate::replay_threaded`]).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt::Write as _;
+
+use relaxreplay::IntervalOrdering;
+
+use crate::patch::{PatchedLog, ReplayOp};
+use crate::replayer::ReplayError;
+
+/// One interval: a node of the [`IntervalDag`].
+#[derive(Clone, Debug)]
+pub struct IntervalNode<'a> {
+    /// The core this interval belongs to.
+    pub core: usize,
+    /// The interval's per-core ordinal (its index in the core's log).
+    pub ordinal: usize,
+    /// The interval's replay ops (everything between two `EndInterval`s).
+    pub ops: &'a [ReplayOp],
+    /// The recorded global timestamp (QuickRec ordering).
+    pub timestamp: u64,
+    /// Whether this is a barrier interval (directory-mode dirty eviction).
+    pub barrier: bool,
+    /// Number of incoming dependency edges.
+    pub preds: usize,
+    /// Node ids that depend on this interval.
+    pub succs: Vec<usize>,
+}
+
+/// Shape statistics of an [`IntervalDag`] — what `rr-inspect dag` prints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DagStats {
+    /// Interval count.
+    pub nodes: usize,
+    /// Dependency-edge count.
+    pub edges: usize,
+    /// Number of replayed cores.
+    pub threads: usize,
+    /// Longest dependency chain, in intervals.
+    pub critical_path: usize,
+    /// Largest number of intervals at the same dependency depth — an upper
+    /// bound on how many workers the DAG can keep busy at once.
+    pub max_width: usize,
+}
+
+impl DagStats {
+    /// `nodes / critical_path`: the speedup an unbounded worker pool could
+    /// reach if every interval cost the same.
+    #[must_use]
+    pub fn ideal_speedup(&self) -> f64 {
+        if self.critical_path == 0 {
+            return 1.0;
+        }
+        self.nodes as f64 / self.critical_path as f64
+    }
+}
+
+/// The interval-dependency DAG: intervals with their patch-op slices,
+/// plus every ordering edge replay must honour. See the module docs.
+#[derive(Clone, Debug)]
+pub struct IntervalDag<'a> {
+    nodes: Vec<IntervalNode<'a>>,
+    threads: usize,
+    edges: usize,
+}
+
+/// Splits each log's op stream at its `EndInterval` markers, yielding the
+/// per-core node lists (timestamps from the interval frames).
+fn split_intervals<'a>(
+    threads: usize,
+    logs: &'a [PatchedLog],
+) -> Result<Vec<Vec<IntervalNode<'a>>>, ReplayError> {
+    if logs.len() != threads {
+        return Err(ReplayError::ThreadCountMismatch {
+            programs: threads,
+            logs: logs.len(),
+        });
+    }
+    for log in logs {
+        if log.core.index() >= threads {
+            return Err(ReplayError::CoreOutOfRange {
+                core: log.core.index(),
+                threads,
+            });
+        }
+    }
+    let mut per_core = Vec::with_capacity(logs.len());
+    for log in logs {
+        let mut nodes = Vec::new();
+        let mut start = 0usize;
+        for (i, op) in log.ops.iter().enumerate() {
+            if let ReplayOp::EndInterval { timestamp, .. } = op {
+                nodes.push(IntervalNode {
+                    core: log.core.index(),
+                    ordinal: nodes.len(),
+                    ops: &log.ops[start..i],
+                    timestamp: *timestamp,
+                    barrier: false,
+                    preds: 0,
+                    succs: Vec::new(),
+                });
+                start = i + 1;
+            }
+        }
+        per_core.push(nodes);
+    }
+    Ok(per_core)
+}
+
+impl<'a> IntervalDag<'a> {
+    /// Builds the DAG for the recorded **total order**: one chain through
+    /// every interval in (timestamp, core, ordinal) order — exactly the
+    /// schedule the paper's sequential OS module replays (§3.5). Needs no
+    /// [`IntervalOrdering`], so it works for runs loaded from bare
+    /// `.rrlog` files.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::ThreadCountMismatch`] / [`ReplayError::CoreOutOfRange`]
+    /// on inconsistent inputs.
+    pub fn total_order(threads: usize, logs: &'a [PatchedLog]) -> Result<Self, ReplayError> {
+        let per_core = split_intervals(threads, logs)?;
+        let mut nodes: Vec<IntervalNode<'a>> = per_core.into_iter().flatten().collect();
+        let mut order: Vec<usize> = (0..nodes.len()).collect();
+        order.sort_by_key(|&i| (nodes[i].timestamp, nodes[i].core, nodes[i].ordinal));
+        for pair in order.windows(2) {
+            let (from, to) = (pair[0], pair[1]);
+            nodes[from].succs.push(to);
+            nodes[to].preds += 1;
+        }
+        let edges = nodes.len().saturating_sub(1);
+        let dag = IntervalDag {
+            nodes,
+            threads,
+            edges,
+        };
+        debug_assert_eq!(dag.check_acyclic(), Ok(()));
+        Ok(dag)
+    }
+
+    /// Builds the DAG for the recorded **partial order**: same-core
+    /// chains, cross-core predecessor edges, and barrier intervals from
+    /// `orderings` (paper §3.6). Validated acyclic, so every executor can
+    /// rely on making progress.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::ThreadCountMismatch`], [`ReplayError::CoreOutOfRange`]
+    /// (a log or ordering names a core outside the thread set),
+    /// [`ReplayError::OrderingMismatch`] (an ordering is shorter than its
+    /// log's interval count), or [`ReplayError::CyclicOrdering`] (the
+    /// recorded edges contradict each other — corrupt input; a correct
+    /// recorder cannot produce a cycle).
+    pub fn partial_order(
+        threads: usize,
+        logs: &'a [PatchedLog],
+        orderings: &[IntervalOrdering],
+    ) -> Result<Self, ReplayError> {
+        if orderings.len() != logs.len() {
+            return Err(ReplayError::ThreadCountMismatch {
+                programs: threads,
+                logs: orderings.len(),
+            });
+        }
+        let per_core = split_intervals(threads, logs)?;
+
+        // Re-stamp nodes from the ordering (frame timestamps + barrier
+        // flags), validating lengths up front.
+        let mut first_of_core = Vec::with_capacity(per_core.len());
+        let mut nodes: Vec<IntervalNode<'a>> = Vec::new();
+        for (c, (core_nodes, ord)) in per_core.into_iter().zip(orderings).enumerate() {
+            let ordered = ord.timestamps.len().min(ord.barriers.len());
+            if core_nodes.len() > ordered {
+                return Err(ReplayError::OrderingMismatch {
+                    core: c,
+                    intervals: core_nodes.len(),
+                    ordered,
+                });
+            }
+            first_of_core.push(nodes.len());
+            for (k, mut n) in core_nodes.into_iter().enumerate() {
+                n.timestamp = ord.timestamps[k];
+                n.barrier = ord.barriers[k];
+                nodes.push(n);
+            }
+        }
+        let total = nodes.len();
+        let intervals_of = |core: usize| -> usize {
+            let start = first_of_core[core];
+            let end = first_of_core.get(core + 1).copied().unwrap_or(total);
+            end - start
+        };
+        let node_id =
+            |core: usize, ordinal: u64| -> usize { first_of_core[core] + ordinal as usize };
+
+        let mut edges = 0usize;
+        let mut add_edge = |nodes: &mut Vec<IntervalNode>, from: usize, to: usize| {
+            if from != to {
+                nodes[from].succs.push(to);
+                nodes[to].preds += 1;
+                edges += 1;
+            }
+        };
+        // Same-core chains.
+        for c in 0..logs.len() {
+            for k in 1..intervals_of(c) {
+                add_edge(&mut nodes, node_id(c, k as u64 - 1), node_id(c, k as u64));
+            }
+        }
+        // Cross-core predecessor edges (deduplicated per node).
+        for (c, ord) in orderings.iter().enumerate() {
+            for (k, preds) in ord.preds.iter().enumerate() {
+                if k >= intervals_of(c) {
+                    // Orderings may extend past the last *logged* interval
+                    // (e.g. a trailing open interval); edges into intervals
+                    // the log never closed constrain nothing.
+                    continue;
+                }
+                let to = node_id(c, k as u64);
+                let mut seen: Vec<(usize, u64)> = Vec::new();
+                for &(src_core, src_ord) in preds {
+                    let sc = src_core.index();
+                    // A corrupted ordering can name a core outside the
+                    // thread set; `intervals_of` would index out of bounds.
+                    if sc >= logs.len() {
+                        return Err(ReplayError::CoreOutOfRange {
+                            core: sc,
+                            threads: logs.len(),
+                        });
+                    }
+                    if sc == c || src_ord as usize >= intervals_of(sc) {
+                        continue;
+                    }
+                    if seen.contains(&(sc, src_ord)) {
+                        continue;
+                    }
+                    seen.push((sc, src_ord));
+                    add_edge(&mut nodes, node_id(sc, src_ord), to);
+                }
+            }
+        }
+        // Barrier edges: an eviction-closed interval precedes everything
+        // with a larger timestamp, and follows everything with a smaller
+        // one.
+        let mut by_time: Vec<usize> = (0..nodes.len()).collect();
+        by_time.sort_by_key(|&i| (nodes[i].timestamp, nodes[i].core));
+        let mut last_of_core: Vec<Option<usize>> = vec![None; logs.len()];
+        let mut last_barrier: Option<usize> = None;
+        for &i in &by_time {
+            if let Some(b) = last_barrier {
+                add_edge(&mut nodes, b, i);
+            }
+            if nodes[i].barrier {
+                for prev in last_of_core.iter().flatten() {
+                    add_edge(&mut nodes, *prev, i);
+                }
+                last_barrier = Some(i);
+            }
+            last_of_core[nodes[i].core] = Some(i);
+        }
+
+        let dag = IntervalDag {
+            nodes,
+            threads,
+            edges,
+        };
+        dag.check_acyclic()?;
+        Ok(dag)
+    }
+
+    /// The interval nodes, grouped by core (all of core 0's intervals in
+    /// log order, then core 1's, …).
+    #[must_use]
+    pub fn nodes(&self) -> &[IntervalNode<'a>] {
+        &self.nodes
+    }
+
+    /// Number of replayed cores.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total number of dependency edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// A deterministic topological order: Kahn's algorithm with ready
+    /// nodes drained in (timestamp, core, id) order — so for a
+    /// [`total_order`](Self::total_order) DAG this *is* the recorded
+    /// replay schedule. Constructors validate acyclicity, so the order
+    /// always covers every node.
+    #[must_use]
+    pub fn topo_order(&self) -> Vec<usize> {
+        let mut deps: Vec<usize> = self.nodes.iter().map(|n| n.preds).collect();
+        let mut ready: BinaryHeap<Reverse<(u64, usize, usize)>> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.preds == 0)
+            .map(|(i, n)| Reverse((n.timestamp, n.core, i)))
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(Reverse((_, _, i))) = ready.pop() {
+            order.push(i);
+            for &s in &self.nodes[i].succs {
+                deps[s] -= 1;
+                if deps[s] == 0 {
+                    ready.push(Reverse((self.nodes[s].timestamp, self.nodes[s].core, s)));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.nodes.len());
+        order
+    }
+
+    /// Kahn's algorithm as a pure validity check.
+    fn check_acyclic(&self) -> Result<(), ReplayError> {
+        let mut deps: Vec<usize> = self.nodes.iter().map(|n| n.preds).collect();
+        let mut stack: Vec<usize> = deps
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(i) = stack.pop() {
+            visited += 1;
+            for &s in &self.nodes[i].succs {
+                deps[s] -= 1;
+                if deps[s] == 0 {
+                    stack.push(s);
+                }
+            }
+        }
+        if visited == self.nodes.len() {
+            Ok(())
+        } else {
+            Err(ReplayError::CyclicOrdering {
+                executed: visited,
+                intervals: self.nodes.len(),
+            })
+        }
+    }
+
+    /// Shape statistics: node/edge counts, critical-path length (longest
+    /// dependency chain in intervals), maximum width, ideal speedup.
+    #[must_use]
+    pub fn stats(&self) -> DagStats {
+        let order = self.topo_order();
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut critical_path = 0usize;
+        for &i in &order {
+            let d = depth[i] + 1;
+            critical_path = critical_path.max(d);
+            for &s in &self.nodes[i].succs {
+                depth[s] = depth[s].max(d);
+            }
+        }
+        let mut width = vec![0usize; critical_path];
+        for (&d, _) in depth.iter().zip(&self.nodes) {
+            width[d] += 1;
+        }
+        DagStats {
+            nodes: self.nodes.len(),
+            edges: self.edges,
+            threads: self.threads,
+            critical_path,
+            max_width: width.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Graphviz DOT export: one node per interval (barriers as boxes),
+    /// one edge per dependency. Load with `dot -Tsvg`.
+    #[must_use]
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph {{");
+        let _ = writeln!(s, "  label={title:?};");
+        let _ = writeln!(s, "  rankdir=TB; node [fontsize=10];");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = if n.barrier { "box" } else { "ellipse" };
+            let _ = writeln!(
+                s,
+                "  n{i} [label=\"c{}.{}\\n@{}\" shape={shape}];",
+                n.core, n.ordinal, n.timestamp
+            );
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &d in &n.succs {
+                let _ = writeln!(s, "  n{i} -> n{d};");
+            }
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}

@@ -58,6 +58,8 @@
 #![forbid(unsafe_code)]
 
 mod cost;
+pub mod dag;
+mod engine;
 pub mod forensics;
 mod ingest;
 pub mod oracle;
@@ -67,12 +69,15 @@ mod replayer;
 mod verify;
 
 pub use cost::{CostModel, ReplayEvents};
+pub use dag::{DagStats, IntervalDag, IntervalNode};
+pub use engine::{execute_threaded, replay_threaded, replay_with, ReplayEngine};
 pub use forensics::divergence_report;
 pub use ingest::{decode_logs_parallel, default_ingest_workers, read_rrlogs_parallel, IngestError};
 pub use oracle::{cross_check, minimize, DifferentialError, Shrink};
-pub use parallel::{replay_parallel, ParallelOutcome};
+pub use parallel::{execute_modeled, replay_parallel, ParallelOutcome};
 pub use patch::{patch, patch_source, PatchError, PatchSourceError, PatchedLog, ReplayOp};
 pub use replayer::{
-    replay, replay_sources, replay_traced, ReplayError, ReplayOutcome, ReplaySourceError,
+    replay, replay_reference, replay_sources, replay_traced, ReplayError, ReplayOutcome,
+    ReplaySourceError,
 };
 pub use verify::{verify, verify_traced, RecordedExecution, VerifyError};

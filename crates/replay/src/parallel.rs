@@ -1,4 +1,5 @@
-//! Parallel replay of RelaxReplay logs (paper §3.6, §5.4).
+//! Parallel replay of RelaxReplay logs (paper §3.6, §5.4) — the
+//! *cost-model* executor.
 //!
 //! The paper's QuickRec-style interval ordering records a *total* order,
 //! forcing sequential replay; §3.6 notes that pairing RelaxReplay with a
@@ -9,13 +10,17 @@
 //! coherence replies, plus conservative barrier intervals for
 //! directory-mode dirty evictions.
 //!
-//! [`replay_parallel`] validates the partial order by *executing* the
-//! intervals in a topological order chosen by a list scheduler (generally
-//! very different from the timestamp order) and returning a
-//! [`ReplayOutcome`] the caller can pass to [`verify`](crate::verify). It
-//! also reports the makespan on `workers` replay cores under the replay
-//! cost model — the parallel-replay speedup of §5.4's closing remark.
+//! This module consumes the same [`IntervalDag`] IR as the sequential and
+//! multithreaded engines: [`replay_parallel`] builds the partial-order DAG
+//! and [`execute_modeled`] validates it by *executing* the intervals in a
+//! topological order chosen by a list scheduler (generally very different
+//! from the timestamp order), returning a [`ReplayOutcome`] the caller can
+//! pass to [`verify`](crate::verify). It also reports the makespan on
+//! `workers` replay cores under the replay cost model — the
+//! parallel-replay speedup of §5.4's closing remark. For *measured*
+//! wall-clock parallelism, see [`crate::replay_threaded`].
 
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use relaxreplay::IntervalOrdering;
@@ -23,6 +28,7 @@ use rr_isa::{Interp, MemImage, Program};
 use rr_mem::CoreId;
 
 use crate::cost::{CostModel, ReplayEvents};
+use crate::dag::IntervalDag;
 use crate::patch::{PatchedLog, ReplayOp};
 use crate::replayer::{exec_interval_ops, ReplayError, ReplayOutcome};
 
@@ -51,17 +57,6 @@ impl ParallelOutcome {
     }
 }
 
-struct Node<'a> {
-    core: usize,
-    ops: &'a [ReplayOp],
-    timestamp: u64,
-    barrier: bool,
-    duration: u64,
-    deps_remaining: usize,
-    dependents: Vec<usize>,
-    ready_at: u64,
-}
-
 fn interval_duration(ops: &[ReplayOp], cost: &CostModel) -> u64 {
     let mut ev = ReplayEvents {
         intervals: 1,
@@ -83,189 +78,126 @@ fn interval_duration(ops: &[ReplayOp], cost: &CostModel) -> u64 {
     cost.total_cycles(&ev)
 }
 
-/// Replays patched logs **in parallel**, honouring the recorded partial
-/// order instead of the total timestamp order.
+/// Replays patched logs honouring the recorded partial order instead of
+/// the total timestamp order, modelling the makespan on `workers` replay
+/// cores.
 ///
-/// The execution itself runs on one host thread (the point is validating
-/// the order and modelling the time, not wall-clock speed): a list
-/// scheduler with `workers` replay cores picks ready intervals, executes
-/// each atomically against shared memory, and accumulates the makespan.
+/// Builds the [`IntervalDag`] from the logs and orderings (validating
+/// acyclicity and ordering/log consistency up front), then hands it to
+/// [`execute_modeled`].
 ///
 /// # Errors
 ///
-/// Same conditions as [`replay`](crate::replay) — plus any log/ordering
-/// length mismatch, which indicates corrupted inputs.
+/// Same conditions as [`replay`](crate::replay), plus the DAG validation
+/// errors ([`ReplayError::OrderingMismatch`],
+/// [`ReplayError::CyclicOrdering`], [`ReplayError::CoreOutOfRange`]) on
+/// corrupted ordering inputs.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
 pub fn replay_parallel(
     programs: &[Program],
     logs: &[PatchedLog],
     orderings: &[IntervalOrdering],
+    mem: MemImage,
+    cost: &CostModel,
+    workers: usize,
+) -> Result<ParallelOutcome, ReplayError> {
+    assert!(workers >= 1, "need at least one replay worker");
+    let dag = IntervalDag::partial_order(programs.len(), logs, orderings)?;
+    execute_modeled(programs, &dag, mem, cost, workers)
+}
+
+/// List-schedules a validated [`IntervalDag`] onto `workers` modelled
+/// replay cores, executing every interval on one host thread while
+/// accumulating the modelled makespan.
+///
+/// # Errors
+///
+/// Any [`ReplayError`] raised while executing an interval, or
+/// [`ReplayError::ThreadCountMismatch`] if the DAG and `programs` disagree
+/// on the thread count.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn execute_modeled(
+    programs: &[Program],
+    dag: &IntervalDag<'_>,
     mut mem: MemImage,
     cost: &CostModel,
     workers: usize,
 ) -> Result<ParallelOutcome, ReplayError> {
     assert!(workers >= 1, "need at least one replay worker");
-    if programs.len() != logs.len() || logs.len() != orderings.len() {
+    if dag.threads() != programs.len() {
         return Err(ReplayError::ThreadCountMismatch {
             programs: programs.len(),
-            logs: logs.len(),
+            logs: dag.threads(),
         });
     }
-    // A corrupted log can name an arbitrary core; reject before indexing.
-    for log in logs {
-        if log.core.index() >= programs.len() {
-            return Err(ReplayError::CoreOutOfRange {
-                core: log.core.index(),
-                threads: programs.len(),
-            });
-        }
-    }
+    let nodes = dag.nodes();
+    let durations: Vec<u64> = nodes
+        .iter()
+        .map(|n| interval_duration(n.ops, cost))
+        .collect();
+    let mut deps: Vec<usize> = nodes.iter().map(|n| n.preds).collect();
+    let mut ready_at: Vec<u64> = vec![0; nodes.len()];
 
-    // ---- build nodes -----------------------------------------------------
-    let mut nodes: Vec<Node> = Vec::new();
-    let mut first_node_of_core: Vec<usize> = Vec::new();
-    for (c, (log, ord)) in logs.iter().zip(orderings).enumerate() {
-        first_node_of_core.push(nodes.len());
-        let mut start = 0usize;
-        let mut k = 0usize;
-        for (i, op) in log.ops.iter().enumerate() {
-            if let ReplayOp::EndInterval { .. } = op {
-                assert!(
-                    k < ord.timestamps.len(),
-                    "ordering shorter than the log's intervals"
-                );
-                nodes.push(Node {
-                    core: c,
-                    ops: &log.ops[start..i],
-                    timestamp: ord.timestamps[k],
-                    barrier: ord.barriers[k],
-                    duration: interval_duration(&log.ops[start..i], cost),
-                    deps_remaining: 0,
-                    dependents: Vec::new(),
-                    ready_at: 0,
-                });
-                start = i + 1;
-                k += 1;
-            }
-        }
-    }
-    let total_nodes = nodes.len();
-    let first = first_node_of_core.clone();
-    let node_id = move |core: usize, ordinal: u64| -> usize { first[core] + ordinal as usize };
-    let first2 = first_node_of_core.clone();
-    let intervals_of = move |core: usize| -> usize {
-        let start = first2[core];
-        let end = first2.get(core + 1).copied().unwrap_or(total_nodes);
-        end - start
-    };
-
-    // ---- edges ------------------------------------------------------------
-    let add_edge = |nodes: &mut Vec<Node>, from: usize, to: usize| {
-        if from != to {
-            nodes[from].dependents.push(to);
-            nodes[to].deps_remaining += 1;
-        }
-    };
-    // Same-core chains.
-    for c in 0..logs.len() {
-        for k in 1..intervals_of(c) {
-            add_edge(&mut nodes, node_id(c, k as u64 - 1), node_id(c, k as u64));
-        }
-    }
-    // Cross-core predecessor edges (deduplicated per node).
-    for (c, ord) in orderings.iter().enumerate() {
-        for (k, preds) in ord.preds.iter().enumerate() {
-            let to = node_id(c, k as u64);
-            let mut seen: Vec<(usize, u64)> = Vec::new();
-            for &(src_core, src_ord) in preds {
-                let sc = src_core.index();
-                // A corrupted ordering can name a core outside the thread
-                // set; `intervals_of` would index out of bounds.
-                if sc >= logs.len() {
-                    return Err(ReplayError::CoreOutOfRange {
-                        core: sc,
-                        threads: logs.len(),
-                    });
-                }
-                if sc == c || src_ord as usize >= intervals_of(sc) {
-                    continue;
-                }
-                if seen.contains(&(sc, src_ord)) {
-                    continue;
-                }
-                seen.push((sc, src_ord));
-                add_edge(&mut nodes, node_id(sc, src_ord), to);
-            }
-        }
-    }
-    // Barrier edges: an eviction-closed interval precedes everything with a
-    // larger timestamp, and follows everything with a smaller one.
-    let mut by_time: Vec<usize> = (0..nodes.len()).collect();
-    by_time.sort_by_key(|&i| (nodes[i].timestamp, nodes[i].core));
-    let mut last_of_core: Vec<Option<usize>> = vec![None; logs.len()];
-    let mut last_barrier: Option<usize> = None;
-    for &i in &by_time {
-        if let Some(b) = last_barrier {
-            add_edge(&mut nodes, b, i);
-        }
-        if nodes[i].barrier {
-            for prev in last_of_core.iter().flatten() {
-                add_edge(&mut nodes, *prev, i);
-            }
-            last_barrier = Some(i);
-        }
-        last_of_core[nodes[i].core] = Some(i);
-    }
-
-    // ---- list scheduling + execution ---------------------------------------
     let mut interps: Vec<Interp> = programs.iter().map(Interp::new).collect();
     let mut traces: Vec<Vec<u64>> = vec![Vec::new(); programs.len()];
     let mut events = ReplayEvents::default();
     // Min-heaps via Reverse ordering: ready tasks by (ready_at, id);
     // workers by free-at time.
-    let mut ready: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
-    for (i, n) in nodes.iter().enumerate() {
-        if n.deps_remaining == 0 {
-            ready.push(std::cmp::Reverse((0, i)));
+    let mut ready: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for (i, &d) in deps.iter().enumerate() {
+        if d == 0 {
+            ready.push(Reverse((0, i)));
         }
     }
-    let mut worker_free: BinaryHeap<std::cmp::Reverse<u64>> =
-        (0..workers).map(|_| std::cmp::Reverse(0u64)).collect();
+    let mut worker_free: BinaryHeap<Reverse<u64>> = (0..workers).map(|_| Reverse(0u64)).collect();
     let mut makespan = 0u64;
     let mut total_work = 0u64;
     let mut executed = 0usize;
 
-    while let Some(std::cmp::Reverse((ready_at, i))) = ready.pop() {
-        let std::cmp::Reverse(free_at) = worker_free.pop().expect("worker pool is non-empty");
-        let start = ready_at.max(free_at);
-        let finish = start + nodes[i].duration;
-        worker_free.push(std::cmp::Reverse(finish));
+    while let Some(Reverse((task_ready, i))) = ready.pop() {
+        let Reverse(free_at) = worker_free.pop().expect("worker pool is non-empty");
+        let start = task_ready.max(free_at);
+        let finish = start + durations[i];
+        worker_free.push(Reverse(finish));
         makespan = makespan.max(finish);
-        total_work += nodes[i].duration;
+        total_work += durations[i];
         events.intervals += 1;
         // Execute the interval now — ready order is a topological order.
         {
-            let core = CoreId::new(nodes[i].core as u8);
-            let interp = &mut interps[nodes[i].core];
-            let trace = &mut traces[nodes[i].core];
-            exec_interval_ops(nodes[i].ops, core, interp, &mut mem, trace, &mut events)?;
+            let node = &nodes[i];
+            let core = CoreId::new(node.core as u8);
+            exec_interval_ops(
+                node.ops,
+                core,
+                &mut interps[node.core],
+                &mut mem,
+                &mut traces[node.core],
+                &mut events,
+            )?;
         }
         executed += 1;
-        let dependents = std::mem::take(&mut nodes[i].dependents);
-        for d in dependents {
-            nodes[d].ready_at = nodes[d].ready_at.max(finish);
-            nodes[d].deps_remaining -= 1;
-            if nodes[d].deps_remaining == 0 {
-                ready.push(std::cmp::Reverse((nodes[d].ready_at, d)));
+        for &d in &nodes[i].succs {
+            ready_at[d] = ready_at[d].max(finish);
+            deps[d] -= 1;
+            if deps[d] == 0 {
+                ready.push(Reverse((ready_at[d], d)));
             }
         }
     }
-    assert_eq!(
-        executed,
-        nodes.len(),
-        "ordering graph has a cycle: {} of {} intervals executed",
-        executed,
-        nodes.len()
-    );
+    if executed != nodes.len() {
+        // Unreachable for a constructor-validated DAG; kept typed so a
+        // scheduler bug cannot silently truncate replay.
+        return Err(ReplayError::CyclicOrdering {
+            executed,
+            intervals: nodes.len(),
+        });
+    }
 
     let user_cycles = cost.user_cycles(&events);
     let os_cycles = cost.os_cycles(&events);

@@ -2,10 +2,11 @@ use core::fmt;
 
 use relaxreplay::trace::{TraceEvent, TraceRing};
 use relaxreplay::wire::LogSource;
-use rr_isa::{Instr, Interp, MemImage, Program, StepEvent};
+use rr_isa::{Instr, Interp, MemImage, Memory, Program, StepEvent};
 use rr_mem::CoreId;
 
 use crate::cost::{CostModel, ReplayEvents};
+use crate::dag::IntervalDag;
 use crate::patch::{patch_source, PatchSourceError, PatchedLog, ReplayOp};
 
 /// Errors detected while replaying a log. Any of these means the log does
@@ -52,6 +53,25 @@ pub enum ReplayError {
         /// Number of replayed threads.
         threads: usize,
     },
+    /// A core's interval ordering covers a different number of intervals
+    /// than its log — a truncated or misattributed ordering sidecar.
+    OrderingMismatch {
+        /// The core whose ordering disagrees with its log.
+        core: usize,
+        /// Intervals in the core's log.
+        intervals: usize,
+        /// Intervals covered by the ordering.
+        ordered: usize,
+    },
+    /// The recorded interval ordering contains a dependency cycle, so no
+    /// execution can satisfy it — corrupted ordering data. Detected by
+    /// the DAG validation pass at construction, never by a hung executor.
+    CyclicOrdering {
+        /// Intervals that could be topologically ordered.
+        executed: usize,
+        /// Total intervals in the DAG.
+        intervals: usize,
+    },
 }
 
 impl fmt::Display for ReplayError {
@@ -81,6 +101,21 @@ impl fmt::Display for ReplayError {
                     "log names core {core} but only {threads} threads are being replayed"
                 )
             }
+            ReplayError::OrderingMismatch {
+                core,
+                intervals,
+                ordered,
+            } => write!(
+                f,
+                "core {core}: log has {intervals} intervals but the ordering covers {ordered}"
+            ),
+            ReplayError::CyclicOrdering {
+                executed,
+                intervals,
+            } => write!(
+                f,
+                "interval ordering has a cycle: only {executed} of {intervals} intervals can execute"
+            ),
         }
     }
 }
@@ -147,9 +182,135 @@ pub fn replay(
 pub fn replay_traced(
     programs: &[Program],
     logs: &[PatchedLog],
+    mem: MemImage,
+    cost: &CostModel,
+    trace: Option<&mut TraceRing>,
+) -> Result<ReplayOutcome, ReplayError> {
+    let dag = IntervalDag::total_order(programs.len(), logs)?;
+    execute_sequential(programs, &dag, mem, cost, trace)
+}
+
+/// Executes a validated [`IntervalDag`] on one thread, visiting intervals
+/// in deterministic topological order (lowest available
+/// `(timestamp, core)` first). With a total-order DAG this reproduces the
+/// recorded schedule exactly; with a partial-order DAG it is one legal
+/// linearization — the same one every time.
+pub(crate) fn execute_sequential(
+    programs: &[Program],
+    dag: &IntervalDag<'_>,
     mut mem: MemImage,
     cost: &CostModel,
     mut trace: Option<&mut TraceRing>,
+) -> Result<ReplayOutcome, ReplayError> {
+    if dag.threads() != programs.len() {
+        return Err(ReplayError::ThreadCountMismatch {
+            programs: programs.len(),
+            logs: dag.threads(),
+        });
+    }
+    let order = dag.topo_order();
+    if order.len() != dag.nodes().len() {
+        // Unreachable for a constructor-validated DAG; kept typed so a
+        // future constructor bug cannot silently truncate replay.
+        return Err(ReplayError::CyclicOrdering {
+            executed: order.len(),
+            intervals: dag.nodes().len(),
+        });
+    }
+
+    let mut interps: Vec<Interp> = programs.iter().map(Interp::new).collect();
+    let mut traces: Vec<Vec<u64>> = vec![Vec::new(); programs.len()];
+    let mut events = ReplayEvents::default();
+
+    let mut last_global: Vec<Option<usize>> = vec![None; programs.len()];
+    for (gi, &id) in order.iter().enumerate() {
+        let node = &dag.nodes()[id];
+        events.intervals += 1;
+        let core = CoreId::new(node.core as u8);
+        if let Some(t) = trace.as_deref_mut() {
+            // The thread waited iff other threads' intervals ran since its
+            // previous one (or before its first).
+            let waited = match last_global[node.core] {
+                Some(prev) => gi > prev + 1,
+                None => gi > 0,
+            };
+            if waited {
+                t.push(
+                    node.timestamp,
+                    TraceEvent::ReplayWait {
+                        core: node.core as u8,
+                        ordinal: node.ordinal as u64,
+                        timestamp: node.timestamp,
+                    },
+                );
+            }
+        }
+        exec_interval_ops(
+            node.ops,
+            core,
+            &mut interps[node.core],
+            &mut mem,
+            &mut traces[node.core],
+            &mut events,
+        )?;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(
+                node.timestamp,
+                TraceEvent::ReplayRelease {
+                    core: node.core as u8,
+                    ordinal: node.ordinal as u64,
+                    timestamp: node.timestamp,
+                    loads_done: traces[node.core].len() as u64,
+                },
+            );
+        }
+        last_global[node.core] = Some(gi);
+    }
+
+    check_end_state(programs, &interps)?;
+
+    let user_cycles = cost.user_cycles(&events);
+    let os_cycles = cost.os_cycles(&events);
+    Ok(ReplayOutcome {
+        mem,
+        load_traces: traces,
+        events,
+        user_cycles,
+        os_cycles,
+    })
+}
+
+/// Every thread must have reached its end: either halted, past the end of
+/// its program, or parked exactly at a final `Halt`.
+pub(crate) fn check_end_state(programs: &[Program], interps: &[Interp]) -> Result<(), ReplayError> {
+    for (i, interp) in interps.iter().enumerate() {
+        let at_end = interp.is_halted()
+            || interp.pc() >= programs[i].len()
+            || matches!(programs[i].get(interp.pc()), Some(Instr::Halt));
+        if !at_end {
+            return Err(ReplayError::IncompleteReplay {
+                core: CoreId::new(i as u8),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The pre-DAG replayer, preserved verbatim as a differential baseline:
+/// splits the logs into intervals itself, merges them into the recorded
+/// total order with a stable sort by `(timestamp, core)` and executes the
+/// merged schedule directly. The DAG-backed [`replay`] must produce
+/// byte-identical outcomes — `tests/parallel_replay_engine.rs` holds the
+/// differential test.
+///
+/// # Errors
+///
+/// Same as [`replay`].
+pub fn replay_reference(
+    programs: &[Program],
+    logs: &[PatchedLog],
+    mut mem: MemImage,
+    cost: &CostModel,
 ) -> Result<ReplayOutcome, ReplayError> {
     if programs.len() != logs.len() {
         return Err(ReplayError::ThreadCountMismatch {
@@ -193,67 +354,20 @@ pub fn replay_traced(
     let mut traces: Vec<Vec<u64>> = vec![Vec::new(); programs.len()];
     let mut events = ReplayEvents::default();
 
-    let mut per_core_ordinal = vec![0u64; programs.len()];
-    let mut last_global: Vec<Option<usize>> = vec![None; programs.len()];
-    for (gi, interval) in schedule.iter().enumerate() {
+    for interval in &schedule {
         events.intervals += 1;
         let core = CoreId::new(interval.core as u8);
-        let ordinal = per_core_ordinal[interval.core];
-        if let Some(t) = trace.as_deref_mut() {
-            // The thread waited iff other threads' intervals ran since its
-            // previous one (or before its first).
-            let waited = match last_global[interval.core] {
-                Some(prev) => gi > prev + 1,
-                None => gi > 0,
-            };
-            if waited {
-                t.push(
-                    interval.timestamp,
-                    TraceEvent::ReplayWait {
-                        core: interval.core as u8,
-                        ordinal,
-                        timestamp: interval.timestamp,
-                    },
-                );
-            }
-        }
-        let interp = &mut interps[interval.core];
-        let load_trace = &mut traces[interval.core];
         exec_interval_ops(
             interval.ops,
             core,
-            interp,
+            &mut interps[interval.core],
             &mut mem,
-            load_trace,
+            &mut traces[interval.core],
             &mut events,
         )?;
-        if let Some(t) = trace.as_deref_mut() {
-            t.push(
-                interval.timestamp,
-                TraceEvent::ReplayRelease {
-                    core: interval.core as u8,
-                    ordinal,
-                    timestamp: interval.timestamp,
-                    loads_done: traces[interval.core].len() as u64,
-                },
-            );
-        }
-        last_global[interval.core] = Some(gi);
-        per_core_ordinal[interval.core] += 1;
     }
 
-    // Every thread must have reached its end: either halted, or exactly at
-    // the end of its program.
-    for (i, interp) in interps.iter_mut().enumerate() {
-        let at_end = interp.is_halted()
-            || interp.pc() >= programs[i].len()
-            || matches!(programs[i].get(interp.pc()), Some(Instr::Halt));
-        if !at_end {
-            return Err(ReplayError::IncompleteReplay {
-                core: CoreId::new(i as u8),
-            });
-        }
-    }
+    check_end_state(programs, &interps)?;
 
     let user_cycles = cost.user_cycles(&events);
     let os_cycles = cost.os_cycles(&events);
@@ -329,7 +443,7 @@ pub fn replay_sources(
     Ok(replay(programs, &logs, mem, cost)?)
 }
 
-fn step_traced(interp: &mut Interp, mem: &mut MemImage, trace: &mut Vec<u64>) {
+fn step_traced<M: Memory>(interp: &mut Interp, mem: &mut M, trace: &mut Vec<u64>) {
     match interp.step(mem) {
         StepEvent::Load { value, .. } => trace.push(value),
         StepEvent::Atomic { loaded, .. } => trace.push(loaded),
@@ -338,12 +452,14 @@ fn step_traced(interp: &mut Interp, mem: &mut MemImage, trace: &mut Vec<u64>) {
 }
 
 /// Executes one interval's ops (everything between two `EndInterval`s) on a
-/// thread's interpreter — shared by the sequential and parallel replayers.
-pub(crate) fn exec_interval_ops(
+/// thread's interpreter — shared by every executor. Generic over [`Memory`]
+/// so the sequential engines run against a plain [`MemImage`] while the
+/// threaded engine runs against a [`rr_isa::SharedMemHandle`].
+pub(crate) fn exec_interval_ops<M: Memory>(
     ops: &[ReplayOp],
     core: CoreId,
     interp: &mut Interp,
-    mem: &mut MemImage,
+    mem: &mut M,
     trace: &mut Vec<u64>,
     events: &mut ReplayEvents,
 ) -> Result<(), ReplayError> {

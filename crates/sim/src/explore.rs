@@ -288,9 +288,12 @@ fn check_run(
     run: &crate::machine::RunResult,
     pressure: &crate::machine::PressureReport,
     cost: &CostModel,
+    replay_workers: &[usize],
 ) -> Option<String> {
-    // Replay every variant's log, then cross-check all of them.
-    let mut outcomes = Vec::with_capacity(run.variants.len());
+    // Replay every variant's log — sequentially, then on the threaded
+    // engine at every requested worker count — and cross-check all of the
+    // outcomes at once: the zero-divergence gate covers every engine.
+    let mut outcomes = Vec::with_capacity(run.variants.len() * (1 + replay_workers.len()));
     for v in &run.variants {
         let patched: Result<Vec<PatchedLog>, _> = v.logs.iter().map(patch).collect();
         let patched = match patched {
@@ -300,6 +303,23 @@ fn check_run(
         match replay(programs, &patched, initial_mem.clone(), cost) {
             Ok(o) => outcomes.push((v.spec.label(), o)),
             Err(e) => return Some(format!("[{}] replay failed: {e}", v.spec.label())),
+        }
+        let ordering = (!v.ordering.is_empty()).then_some(v.ordering.as_slice());
+        for &w in replay_workers {
+            let engine = rr_replay::ReplayEngine::Threaded { workers: w };
+            match rr_replay::replay_with(
+                programs,
+                &patched,
+                ordering,
+                initial_mem.clone(),
+                cost,
+                engine,
+            ) {
+                Ok(o) => outcomes.push((format!("{}/w{w}", v.spec.label()), o)),
+                Err(e) => {
+                    return Some(format!("[{}/w{w}] replay failed: {e}", v.spec.label()));
+                }
+            }
         }
     }
     let labeled: Vec<(&str, &rr_replay::ReplayOutcome)> = outcomes
@@ -338,6 +358,23 @@ pub fn explore_one(
     machine: &MachineConfig,
     spec: &ExploreSpec,
 ) -> Result<ExploreOutcome, SimError> {
+    explore_one_with(programs, initial_mem, machine, spec, &[])
+}
+
+/// As [`explore_one`], additionally replaying every variant on the
+/// threaded engine at each worker count in `replay_workers` and feeding
+/// those outcomes into the same differential cross-check.
+///
+/// # Errors
+///
+/// Same as [`explore_one`].
+pub fn explore_one_with(
+    programs: &[Program],
+    initial_mem: &MemImage,
+    machine: &MachineConfig,
+    spec: &ExploreSpec,
+    replay_workers: &[usize],
+) -> Result<ExploreOutcome, SimError> {
     let (run, pressure) = RecordSession::new(programs, initial_mem)
         .config(machine)
         .recorder_configs(&spec.recorder_configs())
@@ -349,6 +386,7 @@ pub fn explore_one(
         &run,
         &pressure,
         &CostModel::splash_default(),
+        replay_workers,
     );
     Ok(ExploreOutcome {
         spec: spec.clone(),
@@ -372,6 +410,25 @@ pub fn explore_sweep(
     machine: &MachineConfig,
     specs: &[ExploreSpec],
     workers: usize,
+) -> Result<ExploreReport, SweepError> {
+    explore_sweep_with(programs, initial_mem, machine, specs, workers, &[])
+}
+
+/// As [`explore_sweep`], additionally replaying every recording on the
+/// threaded engine at each worker count in `replay_workers`; the threaded
+/// outcomes enter the same cross-check as the sequential ones (labelled
+/// `<variant>/w<n>`), so a divergence at any worker count fails the spec.
+///
+/// # Errors
+///
+/// Same as [`explore_sweep`].
+pub fn explore_sweep_with(
+    programs: &[Program],
+    initial_mem: &MemImage,
+    machine: &MachineConfig,
+    specs: &[ExploreSpec],
+    workers: usize,
+    replay_workers: &[usize],
 ) -> Result<ExploreReport, SweepError> {
     let jobs: Vec<SweepJob> = specs
         .iter()
@@ -397,7 +454,14 @@ pub fn explore_sweep(
             name: out.name.clone(),
             cycles: out.run.cycles,
             pressure: out.pressure.clone(),
-            divergence: check_run(programs, initial_mem, &out.run, &out.pressure, &cost),
+            divergence: check_run(
+                programs,
+                initial_mem,
+                &out.run,
+                &out.pressure,
+                &cost,
+                replay_workers,
+            ),
         })
         .collect();
     Ok(ExploreReport { outcomes, sweep })
@@ -527,7 +591,7 @@ mod tests {
     }
 
     #[test]
-    fn default_options_are_byte_identical_to_record_custom() {
+    fn default_options_are_byte_identical_to_plain_run() {
         use crate::machine::PressureReport;
         let (programs, mem) = racy_pair();
         let machine = MachineConfig::splash_default(2);

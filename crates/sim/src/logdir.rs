@@ -9,7 +9,12 @@
 //!     manifest.txt            # lines: "cores <n>" then one variant label per line
 //!     truth.bin               # RecordedExecution sidecar (CRC32-protected)
 //!     <variant-label>/core<k>.rrlog
+//!     <variant-label>/ordering.bin   # interval partial order (optional, CRC32)
 //! ```
+//!
+//! The `ordering.bin` sidecar carries the recorded interval partial order
+//! ([`IntervalOrdering`]) that enables parallel replay; runs saved without
+//! it load fine and replay in the recorded total order.
 //!
 //! Run and variant names become path components verbatim, so they must not
 //! contain separators; [`save_run`] rejects names that do.
@@ -20,8 +25,9 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use relaxreplay::wire::{crc32, read_varint, write_rrlog, write_varint};
-use relaxreplay::{IntervalLog, WireError};
+use relaxreplay::{IntervalLog, IntervalOrdering, WireError};
 use rr_isa::MemImage;
+use rr_mem::CoreId;
 use rr_replay::{read_rrlogs_parallel, IngestError, RecordedExecution};
 
 use crate::machine::RunResult;
@@ -30,6 +36,10 @@ use crate::machine::RunResult;
 const TRUTH_MAGIC: &[u8; 4] = b"RRTR";
 /// Sidecar format version.
 const TRUTH_VERSION: u16 = 1;
+/// Magic tag opening an `ordering.bin` interval-order sidecar.
+const ORDER_MAGIC: &[u8; 4] = b"RROD";
+/// Ordering sidecar format version.
+const ORDER_VERSION: u16 = 1;
 
 /// Errors from saving or loading a run directory.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -102,6 +112,10 @@ pub struct SavedVariant {
     pub label: String,
     /// Per-core interval logs, index = core id.
     pub logs: Vec<IntervalLog>,
+    /// Per-core interval partial order, when the run was saved with an
+    /// `ordering.bin` sidecar. `None` for runs saved by older versions —
+    /// they replay in the recorded total order.
+    pub ordering: Option<Vec<IntervalOrdering>>,
 }
 
 /// A complete recorded run loaded back from disk.
@@ -147,6 +161,11 @@ pub fn save_run(dir: &Path, name: &str, result: &RunResult) -> Result<u64, LogDi
             let path = vdir.join(format!("core{}.rrlog", log.core.index()));
             write_rrlog(&path, log)?;
             log_bytes += fs::metadata(&path).map_err(|e| io_err(&path, &e))?.len();
+        }
+        if !variant.ordering.is_empty() {
+            let opath = vdir.join("ordering.bin");
+            fs::write(&opath, encode_ordering(&variant.ordering))
+                .map_err(|e| io_err(&opath, &e))?;
         }
         manifest.push_str(&label);
         manifest.push('\n');
@@ -226,9 +245,24 @@ pub fn load_run_with(dir: &Path, name: &str, workers: usize) -> Result<SavedRun,
                 return Err(LogDirError::Malformed("core id does not match file name"));
             }
         }
+        let opath = run_dir.join(label).join("ordering.bin");
+        let ordering = match fs::read(&opath) {
+            Ok(bytes) => {
+                let ord = decode_ordering(&bytes)?;
+                if ord.len() != cores {
+                    return Err(LogDirError::Malformed(
+                        "ordering sidecar core count != manifest cores",
+                    ));
+                }
+                Some(ord)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(io_err(&opath, &e)),
+        };
         variants.push(SavedVariant {
             label: label.to_string(),
             logs,
+            ordering,
         });
     }
 
@@ -294,6 +328,87 @@ fn encode_truth(recorded: &RecordedExecution) -> Vec<u8> {
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
     out
+}
+
+/// Serializes the per-core interval partial order: magic + version, core
+/// count, then per core the interval count followed by each interval's
+/// timestamp, barrier flag and predecessor list; closed with a CRC32.
+fn encode_ordering(ordering: &[IntervalOrdering]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(ORDER_MAGIC);
+    out.extend_from_slice(&ORDER_VERSION.to_le_bytes());
+    write_varint(&mut out, ordering.len() as u64);
+    for ord in ordering {
+        let n = ord.timestamps.len();
+        write_varint(&mut out, n as u64);
+        for k in 0..n {
+            write_varint(&mut out, ord.timestamps[k]);
+            out.push(u8::from(ord.barriers.get(k).copied().unwrap_or(false)));
+            let empty = Vec::new();
+            let preds = ord.preds.get(k).unwrap_or(&empty);
+            write_varint(&mut out, preds.len() as u64);
+            for &(core, ordinal) in preds {
+                write_varint(&mut out, core.index() as u64);
+                write_varint(&mut out, ordinal);
+            }
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_ordering(bytes: &[u8]) -> Result<Vec<IntervalOrdering>, LogDirError> {
+    const MALFORMED: LogDirError = LogDirError::Malformed("ordering sidecar truncated");
+    if bytes.len() < 10 || &bytes[..4] != ORDER_MAGIC {
+        return Err(LogDirError::Malformed("bad ordering sidecar header"));
+    }
+    if u16::from_le_bytes([bytes[4], bytes[5]]) != ORDER_VERSION {
+        return Err(LogDirError::Malformed(
+            "unsupported ordering sidecar version",
+        ));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return Err(LogDirError::Malformed("ordering sidecar CRC mismatch"));
+    }
+
+    let mut pos = 6usize;
+    let varint = |pos: &mut usize| read_varint(body, pos).ok_or(MALFORMED);
+    let cores = varint(&mut pos)?;
+    let mut ordering = Vec::new();
+    for _ in 0..cores {
+        let n = varint(&mut pos)?;
+        let mut ord = IntervalOrdering::default();
+        for _ in 0..n {
+            ord.timestamps.push(varint(&mut pos)?);
+            let flag = *body.get(pos).ok_or(MALFORMED)?;
+            pos += 1;
+            if flag > 1 {
+                return Err(LogDirError::Malformed("ordering barrier flag not 0/1"));
+            }
+            ord.barriers.push(flag == 1);
+            let np = varint(&mut pos)?;
+            let mut preds = Vec::new();
+            for _ in 0..np {
+                let core = varint(&mut pos)?;
+                let ordinal = varint(&mut pos)?;
+                if core > u64::from(u8::MAX) {
+                    return Err(LogDirError::Malformed("ordering predecessor core > 255"));
+                }
+                preds.push((CoreId::new(core as u8), ordinal));
+            }
+            ord.preds.push(preds);
+        }
+        ordering.push(ord);
+    }
+    if pos != body.len() {
+        return Err(LogDirError::Malformed(
+            "ordering sidecar has trailing bytes",
+        ));
+    }
+    Ok(ordering)
 }
 
 fn decode_truth(bytes: &[u8]) -> Result<RecordedExecution, LogDirError> {
@@ -375,6 +490,48 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(
                 decode_truth(&bytes[..cut]).is_err(),
+                "truncation at {cut} went undetected"
+            );
+        }
+    }
+
+    fn sample_ordering() -> Vec<IntervalOrdering> {
+        vec![
+            IntervalOrdering {
+                preds: vec![vec![], vec![(CoreId::new(1), 0)]],
+                barriers: vec![false, true],
+                timestamps: vec![3, 17],
+            },
+            IntervalOrdering {
+                preds: vec![vec![(CoreId::new(0), 0), (CoreId::new(0), 1)]],
+                barriers: vec![false],
+                timestamps: vec![9],
+            },
+        ]
+    }
+
+    #[test]
+    fn ordering_round_trips() {
+        let ordering = sample_ordering();
+        let bytes = encode_ordering(&ordering);
+        let back = decode_ordering(&bytes).expect("decodes");
+        assert_eq!(back, ordering);
+    }
+
+    #[test]
+    fn ordering_corruption_is_detected() {
+        let bytes = encode_ordering(&sample_ordering());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                decode_ordering(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_ordering(&bytes[..cut]).is_err(),
                 "truncation at {cut} went undetected"
             );
         }

@@ -5,7 +5,7 @@ use relaxreplay::{IntervalLog, Recorder, RecorderStats, RunTrace, TraceConfig, T
 use rr_cpu::{Core, CoreObserver, CoreStats, FanoutObserver};
 use rr_isa::{MemImage, Program};
 use rr_mem::{CoherenceMode, CoreId, MemStats, MemorySystem};
-use rr_replay::{patch, replay, CostModel, RecordedExecution, ReplayOutcome};
+use rr_replay::{patch, CostModel, RecordedExecution, ReplayEngine, ReplayOutcome};
 
 use crate::config::{MachineConfig, RecorderSpec};
 use crate::tracer::TraceCollector;
@@ -330,81 +330,7 @@ pub struct SinkFaultReport {
     pub prefix_intact: bool,
 }
 
-/// Records one parallel execution of `programs` (one thread per core)
-/// against `initial_mem`, with every recorder variant in `specs` attached
-/// simultaneously.
-///
-/// Per-cycle order (the correctness-critical schedule — see the `rr-mem`
-/// crate docs): memory tick (snoops → completions → grants), snoop/dirty-
-/// eviction routing to recorders, then each core's pipeline tick (with its
-/// recorders and the trace collector observing), then recorder counting
-/// ticks.
-///
-/// # Errors
-///
-/// Returns [`SimError::Deadlock`] if the machine exceeds
-/// `cfg.max_cycles`, or [`SimError::TooManyThreads`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use RecordSession::new(programs, initial_mem).config(cfg).specs(specs).run()"
-)]
-pub fn record(
-    programs: &[Program],
-    initial_mem: &MemImage,
-    cfg: &MachineConfig,
-    specs: &[RecorderSpec],
-) -> Result<RunResult, SimError> {
-    let configs: Vec<_> = specs.iter().map(RecorderSpec::recorder_config).collect();
-    run_machine(programs, initial_mem, cfg, &configs, &RunOptions::default()).map(|(run, _)| run)
-}
-
-/// Like [`record`] but with fully custom recorder configurations (used by
-/// the ablation studies to sweep TRAQ depth, Snoop Table size, signature
-/// size, …). The reported [`RecorderSpec`]s are derived from each config's
-/// design and interval limit.
-///
-/// # Errors
-///
-/// Same as [`record`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use RecordSession::new(programs, initial_mem).config(cfg).recorder_configs(configs).run()"
-)]
-pub fn record_custom(
-    programs: &[Program],
-    initial_mem: &MemImage,
-    cfg: &MachineConfig,
-    configs: &[relaxreplay::RecorderConfig],
-) -> Result<RunResult, SimError> {
-    run_machine(programs, initial_mem, cfg, configs, &RunOptions::default()).map(|(run, _)| run)
-}
-
-/// Like [`record_custom`] but with a [`ScheduleStrategy`] perturbing the
-/// per-cycle core schedule and a [`PressureSpec`] stressing the recorders
-/// — the entry point of the `rr-check` schedule explorer. With
-/// `RunOptions::default()` the run is byte-identical to
-/// [`record_custom`].
-///
-/// # Errors
-///
-/// Same as [`record`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use RecordSession::new(programs, initial_mem).config(cfg)\
-            .recorder_configs(configs).options(options).run_reported()"
-)]
-pub fn record_with(
-    programs: &[Program],
-    initial_mem: &MemImage,
-    cfg: &MachineConfig,
-    configs: &[relaxreplay::RecorderConfig],
-    options: &RunOptions,
-) -> Result<(RunResult, PressureReport), SimError> {
-    run_machine(programs, initial_mem, cfg, configs, options)
-}
-
-/// The recording engine behind [`crate::RecordSession`] (and the
-/// deprecated `record*` wrappers): one parallel execution of `programs`
+/// The recording engine behind [`crate::RecordSession`]: one parallel execution of `programs`
 /// against `initial_mem` with every recorder variant attached, under the
 /// given schedule/pressure options.
 pub(crate) fn run_machine(
@@ -675,9 +601,9 @@ pub(crate) fn run_machine(
     ))
 }
 
-/// Patches and replays one variant's logs, verifying the replay against the
-/// recorded execution. Returns the replay outcome (with its cost-model
-/// cycle estimates) on success.
+/// Patches and replays one variant's logs on the sequential engine,
+/// verifying the replay against the recorded execution. Returns the replay
+/// outcome (with its cost-model cycle estimates) on success.
 ///
 /// # Errors
 ///
@@ -691,6 +617,33 @@ pub fn replay_and_verify(
     variant: usize,
     cost: &CostModel,
 ) -> Result<ReplayOutcome, crate::Error> {
+    replay_and_verify_with(
+        programs,
+        initial_mem,
+        result,
+        variant,
+        cost,
+        ReplayEngine::Sequential,
+    )
+}
+
+/// Like [`replay_and_verify`], but on the chosen [`ReplayEngine`]. A
+/// threaded engine replays the variant's recorded partial order
+/// ([`VariantResult::ordering`]) on a worker pool; the verification step is
+/// identical, so a divergence at any worker count fails the same way.
+///
+/// # Errors
+///
+/// Same as [`replay_and_verify`], plus the DAG validation errors on
+/// corrupted ordering data.
+pub fn replay_and_verify_with(
+    programs: &[Program],
+    initial_mem: &MemImage,
+    result: &RunResult,
+    variant: usize,
+    cost: &CostModel,
+    engine: ReplayEngine,
+) -> Result<ReplayOutcome, crate::Error> {
     let v = result.variants.get(variant).ok_or_else(|| {
         crate::Error::msg(format!(
             "variant index {variant} out of range ({} recorded)",
@@ -703,10 +656,22 @@ pub fn replay_and_verify(
         .map(patch)
         .collect::<Result<_, _>>()
         .map_err(|e| crate::Error::from(e).context("patch failed"))?;
-    let outcome = replay(programs, &patched, initial_mem.clone(), cost)
-        .map_err(|e| crate::Error::from(e).context("replay failed"))?;
+    let ordering = (!v.ordering.is_empty()).then_some(v.ordering.as_slice());
+    let outcome = rr_replay::replay_with(
+        programs,
+        &patched,
+        ordering,
+        initial_mem.clone(),
+        cost,
+        engine,
+    )
+    .map_err(|e| crate::Error::from(e).context(format!("replay failed [{}]", engine.label())))?;
     rr_replay::verify(&result.recorded, &outcome).map_err(|e| {
-        crate::Error::from(e).context(format!("verification failed [{}]", v.spec.label()))
+        crate::Error::from(e).context(format!(
+            "verification failed [{} {}]",
+            v.spec.label(),
+            engine.label()
+        ))
     })?;
     Ok(outcome)
 }
@@ -729,6 +694,61 @@ pub fn replay_and_verify_forensic(
     cost: &CostModel,
     report_dir: &std::path::Path,
 ) -> Result<ReplayOutcome, crate::Error> {
+    replay_and_verify_forensic_with(
+        programs,
+        initial_mem,
+        result,
+        variant,
+        cost,
+        report_dir,
+        ReplayEngine::Sequential,
+    )
+}
+
+/// Like [`replay_and_verify_forensic`], but on the chosen
+/// [`ReplayEngine`]. The forensic tracer is inherently sequential, so a
+/// threaded replay that diverges is re-run on the sequential engine to
+/// localize the fault: if the sequential replay *also* diverges its
+/// forensic report is returned, and if it verifies the error reports an
+/// engine-specific divergence (a threaded-executor bug, not a bad log).
+///
+/// # Errors
+///
+/// Same as [`replay_and_verify_forensic`].
+pub fn replay_and_verify_forensic_with(
+    programs: &[Program],
+    initial_mem: &MemImage,
+    result: &RunResult,
+    variant: usize,
+    cost: &CostModel,
+    report_dir: &std::path::Path,
+    engine: ReplayEngine,
+) -> Result<ReplayOutcome, crate::Error> {
+    if let ReplayEngine::Threaded { .. } = engine {
+        return match replay_and_verify_with(programs, initial_mem, result, variant, cost, engine) {
+            Ok(outcome) => Ok(outcome),
+            Err(err) => {
+                match replay_and_verify_forensic_with(
+                    programs,
+                    initial_mem,
+                    result,
+                    variant,
+                    cost,
+                    report_dir,
+                    ReplayEngine::Sequential,
+                ) {
+                    // Sequential replay verifies: the log is good and the
+                    // threaded engine itself diverged.
+                    Ok(_) => Err(err.context(format!(
+                        "threaded replay ({} workers) diverged but the sequential \
+                         replay verifies — engine-specific divergence",
+                        engine.resolved_workers()
+                    ))),
+                    Err(seq_err) => Err(seq_err),
+                }
+            }
+        };
+    }
     let v = result.variants.get(variant).ok_or_else(|| {
         crate::Error::msg(format!(
             "variant index {variant} out of range ({} recorded)",

@@ -1,16 +1,16 @@
-//! `RecordSession` is a pure re-packaging of the legacy `record` /
-//! `record_custom` / `record_with` entry points: for every litmus shape,
-//! the builder must produce **byte-identical** `.rrlog` streams (and the
-//! same cycle count and pressure report) as each deprecated function it
-//! replaces. This is the compatibility contract that lets the trio be
-//! deleted in a later release.
-#![allow(deprecated)]
+//! `RecordSession` builder self-consistency: the different ways of
+//! expressing the same run (specs vs. explicit recorder configs, bare
+//! defaults vs. spelled-out defaults, an options block vs. granular
+//! setters, `run` vs. `run_reported`) must produce **byte-identical**
+//! `.rrlog` streams and the same cycle counts. This pins the contract the
+//! deleted `record` / `record_custom` / `record_with` trio used to
+//! guarantee, now entirely within the builder.
 
 use relaxreplay::wire::encode_chunked;
 use relaxreplay::RecorderConfig;
 use rr_sim::{
-    record, record_custom, record_with, MachineConfig, PressureSpec, RecordSession, RecorderSpec,
-    RunOptions, RunResult, ScheduleStrategy,
+    MachineConfig, PressureSpec, RecordSession, RecorderSpec, RunOptions, RunResult,
+    ScheduleStrategy,
 };
 use rr_workloads::litmus_suite;
 
@@ -23,65 +23,74 @@ fn wire_bytes(run: &RunResult) -> Vec<Vec<u8>> {
         .collect()
 }
 
-fn assert_same(name: &str, legacy: &RunResult, builder: &RunResult) {
-    assert_eq!(legacy.cycles, builder.cycles, "{name}: cycle count");
-    assert_eq!(
-        legacy.variants.len(),
-        builder.variants.len(),
-        "{name}: variant count"
-    );
-    assert_eq!(
-        wire_bytes(legacy),
-        wire_bytes(builder),
-        "{name}: .rrlog bytes differ"
-    );
+fn assert_same(name: &str, a: &RunResult, b: &RunResult) {
+    assert_eq!(a.cycles, b.cycles, "{name}: cycle count");
+    assert_eq!(a.variants.len(), b.variants.len(), "{name}: variant count");
+    assert_eq!(wire_bytes(a), wire_bytes(b), "{name}: .rrlog bytes differ");
 }
 
 #[test]
-fn builder_matches_record_on_the_litmus_suite() {
+fn specs_and_recorder_configs_agree_on_the_litmus_suite() {
     let specs = RecorderSpec::paper_matrix();
+    let configs: Vec<RecorderConfig> = specs.iter().map(RecorderSpec::recorder_config).collect();
     for w in litmus_suite() {
         let cfg = MachineConfig::splash_default(w.programs.len());
-        let legacy = record(&w.programs, &w.initial_mem, &cfg, &specs)
-            .unwrap_or_else(|e| panic!("{}: legacy record: {e}", w.name));
-        let builder = RecordSession::new(&w.programs, &w.initial_mem)
+        let via_specs = RecordSession::new(&w.programs, &w.initial_mem)
             .config(&cfg)
             .specs(&specs)
             .run()
-            .unwrap_or_else(|e| panic!("{}: builder: {e}", w.name));
-        assert_same(w.name, &legacy, &builder);
+            .unwrap_or_else(|e| panic!("{}: specs builder: {e}", w.name));
+        let via_configs = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .recorder_configs(&configs)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: configs builder: {e}", w.name));
+        assert_same(w.name, &via_specs, &via_configs);
 
         // The sized default config must also match an explicit
-        // splash_default — i.e. a bare builder equals the common legacy
-        // call shape.
+        // splash_default — a bare builder equals the spelled-out shape.
         let bare = RecordSession::new(&w.programs, &w.initial_mem)
             .run()
             .unwrap_or_else(|e| panic!("{}: bare builder: {e}", w.name));
-        assert_same(w.name, &legacy, &bare);
+        let explicit = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: explicit builder: {e}", w.name));
+        assert_same(w.name, &bare, &explicit);
     }
 }
 
 #[test]
-fn builder_matches_record_custom_on_the_litmus_suite() {
+fn run_and_run_reported_agree_under_default_options() {
     let configs: Vec<RecorderConfig> = RecorderSpec::paper_matrix()
         .iter()
         .map(RecorderSpec::recorder_config)
         .collect();
     for w in litmus_suite() {
         let cfg = MachineConfig::splash_default(w.programs.len());
-        let legacy = record_custom(&w.programs, &w.initial_mem, &cfg, &configs)
-            .unwrap_or_else(|e| panic!("{}: legacy record_custom: {e}", w.name));
-        let builder = RecordSession::new(&w.programs, &w.initial_mem)
+        let plain = RecordSession::new(&w.programs, &w.initial_mem)
             .config(&cfg)
             .recorder_configs(&configs)
             .run()
-            .unwrap_or_else(|e| panic!("{}: builder: {e}", w.name));
-        assert_same(w.name, &legacy, &builder);
+            .unwrap_or_else(|e| panic!("{}: run: {e}", w.name));
+        let (reported, report) = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .recorder_configs(&configs)
+            .options(&RunOptions::default())
+            .run_reported()
+            .unwrap_or_else(|e| panic!("{}: run_reported: {e}", w.name));
+        assert_same(w.name, &plain, &reported);
+        assert_eq!(
+            report,
+            rr_sim::PressureReport::default(),
+            "{}: default options must report no pressure",
+            w.name
+        );
     }
 }
 
 #[test]
-fn builder_matches_record_with_under_schedule_and_pressure() {
+fn options_block_matches_granular_setters_under_schedule_and_pressure() {
     let configs: Vec<RecorderConfig> = RecorderSpec::paper_matrix()
         .iter()
         .map(RecorderSpec::recorder_config)
@@ -99,20 +108,12 @@ fn builder_matches_record_with_under_schedule_and_pressure() {
     };
     for w in litmus_suite() {
         let cfg = MachineConfig::splash_default(w.programs.len());
-        let (legacy, legacy_report) =
-            record_with(&w.programs, &w.initial_mem, &cfg, &configs, &options)
-                .unwrap_or_else(|e| panic!("{}: legacy record_with: {e}", w.name));
-        let (builder, builder_report) = RecordSession::new(&w.programs, &w.initial_mem)
+        let (block, block_report) = RecordSession::new(&w.programs, &w.initial_mem)
             .config(&cfg)
             .recorder_configs(&configs)
             .options(&options)
             .run_reported()
-            .unwrap_or_else(|e| panic!("{}: builder: {e}", w.name));
-        assert_same(w.name, &legacy, &builder);
-        assert_eq!(legacy_report, builder_report, "{}: pressure report", w.name);
-
-        // The granular setters compose to the same run as the option
-        // block.
+            .unwrap_or_else(|e| panic!("{}: options builder: {e}", w.name));
         let (granular, granular_report) = RecordSession::new(&w.programs, &w.initial_mem)
             .config(&cfg)
             .recorder_configs(&configs)
@@ -120,7 +121,20 @@ fn builder_matches_record_with_under_schedule_and_pressure() {
             .pressure(options.pressure.clone())
             .run_reported()
             .unwrap_or_else(|e| panic!("{}: granular builder: {e}", w.name));
-        assert_same(w.name, &legacy, &granular);
-        assert_eq!(legacy_report, granular_report, "{}: report", w.name);
+        assert_same(w.name, &block, &granular);
+        assert_eq!(block_report, granular_report, "{}: report", w.name);
+
+        // The perturbed run must differ from the baseline — otherwise the
+        // schedule/pressure plumbing silently became a no-op.
+        let baseline = RecordSession::new(&w.programs, &w.initial_mem)
+            .config(&cfg)
+            .recorder_configs(&configs)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: baseline builder: {e}", w.name));
+        assert!(
+            baseline.cycles != block.cycles || wire_bytes(&baseline) != wire_bytes(&block),
+            "{}: schedule + pressure changed nothing",
+            w.name
+        );
     }
 }

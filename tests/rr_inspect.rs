@@ -237,3 +237,59 @@ fn stat_histogram_agrees_with_chunk_map_around_a_corrupt_middle_chunk() {
         "skip decoder must keep decoding past the damaged chunk ({total} <= {prefix})"
     );
 }
+
+#[test]
+fn dag_reports_stats_and_exports_dot() {
+    let root = temp_root("dag");
+    let run_dir = save_sample_run(&root, "dagrun");
+    let dot_dir = root.join("dot");
+
+    let out = rr_inspect(&[
+        "dag",
+        run_dir.to_str().unwrap(),
+        "--dot",
+        dot_dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "dag failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("interval DAG"),
+        "missing table title:\n{text}"
+    );
+    // A freshly saved run carries an `ordering.bin` sidecar, so every
+    // variant row must report the recorded partial order.
+    assert!(text.contains("partial"), "expected partial order:\n{text}");
+    assert!(
+        !text.contains(" total "),
+        "no variant should fall back:\n{text}"
+    );
+
+    // One .dot per variant, each a syntactically plausible digraph.
+    let dots: Vec<PathBuf> = std::fs::read_dir(&dot_dir)
+        .expect("dot dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert!(!dots.is_empty(), "no .dot files written");
+    for p in &dots {
+        let s = std::fs::read_to_string(p).expect("readable .dot");
+        assert!(s.starts_with("digraph"), "{}: not a digraph", p.display());
+        assert!(s.trim_end().ends_with('}'), "{}: unterminated", p.display());
+    }
+
+    // Without the sidecar the command still works, in total order.
+    std::fs::remove_file(run_dir.join("Base").join("ordering.bin")).ok();
+    for entry in std::fs::read_dir(&run_dir).expect("run dir") {
+        let p = entry.expect("entry").path();
+        if p.is_dir() {
+            let _ = std::fs::remove_file(p.join("ordering.bin"));
+        }
+    }
+    let out = rr_inspect(&["dag", run_dir.to_str().unwrap()]);
+    assert!(out.status.success(), "dag (total) failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("total"),
+        "expected total-order fallback:\n{text}"
+    );
+    assert!(!text.contains("partial"), "sidecars were removed:\n{text}");
+}
