@@ -21,9 +21,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use relaxreplay::prof::CodecPhases;
 use relaxreplay::wire::{
-    decode_chunked, decode_chunked_reference, encode_chunked, read_rrlog, ChunkedReader,
-    DecodeScratch,
+    decode_chunked, decode_chunked_profiled, decode_chunked_reference, encode_chunked, read_rrlog,
+    ChunkedReader, DecodeScratch,
 };
 use relaxreplay::{IntervalLog, LogEntry, LogSource};
 use rr_mem::CoreId;
@@ -87,6 +88,15 @@ struct Sample {
     bytes: usize,
     median_ns: f64,
     mb_per_s: f64,
+    /// `(requested, effective)` worker counts — parallel benches only.
+    workers: Option<(usize, usize)>,
+    /// Per-phase decode attribution from one profiled pass — decode
+    /// benches only.
+    phases: Option<CodecPhases>,
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Times `f` and returns the median per-iteration nanoseconds. `bytes` is
@@ -126,6 +136,8 @@ fn push_sample(out: &mut Vec<Sample>, name: String, entries: usize, bytes: usize
         bytes,
         median_ns,
         mb_per_s,
+        workers: None,
+        phases: None,
     });
 }
 
@@ -158,6 +170,12 @@ fn bench_codec(smoke: bool, out: &mut Vec<Sample>) {
             bytes.len(),
             ns,
         );
+        // One profiled pass decomposes where the decode time goes (CRC vs
+        // varint vs reservation); the timed loop above stays timer-free.
+        let mut phases = CodecPhases::default();
+        std::hint::black_box(decode_chunked_profiled(&bytes, &mut phases).expect("decodes"));
+        println!("{:<28} {}", format!("  phases/{tag}"), phases.summary());
+        out.last_mut().expect("just pushed").phases = Some(phases);
     }
 }
 
@@ -181,6 +199,11 @@ fn bench_parallel(smoke: bool, out: &mut Vec<Sample>) {
             total,
             ns,
         );
+        // The pool spawns min(workers, streams) threads; the host can only
+        // run min(that, cpus) of them at once — recorded so the trajectory
+        // is interpretable on 1-cpu CI runners.
+        let effective = workers.min(streams.len()).min(host_cpus());
+        out.last_mut().expect("just pushed").workers = Some((workers, effective));
     }
 }
 
@@ -228,6 +251,15 @@ fn reference_check() -> Result<usize, String> {
         if fast != reference {
             return Err(format!(
                 "{}: fast decoder disagrees with the reference decoder\n  fast: {fast:?}\n  ref:  {reference:?}",
+                path.display()
+            ));
+        }
+        // The profiled decoder is a separate walk — gate its parity too.
+        let mut phases = CodecPhases::default();
+        let profiled = decode_chunked_profiled(&bytes, &mut phases);
+        if profiled != fast {
+            return Err(format!(
+                "{}: profiled decoder disagrees with the fast decoder",
                 path.display()
             ));
         }
@@ -284,20 +316,28 @@ fn reference_check() -> Result<usize, String> {
 fn write_json(path: &Path, mode: &str, samples: &[Sample], checked: usize) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"rr-bench/codec/v1\",\n");
+    s.push_str("  \"schema\": \"rr-bench/codec/v2\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
     s.push_str(&format!(
         "  \"reference_check\": {{ \"files\": {checked}, \"ok\": true }},\n"
     ));
     s.push_str("  \"benches\": [\n");
     for (i, b) in samples.iter().enumerate() {
         s.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"entries\": {}, \"bytes\": {}, \"median_ns\": {:.0}, \"mb_per_s\": {:.1} }}{}\n",
-            b.name,
-            b.entries,
-            b.bytes,
-            b.median_ns,
-            b.mb_per_s,
+            "    {{ \"name\": \"{}\", \"entries\": {}, \"bytes\": {}, \"median_ns\": {:.0}, \"mb_per_s\": {:.1}",
+            b.name, b.entries, b.bytes, b.median_ns, b.mb_per_s,
+        ));
+        if let Some((requested, effective)) = b.workers {
+            s.push_str(&format!(
+                ", \"workers\": {requested}, \"effective_workers\": {effective}"
+            ));
+        }
+        if let Some(p) = &b.phases {
+            s.push_str(&format!(", \"phases\": {}", p.to_json()));
+        }
+        s.push_str(&format!(
+            " }}{}\n",
             if i + 1 == samples.len() { "" } else { "," }
         ));
     }

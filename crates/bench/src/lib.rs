@@ -11,10 +11,14 @@
 //! * `ablation` — recording throughput under swept hardware parameters
 //!   (Base vs Opt, snoopy vs directory, interval sizes).
 //!
-//! This library crate only hosts shared setup helpers.
+//! This library crate hosts shared setup helpers plus the
+//! bench-trajectory comparison logic ([`compare`]) behind the `rr-bench`
+//! binary's `compare` subcommand.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod compare;
 
 use rr_isa::MemImage;
 use rr_sim::{MachineConfig, RecordSession, RecorderSpec, RunResult};

@@ -1,0 +1,133 @@
+//! Integration tests for `rr-bench compare`: the regression gate must
+//! exit 0 on identical inputs, nonzero on an injected regression, and 0
+//! again under `--warn-only` — the contract CI relies on.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rr_bench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rr-bench"))
+        .args(args)
+        .output()
+        .expect("rr-bench spawns")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rr_bench_compare_it_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn bench_json(rows: &[(&str, u64)]) -> String {
+    let mut s = String::from(
+        "{\"schema\":\"rr-bench/codec/v2\",\"mode\":\"full\",\"host_cpus\":2,\"benches\":[",
+    );
+    for (i, (name, median)) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"name\":\"{name}\",\"entries\":1,\"bytes\":1,\"median_ns\":{median},\"mb_per_s\":1.0}}"
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+#[test]
+fn identical_files_pass_and_injected_regression_fails() {
+    let root = temp_root("gate");
+    let old = root.join("old.json");
+    let new = root.join("new.json");
+    std::fs::write(&old, bench_json(&[("decode/1k", 1000), ("encode/1k", 800)])).expect("writes");
+    std::fs::write(&new, bench_json(&[("decode/1k", 1000), ("encode/1k", 800)])).expect("writes");
+
+    let out = rr_bench(&["compare", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(out.status.success(), "identical files must pass: {out:?}");
+    assert!(stdout(&out).contains("no regressions"), "{}", stdout(&out));
+
+    // Inject a 3x regression on one bench: nonzero exit, named in output.
+    std::fs::write(&new, bench_json(&[("decode/1k", 3000), ("encode/1k", 800)])).expect("writes");
+    let out = rr_bench(&["compare", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let text = stdout(&out);
+    assert!(text.contains("REGRESSED"), "{text}");
+    assert!(text.contains("decode/1k"), "{text}");
+    assert!(text.contains("+200.0%"), "{text}");
+
+    // --warn-only reports it but exits 0.
+    let out = rr_bench(&[
+        "compare",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--warn-only",
+    ]);
+    assert!(out.status.success(), "--warn-only must exit 0");
+    assert!(stdout(&out).contains("REGRESSED"), "{}", stdout(&out));
+}
+
+#[test]
+fn thresholds_and_errors_are_honoured() {
+    let root = temp_root("thr");
+    let old = root.join("old.json");
+    let new = root.join("new.json");
+    std::fs::write(&old, bench_json(&[("a", 1000), ("b", 1000)])).expect("writes");
+    std::fs::write(&new, bench_json(&[("a", 1300), ("b", 1300)])).expect("writes");
+
+    // 30% slowdown passes the default 50% gate...
+    let out = rr_bench(&["compare", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    // ...fails a global 10% gate...
+    let out = rr_bench(&[
+        "compare",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "10",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    // ...and a per-bench override gates only its bench.
+    let out = rr_bench(&[
+        "compare",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--threshold",
+        "a=10",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("1 regression(s): a"), "{text}");
+
+    // Usage and input errors exit 2.
+    assert_eq!(rr_bench(&["compare"]).status.code(), Some(2));
+    assert_eq!(rr_bench(&[]).status.code(), Some(2));
+    assert_eq!(rr_bench(&["frobnicate"]).status.code(), Some(2));
+    let bad = root.join("bad.json");
+    std::fs::write(&bad, "not json").expect("writes");
+    let out = rr_bench(&["compare", old.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = rr_bench(&["compare", old.to_str().unwrap(), "/nonexistent.json"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The checked-in baselines must stay parseable by the gate — comparing a
+/// baseline against itself is the degenerate clean case CI exercises.
+#[test]
+fn checked_in_baselines_compare_cleanly_against_themselves() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for name in ["BENCH_codec.json", "BENCH_replay.json"] {
+        let p = repo.join(name);
+        assert!(p.is_file(), "{name} missing from repo root");
+        let out = rr_bench(&["compare", p.to_str().unwrap(), p.to_str().unwrap()]);
+        assert!(
+            out.status.success(),
+            "{name} vs itself must pass: {}",
+            stdout(&out)
+        );
+    }
+}

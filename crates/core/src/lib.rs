@@ -47,6 +47,10 @@
 //!   the recorder's internal decisions (interval opens/closes, perform and
 //!   counting events with classification verdicts, coherence traffic),
 //!   exportable as JSONL sidecars or Perfetto-loadable Chrome trace JSON.
+//! * [`prof`] — self-profiling primitives: per-worker replay-engine span
+//!   timelines, codec per-phase timings, and the `rr-prof/v1` sidecar
+//!   schema. The trace layer observes the simulated machine; this layer
+//!   observes the replayer and codec themselves.
 //!
 //! Deterministic replay of these logs lives in the `rr-replay` crate; the
 //! full simulated machine (cores + coherence + recorders) in `rr-sim`.
@@ -68,6 +72,7 @@
 
 mod hash;
 mod log;
+pub mod prof;
 mod recorder;
 mod signature;
 mod snoop_table;
@@ -81,6 +86,9 @@ pub use trace::{
 };
 
 pub use crate::log::{IntervalLog, LogDecodeError, LogEntry};
+pub use crate::prof::{
+    engine_chrome_trace, validate_prof_json, CodecPhases, EngineProf, Span, SpanKind, WorkerProf,
+};
 pub use hash::H3;
 pub use recorder::{Design, IntervalOrdering, Recorder, RecorderConfig, RecorderStats};
 pub use signature::Signature;

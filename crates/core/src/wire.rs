@@ -1040,6 +1040,63 @@ pub fn decode_chunked_recover(bytes: &[u8]) -> (IntervalLog, Option<WireError>) 
     (log, None)
 }
 
+/// [`decode_chunked`] with per-phase wall-clock attribution: CRC
+/// verification vs batched varint entry decode vs output-buffer
+/// reservation, accumulated into `phases`.
+///
+/// This is a *separate* walk from the production decoder — the hot path
+/// stays timer-free — and is differentially tested (and CI-gated via the
+/// codec bench's `reference_check`) to return bit-identical logs and
+/// errors. `rr-bench` uses it to decompose the large-stream decode cliff;
+/// phase timings land in `BENCH_codec.json` rows.
+///
+/// # Errors
+///
+/// Exactly the conditions of [`decode_chunked`]. `phases` is filled with
+/// whatever work happened before the error.
+pub fn decode_chunked_profiled(
+    bytes: &[u8],
+    phases: &mut crate::prof::CodecPhases,
+) -> Result<IntervalLog, WireError> {
+    use std::time::Instant;
+    let core = parse_header(bytes)?;
+    let mut log = IntervalLog::new(core);
+    let t = Instant::now();
+    log.entries
+        .reserve(bytes.len().min(DEFAULT_CHUNK_BYTES + 16) / 3);
+    phases.reserve_ns += t.elapsed().as_nanos() as u64;
+    let mut state = DeltaState::default();
+    let mut pos = 7usize;
+    let mut index = 0usize;
+    while let Some(raw) = next_raw_chunk(bytes, &mut pos, index) {
+        let raw = raw?;
+        let t = Instant::now();
+        let computed = crc32(raw.payload);
+        phases.crc_ns += t.elapsed().as_nanos() as u64;
+        if raw.stored_crc != computed {
+            return Err(WireError::CrcMismatch {
+                chunk: index,
+                stored: raw.stored_crc,
+                computed,
+            });
+        }
+        let t = Instant::now();
+        decode_chunk_entries(raw.payload, &mut state, index, &mut log.entries)?;
+        phases.entries_ns += t.elapsed().as_nanos() as u64;
+        phases.chunks += 1;
+        phases.payload_bytes += raw.payload.len() as u64;
+        if index == 0 && !raw.payload.is_empty() {
+            let t = Instant::now();
+            let estimated = log.entries.len() * (bytes.len() / raw.payload.len() + 1);
+            log.entries
+                .reserve(estimated.saturating_sub(log.entries.len()));
+            phases.reserve_ns += t.elapsed().as_nanos() as u64;
+        }
+        index += 1;
+    }
+    Ok(log)
+}
+
 /// The original entry-at-a-time decoder, retained verbatim as the
 /// reference implementation. Every release decode path is differentially
 /// tested against it (proptest on arbitrary and corrupted streams, plus
@@ -1582,6 +1639,46 @@ mod tests {
                 decode_chunked(&bytes),
                 decode_chunked_reference(&bytes),
                 "chunk_bytes={chunk_bytes}"
+            );
+        }
+    }
+
+    #[test]
+    fn profiled_decoder_matches_plain_and_attributes_phases() {
+        let log = sample_log();
+        for chunk_bytes in [1, 8, 64, DEFAULT_CHUNK_BYTES] {
+            let bytes = encode_chunked_with(&log, chunk_bytes);
+            let mut phases = crate::prof::CodecPhases::default();
+            assert_eq!(
+                decode_chunked_profiled(&bytes, &mut phases),
+                decode_chunked(&bytes),
+                "chunk_bytes={chunk_bytes}"
+            );
+            assert!(phases.chunks > 0, "chunk_bytes={chunk_bytes}");
+            assert_eq!(
+                phases.payload_bytes,
+                (bytes.len() - 7 - 8 * phases.chunks as usize) as u64,
+                "payload accounting, chunk_bytes={chunk_bytes}"
+            );
+        }
+        // Error parity on corruption and truncation.
+        let bytes = encode_chunked_with(&log, 4);
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x40;
+            let mut phases = crate::prof::CodecPhases::default();
+            assert_eq!(
+                decode_chunked_profiled(&corrupted, &mut phases),
+                decode_chunked(&corrupted),
+                "flip at {i}"
+            );
+        }
+        for cut in 0..bytes.len() {
+            let mut phases = crate::prof::CodecPhases::default();
+            assert_eq!(
+                decode_chunked_profiled(&bytes[..cut], &mut phases),
+                decode_chunked(&bytes[..cut]),
+                "cut at {cut}"
             );
         }
     }

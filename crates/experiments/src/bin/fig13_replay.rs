@@ -10,10 +10,13 @@ use std::time::Instant;
 
 use rr_experiments::report::{f2, results_dir, write_metrics_jsonl, Table};
 use rr_experiments::{
-    figures, metrics_jsonl, run_corpus_suite, run_suite, write_trace_artifacts, ExperimentConfig,
-    WorkloadRun,
+    figures, metrics_jsonl, prof_entries, run_corpus_suite, run_suite, write_prof_artifacts,
+    write_prof_pairs, write_trace_artifacts, ExperimentConfig, WorkloadRun,
 };
-use rr_replay::{patch, replay_parallel, replay_threaded, verify, CostModel};
+use rr_replay::prof::ProfEntry;
+use rr_replay::{
+    patch, replay_parallel, replay_threaded, replay_threaded_profiled, verify, CostModel,
+};
 
 /// Worker counts for the measured scaling columns.
 const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
@@ -85,6 +88,42 @@ fn scaling_table(runs: &[WorkloadRun], size: u32) -> Result<Table, rr_sim::Error
     Ok(t)
 }
 
+/// Blame entries for every run × variant, with a measured engine
+/// timeline (span-instrumented threaded replay, verified) attached to
+/// each Opt-4K entry.
+fn profiled_entries(
+    runs: &[WorkloadRun],
+    cfg: &ExperimentConfig,
+) -> Result<Vec<ProfEntry>, rr_sim::Error> {
+    let mut entries = prof_entries(runs, &cfg.cost)?;
+    let variants = runs.first().map_or(0, |r| r.record.variants.len());
+    for (i, r) in runs.iter().enumerate() {
+        let v = &r.record.variants[OPT_4K];
+        let at = |stage: &str| format!("{} [{}]: {stage}", r.name, v.spec.label());
+        let patched: Vec<_> = v
+            .logs
+            .iter()
+            .map(patch)
+            .collect::<Result<_, _>>()
+            .map_err(|e| rr_sim::Error::from(e).context(at("patch failed")))?;
+        let w = rr_workloads::by_name(r.name, v.logs.len(), cfg.size)
+            .ok_or_else(|| rr_sim::Error::msg(at("unknown workload")))?;
+        let (outcome, engine) = replay_threaded_profiled(
+            &w.programs,
+            &patched,
+            Some(&v.ordering),
+            w.initial_mem.clone(),
+            &cfg.cost,
+            cfg.threads,
+        )
+        .map_err(|e| rr_sim::Error::from(e).context(at("profiled replay failed")))?;
+        verify(&r.record.recorded, &outcome)
+            .map_err(|e| rr_sim::Error::from(e).context(at("profiled verify failed")))?;
+        entries[i * variants + OPT_4K].engine = Some(engine);
+    }
+    Ok(entries)
+}
+
 fn main() -> std::process::ExitCode {
     match run() {
         Ok(()) => std::process::ExitCode::SUCCESS,
@@ -107,6 +146,9 @@ fn run() -> Result<(), rr_sim::Error> {
     t.write_csv(&dir, "fig13")?;
     write_metrics_jsonl(&dir, "fig13", &metrics_jsonl(&runs))?;
     write_trace_artifacts(&dir, "fig13", &runs)?;
+    if cfg.prof {
+        write_prof_pairs(&dir, "fig13", &profiled_entries(&runs, &cfg)?)?;
+    }
 
     let ts = scaling_table(&runs, cfg.size)?;
     ts.print();
@@ -120,5 +162,8 @@ fn run() -> Result<(), rr_sim::Error> {
     tc.write_csv(&dir, "fig13-corpus")?;
     write_metrics_jsonl(&dir, "fig13-corpus", &metrics_jsonl(&corpus))?;
     write_trace_artifacts(&dir, "fig13-corpus", &corpus)?;
+    if cfg.prof {
+        write_prof_artifacts(&dir, "fig13-corpus", &corpus, &cfg.cost)?;
+    }
     Ok(())
 }

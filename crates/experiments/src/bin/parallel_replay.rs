@@ -21,8 +21,12 @@
 use std::time::Instant;
 
 use rr_experiments::report::{f2, results_dir, write_metrics_jsonl, Table};
-use rr_experiments::{write_trace_pairs, ExperimentConfig};
-use rr_replay::{patch, replay_parallel, replay_threaded, verify, CostModel, PatchedLog};
+use rr_experiments::{write_prof_pairs, write_trace_pairs, ExperimentConfig};
+use rr_replay::prof::ProfEntry;
+use rr_replay::{
+    critical_path_blame, patch, replay_parallel, replay_threaded, replay_threaded_profiled, verify,
+    CostModel, IntervalDag, PatchedLog,
+};
 use rr_sim::{run_sweep, MachineConfig, RecorderSpec, ReplayPolicy, SweepJob};
 use rr_workloads::suite;
 
@@ -106,6 +110,40 @@ fn measured_secs(
         .collect()
 }
 
+/// One `--prof` sidecar entry for a workload × coherence-mode run:
+/// critical-path blame over the recorded partial order plus a measured,
+/// verified engine timeline at `workers` OS workers.
+fn prof_entry(
+    w: &rr_workloads::Workload,
+    mode: &str,
+    result: &rr_sim::RunResult,
+    patched: &[PatchedLog],
+    workers: usize,
+) -> Result<ProfEntry, rr_sim::Error> {
+    let v = &result.variants[0];
+    let at = |stage: &str| format!("{}@{mode}: {stage}", w.name);
+    let dag = IntervalDag::partial_order(v.logs.len(), patched, &v.ordering)
+        .map_err(|e| rr_sim::Error::from(e).context(at("dag failed")))?;
+    let blame = critical_path_blame(&dag, &CostModel::splash_default());
+    let (outcome, engine) = replay_threaded_profiled(
+        &w.programs,
+        patched,
+        Some(&v.ordering),
+        w.initial_mem.clone(),
+        &CostModel::splash_default(),
+        workers,
+    )
+    .map_err(|e| rr_sim::Error::from(e).context(at("profiled replay failed")))?;
+    verify(&result.recorded, &outcome)
+        .map_err(|e| rr_sim::Error::from(e).context(at("profiled verify failed")))?;
+    Ok(ProfEntry {
+        run: format!("{}@{mode}", w.name),
+        variant: v.spec.label(),
+        blame,
+        engine: Some(engine),
+    })
+}
+
 fn main() -> std::process::ExitCode {
     match run() {
         Ok(()) => std::process::ExitCode::SUCCESS,
@@ -178,10 +216,14 @@ fn run() -> Result<(), rr_sim::Error> {
         ],
     );
     let (mut ss, mut sd) = (0.0, 0.0);
+    let mut prof = Vec::new();
     for (i, w) in workloads.iter().enumerate() {
         for (mode, j) in [("snoopy", 2 * i), ("directory", 2 * i + 1)] {
             let result = &report.outputs[j].run;
             let patched = patched_logs(w, result)?;
+            if cfg.prof {
+                prof.push(prof_entry(w, mode, result, &patched, cfg.threads)?);
+            }
             let modeled = modeled_speedup(w, result, &patched, cfg.threads)?;
             match mode {
                 "snoopy" => ss += modeled,
@@ -217,5 +259,6 @@ fn run() -> Result<(), rr_sim::Error> {
          scaling beyond that reflects scheduling overhead, not the DAG"
     );
     t.write_csv(&dir, "parallel_replay")?;
+    write_prof_pairs(&dir, "parallel_replay", &prof)?;
     Ok(())
 }

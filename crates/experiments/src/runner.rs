@@ -6,7 +6,11 @@
 use std::path::PathBuf;
 
 use relaxreplay::trace::{TraceConfig, TraceLevel};
-use rr_replay::{patch, replay_with, verify, CostModel, ReplayEngine, ReplayOutcome};
+use rr_replay::prof::ProfEntry;
+use rr_replay::{
+    critical_path_blame, patch, prof_json, replay_with, verify, CostModel, IntervalDag,
+    ReplayEngine, ReplayOutcome,
+};
 use rr_sim::sweep::{run_sweep, ReplayPolicy, SweepJob, SweepReport};
 use rr_sim::{metrics, Error, MachineConfig, MetricsRegistry, PhaseNanos, RecorderSpec, RunResult};
 use rr_workloads::suite;
@@ -46,6 +50,12 @@ pub struct ExperimentConfig {
     /// `<slug>.trace.json` (Perfetto) next to their metrics sidecars.
     /// Tracing never changes the recorded `.rrlog` bytes.
     pub trace: TraceConfig,
+    /// Replay profiling (`--prof` / `RR_PROF`). Off by default; when
+    /// enabled, the binaries write a `<slug>.prof.json` sidecar
+    /// (`rr-prof/v1`: critical-path blame per run × variant) next to
+    /// their metrics sidecars. Profiling never changes the recorded
+    /// `.rrlog` bytes or the replay outcomes.
+    pub prof: bool,
 }
 
 impl ExperimentConfig {
@@ -64,15 +74,17 @@ impl ExperimentConfig {
             replay_from: None,
             replay_engine: ReplayEngine::Sequential,
             trace: TraceConfig::off(),
+            prof: false,
         }
     }
 
     /// Reads `RR_THREADS` / `RR_SIZE` / `RR_WORKERS` / `RR_SAVE_LOGS` /
-    /// `RR_REPLAY_FROM` / `RR_REPLAY_WORKERS` / `RR_TRACE` environment
-    /// overrides and the `--workers N`, `--save-logs <dir>`,
+    /// `RR_REPLAY_FROM` / `RR_REPLAY_WORKERS` / `RR_TRACE` / `RR_PROF`
+    /// environment overrides and the `--workers N`, `--save-logs <dir>`,
     /// `--replay-from <dir>`, `--replay-workers N`,
-    /// `--trace <off|intervals|accesses|full>` command-line flags (used
-    /// by the binaries so runs can be scaled without recompiling).
+    /// `--trace <off|intervals|accesses|full>`, `--prof` command-line
+    /// flags (used by the binaries so runs can be scaled without
+    /// recompiling).
     #[must_use]
     pub fn from_env() -> Self {
         let mut cfg = Self::paper_default();
@@ -104,6 +116,11 @@ impl ExperimentConfig {
         if let Ok(l) = std::env::var("RR_TRACE") {
             if let Some(level) = TraceLevel::parse(&l) {
                 cfg.trace = TraceConfig::level(level);
+            }
+        }
+        if let Ok(p) = std::env::var("RR_PROF") {
+            if !p.is_empty() && p != "0" {
+                cfg.prof = true;
             }
         }
         if let Ok(w) = std::env::var("RR_REPLAY_WORKERS") {
@@ -142,6 +159,8 @@ impl ExperimentConfig {
                 }
             } else if let Some(level) = a.strip_prefix("--trace=").and_then(TraceLevel::parse) {
                 cfg.trace = TraceConfig::level(level);
+            } else if a == "--prof" {
+                cfg.prof = true;
             }
         }
         cfg
@@ -529,6 +548,89 @@ pub fn write_trace_pairs(
     Ok(())
 }
 
+/// Builds the critical-path blame entries for a set of runs: one
+/// [`rr_replay::ProfEntry`] per run × recorder variant, with the DAG
+/// built from the variant's recorded partial order.
+///
+/// # Errors
+///
+/// Returns the first patch or DAG-construction failure (a correctness
+/// bug — recorded logs always patch and order).
+pub fn prof_entries(runs: &[WorkloadRun], cost: &CostModel) -> Result<Vec<ProfEntry>, Error> {
+    let mut entries = Vec::new();
+    for r in runs {
+        for v in &r.record.variants {
+            let at = |stage: &str| format!("{} [{}]: {stage}", r.label, v.spec.label());
+            let patched: Vec<_> = v
+                .logs
+                .iter()
+                .map(patch)
+                .collect::<Result<_, _>>()
+                .map_err(|e| Error::from(e).context(at("patch failed")))?;
+            let dag = IntervalDag::partial_order(v.logs.len(), &patched, &v.ordering)
+                .map_err(|e| Error::from(e).context(at("dag failed")))?;
+            entries.push(ProfEntry {
+                run: r.label.clone(),
+                variant: v.spec.label(),
+                blame: critical_path_blame(&dag, cost),
+                engine: None,
+            });
+        }
+    }
+    Ok(entries)
+}
+
+/// Writes the `<slug>.prof.json` profiling sidecar (schema `rr-prof/v1`)
+/// for a set of runs: critical-path blame per run × variant, next to the
+/// metrics sidecars. Call when `cfg.prof` is set; a no-op on an empty
+/// run set. Measured engine timelines are the `rr-inspect prof` command's
+/// job — this sidecar carries the modeled blame every figure binary can
+/// produce without re-replaying.
+///
+/// # Errors
+///
+/// Returns the first blame-construction or write failure — the artifact
+/// was explicitly requested.
+pub fn write_prof_artifacts(
+    dir: &std::path::Path,
+    slug: &str,
+    runs: &[WorkloadRun],
+    cost: &CostModel,
+) -> Result<(), Error> {
+    let entries = prof_entries(runs, cost)?;
+    write_prof_pairs(dir, slug, &entries)
+}
+
+/// As [`write_prof_artifacts`], but over pre-built entries — for
+/// harnesses that attach measured [`relaxreplay::prof::EngineProf`]
+/// timelines or drive sweeps directly. No-op on an empty slice.
+///
+/// # Errors
+///
+/// Returns the write failure — the artifact was explicitly requested.
+pub fn write_prof_pairs(
+    dir: &std::path::Path,
+    slug: &str,
+    entries: &[ProfEntry],
+) -> Result<(), Error> {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    std::fs::create_dir_all(dir)
+        .map_err(|e| Error::from(e).context(format!("create {}", dir.display())))?;
+    let path = dir.join(format!("{slug}.prof.json"));
+    std::fs::write(&path, prof_json(entries))
+        .map_err(|e| Error::from(e).context(format!("write {}", path.display())))?;
+    let with_engine = entries.iter().filter(|e| e.engine.is_some()).count();
+    eprintln!(
+        "prof artifacts: {} ({} entr{}, {with_engine} with engine timelines)",
+        path.display(),
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" },
+    );
+    Ok(())
+}
+
 /// Renders every run's metrics as JSONL, one line per run — the sidecar
 /// every experiments binary writes next to its CSV.
 #[must_use]
@@ -574,6 +676,36 @@ mod tests {
         let jsonl = metrics_jsonl(&suite_run.runs);
         assert_eq!(jsonl.lines().count(), 12);
         assert!(jsonl.lines().next().unwrap().contains("\"name\":\"fft\""));
+    }
+
+    #[test]
+    fn prof_artifacts_validate_against_the_sidecar_schema() {
+        let cfg = ExperimentConfig {
+            threads: 2,
+            size: 1,
+            replay: false,
+            workers: 2,
+            prof: true,
+            ..ExperimentConfig::paper_default()
+        };
+        let runs = run_suite(&cfg).expect("suite");
+        let entries = prof_entries(&runs, &cfg.cost).expect("blame");
+        assert_eq!(entries.len(), runs.len() * variant_specs().len());
+        for e in &entries {
+            assert!(
+                e.blame.coverage_pct() >= 95.0,
+                "{} [{}]: attribution must cover the makespan",
+                e.run,
+                e.variant
+            );
+        }
+
+        let dir = std::env::temp_dir().join("rr_prof_artifacts_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_prof_artifacts(&dir, "suite", &runs, &cfg.cost).expect("artifacts");
+        let json = std::fs::read_to_string(dir.join("suite.prof.json")).expect("prof written");
+        let stats = relaxreplay::validate_prof_json(&json).expect("valid rr-prof/v1");
+        assert_eq!(stats.entries, entries.len());
     }
 
     #[test]

@@ -1,3 +1,5 @@
+use crate::patch::ReplayOp;
+
 /// Counts of the replay driver's events, from which replay time is
 /// estimated.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -20,6 +22,32 @@ pub struct ReplayEvents {
 }
 
 impl ReplayEvents {
+    /// The event counts of replaying one interval's ops, `intervals`
+    /// already set to 1. Shared by the cost-model scheduler
+    /// ([`crate::execute_modeled`]) and critical-path blame
+    /// ([`crate::prof`]) so both attribute cycles identically.
+    #[must_use]
+    pub fn for_interval(ops: &[ReplayOp]) -> Self {
+        let mut ev = ReplayEvents {
+            intervals: 1,
+            ..ReplayEvents::default()
+        };
+        for op in ops {
+            match op {
+                ReplayOp::RunBlock { instrs } => {
+                    ev.blocks += 1;
+                    ev.user_instrs += u64::from(*instrs);
+                }
+                ReplayOp::InjectLoad { .. } => ev.injected_loads += 1,
+                ReplayOp::ApplyStore { .. } => ev.applied_stores += 1,
+                ReplayOp::SkipStore => ev.skips += 1,
+                ReplayOp::InjectRmw { .. } => ev.injected_rmws += 1,
+                ReplayOp::EndInterval { .. } => {}
+            }
+        }
+        ev
+    }
+
     /// Accumulates another event count into this one — used to merge the
     /// threaded engine's per-core counts into a machine-wide total.
     pub fn merge(&mut self, other: &ReplayEvents) {
@@ -102,6 +130,17 @@ impl CostModel {
     #[must_use]
     pub fn total_cycles(&self, ev: &ReplayEvents) -> u64 {
         self.user_cycles(ev) + self.os_cycles(ev)
+    }
+
+    /// Modeled cycles to replay one interval's ops — the node weight the
+    /// list scheduler and critical-path blame both use. The per-interval
+    /// `ceil` in [`CostModel::user_cycles`] makes this slightly
+    /// super-additive versus costing merged events; blame works at this
+    /// granularity so its per-interval attributions sum exactly to the
+    /// modeled makespan.
+    #[must_use]
+    pub fn interval_cycles(&self, ops: &[ReplayOp]) -> u64 {
+        self.total_cycles(&ReplayEvents::for_interval(ops))
     }
 }
 

@@ -403,21 +403,53 @@ impl<'a> IntervalDag<'a> {
     /// one edge per dependency. Load with `dot -Tsvg`.
     #[must_use]
     pub fn to_dot(&self, title: &str) -> String {
+        self.to_dot_with_path(title, &[])
+    }
+
+    /// [`to_dot`](Self::to_dot) with a highlighted interval chain:
+    /// `path` names node ids in execution order (typically
+    /// [`critical_path_blame`](crate::critical_path_blame)'s path), and
+    /// the chain's nodes and edges are drawn in red with a heavier pen —
+    /// the exported graph shows where replay time goes.
+    #[must_use]
+    pub fn to_dot_with_path(&self, title: &str, path: &[usize]) -> String {
+        let on_path: Vec<bool> = {
+            let mut v = vec![false; self.nodes.len()];
+            for &i in path {
+                if let Some(slot) = v.get_mut(i) {
+                    *slot = true;
+                }
+            }
+            v
+        };
         let mut s = String::new();
         let _ = writeln!(s, "digraph {{");
         let _ = writeln!(s, "  label={title:?};");
         let _ = writeln!(s, "  rankdir=TB; node [fontsize=10];");
         for (i, n) in self.nodes.iter().enumerate() {
             let shape = if n.barrier { "box" } else { "ellipse" };
+            let hot = if on_path[i] {
+                " color=red penwidth=2.0"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 s,
-                "  n{i} [label=\"c{}.{}\\n@{}\" shape={shape}];",
+                "  n{i} [label=\"c{}.{}\\n@{}\" shape={shape}{hot}];",
                 n.core, n.ordinal, n.timestamp
             );
         }
         for (i, n) in self.nodes.iter().enumerate() {
             for &d in &n.succs {
-                let _ = writeln!(s, "  n{i} -> n{d};");
+                // Consecutive path nodes are always a real DAG edge (the
+                // path is built by predecessor walk-back), so matching
+                // window pairs highlights exactly the critical chain.
+                let hot = if path.windows(2).any(|w| w[0] == i && w[1] == d) {
+                    " [color=red penwidth=2.0]"
+                } else {
+                    ""
+                };
+                let _ = writeln!(s, "  n{i} -> n{d}{hot};");
             }
         }
         let _ = writeln!(s, "}}");

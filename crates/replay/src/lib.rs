@@ -65,6 +65,7 @@ mod ingest;
 pub mod oracle;
 mod parallel;
 mod patch;
+pub mod prof;
 mod replayer;
 mod verify;
 
@@ -76,6 +77,10 @@ pub use ingest::{decode_logs_parallel, default_ingest_workers, read_rrlogs_paral
 pub use oracle::{cross_check, minimize, DifferentialError, Shrink};
 pub use parallel::{execute_modeled, replay_parallel, ParallelOutcome};
 pub use patch::{patch, patch_source, PatchError, PatchSourceError, PatchedLog, ReplayOp};
+pub use prof::{
+    critical_path_blame, execute_threaded_profiled, prof_json, replay_threaded_profiled,
+    BlameReport, PathInterval, ProfEntry, BLAME_KINDS,
+};
 pub use replayer::{
     replay, replay_reference, replay_sources, replay_traced, ReplayError, ReplayOutcome,
     ReplaySourceError,

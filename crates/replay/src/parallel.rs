@@ -29,7 +29,7 @@ use rr_mem::CoreId;
 
 use crate::cost::{CostModel, ReplayEvents};
 use crate::dag::IntervalDag;
-use crate::patch::{PatchedLog, ReplayOp};
+use crate::patch::PatchedLog;
 use crate::replayer::{exec_interval_ops, ReplayError, ReplayOutcome};
 
 /// Result of a parallel replay.
@@ -55,27 +55,6 @@ impl ParallelOutcome {
         }
         self.sequential_cycles as f64 / self.parallel_cycles as f64
     }
-}
-
-fn interval_duration(ops: &[ReplayOp], cost: &CostModel) -> u64 {
-    let mut ev = ReplayEvents {
-        intervals: 1,
-        ..ReplayEvents::default()
-    };
-    for op in ops {
-        match op {
-            ReplayOp::RunBlock { instrs } => {
-                ev.blocks += 1;
-                ev.user_instrs += u64::from(*instrs);
-            }
-            ReplayOp::InjectLoad { .. } => ev.injected_loads += 1,
-            ReplayOp::ApplyStore { .. } => ev.applied_stores += 1,
-            ReplayOp::SkipStore => ev.skips += 1,
-            ReplayOp::InjectRmw { .. } => ev.injected_rmws += 1,
-            ReplayOp::EndInterval { .. } => {}
-        }
-    }
-    cost.total_cycles(&ev)
 }
 
 /// Replays patched logs honouring the recorded partial order instead of
@@ -137,10 +116,7 @@ pub fn execute_modeled(
         });
     }
     let nodes = dag.nodes();
-    let durations: Vec<u64> = nodes
-        .iter()
-        .map(|n| interval_duration(n.ops, cost))
-        .collect();
+    let durations: Vec<u64> = nodes.iter().map(|n| cost.interval_cycles(n.ops)).collect();
     let mut deps: Vec<usize> = nodes.iter().map(|n| n.preds).collect();
     let mut ready_at: Vec<u64> = vec![0; nodes.len()];
 

@@ -1,0 +1,689 @@
+//! `rr_prof` — profiling the replay engine itself: critical-path blame
+//! over the interval DAG and a span-instrumented twin of the threaded
+//! executor.
+//!
+//! Two questions this module answers that nothing else in the system can:
+//!
+//! * **Where does *modeled* replay time go?** [`critical_path_blame`]
+//!   walks the weighted critical path of an [`IntervalDag`] under a
+//!   [`CostModel`] and attributes the entire makespan to intervals, cores,
+//!   and op kinds. Attribution is *exact*: consecutive path nodes chain
+//!   start-to-finish, so the per-interval cycle weights along the path sum
+//!   to precisely the makespan (coverage 100%, against the ≥95% floor the
+//!   `rr-prof/v1` schema enforces).
+//! * **Where does *measured* replay time go?** [`execute_threaded_profiled`]
+//!   is a span-instrumented twin of
+//!   [`execute_threaded`](crate::execute_threaded): same queue, same
+//!   locks, same execution — plus per-worker timelines (exec / queue-pop /
+//!   dep-wait / idle), ready-heap depth samples, lock counters, and
+//!   first-error latency, returned as an
+//!   [`EngineProf`](relaxreplay::prof::EngineProf). The production
+//!   executor is left byte-for-byte untouched, so profiling *off* is
+//!   zero-cost by construction; `tests/observability.rs` proves the
+//!   profiled twin's outcomes identical.
+//!
+//! Results serialize to the `<slug>.prof.json` sidecar (schema
+//! `rr-prof/v1`, [`prof_json`]) written next to the trace/metrics
+//! sidecars, and to per-worker Perfetto timelines via
+//! [`relaxreplay::prof::engine_chrome_trace`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use relaxreplay::prof::{EngineProf, SpanKind, WorkerProf, PROF_SCHEMA};
+use relaxreplay::trace::json;
+use relaxreplay::IntervalOrdering;
+use rr_isa::{Interp, MemImage, Program, SharedMem};
+use rr_mem::CoreId;
+
+use crate::cost::{CostModel, ReplayEvents};
+use crate::dag::IntervalDag;
+use crate::patch::PatchedLog;
+use crate::replayer::{check_end_state, exec_interval_ops, ReplayError, ReplayOutcome};
+
+/// Cycle-cost kinds the blame report decomposes the critical path into.
+/// `user` is native block execution; the rest are the OS control-module
+/// costs of [`CostModel`].
+pub const BLAME_KINDS: [&str; 7] = [
+    "user",
+    "interval",
+    "block",
+    "inject-load",
+    "apply-store",
+    "skip-store",
+    "inject-rmw",
+];
+
+/// One interval on the critical path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathInterval {
+    /// DAG node id.
+    pub node: usize,
+    /// Core the interval ran on.
+    pub core: usize,
+    /// Interval ordinal within its core's log.
+    pub ordinal: usize,
+    /// Recorded global timestamp.
+    pub timestamp: u64,
+    /// Modeled replay cycles of this interval.
+    pub cycles: u64,
+}
+
+/// Critical-path blame: the modeled makespan of an [`IntervalDag`]
+/// attributed to intervals, cores, and op kinds.
+#[derive(Clone, Debug, Default)]
+pub struct BlameReport {
+    /// Modeled makespan: the weight of the heaviest dependency chain —
+    /// the floor no worker count can beat.
+    pub makespan_cycles: u64,
+    /// Total modeled work across all intervals (= sequential replay time).
+    pub total_work_cycles: u64,
+    /// The critical path, as DAG node ids in execution order.
+    pub path: Vec<usize>,
+    /// Cycles attributed to each core (index = core id) along the path.
+    pub per_core: Vec<u64>,
+    /// Cycles attributed to each [`BLAME_KINDS`] entry along the path.
+    pub per_kind: Vec<(&'static str, u64)>,
+    /// The heaviest path intervals, descending by cycles (at most 10).
+    pub top_intervals: Vec<PathInterval>,
+    /// Cycles the path accounts for — equal to `makespan_cycles` by
+    /// construction.
+    pub attributed_cycles: u64,
+}
+
+impl BlameReport {
+    /// Share of the makespan the path attribution explains, in percent
+    /// (100.0 for a non-degenerate report; the sidecar schema requires
+    /// ≥95).
+    #[must_use]
+    pub fn coverage_pct(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 100.0;
+        }
+        self.attributed_cycles as f64 / self.makespan_cycles as f64 * 100.0
+    }
+
+    /// Ideal parallel speedup over sequential replay
+    /// (`total_work / makespan`).
+    #[must_use]
+    pub fn ideal_speedup(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 1.0;
+        }
+        self.total_work_cycles as f64 / self.makespan_cycles as f64
+    }
+
+    /// Renders as the `"blame"` JSON object of a prof-sidecar entry.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(
+            s,
+            "\"makespan_cycles\":{},\"total_work_cycles\":{},\"attributed_cycles\":{},\"path_intervals\":{}",
+            self.makespan_cycles,
+            self.total_work_cycles,
+            self.attributed_cycles,
+            self.path.len()
+        );
+        s.push_str(",\"per_core\":[");
+        for (core, cycles) in self.per_core.iter().enumerate() {
+            if core > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"core\":{core},\"cycles\":{cycles}}}");
+        }
+        s.push_str("],\"per_kind\":[");
+        for (i, (kind, cycles)) in self.per_kind.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"kind\":{},\"cycles\":{cycles}}}", json::escape(kind));
+        }
+        s.push_str("],\"top_intervals\":[");
+        for (i, t) in self.top_intervals.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"node\":{},\"core\":{},\"ordinal\":{},\"timestamp\":{},\"cycles\":{}}}",
+                t.node, t.core, t.ordinal, t.timestamp, t.cycles
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Computes critical-path blame for a validated DAG under a cost model.
+///
+/// The critical path is the heaviest chain under per-interval weights
+/// from [`CostModel::interval_cycles`] — the same weights the cost-model
+/// scheduler ([`crate::execute_modeled`]) uses, so the makespan here is
+/// exactly that scheduler's infinite-worker makespan. Ties (equal-weight
+/// predecessors, equal-finish sinks) break toward smaller node ids, so
+/// the report is deterministic.
+#[must_use]
+pub fn critical_path_blame(dag: &IntervalDag<'_>, cost: &CostModel) -> BlameReport {
+    let nodes = dag.nodes();
+    let mut report = BlameReport {
+        per_core: vec![0; dag.threads()],
+        per_kind: BLAME_KINDS.iter().map(|&k| (k, 0)).collect(),
+        ..BlameReport::default()
+    };
+    if nodes.is_empty() {
+        return report;
+    }
+    let weights: Vec<u64> = nodes.iter().map(|n| cost.interval_cycles(n.ops)).collect();
+    report.total_work_cycles = weights.iter().sum();
+
+    // Weighted longest path: process in topological order, pushing each
+    // node's finish time to its successors and remembering the argmax
+    // predecessor so the path can be walked back afterwards.
+    let mut start = vec![0u64; nodes.len()];
+    let mut from: Vec<Option<usize>> = vec![None; nodes.len()];
+    for &i in &dag.topo_order() {
+        let finish = start[i] + weights[i];
+        for &s in &nodes[i].succs {
+            let better = finish > start[s]
+                || (finish == start[s] && from[s].is_none_or(|p| i < p) && finish > 0);
+            if better {
+                start[s] = finish;
+                from[s] = Some(i);
+            }
+        }
+    }
+    let end = (0..nodes.len())
+        .max_by_key(|&i| (start[i] + weights[i], Reverse(i)))
+        .expect("non-empty DAG");
+    report.makespan_cycles = start[end] + weights[end];
+
+    let mut cur = Some(end);
+    while let Some(i) = cur {
+        report.path.push(i);
+        cur = from[i];
+    }
+    report.path.reverse();
+
+    for &i in &report.path {
+        let n = &nodes[i];
+        let ev = ReplayEvents::for_interval(n.ops);
+        report.attributed_cycles += weights[i];
+        report.per_core[n.core] += weights[i];
+        // Kind decomposition per path node, with the per-node user-cycle
+        // ceil — so the kind cycles sum exactly to the node weight and
+        // the kinds overall to the makespan.
+        let kinds = [
+            cost.user_cycles(&ev),
+            ev.intervals * cost.os_per_interval,
+            ev.blocks * cost.os_per_block,
+            ev.injected_loads * cost.os_per_injected_load,
+            ev.applied_stores * cost.os_per_applied_store,
+            ev.skips * cost.os_per_skip,
+            ev.injected_rmws * cost.os_per_injected_rmw,
+        ];
+        for (slot, cycles) in report.per_kind.iter_mut().zip(kinds) {
+            slot.1 += cycles;
+        }
+        report.top_intervals.push(PathInterval {
+            node: i,
+            core: n.core,
+            ordinal: n.ordinal,
+            timestamp: n.timestamp,
+            cycles: weights[i],
+        });
+    }
+    report
+        .top_intervals
+        .sort_by_key(|t| (Reverse(t.cycles), t.node));
+    report.top_intervals.truncate(10);
+    report
+}
+
+/// One run × variant entry of a `.prof.json` sidecar.
+#[derive(Clone, Debug)]
+pub struct ProfEntry {
+    /// Workload / run name.
+    pub run: String,
+    /// Recorder variant label (`Opt-4K`, …).
+    pub variant: String,
+    /// Critical-path blame for the variant's DAG.
+    pub blame: BlameReport,
+    /// Measured engine profile, when a profiled replay was performed.
+    pub engine: Option<EngineProf>,
+}
+
+/// Serializes prof entries as an `rr-prof/v1` sidecar document — the
+/// format [`relaxreplay::prof::validate_prof_json`] checks.
+#[must_use]
+pub fn prof_json(entries: &[ProfEntry]) -> String {
+    let mut s = format!("{{\"schema\":{},\"entries\":[", json::escape(PROF_SCHEMA));
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"run\":{},\"variant\":{},\"blame\":{}",
+            json::escape(&e.run),
+            json::escape(&e.variant),
+            e.blame.to_json()
+        );
+        match &e.engine {
+            Some(p) => {
+                let _ = write!(s, ",\"engine\":{}", p.summary_json());
+            }
+            None => s.push_str(",\"engine\":null"),
+        }
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+struct CoreState<'p> {
+    interp: Interp<'p>,
+    trace: Vec<u64>,
+    events: ReplayEvents,
+}
+
+struct Queue {
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    executed: usize,
+    done: bool,
+}
+
+/// [`crate::replay_threaded`] with engine profiling: replays the recorded
+/// partial order on `workers` OS threads, returning the outcome *and* the
+/// per-worker profile.
+///
+/// # Errors
+///
+/// As [`crate::replay_threaded`].
+pub fn replay_threaded_profiled(
+    programs: &[Program],
+    logs: &[PatchedLog],
+    orderings: Option<&[IntervalOrdering]>,
+    mem: MemImage,
+    cost: &CostModel,
+    workers: usize,
+) -> Result<(ReplayOutcome, EngineProf), ReplayError> {
+    let dag = match orderings {
+        Some(o) => IntervalDag::partial_order(programs.len(), logs, o)?,
+        None => IntervalDag::total_order(programs.len(), logs)?,
+    };
+    execute_threaded_profiled(programs, &dag, mem, cost, workers)
+}
+
+/// The span-instrumented twin of [`crate::execute_threaded`]: same ready
+/// heap, same locks, same interval execution — every worker additionally
+/// records its span timeline (exec / queue-pop / dep-wait / idle),
+/// ready-heap depth at each pop, lock-acquisition counters, and the
+/// latency to the first replay error.
+///
+/// The production executor is not touched by this instrumentation (it is
+/// a separate function), so disabled profiling costs nothing; the twin's
+/// outcome is identical to the production executor's on every input
+/// (asserted across the litmus suite by `tests/observability.rs`).
+///
+/// # Errors
+///
+/// As [`crate::execute_threaded`].
+pub fn execute_threaded_profiled(
+    programs: &[Program],
+    dag: &IntervalDag<'_>,
+    mem: MemImage,
+    cost: &CostModel,
+    workers: usize,
+) -> Result<(ReplayOutcome, EngineProf), ReplayError> {
+    if dag.threads() != programs.len() {
+        return Err(ReplayError::ThreadCountMismatch {
+            programs: programs.len(),
+            logs: dag.threads(),
+        });
+    }
+    let nodes = dag.nodes();
+    let shared = SharedMem::from_image(&mem);
+    drop(mem);
+
+    let cores: Vec<Mutex<CoreState>> = programs
+        .iter()
+        .map(|p| {
+            Mutex::new(CoreState {
+                interp: Interp::new(p),
+                trace: Vec::new(),
+                events: ReplayEvents::default(),
+            })
+        })
+        .collect();
+    let deps: Vec<AtomicUsize> = nodes.iter().map(|n| AtomicUsize::new(n.preds)).collect();
+    let queue = Mutex::new(Queue {
+        ready: nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.preds == 0)
+            .map(|(i, n)| Reverse((n.timestamp, i)))
+            .collect(),
+        executed: 0,
+        done: nodes.is_empty(),
+    });
+    let cond = Condvar::new();
+    let error: Mutex<Option<ReplayError>> = Mutex::new(None);
+    let profs: Mutex<Vec<WorkerProf>> = Mutex::new(Vec::new());
+    // Earliest error instant, ns since t0; u64::MAX = no error yet.
+    let first_error_ns = AtomicU64::new(u64::MAX);
+    let t0 = Instant::now();
+
+    let pool = workers.clamp(1, nodes.len().max(1));
+    std::thread::scope(|s| {
+        for widx in 0..pool {
+            let (queue, cond, error, cores, deps, profs, shared, first_error_ns) = (
+                &queue,
+                &cond,
+                &error,
+                &cores,
+                &deps,
+                &profs,
+                &shared,
+                &first_error_ns,
+            );
+            s.spawn(move || {
+                let now = || t0.elapsed().as_nanos() as u64;
+                let mut wp = WorkerProf::new(widx);
+                let mut memh = shared.handle();
+                'work: loop {
+                    let span_begin = now();
+                    let node = {
+                        wp.queue_locks += 1;
+                        let mut q = queue.lock().expect("replay queue poisoned");
+                        let mut span_begin = span_begin;
+                        loop {
+                            if q.done {
+                                drop(q);
+                                wp.push_span(SpanKind::Idle, span_begin, now() - span_begin, 0, 0);
+                                break 'work;
+                            }
+                            if let Some(Reverse((_, id))) = q.ready.pop() {
+                                wp.heap_depth.push((q.ready.len() + 1) as u32);
+                                wp.push_span(
+                                    SpanKind::QueuePop,
+                                    span_begin,
+                                    now() - span_begin,
+                                    0,
+                                    0,
+                                );
+                                break id;
+                            }
+                            let wait_begin = now();
+                            q = cond.wait(q).expect("replay queue poisoned");
+                            // A wake into shutdown was idle time, not a
+                            // dependency stall; classify at resolution.
+                            if q.done {
+                                drop(q);
+                                wp.push_span(SpanKind::Idle, wait_begin, now() - wait_begin, 0, 0);
+                                break 'work;
+                            }
+                            wp.push_span(SpanKind::DepWait, wait_begin, now() - wait_begin, 0, 0);
+                            span_begin = now();
+                        }
+                    };
+                    let n = &nodes[node];
+                    let exec_begin = now();
+                    let result = {
+                        wp.core_locks += 1;
+                        let mut cs = match cores[n.core].try_lock() {
+                            Ok(g) => g,
+                            Err(_) => {
+                                wp.core_locks_contended += 1;
+                                cores[n.core].lock().expect("core state poisoned")
+                            }
+                        };
+                        cs.events.intervals += 1;
+                        let CoreState {
+                            interp,
+                            trace,
+                            events,
+                        } = &mut *cs;
+                        exec_interval_ops(
+                            n.ops,
+                            CoreId::new(n.core as u8),
+                            interp,
+                            &mut memh,
+                            trace,
+                            events,
+                        )
+                    };
+                    wp.push_span(
+                        SpanKind::Exec,
+                        exec_begin,
+                        now() - exec_begin,
+                        n.core as u32,
+                        node as u64,
+                    );
+                    wp.executed += 1;
+                    match result {
+                        Err(e) => {
+                            first_error_ns.fetch_min(now(), Ordering::Relaxed);
+                            let mut slot = error.lock().expect("error slot poisoned");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            drop(slot);
+                            let mut q = queue.lock().expect("replay queue poisoned");
+                            q.done = true;
+                            drop(q);
+                            cond.notify_all();
+                            break 'work;
+                        }
+                        Ok(()) => {
+                            let mut newly_ready = Vec::new();
+                            for &succ in &n.succs {
+                                if deps[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    newly_ready.push(succ);
+                                }
+                            }
+                            wp.queue_locks += 1;
+                            let mut q = queue.lock().expect("replay queue poisoned");
+                            q.executed += 1;
+                            if q.executed == nodes.len() {
+                                q.done = true;
+                            }
+                            for id in newly_ready {
+                                q.ready.push(Reverse((nodes[id].timestamp, id)));
+                            }
+                            let wake = q.done || !q.ready.is_empty();
+                            drop(q);
+                            if wake {
+                                cond.notify_all();
+                            }
+                        }
+                    }
+                }
+                profs.lock().expect("prof sink poisoned").push(wp);
+            });
+        }
+    });
+
+    let mut prof = EngineProf {
+        workers: profs.into_inner().expect("prof sink poisoned"),
+        wall_ns: t0.elapsed().as_nanos() as u64,
+        nodes: nodes.len(),
+        first_error_ns: match first_error_ns.into_inner() {
+            u64::MAX => None,
+            ns => Some(ns),
+        },
+    };
+    prof.workers.sort_by_key(|w| w.worker);
+
+    if let Some(e) = error.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+    let q = queue.into_inner().expect("replay queue poisoned");
+    if q.executed != nodes.len() {
+        return Err(ReplayError::CyclicOrdering {
+            executed: q.executed,
+            intervals: nodes.len(),
+        });
+    }
+
+    let mut interps = Vec::with_capacity(cores.len());
+    let mut traces = Vec::with_capacity(cores.len());
+    let mut events = ReplayEvents::default();
+    for c in cores {
+        let cs = c.into_inner().expect("core state poisoned");
+        events.merge(&cs.events);
+        traces.push(cs.trace);
+        interps.push(cs.interp);
+    }
+    check_end_state(programs, &interps)?;
+
+    let user_cycles = cost.user_cycles(&events);
+    let os_cycles = cost.os_cycles(&events);
+    Ok((
+        ReplayOutcome {
+            mem: shared.to_image(),
+            load_traces: traces,
+            events,
+            user_cycles,
+            os_cycles,
+        },
+        prof,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patch::patch;
+    use relaxreplay::{IntervalLog, LogEntry};
+    use rr_isa::{ProgramBuilder, Reg};
+
+    /// Two independent one-interval threads: core 0 stores 7 to its own
+    /// word, core 1 stores 9 — no communication, so any interleaving is a
+    /// correct replay.
+    fn tiny_two_core() -> (Vec<Program>, Vec<PatchedLog>) {
+        let mk = |value: i64, addr: i64| {
+            let mut b = ProgramBuilder::new();
+            b.load_imm(Reg::new(1), value);
+            b.load_imm(Reg::new(2), addr);
+            b.store(Reg::new(1), Reg::new(2), 0);
+            b.halt();
+            b.build()
+        };
+        let programs = vec![mk(7, 0x100), mk(9, 0x200)];
+        let logs: Vec<PatchedLog> = (0..2u8)
+            .map(|c| {
+                patch(&IntervalLog {
+                    core: CoreId::new(c),
+                    entries: vec![
+                        LogEntry::InorderBlock { instrs: 4 },
+                        LogEntry::IntervalFrame {
+                            cisn: 0,
+                            timestamp: 10 + u64::from(c),
+                        },
+                    ],
+                })
+                .expect("patches")
+            })
+            .collect();
+        (programs, logs)
+    }
+
+    #[test]
+    fn blame_attributes_exactly_the_makespan() {
+        let (programs, logs) = tiny_two_core();
+        let dag = IntervalDag::total_order(programs.len(), &logs).expect("builds");
+        let cost = CostModel::splash_default();
+        let blame = critical_path_blame(&dag, &cost);
+
+        // Total order chains both intervals: makespan == total work.
+        assert_eq!(blame.makespan_cycles, blame.total_work_cycles);
+        assert_eq!(blame.attributed_cycles, blame.makespan_cycles);
+        assert_eq!(blame.path.len(), 2);
+        assert_eq!(blame.per_core.iter().sum::<u64>(), blame.makespan_cycles);
+        assert_eq!(
+            blame.per_kind.iter().map(|(_, c)| c).sum::<u64>(),
+            blame.makespan_cycles,
+            "kind decomposition must be exact"
+        );
+        assert!((blame.coverage_pct() - 100.0).abs() < f64::EPSILON);
+        assert_eq!(blame.top_intervals.len(), 2);
+        assert!(blame.top_intervals[0].cycles >= blame.top_intervals[1].cycles);
+    }
+
+    #[test]
+    fn profiled_executor_matches_production() {
+        let (programs, logs) = tiny_two_core();
+        let cost = CostModel::splash_default();
+        let dag = IntervalDag::total_order(programs.len(), &logs).expect("builds");
+        let plain =
+            crate::execute_threaded(&programs, &dag, MemImage::new(), &cost, 2).expect("replays");
+        let (profiled, prof) =
+            execute_threaded_profiled(&programs, &dag, MemImage::new(), &cost, 2)
+                .expect("replays profiled");
+
+        assert!(plain.mem.contents_eq(&profiled.mem));
+        assert_eq!(plain.load_traces, profiled.load_traces);
+        assert_eq!(plain.events, profiled.events);
+        assert_eq!(plain.user_cycles, profiled.user_cycles);
+        assert_eq!(plain.os_cycles, profiled.os_cycles);
+
+        assert_eq!(prof.nodes, 2);
+        assert!(!prof.workers.is_empty());
+        let executed: u64 = prof.workers.iter().map(|w| w.executed).sum();
+        assert_eq!(executed, 2, "every interval profiled exactly once");
+        assert_eq!(prof.first_error_ns, None);
+        assert!(prof.heap_depth_stats().samples == 2);
+        assert!(
+            prof.workers.iter().any(|w| w.exec_ns > 0),
+            "exec spans recorded"
+        );
+    }
+
+    #[test]
+    fn prof_json_round_trips_through_the_validator() {
+        let (programs, logs) = tiny_two_core();
+        let cost = CostModel::splash_default();
+        let dag = IntervalDag::total_order(programs.len(), &logs).expect("builds");
+        let blame = critical_path_blame(&dag, &cost);
+        let (_, engine) =
+            execute_threaded_profiled(&programs, &dag, MemImage::new(), &cost, 2).expect("replays");
+        let doc = prof_json(&[
+            ProfEntry {
+                run: "tiny".into(),
+                variant: "Opt-4K".into(),
+                blame: blame.clone(),
+                engine: Some(engine),
+            },
+            ProfEntry {
+                run: "tiny".into(),
+                variant: "Base-4K".into(),
+                blame,
+                engine: None,
+            },
+        ]);
+        let stats = relaxreplay::prof::validate_prof_json(&doc).expect("valid sidecar");
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.with_engine, 1);
+        assert_eq!(stats.path_intervals, 4);
+    }
+
+    #[test]
+    fn empty_dag_blames_nothing() {
+        let logs: Vec<PatchedLog> = vec![PatchedLog::default()];
+        let programs = {
+            let mut b = ProgramBuilder::new();
+            b.halt();
+            vec![b.build()]
+        };
+        let dag = IntervalDag::total_order(programs.len(), &logs).expect("builds");
+        let blame = critical_path_blame(&dag, &CostModel::splash_default());
+        assert_eq!(blame.makespan_cycles, 0);
+        assert!(blame.path.is_empty());
+        assert!((blame.coverage_pct() - 100.0).abs() < f64::EPSILON);
+    }
+}

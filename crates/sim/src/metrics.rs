@@ -175,6 +175,11 @@ impl MetricsRegistry {
 
     /// Renders the registry as one JSON object:
     /// `{"counters":{..},"histograms":{"name":{"bin_width":w,"counts":[..]}}}`.
+    ///
+    /// Emission order is deterministic — keys appear in sorted (BTreeMap)
+    /// order regardless of insertion or merge order — so JSONL sidecars
+    /// diff cleanly across runs. Pinned by
+    /// `to_json_is_sorted_and_insertion_order_independent`.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
@@ -348,6 +353,33 @@ mod tests {
         assert!(json.starts_with('{'), "{json}");
         assert!(json.contains("\"a\":3"), "{json}");
         assert!(json.contains("\"b\":7"), "{json}");
+    }
+
+    #[test]
+    fn to_json_is_sorted_and_insertion_order_independent() {
+        let mut fwd = MetricsRegistry::new();
+        for k in ["alpha", "mid", "zeta"] {
+            fwd.add(k, 1);
+            fwd.observe(&format!("h_{k}"), 5);
+        }
+        let mut rev = MetricsRegistry::new();
+        for k in ["zeta", "mid", "alpha"] {
+            rev.observe(&format!("h_{k}"), 5);
+            rev.add(k, 1);
+        }
+        let json = fwd.to_json();
+        assert_eq!(
+            json,
+            rev.to_json(),
+            "emission must not depend on insertion order"
+        );
+        let a = json.find("\"alpha\"").expect("alpha present");
+        let m = json.find("\"mid\"").expect("mid present");
+        let z = json.find("\"zeta\"").expect("zeta present");
+        assert!(a < m && m < z, "counters sorted: {json}");
+        let ha = json.find("\"h_alpha\"").expect("h_alpha present");
+        let hz = json.find("\"h_zeta\"").expect("h_zeta present");
+        assert!(ha < hz, "histograms sorted: {json}");
     }
 
     #[test]

@@ -6,13 +6,22 @@
 //! * the Chrome trace export is schema-valid with one track per core (plus
 //!   the coherence track);
 //! * a forced verification divergence produces a `divergence.md` forensics
-//!   report carrying both the record-side and replay-side event windows.
+//!   report carrying both the record-side and replay-side event windows;
+//! * the `rr-prof` subsystem is the same kind of pure side channel: the
+//!   profiled codec decoder and the profiled replay engine produce results
+//!   identical to their unprofiled twins on every litmus shape, and the
+//!   `rr-prof/v1` sidecar + per-worker Perfetto timeline both validate.
 
+use relaxreplay::prof::CodecPhases;
 use relaxreplay::trace::{validate_chrome_trace, TraceConfig, TraceLevel};
-use relaxreplay::wire::encode_chunked;
-use rr_replay::CostModel;
+use relaxreplay::wire::{decode_chunked, decode_chunked_profiled, encode_chunked};
+use rr_replay::prof::ProfEntry;
+use rr_replay::{
+    critical_path_blame, patch, prof_json, replay_threaded, replay_threaded_profiled, CostModel,
+    IntervalDag,
+};
 use rr_sim::{replay_and_verify_forensic, RecordSession, RecorderSpec};
-use rr_workloads::suite;
+use rr_workloads::{litmus_suite, suite};
 
 const THREADS: usize = 2;
 const SIZE: u32 = 1;
@@ -44,6 +53,146 @@ fn rrlog_bytes_are_identical_with_tracing_on_and_off() {
                 );
             }
         }
+    }
+}
+
+/// Profiling must be invisible: for every litmus shape and recorder
+/// variant, the profiled codec decoder yields the same entries as the
+/// strict decoder (and re-encodes to the same bytes), and the profiled
+/// replay engine's outcome matches the unprofiled engine field for field.
+#[test]
+fn profiling_changes_no_rrlog_bytes_and_no_replay_outcomes() {
+    let specs = RecorderSpec::paper_matrix();
+    let cost = CostModel::splash_default();
+    for w in litmus_suite() {
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .specs(&specs)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: records: {e}", w.name));
+        for (v, variant) in result.variants.iter().enumerate() {
+            let at = format!("{} variant {v}", w.name);
+
+            // Codec: profiled decode == strict decode, byte-identical
+            // round trip, and the phase accounting is populated.
+            let mut phases = CodecPhases::default();
+            for log in &variant.logs {
+                let bytes = encode_chunked(log);
+                let plain = decode_chunked(&bytes).unwrap_or_else(|e| panic!("{at}: {e}"));
+                let profiled = decode_chunked_profiled(&bytes, &mut phases)
+                    .unwrap_or_else(|e| panic!("{at}: {e}"));
+                assert_eq!(plain, profiled, "{at}: profiled decode differs");
+                assert_eq!(
+                    encode_chunked(&profiled),
+                    bytes,
+                    "{at}: profiled decode does not round-trip"
+                );
+            }
+            assert!(phases.chunks > 0 && phases.payload_bytes > 0, "{at}");
+
+            // Engine: profiled replay == unprofiled replay, field for field.
+            let patched: Vec<_> = variant
+                .logs
+                .iter()
+                .map(patch)
+                .collect::<Result<_, _>>()
+                .unwrap_or_else(|e| panic!("{at}: patch: {e}"));
+            let plain = replay_threaded(
+                &w.programs,
+                &patched,
+                &variant.ordering,
+                w.initial_mem.clone(),
+                &cost,
+                2,
+            )
+            .unwrap_or_else(|e| panic!("{at}: replay: {e}"));
+            let (profiled, engine) = replay_threaded_profiled(
+                &w.programs,
+                &patched,
+                Some(&variant.ordering),
+                w.initial_mem.clone(),
+                &cost,
+                2,
+            )
+            .unwrap_or_else(|e| panic!("{at}: profiled replay: {e}"));
+            assert!(
+                plain.mem.contents_eq(&profiled.mem),
+                "{at}: profiled replay changed final memory"
+            );
+            assert_eq!(plain.load_traces, profiled.load_traces, "{at}");
+            assert_eq!(plain.events, profiled.events, "{at}");
+            assert_eq!(plain.user_cycles, profiled.user_cycles, "{at}");
+            assert_eq!(plain.os_cycles, profiled.os_cycles, "{at}");
+
+            // The engine profile accounts for every executed interval.
+            let executed: u64 = engine.workers.iter().map(|p| p.executed).sum();
+            assert_eq!(executed, engine.nodes as u64, "{at}");
+            assert!(engine.first_error_ns.is_none(), "{at}");
+        }
+    }
+}
+
+/// The `rr-prof/v1` sidecar built from real litmus runs validates, and the
+/// per-worker engine timeline is a schema-valid Chrome trace with one
+/// track per pool worker.
+#[test]
+fn prof_sidecar_and_worker_timeline_validate() {
+    let cost = CostModel::splash_default();
+    let mut entries = Vec::new();
+    let mut timelines = Vec::new();
+    for w in litmus_suite() {
+        let result = RecordSession::new(&w.programs, &w.initial_mem)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: records: {e}", w.name));
+        let variant = &result.variants[0];
+        let patched: Vec<_> = variant
+            .logs
+            .iter()
+            .map(patch)
+            .collect::<Result<_, _>>()
+            .unwrap_or_else(|e| panic!("{}: patch: {e}", w.name));
+        let dag = IntervalDag::partial_order(variant.logs.len(), &patched, &variant.ordering)
+            .unwrap_or_else(|e| panic!("{}: dag: {e}", w.name));
+        let blame = critical_path_blame(&dag, &cost);
+        assert!(blame.coverage_pct() >= 95.0, "{}", w.name);
+        let (_, engine) = replay_threaded_profiled(
+            &w.programs,
+            &patched,
+            Some(&variant.ordering),
+            w.initial_mem.clone(),
+            &cost,
+            2,
+        )
+        .unwrap_or_else(|e| panic!("{}: profiled replay: {e}", w.name));
+        timelines.push((w.name.to_string(), engine.clone()));
+        entries.push(ProfEntry {
+            run: w.name.to_string(),
+            variant: variant.spec.label(),
+            blame,
+            engine: Some(engine),
+        });
+    }
+
+    let json = prof_json(&entries);
+    let stats = relaxreplay::validate_prof_json(&json).expect("valid rr-prof/v1 sidecar");
+    assert_eq!(stats.entries, entries.len());
+    assert_eq!(stats.with_engine, entries.len());
+    assert!(stats.path_intervals > 0);
+
+    let refs: Vec<(String, &relaxreplay::prof::EngineProf)> =
+        timelines.iter().map(|(n, p)| (n.clone(), p)).collect();
+    let chrome = relaxreplay::engine_chrome_trace(&refs);
+    let stats = validate_chrome_trace(&chrome).expect("valid chrome trace");
+    assert!(stats.events > 0);
+    // One track per pool worker per run; every litmus run used 2 workers.
+    for worker in 0..2 {
+        assert!(
+            stats
+                .track_names
+                .iter()
+                .any(|n| n == &format!("worker {worker}")),
+            "{:?}",
+            stats.track_names
+        );
     }
 }
 

@@ -274,6 +274,14 @@ fn dag_reports_stats_and_exports_dot() {
         let s = std::fs::read_to_string(p).expect("readable .dot");
         assert!(s.starts_with("digraph"), "{}: not a digraph", p.display());
         assert!(s.trim_end().ends_with('}'), "{}: unterminated", p.display());
+        // The cost-weighted critical path is highlighted: at least one
+        // node and (in a multi-interval DAG) one edge carry the red
+        // emphasis attributes.
+        assert!(
+            s.contains("color=red") && s.contains("penwidth=2.0"),
+            "{}: critical path not highlighted:\n{s}",
+            p.display()
+        );
     }
 
     // Without the sidecar the command still works, in total order.
@@ -292,4 +300,80 @@ fn dag_reports_stats_and_exports_dot() {
         "expected total-order fallback:\n{text}"
     );
     assert!(!text.contains("partial"), "sidecars were removed:\n{text}");
+}
+
+#[test]
+fn prof_writes_blame_sidecar_and_worker_timeline_for_a_named_workload() {
+    let root = temp_root("prof");
+    // Record the real `fft` workload so `rr-inspect prof` can regenerate
+    // its programs by name and run the profiled engine.
+    let w = rr_workloads::by_name("fft", 2, 1).expect("fft exists");
+    let result = RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&MachineConfig::splash_default(2))
+        .specs(&RecorderSpec::paper_matrix())
+        .run()
+        .expect("records");
+    save_run(&root, "fft", &result).expect("saves");
+
+    let out_dir = root.join("prof-out");
+    let out = rr_inspect(&[
+        "prof",
+        root.to_str().unwrap(),
+        "--size",
+        "1",
+        "--workers",
+        "2",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "prof failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("critical-path blame"), "{text}");
+    for label in ["Base-4K", "Opt-4K", "Base-INF", "Opt-INF"] {
+        assert!(text.contains(label), "{text}");
+    }
+
+    let prof_json =
+        std::fs::read_to_string(out_dir.join("fft.prof.json")).expect("prof sidecar written");
+    let stats = relaxreplay::validate_prof_json(&prof_json).expect("valid rr-prof/v1");
+    assert_eq!(stats.entries, 4, "one entry per recorder variant");
+    assert_eq!(stats.with_engine, 4, "named workload gets engine timelines");
+
+    let chrome =
+        std::fs::read_to_string(out_dir.join("fft.prof.trace.json")).expect("timeline written");
+    let tstats = relaxreplay::trace::validate_chrome_trace(&chrome).expect("valid chrome trace");
+    assert!(tstats.events > 0);
+    assert!(
+        tstats.track_names.iter().any(|n| n == "worker 0"),
+        "{:?}",
+        tstats.track_names
+    );
+}
+
+#[test]
+fn prof_still_emits_blame_when_the_workload_name_is_unknown() {
+    let root = temp_root("prof_unknown");
+    let run_dir = save_sample_run(&root, "sample");
+
+    let out = rr_inspect(&["prof", run_dir.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "prof must degrade gracefully: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("skipping the engine timeline"),
+        "unknown workload must be noted:\n{text}"
+    );
+    assert!(text.contains("critical-path blame"), "{text}");
+
+    // Blame sidecar lands next to the run (the --save-logs root), with no
+    // engine sections and no timeline file.
+    let prof_json =
+        std::fs::read_to_string(root.join("sample.prof.json")).expect("prof sidecar written");
+    let stats = relaxreplay::validate_prof_json(&prof_json).expect("valid rr-prof/v1");
+    assert_eq!(stats.entries, 4);
+    assert_eq!(stats.with_engine, 0);
+    assert!(!root.join("sample.prof.trace.json").exists());
 }
