@@ -3,12 +3,18 @@
 //! cursor, parallel per-core ingest).
 //!
 //! This bench owns its harness (the vendored criterion shim has no CLI or
-//! machine-readable output): it times encode/decode at 1K / 100K / 10M
-//! entries and `decode_logs_parallel` at 1/2/8 workers, writes the
-//! results as `BENCH_codec.json`, and — on every invocation — decodes the
-//! checked-in sample `.rrlog` files with both the fast decoder and the
-//! byte-at-a-time reference decoder, exiting nonzero on any disagreement
-//! (the CI `bench-smoke` gate).
+//! machine-readable output): it times encode/decode at 1K / 100K / 10M /
+//! 100M entries (the 100M stream is generated straight through a
+//! `ChunkedWriter` and decoded into a reused output log — the replay
+//! engine's steady-state ingest pattern), `decode_logs_parallel` at 1/2/8
+//! workers, and single-stream range-partitioned decode
+//! (`parallel_decode_stream`), writes the results as `BENCH_codec.json`,
+//! and — on every invocation — decodes the checked-in sample `.rrlog`
+//! files (v1/v2/v3 framing) with the fast decoder, the byte-at-a-time
+//! reference decoder, the streaming readers, and the range-parallel
+//! decoder, exiting nonzero on any disagreement (the CI `bench-smoke`
+//! gate). The `--test` mode also hard-gates the `workers == 1` ingest
+//! path: it must cost no more than a plain serial decode loop.
 //!
 //! ```text
 //! cargo bench -p rr-bench --bench codec            full measurement
@@ -23,51 +29,62 @@ use std::time::Instant;
 
 use relaxreplay::prof::CodecPhases;
 use relaxreplay::wire::{
-    decode_chunked, decode_chunked_profiled, decode_chunked_reference, encode_chunked, read_rrlog,
-    ChunkedReader, DecodeScratch,
+    decode_chunked, decode_chunked_into, decode_chunked_profiled, decode_chunked_reference,
+    encode_chunked, encode_chunked_with_version, read_rrlog, ChunkedReader, ChunkedWriter,
+    DecodeScratch, DEFAULT_CHUNK_BYTES, MIN_VERSION, VERSION,
 };
-use relaxreplay::{IntervalLog, LogEntry, LogSource};
+use relaxreplay::{IntervalLog, LogEntry, LogSink, LogSource};
 use rr_mem::CoreId;
-use rr_replay::decode_logs_parallel;
+use rr_replay::{decode_chunked_parallel, decode_logs_parallel};
 
-/// A synthetic log with the recorder's real entry mix: long inorder runs,
-/// periodic reordered loads/stores, the odd RMW, one frame per interval.
+/// Appends step `i` of the synthetic entry mix to `out`: a long inorder
+/// run, periodic reordered loads/stores, the odd RMW, one frame per
+/// interval — the recorder's real shape.
+fn entry_batch(i: u64, out: &mut Vec<LogEntry>) {
+    out.clear();
+    out.push(LogEntry::InorderBlock {
+        instrs: 50 + (i % 100) as u32,
+    });
+    if i.is_multiple_of(3) {
+        out.push(LogEntry::ReorderedLoad {
+            value: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        });
+    }
+    if i.is_multiple_of(5) {
+        out.push(LogEntry::ReorderedStore {
+            addr: (i % 4096) * 8,
+            value: i,
+            offset: (i % 7) as u32,
+        });
+    }
+    if i.is_multiple_of(17) {
+        out.push(LogEntry::ReorderedRmw {
+            loaded: i,
+            addr: (i % 512) * 8,
+            stored: if i.is_multiple_of(2) {
+                Some(i + 1)
+            } else {
+                None
+            },
+            offset: 1,
+        });
+    }
+    out.push(LogEntry::IntervalFrame {
+        cisn: i as u16,
+        timestamp: i * 170 + (i % 13),
+    });
+}
+
+/// A synthetic log with the recorder's real entry mix (see
+/// [`entry_batch`]).
 fn synthetic_log(core: u8, entries: usize) -> IntervalLog {
     let mut log = IntervalLog::new(CoreId::new(core));
     log.entries.reserve(entries);
+    let mut batch = Vec::new();
     let mut i = 0u64;
     while log.entries.len() < entries {
-        log.entries.push(LogEntry::InorderBlock {
-            instrs: 50 + (i % 100) as u32,
-        });
-        if i.is_multiple_of(3) {
-            log.entries.push(LogEntry::ReorderedLoad {
-                value: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            });
-        }
-        if i.is_multiple_of(5) {
-            log.entries.push(LogEntry::ReorderedStore {
-                addr: (i % 4096) * 8,
-                value: i,
-                offset: (i % 7) as u32,
-            });
-        }
-        if i.is_multiple_of(17) {
-            log.entries.push(LogEntry::ReorderedRmw {
-                loaded: i,
-                addr: (i % 512) * 8,
-                stored: if i.is_multiple_of(2) {
-                    Some(i + 1)
-                } else {
-                    None
-                },
-                offset: 1,
-            });
-        }
-        log.entries.push(LogEntry::IntervalFrame {
-            cisn: i as u16,
-            timestamp: i * 170 + (i % 13),
-        });
+        entry_batch(i, &mut batch);
+        log.entries.extend(batch.iter().cloned());
         i += 1;
     }
     log.entries.truncate(entries);
@@ -80,6 +97,47 @@ fn synthetic_log(core: u8, entries: usize) -> IntervalLog {
         });
     }
     log
+}
+
+/// Encodes the same entry mix straight through a [`ChunkedWriter`]
+/// without materializing the input log: at 100M entries the in-memory
+/// `Vec<LogEntry>` would cost gigabytes for no measurement value — the
+/// bench only needs the wire bytes.
+fn synthetic_stream(core: u8, entries: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut w = ChunkedWriter::new(&mut out, CoreId::new(core)).expect("Vec writes cannot fail");
+    let mut batch = Vec::new();
+    // Hold one entry back so the tail can be fixed up to end on a frame,
+    // mirroring `synthetic_log`.
+    let mut pending: Option<LogEntry> = None;
+    let mut emitted = 0usize;
+    let mut i = 0u64;
+    'gen: while emitted < entries {
+        entry_batch(i, &mut batch);
+        i += 1;
+        for e in &batch {
+            if let Some(p) = pending.take() {
+                w.emit(&p).expect("Vec writes cannot fail");
+            }
+            pending = Some(*e);
+            emitted += 1;
+            if emitted == entries {
+                break 'gen;
+            }
+        }
+    }
+    let last = pending.expect("entries >= 1");
+    if matches!(last, LogEntry::IntervalFrame { .. }) {
+        w.emit(&last).expect("Vec writes cannot fail");
+    } else {
+        w.emit(&LogEntry::IntervalFrame {
+            cisn: i as u16,
+            timestamp: i * 170,
+        })
+        .expect("Vec writes cannot fail");
+    }
+    w.close().expect("Vec writes cannot fail");
+    out
 }
 
 struct Sample {
@@ -141,6 +199,31 @@ fn push_sample(out: &mut Vec<Sample>, name: String, entries: usize, bytes: usize
     });
 }
 
+/// Times the steady-state decode of `bytes` — `decode_chunked_into` with
+/// a reused output log, the replay engine's actual ingest pattern (a
+/// fresh multi-hundred-MB output `Vec` per iteration would measure page
+/// faults, not the codec) — then runs one profiled pass for the phase
+/// decomposition.
+fn bench_decode_row(smoke: bool, out: &mut Vec<Sample>, tag: &str, entries: usize, bytes: &[u8]) {
+    let mut reused = IntervalLog::new(CoreId::new(0));
+    let ns = measure(smoke, bytes.len(), || {
+        decode_chunked_into(std::hint::black_box(bytes), &mut reused).expect("decodes");
+        std::hint::black_box(&reused);
+    });
+    push_sample(
+        out,
+        format!("decode_chunked/{tag}"),
+        entries,
+        bytes.len(),
+        ns,
+    );
+    drop(reused); // keep the profiled pass's peak footprint to one output log
+    let mut phases = CodecPhases::default();
+    std::hint::black_box(decode_chunked_profiled(bytes, &mut phases).expect("decodes"));
+    println!("{:<28} {}", format!("  phases/{tag}"), phases.summary());
+    out.last_mut().expect("just pushed").phases = Some(phases);
+}
+
 fn bench_codec(smoke: bool, out: &mut Vec<Sample>) {
     let sizes: &[(usize, &str)] = if smoke {
         &[(1_000, "1k"), (100_000, "100k")]
@@ -160,38 +243,47 @@ fn bench_codec(smoke: bool, out: &mut Vec<Sample>) {
             bytes.len(),
             ns,
         );
-        let ns = measure(smoke, bytes.len(), || {
-            std::hint::black_box(decode_chunked(std::hint::black_box(&bytes)).expect("decodes"));
-        });
-        push_sample(
-            out,
-            format!("decode_chunked/{tag}"),
-            entries,
-            bytes.len(),
-            ns,
-        );
-        // One profiled pass decomposes where the decode time goes (CRC vs
-        // varint vs reservation); the timed loop above stays timer-free.
-        let mut phases = CodecPhases::default();
-        std::hint::black_box(decode_chunked_profiled(&bytes, &mut phases).expect("decodes"));
-        println!("{:<28} {}", format!("  phases/{tag}"), phases.summary());
-        out.last_mut().expect("just pushed").phases = Some(phases);
+        drop(log);
+        bench_decode_row(smoke, out, tag, entries, &bytes);
     }
+    // The 100M row — the decode cliff this bench exists to watch. The
+    // ~525 MB input stream is generated without materializing an input
+    // log; there is no encode row because `encode_chunked` needs one.
+    // Runs in `--test` mode too (once through), so CI sees the cliff.
+    let entries = 100_000_000usize;
+    let bytes = synthetic_stream(0, entries);
+    bench_decode_row(smoke, out, "100m", entries, &bytes);
 }
 
-fn bench_parallel(smoke: bool, out: &mut Vec<Sample>) {
+fn bench_parallel(smoke: bool, out: &mut Vec<Sample>) -> Result<(), String> {
     let entries = if smoke { 20_000 } else { 400_000 };
     let logs: Vec<Vec<u8>> = (0..8)
         .map(|core| encode_chunked(&synthetic_log(core, entries)))
         .collect();
     let streams: Vec<&[u8]> = logs.iter().map(Vec::as_slice).collect();
     let total: usize = logs.iter().map(Vec::len).sum();
+    // Serial baseline for the workers=1 overhead gate below: the same
+    // decodes, plain loop, no pool in sight. Collect into a Vec exactly
+    // like `decode_logs_parallel` returns — dropping each log as it
+    // decodes would give the baseline a smaller live-memory peak (one log
+    // vs eight) and turn the gate into an allocator benchmark.
+    let serial_ns = measure(smoke, total, || {
+        let decoded: Vec<IntervalLog> = streams
+            .iter()
+            .map(|s| decode_chunked(std::hint::black_box(s)).expect("decodes"))
+            .collect();
+        std::hint::black_box(decoded);
+    });
+    let mut w1_ns = f64::INFINITY;
     for workers in [1usize, 2, 8] {
         let ns = measure(smoke, total, || {
             std::hint::black_box(
                 decode_logs_parallel(std::hint::black_box(&streams), workers).expect("decodes"),
             );
         });
+        if workers == 1 {
+            w1_ns = ns;
+        }
         push_sample(
             out,
             format!("parallel_decode/{workers}"),
@@ -205,25 +297,57 @@ fn bench_parallel(smoke: bool, out: &mut Vec<Sample>) {
         let effective = workers.min(streams.len()).min(host_cpus());
         out.last_mut().expect("just pushed").workers = Some((workers, effective));
     }
+    // workers=1 must dispatch inline on the caller thread — the pool once
+    // cost tens of percent here. The margin absorbs scheduler noise
+    // (smoke mode times a single iteration).
+    let limit = if smoke { 2.0 } else { 1.3 };
+    if w1_ns > serial_ns * limit {
+        return Err(format!(
+            "parallel_decode/1 ({w1_ns:.0} ns) exceeds {limit}x the plain serial loop \
+             ({serial_ns:.0} ns): the workers=1 ingest path must dispatch inline"
+        ));
+    }
+
+    // Range-partitioned decode of ONE stream (v3 chunks are
+    // self-contained, so a single big log no longer serializes ingest).
+    let big_entries = if smoke { 200_000 } else { 4_000_000 };
+    let big = synthetic_stream(9, big_entries);
+    for workers in [1usize, 2, 8] {
+        let ns = measure(smoke, big.len(), || {
+            std::hint::black_box(
+                decode_chunked_parallel(std::hint::black_box(&big), workers).expect("decodes"),
+            );
+        });
+        push_sample(
+            out,
+            format!("parallel_decode_stream/{workers}"),
+            big_entries,
+            big.len(),
+            ns,
+        );
+        let effective = workers.min(host_cpus());
+        out.last_mut().expect("just pushed").workers = Some((workers, effective));
+    }
+    Ok(())
 }
 
 fn data_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("data")
 }
 
-/// Rewrites the checked-in sample logs: a current-version stream and the
-/// same payload re-stamped as wire version 1 (the header is the only
-/// difference between v1 and v2 framing, so both must decode to the same
-/// entries).
+/// Rewrites the checked-in sample logs, one per supported wire version,
+/// each produced by its own versioned encoder. v1 and v2 share the
+/// cross-chunk delta framing (their headers differ), but v3 resets delta
+/// state per chunk, so its payload bytes genuinely differ — a header
+/// re-stamp can no longer fake an old stream.
 fn regen_data() -> std::io::Result<()> {
     let dir = data_dir();
     std::fs::create_dir_all(&dir)?;
     let log = synthetic_log(0, 4_000);
-    let v2 = encode_chunked(&log);
-    std::fs::write(dir.join("sample_v2.rrlog"), &v2)?;
-    let mut v1 = v2;
-    v1[4..6].copy_from_slice(&1u16.to_le_bytes());
-    std::fs::write(dir.join("sample_v1.rrlog"), &v1)?;
+    for version in MIN_VERSION..=VERSION {
+        let bytes = encode_chunked_with_version(&log, DEFAULT_CHUNK_BYTES, version);
+        std::fs::write(dir.join(format!("sample_v{version}.rrlog")), &bytes)?;
+    }
     println!("sample logs rewritten under {}", dir.display());
     Ok(())
 }
@@ -263,6 +387,15 @@ fn reference_check() -> Result<usize, String> {
                 path.display()
             ));
         }
+        // And the range-parallel decoder (it falls back to the sequential
+        // path on pre-v3 streams, so this covers both dispatch arms).
+        let parallel = decode_chunked_parallel(&bytes, 4);
+        if parallel != fast {
+            return Err(format!(
+                "{}: range-parallel decoder disagrees with the fast decoder",
+                path.display()
+            ));
+        }
         let log = fast.map_err(|e| format!("{}: sample does not decode: {e}", path.display()))?;
         // The streaming reader (replay's actual input path) must agree too.
         let mut src = ChunkedReader::new(bytes.as_slice())
@@ -280,10 +413,26 @@ fn reference_check() -> Result<usize, String> {
                 path.display()
             ));
         }
-        // And the file-based entry point.
+        // And the file-based entry points: `read_rrlog` (mmap-backed) and
+        // the zero-copy streaming `MappedSource`.
         let from_file = read_rrlog(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         if from_file != log {
             return Err(format!("{}: read_rrlog disagrees", path.display()));
+        }
+        let mut mapped = relaxreplay::MappedSource::open(&path)
+            .map_err(|e| format!("{}: mmap open: {e}", path.display()))?;
+        let mut via_map = IntervalLog::new(log.core);
+        while let Some(e) = mapped
+            .next_entry()
+            .map_err(|e| format!("{}: mmap decode: {e}", path.display()))?
+        {
+            via_map.entries.push(e);
+        }
+        if via_map != log {
+            return Err(format!(
+                "{}: MappedSource disagrees with one-shot decode",
+                path.display()
+            ));
         }
         checked += 1;
     }
@@ -389,7 +538,10 @@ fn main() -> ExitCode {
 
     let mut samples = Vec::new();
     bench_codec(smoke, &mut samples);
-    bench_parallel(smoke, &mut samples);
+    if let Err(e) = bench_parallel(smoke, &mut samples) {
+        eprintln!("codec bench: GATE FAILED: {e}");
+        return ExitCode::FAILURE;
+    }
 
     let mode = if smoke { "test" } else { "full" };
     if let Err(e) = write_json(&out_path, mode, &samples, checked) {

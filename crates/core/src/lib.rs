@@ -68,10 +68,15 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single sanctioned exception is the
+// `mmapio` module (raw `mmap`/`munmap` for zero-copy log reading), which
+// opts back in locally and documents every invariant.
+#![deny(unsafe_code)]
 
 mod hash;
+pub mod index;
 mod log;
+pub mod mmapio;
 pub mod prof;
 mod recorder;
 mod signature;
@@ -90,10 +95,13 @@ pub use crate::prof::{
     engine_chrome_trace, validate_prof_json, CodecPhases, EngineProf, Span, SpanKind, WorkerProf,
 };
 pub use hash::H3;
+pub use index::{IndexChunk, IndexProvenance, SkipIndex};
+pub use mmapio::{MappedBytes, MappedSource};
 pub use recorder::{Design, IntervalOrdering, Recorder, RecorderConfig, RecorderStats};
 pub use signature::Signature;
 pub use snoop_table::{SnoopSample, SnoopTable};
 pub use wire::{
-    chunk_map, chunk_map_with, ChunkInfo, ChunkedReader, ChunkedWriter, DecodeScratch, FailingSink,
-    LogSink, LogSource, MemorySource, VecSink, WireError,
+    chunk_map, chunk_map_with, chunk_spans, decode_chunked_range, ChunkInfo, ChunkSpan,
+    ChunkedReader, ChunkedWriter, DecodeScratch, FailingSink, LogSink, LogSource, MemorySource,
+    Salvage, VecSink, WireError,
 };

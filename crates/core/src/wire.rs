@@ -43,7 +43,19 @@ pub const MAGIC: [u8; 4] = *b"RRLG";
 ///   ≥ 65536 intervals round-trips exactly. Offsets were always
 ///   varint-encoded, so the byte stream is unchanged — only the decoder's
 ///   acceptance range grew, and v1 streams decode unmodified.
-pub const VERSION: u16 = 2;
+/// * **3** — chunk-independent delta coding: the frame-timestamp delta
+///   state resets at every chunk boundary, so the first `IntervalFrame` of
+///   each chunk carries its *absolute* timestamp. Chunks now decode in
+///   isolation, which is what makes range-partitioned parallel decode
+///   ([`decode_chunked_range`]) and exact post-damage salvage
+///   ([`decode_chunked_skip`]) possible. v1/v2 streams still decode with
+///   the old cross-chunk state; only the encoder moved.
+pub const VERSION: u16 = 3;
+
+/// First wire version whose chunks are self-contained (delta state resets
+/// at every chunk boundary). Streams at or above this version can be
+/// decoded chunk-by-chunk in any order.
+pub const CHUNK_INDEPENDENT_VERSION: u16 = 3;
 
 /// Oldest wire-format version this decoder still reads.
 pub const MIN_VERSION: u16 = 1;
@@ -82,14 +94,14 @@ const fn crc32_table() -> [u32; 256] {
     table
 }
 
-/// Slicing-by-8 lookup tables. `tables[0]` is the classic one-byte table;
-/// `tables[k][i]` extends the CRC of byte `i` by `k` zero bytes, so eight
-/// input bytes fold through `tables[7]..tables[0]` in one step.
-const fn crc32_tables() -> [[u32; 256]; 8] {
-    let mut tables = [[0u32; 256]; 8];
+/// Slicing-by-16 lookup tables. `tables[0]` is the classic one-byte table;
+/// `tables[k][i]` extends the CRC of byte `i` by `k` zero bytes, so sixteen
+/// input bytes fold through `tables[15]..tables[0]` in one step.
+const fn crc32_tables() -> [[u32; 256]; 16] {
+    let mut tables = [[0u32; 256]; 16];
     tables[0] = crc32_table();
     let mut k = 1;
-    while k < 8 {
+    while k < 16 {
         let mut i = 0;
         while i < 256 {
             let prev = tables[k - 1][i];
@@ -101,30 +113,42 @@ const fn crc32_tables() -> [[u32; 256]; 8] {
     tables
 }
 
-const CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
+const CRC32_TABLES: [[u32; 256]; 16] = crc32_tables();
 
 /// CRC32 (IEEE) of `bytes` — the checksum closing every chunk.
 ///
-/// Implemented with slicing-by-8: the hot loop consumes eight bytes per
-/// iteration through eight precomputed tables instead of one byte through
-/// one table. Bit-identical to [`crc32_reference`], which the differential
-/// tests pin it against.
+/// Implemented with slicing-by-16: the hot loop consumes sixteen bytes per
+/// iteration through sixteen precomputed tables (16 KiB, L1-resident)
+/// instead of one byte through one table, breaking the byte-serial
+/// dependency chain into four independent 32-bit lanes per step.
+/// Bit-identical to [`crc32_reference`], which the differential tests pin
+/// it against.
 #[must_use]
 pub fn crc32(bytes: &[u8]) -> u32 {
     let t = &CRC32_TABLES;
     let mut c = 0xFFFF_FFFFu32;
-    let mut chunks = bytes.chunks_exact(8);
+    let mut chunks = bytes.chunks_exact(16);
     for ch in &mut chunks {
-        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
-        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
-        c = t[7][(lo & 0xFF) as usize]
-            ^ t[6][((lo >> 8) & 0xFF) as usize]
-            ^ t[5][((lo >> 16) & 0xFF) as usize]
-            ^ t[4][(lo >> 24) as usize]
-            ^ t[3][(hi & 0xFF) as usize]
-            ^ t[2][((hi >> 8) & 0xFF) as usize]
-            ^ t[1][((hi >> 16) & 0xFF) as usize]
-            ^ t[0][(hi >> 24) as usize];
+        let a = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let b = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        let d = u32::from_le_bytes([ch[8], ch[9], ch[10], ch[11]]);
+        let e = u32::from_le_bytes([ch[12], ch[13], ch[14], ch[15]]);
+        c = t[15][(a & 0xFF) as usize]
+            ^ t[14][((a >> 8) & 0xFF) as usize]
+            ^ t[13][((a >> 16) & 0xFF) as usize]
+            ^ t[12][(a >> 24) as usize]
+            ^ t[11][(b & 0xFF) as usize]
+            ^ t[10][((b >> 8) & 0xFF) as usize]
+            ^ t[9][((b >> 16) & 0xFF) as usize]
+            ^ t[8][(b >> 24) as usize]
+            ^ t[7][(d & 0xFF) as usize]
+            ^ t[6][((d >> 8) & 0xFF) as usize]
+            ^ t[5][((d >> 16) & 0xFF) as usize]
+            ^ t[4][(d >> 24) as usize]
+            ^ t[3][(e & 0xFF) as usize]
+            ^ t[2][((e >> 8) & 0xFF) as usize]
+            ^ t[1][((e >> 16) & 0xFF) as usize]
+            ^ t[0][(e >> 24) as usize];
     }
     for &b in chunks.remainder() {
         c = t[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
@@ -185,18 +209,73 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
     }
 }
 
-/// Varint read with a single-byte fast path. Block sizes, offsets and
-/// timestamp deltas are almost always below 128, so the common case is one
-/// bounds check and one branch; anything longer falls back to the general
-/// loop (identical truncation/overflow rules).
+/// SWAR payload-compaction step: packs the low 7 bits of each byte of a
+/// little-endian varint word into one contiguous value. Three fold rounds
+/// (1→2→4-byte lanes) plus a final merge place byte `i`'s payload at bits
+/// `7*i`, exactly the OR-accumulation the byte-at-a-time loop performs.
 #[inline(always)]
-fn read_varint_fast(buf: &[u8], pos: &mut usize) -> Option<u64> {
-    let b = *buf.get(*pos)?;
+const fn compact7(x: u64) -> u64 {
+    let x = x & 0x7F7F_7F7F_7F7F_7F7F;
+    let x = (x & 0x007F_007F_007F_007F) | ((x & 0x7F00_7F00_7F00_7F00) >> 1);
+    let x = (x & 0x0000_3FFF_0000_3FFF) | ((x & 0x3FFF_0000_3FFF_0000) >> 2);
+    (x & 0x0FFF_FFFF) | ((x >> 4) & 0x00FF_FFFF_F000_0000)
+}
+
+/// Word-at-a-time (SWAR) varint read. The single- and two-byte cases
+/// (block sizes, offsets, timestamp deltas, short addresses — the vast
+/// majority of fields) exit after at most two bounds checks and two
+/// compares, before any word-level work.
+/// Longer varints load 8 bytes at once, find the first byte with a
+/// clear continuation bit via `!word & 0x80…80`, and compact the 7-bit
+/// payloads branchlessly with [`compact7`]; 9- and 10-byte encodings
+/// (full 64-bit values) complete from the compacted low 56 bits plus one
+/// or two tail bytes instead of re-running the byte loop. Reads within 8
+/// bytes of the buffer end fall back to the byte loop, so
+/// truncation/overflow semantics are bit-identical to [`read_varint`].
+/// Differentially pinned to the reference decoder by the `prop_wire`
+/// suite and the unit vectors below.
+#[inline(always)]
+fn read_varint_swar(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let p = *pos;
+    let b = *buf.get(p)?;
     if b < 0x80 {
-        *pos += 1;
+        *pos = p + 1;
         return Some(u64::from(b));
     }
-    read_varint(buf, pos)
+    let b1 = *buf.get(p + 1)?;
+    if b1 < 0x80 {
+        *pos = p + 2;
+        return Some(u64::from(b & 0x7F) | (u64::from(b1) << 7));
+    }
+    let Some(window) = buf.get(p..p + 8) else {
+        // Fewer than 8 bytes left — the tail of the chunk payload. The
+        // one-byte case was handled above, so go straight to the loop.
+        return read_varint(buf, pos);
+    };
+    let word = u64::from_le_bytes(window.try_into().expect("8 bytes"));
+    let stops = !word & 0x8080_8080_8080_8080;
+    if stops == 0 {
+        // All 8 bytes have continuation bits set: a 9- or 10-byte varint
+        // (or an overlong/overflowing one). Complete it from the tail
+        // bytes, mirroring `read_varint`'s overflow rules: byte 9 is the
+        // final 7-bit group, byte 10 may only contribute bit 63.
+        let low = compact7(word);
+        let b8 = *buf.get(p + 8)?;
+        if b8 < 0x80 {
+            *pos = p + 9;
+            return Some(low | (u64::from(b8) << 56));
+        }
+        let b9 = *buf.get(p + 9)?;
+        if b9 > 1 {
+            return None; // continuation past byte 10, or overflow past u64
+        }
+        *pos = p + 10;
+        return Some(low | (u64::from(b8 & 0x7F) << 56) | (u64::from(b9) << 63));
+    }
+    let len = (stops.trailing_zeros() as usize >> 3) + 1; // 1..=8
+    let keep = word & (u64::MAX >> ((8 - len) * 8));
+    *pos = p + len;
+    Some(compact7(keep))
 }
 
 // ---------------------------------------------------------------------------
@@ -442,9 +521,11 @@ const TAG_RMW_STORED: u8 = 3;
 const TAG_RMW_FAILED: u8 = 4;
 const TAG_FRAME: u8 = 5;
 
-/// Codec state that persists across chunk boundaries: the previous frame
-/// timestamp (frames are delta-encoded — timestamps are monotone cycle
-/// counts, so deltas are small).
+/// Frame-timestamp delta-coding state: the previous frame timestamp
+/// (frames are delta-encoded — timestamps are monotone cycle counts, so
+/// deltas are small). Since wire v3 ([`CHUNK_INDEPENDENT_VERSION`]) this
+/// state resets at every chunk boundary; v1/v2 streams carry it across
+/// chunks, which is why their post-damage salvage is only approximate.
 #[derive(Clone, Copy, Debug, Default)]
 struct DeltaState {
     prev_timestamp: u64,
@@ -551,8 +632,8 @@ fn decode_entry(
 /// Batched decode of a whole chunk payload into `out`.
 ///
 /// This is the codec hot path: one tight loop over the payload with the
-/// fast-path varint reader, instead of a virtual `next_entry` call per
-/// entry. On error the entries already decoded stay in `out` (they are an
+/// word-at-a-time SWAR varint reader, instead of a virtual `next_entry`
+/// call per entry. On error the entries already decoded stay in `out` (they are an
 /// intact prefix of the chunk) and the returned [`WireError`] carries
 /// `chunk` — exactly the semantics of the per-entry reference decoder.
 fn decode_chunk_entries(
@@ -565,7 +646,7 @@ fn decode_chunk_entries(
     let mut pos = 0usize;
     macro_rules! varint {
         () => {
-            match read_varint_fast(payload, &mut pos) {
+            match read_varint_swar(payload, &mut pos) {
                 Some(v) => v,
                 None => return Err(corrupt("varint truncated or overlong")),
             }
@@ -650,6 +731,7 @@ pub struct ChunkedWriter<W: Write> {
     state: DeltaState,
     chunk_bytes: usize,
     chunks_written: usize,
+    version: u16,
 }
 
 impl<W: Write> ChunkedWriter<W> {
@@ -669,9 +751,32 @@ impl<W: Write> ChunkedWriter<W> {
     /// # Errors
     ///
     /// Returns a [`WireError::Io`] if the header cannot be written.
-    pub fn with_chunk_bytes(mut w: W, core: CoreId, chunk_bytes: usize) -> Result<Self, WireError> {
+    pub fn with_chunk_bytes(w: W, core: CoreId, chunk_bytes: usize) -> Result<Self, WireError> {
+        Self::with_version(w, core, chunk_bytes, VERSION)
+    }
+
+    /// As [`ChunkedWriter::with_chunk_bytes`] but stamping (and encoding
+    /// for) an explicit wire version — how the compat fixtures for older
+    /// readers are produced. Versions below
+    /// [`CHUNK_INDEPENDENT_VERSION`] keep the frame-timestamp delta state
+    /// across chunk boundaries, exactly as those encoders did.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnsupportedVersion`] if `version` is outside
+    /// [`MIN_VERSION`]..=[`VERSION`], or [`WireError::Io`] if the header
+    /// cannot be written.
+    pub fn with_version(
+        mut w: W,
+        core: CoreId,
+        chunk_bytes: usize,
+        version: u16,
+    ) -> Result<Self, WireError> {
+        if !version_supported(version) {
+            return Err(WireError::UnsupportedVersion { version });
+        }
         w.write_all(&MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&version.to_le_bytes())?;
         w.write_all(&[core.index() as u8])?;
         Ok(ChunkedWriter {
             w,
@@ -679,6 +784,7 @@ impl<W: Write> ChunkedWriter<W> {
             state: DeltaState::default(),
             chunk_bytes: chunk_bytes.max(1),
             chunks_written: 0,
+            version,
         })
     }
 
@@ -699,6 +805,11 @@ impl<W: Write> ChunkedWriter<W> {
         self.w.write_all(&crc32(&self.buf).to_le_bytes())?;
         self.buf.clear();
         self.chunks_written += 1;
+        if self.version >= CHUNK_INDEPENDENT_VERSION {
+            // v3 chunks are self-contained: the next chunk's first frame
+            // carries its absolute timestamp.
+            self.state = DeltaState::default();
+        }
         Ok(())
     }
 }
@@ -742,6 +853,7 @@ pub struct ChunkedReader<R: Read> {
     /// prefix has been drained.
     pending: Option<WireError>,
     state: DeltaState,
+    version: u16,
     /// Index of the next chunk to be read from the stream.
     chunk_index: usize,
     eof: bool,
@@ -785,9 +897,16 @@ impl<R: Read> ChunkedReader<R> {
             next: 0,
             pending: None,
             state: DeltaState::default(),
+            version,
             chunk_index: 0,
             eof: false,
         })
+    }
+
+    /// The wire-format version from the stream header.
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Recovers the scratch for reuse on the next stream.
@@ -837,6 +956,9 @@ impl<R: Read> ChunkedReader<R> {
         }
         self.scratch.entries.clear();
         self.next = 0;
+        if self.version >= CHUNK_INDEPENDENT_VERSION {
+            self.state = DeltaState::default();
+        }
         self.pending = decode_chunk_entries(
             &self.scratch.payload,
             &mut self.state,
@@ -908,9 +1030,22 @@ pub fn encode_chunked(log: &IntervalLog) -> Vec<u8> {
 /// Never panics: writing to a `Vec<u8>` cannot fail.
 #[must_use]
 pub fn encode_chunked_with(log: &IntervalLog, chunk_bytes: usize) -> Vec<u8> {
+    encode_chunked_with_version(log, chunk_bytes, VERSION)
+}
+
+/// As [`encode_chunked_with`] but stamping an explicit wire version —
+/// produces byte streams exactly as that version's encoder would (compat
+/// fixtures, differential tests across framing generations).
+///
+/// # Panics
+///
+/// Panics if `version` is not supported by this build (the valid range is
+/// [`MIN_VERSION`]..=[`VERSION`]).
+#[must_use]
+pub fn encode_chunked_with_version(log: &IntervalLog, chunk_bytes: usize, version: u16) -> Vec<u8> {
     let mut out = Vec::with_capacity(log.entries.len() * 3 + 16);
-    let mut w = ChunkedWriter::with_chunk_bytes(&mut out, log.core, chunk_bytes)
-        .expect("Vec<u8> writes cannot fail");
+    let mut w = ChunkedWriter::with_version(&mut out, log.core, chunk_bytes, version)
+        .expect("supported version; Vec<u8> writes cannot fail");
     for e in &log.entries {
         w.emit(e).expect("Vec<u8> writes cannot fail");
     }
@@ -919,8 +1054,13 @@ pub fn encode_chunked_with(log: &IntervalLog, chunk_bytes: usize) -> Vec<u8> {
 }
 
 /// Parses and validates the 7-byte `.rrlog` header of an in-memory
-/// stream, returning the recorded core.
-fn parse_header(bytes: &[u8]) -> Result<CoreId, WireError> {
+/// stream, returning the recorded core and the wire version.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] if fewer than 7 bytes, [`WireError::BadMagic`]
+/// for foreign streams, [`WireError::UnsupportedVersion`] on version skew.
+pub fn parse_header(bytes: &[u8]) -> Result<(CoreId, u16), WireError> {
     if bytes.len() < 7 {
         return Err(WireError::Truncated { chunk: 0 });
     }
@@ -931,7 +1071,7 @@ fn parse_header(bytes: &[u8]) -> Result<CoreId, WireError> {
     if !version_supported(version) {
         return Err(WireError::UnsupportedVersion { version });
     }
-    Ok(CoreId::new(bytes[6]))
+    Ok((CoreId::new(bytes[6]), version))
 }
 
 /// One framed chunk of an in-memory stream, before CRC verification. The
@@ -989,6 +1129,23 @@ pub fn decode_chunked(bytes: &[u8]) -> Result<IntervalLog, WireError> {
     }
 }
 
+/// As [`decode_chunked`], decoding into a caller-owned log whose entry
+/// buffer is reused — the steady-state path for decoding many streams (or
+/// the same stream repeatedly) without re-faulting a multi-GB output
+/// allocation each time. `log` is cleared (core re-stamped, entries
+/// truncated but capacity kept) before decoding.
+///
+/// # Errors
+///
+/// Exactly the conditions of [`decode_chunked`]; on error `log` holds the
+/// recovered prefix, as [`decode_chunked_recover`] would return it.
+pub fn decode_chunked_into(bytes: &[u8], log: &mut IntervalLog) -> Result<(), WireError> {
+    match decode_chunked_recover_into(bytes, log) {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
 /// Decodes as much of a (possibly truncated or corrupted) `.rrlog` stream
 /// as possible: every entry up to the last intact chunk boundary, plus the
 /// error that stopped decoding (`None` if the stream was whole).
@@ -996,48 +1153,96 @@ pub fn decode_chunked(bytes: &[u8]) -> Result<IntervalLog, WireError> {
 /// Header failures recover an empty log for core 0.
 #[must_use]
 pub fn decode_chunked_recover(bytes: &[u8]) -> (IntervalLog, Option<WireError>) {
-    let core = match parse_header(bytes) {
-        Ok(c) => c,
-        Err(e) => return (IntervalLog::new(CoreId::new(0)), Some(e)),
+    let mut log = IntervalLog::new(CoreId::new(0));
+    let err = decode_chunked_recover_into(bytes, &mut log);
+    (log, err)
+}
+
+/// Output-reservation policy for the streaming decoders.
+///
+/// Entry width varies 2..10+ bytes with the reordered mix, so a fixed
+/// guess is always wrong somewhere, and extrapolating the *first* chunk's
+/// entry density across a multi-GB stream over-reserves wildly when the
+/// stream is front-loaded with dense entries. Instead the decoders
+/// re-extrapolate every [`RESERVE_CHECK_CHUNKS`] chunks from *cumulative*
+/// observed density, clamped twice:
+///
+/// * by what the remaining bytes can physically hold (an entry is at
+///   least [`MIN_ENTRY_WIRE_BYTES`] on the wire), and
+/// * by 3× the entries decoded so far, so capacity never exceeds 4× the
+///   high-water entry count no matter how skewed the density profile is.
+const RESERVE_CHECK_CHUNKS: usize = 64;
+
+/// Minimum wire footprint of one entry: a tag byte plus one 1-byte varint.
+const MIN_ENTRY_WIRE_BYTES: usize = 2;
+
+#[inline]
+fn reserve_for_remainder(
+    entries: &mut Vec<LogEntry>,
+    decoded_payload_bytes: usize,
+    remaining_stream_bytes: usize,
+) {
+    let decoded = entries.len();
+    if decoded == 0 || decoded_payload_bytes == 0 {
+        return;
+    }
+    let extrapolated = ((decoded as u128 * remaining_stream_bytes as u128)
+        / decoded_payload_bytes as u128) as usize;
+    let additional = extrapolated
+        .min(remaining_stream_bytes / MIN_ENTRY_WIRE_BYTES)
+        .min(3 * decoded);
+    if entries.capacity() < decoded + additional {
+        entries.reserve(additional);
+    }
+}
+
+/// [`decode_chunked_recover`] into a reused log (see
+/// [`decode_chunked_into`] for the reuse contract).
+#[must_use]
+pub fn decode_chunked_recover_into(bytes: &[u8], log: &mut IntervalLog) -> Option<WireError> {
+    log.entries.clear();
+    log.core = CoreId::new(0);
+    let (core, version) = match parse_header(bytes) {
+        Ok(h) => h,
+        Err(e) => return Some(e),
     };
-    let mut log = IntervalLog::new(core);
-    // Seed capacity for the first chunk only (~3 payload bytes per entry);
-    // once that chunk is decoded, extrapolate its observed entry density
-    // across the rest of the stream. Entry width varies 2..10+ bytes with
-    // the reordered mix, and a fixed guess over multi-hundred-megabyte
-    // streams turns the unused reservation into real page-fault cost.
-    log.entries
-        .reserve(bytes.len().min(DEFAULT_CHUNK_BYTES + 16) / 3);
+    log.core = core;
+    // Seed capacity for the first chunk only (~3 payload bytes per
+    // entry); reserve_for_remainder grows it as density is observed.
+    let seed = bytes.len().min(DEFAULT_CHUNK_BYTES + 16) / 3;
+    if log.entries.capacity() < seed {
+        log.entries.reserve(seed);
+    }
     let mut state = DeltaState::default();
     let mut pos = 7usize;
     let mut index = 0usize;
+    let mut payload_seen = 0usize;
     while let Some(raw) = next_raw_chunk(bytes, &mut pos, index) {
         let raw = match raw {
             Ok(r) => r,
-            Err(e) => return (log, Some(e)),
+            Err(e) => return Some(e),
         };
         let computed = crc32(raw.payload);
         if raw.stored_crc != computed {
-            return (
-                log,
-                Some(WireError::CrcMismatch {
-                    chunk: index,
-                    stored: raw.stored_crc,
-                    computed,
-                }),
-            );
+            return Some(WireError::CrcMismatch {
+                chunk: index,
+                stored: raw.stored_crc,
+                computed,
+            });
+        }
+        if version >= CHUNK_INDEPENDENT_VERSION {
+            state = DeltaState::default();
         }
         if let Err(e) = decode_chunk_entries(raw.payload, &mut state, index, &mut log.entries) {
-            return (log, Some(e));
+            return Some(e);
         }
-        if index == 0 && !raw.payload.is_empty() {
-            let estimated = log.entries.len() * (bytes.len() / raw.payload.len() + 1);
-            log.entries
-                .reserve(estimated.saturating_sub(log.entries.len()));
+        payload_seen += raw.payload.len();
+        if index.is_multiple_of(RESERVE_CHECK_CHUNKS) {
+            reserve_for_remainder(&mut log.entries, payload_seen, bytes.len() - pos);
         }
         index += 1;
     }
-    (log, None)
+    None
 }
 
 /// [`decode_chunked`] with per-phase wall-clock attribution: CRC
@@ -1059,7 +1264,7 @@ pub fn decode_chunked_profiled(
     phases: &mut crate::prof::CodecPhases,
 ) -> Result<IntervalLog, WireError> {
     use std::time::Instant;
-    let core = parse_header(bytes)?;
+    let (core, version) = parse_header(bytes)?;
     let mut log = IntervalLog::new(core);
     let t = Instant::now();
     log.entries
@@ -1068,6 +1273,7 @@ pub fn decode_chunked_profiled(
     let mut state = DeltaState::default();
     let mut pos = 7usize;
     let mut index = 0usize;
+    let mut payload_seen = 0usize;
     while let Some(raw) = next_raw_chunk(bytes, &mut pos, index) {
         let raw = raw?;
         let t = Instant::now();
@@ -1080,16 +1286,18 @@ pub fn decode_chunked_profiled(
                 computed,
             });
         }
+        if version >= CHUNK_INDEPENDENT_VERSION {
+            state = DeltaState::default();
+        }
         let t = Instant::now();
         decode_chunk_entries(raw.payload, &mut state, index, &mut log.entries)?;
         phases.entries_ns += t.elapsed().as_nanos() as u64;
         phases.chunks += 1;
         phases.payload_bytes += raw.payload.len() as u64;
-        if index == 0 && !raw.payload.is_empty() {
+        payload_seen += raw.payload.len();
+        if index.is_multiple_of(RESERVE_CHECK_CHUNKS) {
             let t = Instant::now();
-            let estimated = log.entries.len() * (bytes.len() / raw.payload.len() + 1);
-            log.entries
-                .reserve(estimated.saturating_sub(log.entries.len()));
+            reserve_for_remainder(&mut log.entries, payload_seen, bytes.len() - pos);
             phases.reserve_ns += t.elapsed().as_nanos() as u64;
         }
         index += 1;
@@ -1107,7 +1315,7 @@ pub fn decode_chunked_profiled(
 ///
 /// As [`decode_chunked`].
 pub fn decode_chunked_reference(bytes: &[u8]) -> Result<IntervalLog, WireError> {
-    let core = parse_header(bytes)?;
+    let (core, version) = parse_header(bytes)?;
     let mut log = IntervalLog::new(core);
     let mut state = DeltaState::default();
     let mut pos = 7usize;
@@ -1122,6 +1330,9 @@ pub fn decode_chunked_reference(bytes: &[u8]) -> Result<IntervalLog, WireError> 
                 computed,
             });
         }
+        if version >= CHUNK_INDEPENDENT_VERSION {
+            state = DeltaState::default();
+        }
         let mut p = 0usize;
         while p < raw.payload.len() {
             log.entries
@@ -1132,6 +1343,23 @@ pub fn decode_chunked_reference(bytes: &[u8]) -> Result<IntervalLog, WireError> 
     Ok(log)
 }
 
+/// Result of a lenient [`decode_chunked_skip`] walk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Salvage {
+    /// Every entry from every chunk that passed its CRC.
+    pub log: IntervalLog,
+    /// The first error encountered (`None` for a clean stream).
+    pub err: Option<WireError>,
+    /// Entries decoded *after* the first damaged chunk whose frame
+    /// timestamps may be wrong: on wire versions before
+    /// [`CHUNK_INDEPENDENT_VERSION`] the delta-coding state is shared
+    /// across chunks, so skipping a chunk leaves later timestamps anchored
+    /// to stale context. Always 0 for v3+ streams — their chunks
+    /// re-anchor on an absolute first-frame timestamp, so the salvaged
+    /// suffix is exact.
+    pub suspect: usize,
+}
+
 /// Lenient decode: every entry from every chunk that passes its CRC, with
 /// damaged chunks *skipped* rather than ending the walk — the decoding
 /// counterpart of [`chunk_map`], and guaranteed to agree with it: the
@@ -1139,25 +1367,38 @@ pub fn decode_chunked_reference(bytes: &[u8]) -> Result<IntervalLog, WireError> 
 /// over the map of the same stream.
 ///
 /// Used by diagnostics (`rr-inspect stat`) that want density statistics
-/// over everything salvageable. Replay must **not** use this: an entry
-/// after a skipped chunk has lost its delta-coding context (timestamps
-/// resume from the last decoded frame), which is why the strict paths stop
-/// at the first error instead. Returns the salvaged log and the first
-/// error encountered (`None` for a clean stream).
+/// over everything salvageable. On v3+ streams the salvaged entries are
+/// *exact* — chunks are self-contained, so damage cannot leak into later
+/// timestamps. On v1/v2 streams, entries after the first damaged chunk
+/// resume delta decoding with stale context; they are still returned (the
+/// byte structure is unambiguous) but counted in [`Salvage::suspect`] so
+/// callers surface them instead of trusting quietly-wrong timestamps.
+/// Replay must **not** consume salvaged suffixes; the strict paths stop at
+/// the first error instead.
 ///
 /// Header failures return an empty log for core 0, as
 /// [`decode_chunked_recover`] does.
 #[must_use]
-pub fn decode_chunked_skip(bytes: &[u8]) -> (IntervalLog, Option<WireError>) {
-    let core = match parse_header(bytes) {
-        Ok(c) => c,
-        Err(e) => return (IntervalLog::new(CoreId::new(0)), Some(e)),
+pub fn decode_chunked_skip(bytes: &[u8]) -> Salvage {
+    let (core, version) = match parse_header(bytes) {
+        Ok(h) => h,
+        Err(e) => {
+            return Salvage {
+                log: IntervalLog::new(CoreId::new(0)),
+                err: Some(e),
+                suspect: 0,
+            }
+        }
     };
     let mut log = IntervalLog::new(core);
     let mut first_err = None;
-    let note = |e: WireError, slot: &mut Option<WireError>| {
+    let mut suspect_from = None;
+    let mut note = |e: WireError, at: usize, slot: &mut Option<WireError>| {
         if slot.is_none() {
             *slot = Some(e);
+            if version < CHUNK_INDEPENDENT_VERSION {
+                suspect_from = Some(at);
+            }
         }
     };
     let mut state = DeltaState::default();
@@ -1167,7 +1408,7 @@ pub fn decode_chunked_skip(bytes: &[u8]) -> (IntervalLog, Option<WireError>) {
         let raw = match raw {
             Ok(r) => r,
             Err(e) => {
-                note(e, &mut first_err);
+                note(e, log.entries.len(), &mut first_err);
                 break;
             }
         };
@@ -1179,17 +1420,27 @@ pub fn decode_chunked_skip(bytes: &[u8]) -> (IntervalLog, Option<WireError>) {
                     stored: raw.stored_crc,
                     computed,
                 },
+                log.entries.len(),
                 &mut first_err,
             );
-        } else if let Err(e) =
-            decode_chunk_entries(raw.payload, &mut state, index, &mut log.entries)
-        {
-            // The decoded prefix of the chunk stays; the rest is skipped.
-            note(e, &mut first_err);
+        } else {
+            if version >= CHUNK_INDEPENDENT_VERSION {
+                state = DeltaState::default();
+            }
+            if let Err(e) = decode_chunk_entries(raw.payload, &mut state, index, &mut log.entries) {
+                // The decoded prefix of the chunk stays (its timestamps
+                // are sound); everything after it is suspect on v1/v2.
+                note(e, log.entries.len(), &mut first_err);
+            }
         }
         index += 1;
     }
-    (log, first_err)
+    let suspect = suspect_from.map_or(0, |from| log.entries.len() - from);
+    Salvage {
+        log,
+        err: first_err,
+        suspect,
+    }
 }
 
 /// One chunk's position and health inside an `.rrlog` stream, as reported
@@ -1207,6 +1458,12 @@ pub struct ChunkInfo {
     pub entries: usize,
     /// Whether the stored CRC32 matched the payload as read.
     pub crc_ok: bool,
+    /// Absolute timestamp of the first `IntervalFrame` decoded from this
+    /// chunk (`None` if the chunk holds no frame or was not decoded).
+    /// Exact for self-contained (v3+) chunks; on v1/v2 streams it reflects
+    /// the delta context as decoded, i.e. it is only trustworthy up to the
+    /// first damaged chunk.
+    pub first_timestamp: Option<u64>,
 }
 
 /// Walks an `.rrlog` byte stream chunk by chunk, reporting each chunk's
@@ -1243,7 +1500,7 @@ pub fn chunk_map_with(
     bytes: &[u8],
     scratch: &mut DecodeScratch,
 ) -> Result<(CoreId, Vec<ChunkInfo>, Option<WireError>), WireError> {
-    let core = parse_header(bytes)?;
+    let (core, version) = parse_header(bytes)?;
 
     let mut map = Vec::new();
     let mut first_err = None;
@@ -1270,7 +1527,11 @@ pub fn chunk_map_with(
         let computed = crc32(raw.payload);
         let crc_ok = raw.stored_crc == computed;
         let mut entries = 0usize;
+        let mut first_timestamp = None;
         if crc_ok {
+            if version >= CHUNK_INDEPENDENT_VERSION {
+                state = DeltaState::default();
+            }
             scratch.entries.clear();
             match decode_chunk_entries(raw.payload, &mut state, index, &mut scratch.entries) {
                 Ok(()) => entries = scratch.entries.len(),
@@ -1279,6 +1540,10 @@ pub fn chunk_map_with(
                     note(e, &mut first_err);
                 }
             }
+            first_timestamp = scratch.entries.iter().find_map(|e| match e {
+                LogEntry::IntervalFrame { timestamp, .. } => Some(*timestamp),
+                _ => None,
+            });
         } else {
             note(
                 WireError::CrcMismatch {
@@ -1295,10 +1560,113 @@ pub fn chunk_map_with(
             payload_bytes: raw.payload.len(),
             entries,
             crc_ok,
+            first_timestamp,
         });
         index += 1;
     }
     Ok((core, map, first_err))
+}
+
+/// One chunk's frame position inside an `.rrlog` stream, from the cheap
+/// [`chunk_spans`] walk — offsets only, no CRC or payload work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkSpan {
+    /// Byte offset of the chunk's 4-byte length prefix within the stream.
+    pub offset: usize,
+    /// Payload bytes (excluding the length prefix and trailing CRC).
+    pub payload_bytes: usize,
+}
+
+/// Walks only the chunk *framing* of an `.rrlog` stream — hopping
+/// length prefixes without touching payloads or CRCs — and returns the
+/// recorded core, the wire version, every complete chunk's span, and
+/// whether the stream ended mid-frame (`Some(Truncated)`).
+///
+/// This is the O(chunks) pre-pass that lets
+/// [`decode_chunked_range`] partition a self-contained (v3+) stream
+/// across workers without a sequential decode.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] only if the 7-byte header itself is missing,
+/// foreign, or version-skewed.
+#[allow(clippy::type_complexity)]
+pub fn chunk_spans(
+    bytes: &[u8],
+) -> Result<(CoreId, u16, Vec<ChunkSpan>, Option<WireError>), WireError> {
+    let (core, version) = parse_header(bytes)?;
+    let mut spans = Vec::new();
+    let mut pos = 7usize;
+    let mut truncated = None;
+    while pos < bytes.len() {
+        let index = spans.len();
+        let Some(len_bytes) = bytes.get(pos..pos + 4) else {
+            truncated = Some(WireError::Truncated { chunk: index });
+            break;
+        };
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if pos + 8 + len > bytes.len() {
+            truncated = Some(WireError::Truncated { chunk: index });
+            break;
+        }
+        spans.push(ChunkSpan {
+            offset: pos,
+            payload_bytes: len,
+        });
+        pos += 8 + len;
+    }
+    Ok((core, version, spans, truncated))
+}
+
+/// Decodes a contiguous run of chunks of a *self-contained* (v3+) stream
+/// into `out`: `spans` are the chunks to decode (as returned by
+/// [`chunk_spans`]) and `first_index` is the stream-wide index of
+/// `spans[0]`, so errors carry the same chunk numbers a sequential decode
+/// would report. Each chunk decodes with fresh delta state — on v3
+/// streams this is bit-identical to the sequential walk, which is exactly
+/// what lets `decode_logs_parallel` range-partition one large log.
+///
+/// Callers must not hand this spans of a v1/v2 stream (their chunks share
+/// delta state); [`chunk_spans`] reports the version to check.
+///
+/// # Errors
+///
+/// The first [`WireError`] in the range; entries decoded before it stay
+/// in `out`.
+pub fn decode_chunked_range(
+    bytes: &[u8],
+    spans: &[ChunkSpan],
+    first_index: usize,
+    out: &mut Vec<LogEntry>,
+) -> Result<(), WireError> {
+    // One reservation up front instead of doubling through hundreds of
+    // reallocations: the recorder's entry mix runs ~4-6 payload bytes per
+    // entry, so a quarter of the payload over-reserves mildly; a denser
+    // stream (2 bytes/entry) costs at most one doubling.
+    let total_payload: usize = spans.iter().map(|s| s.payload_bytes).sum();
+    out.reserve(total_payload / 4);
+    for (i, span) in spans.iter().enumerate() {
+        let index = first_index + i;
+        let payload_start = span.offset + 4;
+        let payload = bytes
+            .get(payload_start..payload_start + span.payload_bytes)
+            .ok_or(WireError::Truncated { chunk: index })?;
+        let crc_bytes = bytes
+            .get(payload_start + span.payload_bytes..payload_start + span.payload_bytes + 4)
+            .ok_or(WireError::Truncated { chunk: index })?;
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(WireError::CrcMismatch {
+                chunk: index,
+                stored,
+                computed,
+            });
+        }
+        let mut state = DeltaState::default();
+        decode_chunk_entries(payload, &mut state, index, out)?;
+    }
+    Ok(())
 }
 
 /// Writes `log` to `path` as an `.rrlog` file.
@@ -1322,10 +1690,12 @@ pub fn write_rrlog(path: &Path, log: &IntervalLog) -> Result<(), WireError> {
 ///
 /// Returns a [`WireError`] on I/O failure, truncation, or corruption.
 pub fn read_rrlog(path: &Path) -> Result<IntervalLog, WireError> {
-    // Reading the whole file and decoding zero-copy beats streaming
-    // through a BufReader: log files are small relative to memory and the
-    // batched in-memory decoder is the fast path.
-    let bytes = std::fs::read(path)?;
+    // Mapping the file and decoding zero-copy beats both streaming
+    // through a BufReader and a heap-staged fs::read: the batched
+    // in-memory decoder is the fast path and multi-GB logs never get
+    // copied into an intermediate buffer. Falls back to a plain read
+    // where mmap is unavailable (see `mmapio`).
+    let bytes = crate::mmapio::MappedBytes::open(path)?;
     decode_chunked(&bytes)
 }
 
@@ -1768,25 +2138,25 @@ mod tests {
         corrupted[clean[1].offset + 4] ^= 0x40;
 
         let (_, map, map_err) = chunk_map(&corrupted).expect("header ok");
-        let (salvaged, skip_err) = decode_chunked_skip(&corrupted);
+        let salvage = decode_chunked_skip(&corrupted);
         assert_eq!(
-            salvaged.entries.len(),
+            salvage.log.entries.len(),
             map.iter().map(|c| c.entries).sum::<usize>(),
             "skip decode and chunk map must count the same entries"
         );
         assert!(
-            salvaged.entries.len() > clean[0].entries,
+            salvage.log.entries.len() > clean[0].entries,
             "chunks after the corrupt one decode"
         );
         assert!(matches!(
             map_err,
             Some(WireError::CrcMismatch { chunk: 1, .. })
         ));
-        assert_eq!(map_err, skip_err);
+        assert_eq!(map_err, salvage.err);
         // decode_chunked_recover, by contrast, stops at the damage.
         let (prefix, _) = decode_chunked_recover(&corrupted);
         assert_eq!(prefix.entries[..], log.entries[..prefix.entries.len()]);
-        assert!(prefix.entries.len() < salvaged.entries.len());
+        assert!(prefix.entries.len() < salvage.log.entries.len());
     }
 
     #[test]
@@ -1794,10 +2164,284 @@ mod tests {
         let log = sample_log();
         for chunk_bytes in [1, 4, 64] {
             let bytes = encode_chunked_with(&log, chunk_bytes);
-            let (skipped, err) = decode_chunked_skip(&bytes);
-            assert!(err.is_none());
-            assert_eq!(skipped, log);
+            let salvage = decode_chunked_skip(&bytes);
+            assert!(salvage.err.is_none());
+            assert_eq!(salvage.suspect, 0);
+            assert_eq!(salvage.log, log);
         }
+    }
+
+    /// Satellite regression (wire v3 salvage): a corrupt middle chunk of a
+    /// current-version stream must salvage the suffix with *exact*
+    /// timestamps and zero suspect entries — the chunks re-anchor on an
+    /// absolute first-frame timestamp. The same damage on a v2 stream
+    /// (cross-chunk delta state) must flag every salvaged-suffix entry as
+    /// suspect instead of quietly emitting wrong timestamps.
+    #[test]
+    fn salvage_after_corrupt_chunk_is_exact_on_v3_and_suspect_on_v2() {
+        // Frames with large distinct timestamps so stale delta context
+        // produces visibly wrong values.
+        let mut log = IntervalLog::new(CoreId::new(1));
+        for i in 0..40u64 {
+            log.entries.push(LogEntry::InorderBlock { instrs: 3 });
+            log.entries.push(LogEntry::IntervalFrame {
+                cisn: i as u16,
+                timestamp: 1_000_000 + i * 10_007,
+            });
+        }
+        for (version, want_suspect) in [(VERSION, false), (2u16, true)] {
+            let bytes = encode_chunked_with_version(&log, 32, version);
+            let (_, clean, _) = chunk_map(&bytes).expect("header ok");
+            assert!(clean.len() >= 4, "want several chunks");
+            let mut corrupted = bytes.clone();
+            corrupted[clean[1].offset + 4] ^= 0x40;
+
+            let salvage = decode_chunked_skip(&corrupted);
+            assert!(matches!(
+                salvage.err,
+                Some(WireError::CrcMismatch { chunk: 1, .. })
+            ));
+            let lost = clean[1].entries;
+            assert_eq!(salvage.log.entries.len(), log.entries.len() - lost);
+            // The salvaged log is the original minus exactly chunk 1's
+            // entries: prefix from chunk 0, suffix from chunks 2.. .
+            let prefix = clean[0].entries;
+            assert_eq!(salvage.log.entries[..prefix], log.entries[..prefix]);
+            let suffix_ok = salvage.log.entries[prefix..] == log.entries[prefix + lost..];
+            if want_suspect {
+                assert_eq!(
+                    salvage.suspect,
+                    salvage.log.entries.len() - prefix,
+                    "v{version}: every entry after the damage is suspect"
+                );
+                assert!(
+                    !suffix_ok,
+                    "v{version}: stale delta context must actually corrupt \
+                     the suffix timestamps (else the flag is vacuous)"
+                );
+            } else {
+                assert_eq!(salvage.suspect, 0, "v{version}: chunks re-anchor");
+                assert!(
+                    suffix_ok,
+                    "v{version}: salvaged suffix timestamps must be exact"
+                );
+            }
+        }
+    }
+
+    /// Satellite regression (reservation clamp): a stream whose first
+    /// chunks are maximally dense (2-byte entries) and whose bulk is
+    /// sparse (many-byte entries) must not reserve output capacity by
+    /// extrapolating the dense prefix across the whole stream. The policy
+    /// bounds capacity by 4× the decoded entry count.
+    #[test]
+    fn dense_then_sparse_stream_reserves_bounded_capacity() {
+        let mut log = IntervalLog::new(CoreId::new(0));
+        // ~4KB of 2-byte entries (one full default chunk), then ~1MB of
+        // ~28-byte entries.
+        for _ in 0..2048 {
+            log.entries.push(LogEntry::InorderBlock { instrs: 1 });
+        }
+        for i in 0..40_000u64 {
+            log.entries.push(LogEntry::ReorderedRmw {
+                loaded: u64::MAX - i,
+                addr: u64::MAX - 1,
+                stored: Some(u64::MAX - 2),
+                offset: u32::MAX,
+            });
+        }
+        let bytes = encode_chunked(&log);
+        let (decoded, err) = decode_chunked_recover(&bytes);
+        assert!(err.is_none());
+        assert_eq!(decoded, log);
+        assert!(
+            decoded.entries.capacity() <= 4 * decoded.entries.len(),
+            "capacity {} must stay within 4x of {} entries",
+            decoded.entries.capacity(),
+            decoded.entries.len()
+        );
+    }
+
+    #[test]
+    fn decode_into_reuses_capacity_and_matches_fresh_decode() {
+        let a = sample_log();
+        let mut b = IntervalLog::new(CoreId::new(1));
+        b.entries.push(LogEntry::InorderBlock { instrs: 7 });
+        let bytes_a = encode_chunked_with(&a, 4);
+        let bytes_b = encode_chunked(&b);
+
+        let mut out = IntervalLog::new(CoreId::new(9));
+        decode_chunked_into(&bytes_a, &mut out).expect("decodes");
+        assert_eq!(out, a);
+        let cap = out.entries.capacity();
+        decode_chunked_into(&bytes_b, &mut out).expect("decodes");
+        assert_eq!(out, b);
+        assert!(out.entries.capacity() >= cap, "capacity is retained");
+        // Error parity with the fresh-log path, including recovered prefix.
+        let cut = &bytes_a[..bytes_a.len() - 1];
+        let (fresh, fresh_err) = decode_chunked_recover(cut);
+        let reused_err = decode_chunked_into(cut, &mut out).unwrap_err();
+        assert_eq!(Some(reused_err), fresh_err);
+        assert_eq!(out, fresh);
+    }
+
+    #[test]
+    fn swar_varint_matches_reference_on_exhaustive_vectors() {
+        // Every encoded length 1..=10, boundary values, and non-canonical
+        // (overlong) encodings — the SWAR path and the byte loop must
+        // agree on value, final position, and rejection.
+        let mut cases: Vec<Vec<u8>> = Vec::new();
+        for v in [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            0x001F_FFFF,
+            0x0020_0000,
+            0x0FFF_FFFF,
+            0x1000_0000,
+            u32::MAX as u64,
+            (1u64 << 35) - 1,
+            1u64 << 35,
+            (1u64 << 42) - 1,
+            (1u64 << 49) - 1,
+            (1u64 << 56) - 1, // longest 8-byte varint: SWAR's edge
+            1u64 << 56,       // 9 bytes: falls back
+            u64::MAX,         // 10 bytes
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            cases.push(buf);
+        }
+        // Non-canonical: trailing zero-payload continuation bytes.
+        cases.push(vec![0x80, 0x00]);
+        cases.push(vec![0xFF, 0x80, 0x80, 0x00]);
+        // Overlong / overflowing.
+        cases.push(vec![0xFF; 11]);
+        cases.push(vec![
+            0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F,
+        ]);
+        for case in &cases {
+            // With slack after (word loads see trailing bytes) and exactly
+            // at the end of the buffer (bounds fallback).
+            for pad in [0usize, 1, 7, 8] {
+                let mut buf = case.clone();
+                buf.extend(std::iter::repeat_n(0xA5, pad));
+                let mut p_ref = 0usize;
+                let mut p_swar = 0usize;
+                let r = read_varint(&buf, &mut p_ref);
+                let s = read_varint_swar(&buf, &mut p_swar);
+                assert_eq!(r, s, "case {case:?} pad {pad}");
+                if r.is_some() {
+                    assert_eq!(p_ref, p_swar, "case {case:?} pad {pad}");
+                }
+            }
+            // Every truncation of the encoding.
+            for cut in 0..case.len() {
+                let buf = &case[..cut];
+                let mut p_ref = 0usize;
+                let mut p_swar = 0usize;
+                assert_eq!(
+                    read_varint(buf, &mut p_ref),
+                    read_varint_swar(buf, &mut p_swar),
+                    "case {case:?} cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact7_places_every_payload_group() {
+        // One bit set per 7-bit group, in each byte position.
+        for i in 0..8u32 {
+            let word = 1u64 << (8 * i);
+            assert_eq!(compact7(word), 1u64 << (7 * i), "byte {i}");
+        }
+        assert_eq!(compact7(0x7F7F_7F7F_7F7F_7F7F), (1u64 << 56) - 1);
+    }
+
+    #[test]
+    fn chunk_spans_tile_the_stream_and_flag_truncation() {
+        let log = sample_log();
+        let bytes = encode_chunked_with(&log, 4);
+        let (core, version, spans, trunc) = chunk_spans(&bytes).expect("header");
+        assert_eq!(core, log.core);
+        assert_eq!(version, VERSION);
+        assert!(trunc.is_none());
+        let (_, map, _) = chunk_map(&bytes).expect("header");
+        assert_eq!(spans.len(), map.len());
+        for (s, c) in spans.iter().zip(&map) {
+            assert_eq!((s.offset, s.payload_bytes), (c.offset, c.payload_bytes));
+        }
+        // Truncation mid-final-chunk: prior spans intact, truncation noted.
+        let (_, _, cut_spans, cut_trunc) = chunk_spans(&bytes[..bytes.len() - 1]).expect("header");
+        assert_eq!(cut_spans.len(), spans.len() - 1);
+        assert!(matches!(cut_trunc, Some(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn range_decode_matches_sequential_on_v3_streams() {
+        let mut log = IntervalLog::new(CoreId::new(2));
+        for i in 0..200u64 {
+            log.entries.push(LogEntry::InorderBlock {
+                instrs: 2 + (i % 9) as u32,
+            });
+            log.entries.push(LogEntry::IntervalFrame {
+                cisn: (i % 100) as u16,
+                timestamp: i * 977,
+            });
+        }
+        let bytes = encode_chunked_with(&log, 64);
+        let (_, version, spans, _) = chunk_spans(&bytes).expect("header");
+        assert_eq!(version, VERSION);
+        assert!(spans.len() >= 4);
+        // Decode in several splits; concatenation must equal sequential.
+        for splits in [1usize, 2, 3, spans.len()] {
+            let mut entries = Vec::new();
+            let per = spans.len().div_ceil(splits);
+            for (part, chunk_range) in spans.chunks(per).enumerate() {
+                decode_chunked_range(&bytes, chunk_range, part * per, &mut entries)
+                    .expect("range decodes");
+            }
+            assert_eq!(entries, log.entries, "splits={splits}");
+        }
+        // Error indices match the sequential decoder's numbering.
+        let mut corrupted = bytes.clone();
+        corrupted[spans[2].offset + 4] ^= 0x01;
+        let mut out = Vec::new();
+        let err = decode_chunked_range(&corrupted, &spans[2..], 2, &mut out).unwrap_err();
+        assert!(matches!(err, WireError::CrcMismatch { chunk: 2, .. }));
+    }
+
+    #[test]
+    fn v1_and_v2_streams_decode_with_cross_chunk_deltas() {
+        // The same log encoded at every supported version decodes to the
+        // same entries, and the v1/v2 byte streams differ from v3 only in
+        // the header version and the per-chunk re-anchored frame deltas.
+        let mut log = IntervalLog::new(CoreId::new(4));
+        for i in 0..50u64 {
+            log.entries.push(LogEntry::IntervalFrame {
+                cisn: i as u16,
+                timestamp: 500 + i * 37,
+            });
+        }
+        for version in MIN_VERSION..=VERSION {
+            let bytes = encode_chunked_with_version(&log, 16, version);
+            assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), version);
+            let decoded = decode_chunked(&bytes).expect("decodes");
+            assert_eq!(decoded, log, "v{version}");
+            assert_eq!(
+                decode_chunked_reference(&bytes).expect("reference decodes"),
+                log,
+                "v{version} reference"
+            );
+        }
+        // v1 and v2 share byte-identical payload encoding.
+        let v1 = encode_chunked_with_version(&log, 16, 1);
+        let v2 = encode_chunked_with_version(&log, 16, 2);
+        assert_eq!(v1[7..], v2[7..]);
     }
 
     #[test]

@@ -73,7 +73,10 @@ pub use cost::{CostModel, ReplayEvents};
 pub use dag::{DagStats, IntervalDag, IntervalNode};
 pub use engine::{execute_threaded, replay_threaded, replay_with, ReplayEngine};
 pub use forensics::divergence_report;
-pub use ingest::{decode_logs_parallel, default_ingest_workers, read_rrlogs_parallel, IngestError};
+pub use ingest::{
+    decode_chunked_parallel, decode_logs_parallel, default_ingest_workers, read_rrlogs_parallel,
+    IngestError,
+};
 pub use oracle::{cross_check, minimize, DifferentialError, Shrink};
 pub use parallel::{execute_modeled, replay_parallel, ParallelOutcome};
 pub use patch::{patch, patch_source, PatchError, PatchSourceError, PatchedLog, ReplayOp};
