@@ -63,9 +63,42 @@ impl H3 {
     }
 }
 
+/// A 64-bit FNV-1a content hash over a byte slice.
+///
+/// This is the second half of the content-addressed chunk key used by
+/// the rr-serve store: chunks are keyed by `(crc32, rr_hash64)`, so two
+/// payloads must collide on both an error-detection polynomial and an
+/// unrelated multiplicative hash before the store would alias them.
+/// Deterministic, dependency-free, and stable across platforms.
+#[must_use]
+pub fn rr_hash64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rr_hash64_matches_fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(rr_hash64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(rr_hash64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(rr_hash64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn rr_hash64_separates_close_inputs() {
+        assert_ne!(rr_hash64(b"chunk-0"), rr_hash64(b"chunk-1"));
+        assert_ne!(rr_hash64(&[0u8; 64]), rr_hash64(&[1u8; 64]));
+    }
 
     #[test]
     fn deterministic_for_same_seed() {

@@ -94,7 +94,7 @@ pub use crate::log::{IntervalLog, LogDecodeError, LogEntry};
 pub use crate::prof::{
     engine_chrome_trace, validate_prof_json, CodecPhases, EngineProf, Span, SpanKind, WorkerProf,
 };
-pub use hash::H3;
+pub use hash::{rr_hash64, H3};
 pub use index::{IndexChunk, IndexProvenance, SkipIndex};
 pub use mmapio::{MappedBytes, MappedSource};
 pub use recorder::{Design, IntervalOrdering, Recorder, RecorderConfig, RecorderStats};

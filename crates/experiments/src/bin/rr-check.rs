@@ -5,8 +5,15 @@
 //!                  [--workers K] [--replay-workers LIST] [--out DIR] [--trace]
 //! rr-check fuzz    [--count N] [--start-seed S] [--schedules K]
 //!                  [--pressure <mode>|all] [--workers K] [--replay-workers LIST] [--out DIR]
+//! rr-check verify  <dir | rr://host:port[/run]> [--workers K] [--size N]
 //! rr-check modes
 //! ```
+//!
+//! `verify` replays every run saved in a store — a `--save-logs`
+//! directory or a running `rr-serve` instance — and checks each variant
+//! against the recorded ground truth, exactly like `--replay-from` in the
+//! figure binaries. Exit 0 means the durable artifact replays
+//! deterministically.
 //!
 //! `--replay-workers 1,2,4,8` additionally replays every recording on the
 //! multithreaded replay engine at each listed worker count; those outcomes
@@ -50,6 +57,7 @@ const USAGE: &str = "usage:
                    [--workers K] [--replay-workers LIST] [--out DIR] [--trace]
   rr-check fuzz    [--count N] [--start-seed S] [--schedules K]
                    [--pressure <mode>|all] [--workers K] [--replay-workers LIST] [--out DIR]
+  rr-check verify  <dir | rr://host:port[/run]> [--workers K] [--size N]
   rr-check modes
 
 modes: none force-close traq sig-alias cisn-wrap sink-fault
@@ -66,6 +74,7 @@ fn main() -> ExitCode {
         Some((cmd, rest)) => match cmd.as_str() {
             "explore" => cmd_explore(rest),
             "fuzz" => cmd_fuzz(rest),
+            "verify" => cmd_verify(rest),
             "modes" => {
                 for m in PressureMode::ALL {
                     println!("{}", m.name());
@@ -290,6 +299,56 @@ fn run_explore(opts: &Options) -> Result<u8, Error> {
     } else {
         println!("rr-check: all explored schedules replay deterministically");
         Ok(0)
+    }
+}
+
+/// `verify <dir | rr://host:port[/run]>` — the store-replay gate. Loads
+/// every saved run from the named store (all of them, or just the one an
+/// `rr://…/run` URL singles out), replays each variant, and verifies it
+/// against the recorded ground truth.
+fn cmd_verify(args: &[String]) -> u8 {
+    let Some(spec) = args.first() else {
+        eprintln!("rr-check verify: missing <dir | rr://host:port[/run]>\n{USAGE}");
+        return 2;
+    };
+    let mut cfg = rr_experiments::ExperimentConfig::from_env();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, u8> {
+            it.next().ok_or_else(|| {
+                eprintln!("rr-check verify: {name} needs a value\n{USAGE}");
+                2
+            })
+        };
+        let res: Result<(), u8> = match flag.as_str() {
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse().map(|n| cfg.workers = n).map_err(|e| {
+                    eprintln!("rr-check verify: bad --workers: {e}");
+                    2
+                })
+            }),
+            "--size" => value("--size").and_then(|v| {
+                v.parse().map(|n| cfg.size = n).map_err(|e| {
+                    eprintln!("rr-check verify: bad --size: {e}");
+                    2
+                })
+            }),
+            other => {
+                eprintln!("rr-check verify: unknown flag {other:?}\n{USAGE}");
+                Err(2)
+            }
+        };
+        if let Err(c) = res {
+            return c;
+        }
+    }
+    cfg.replay_from = Some(spec.clone());
+    match rr_experiments::handle_replay_from(&cfg) {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("rr-check verify: {e}");
+            1
+        }
     }
 }
 

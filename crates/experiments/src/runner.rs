@@ -3,8 +3,6 @@
 //! sweep engine), and producing everything the individual figures need —
 //! including the per-run metrics JSONL sidecars.
 
-use std::path::PathBuf;
-
 use relaxreplay::trace::{TraceConfig, TraceLevel};
 use rr_replay::prof::ProfEntry;
 use rr_replay::{
@@ -31,13 +29,14 @@ pub struct ExperimentConfig {
     /// are deterministic regardless of this value; it only changes
     /// wall-clock.
     pub workers: usize,
-    /// Save every recorded run as `.rrlog` files under this directory
-    /// (`--save-logs <dir>` / `RR_SAVE_LOGS`).
-    pub save_logs: Option<PathBuf>,
-    /// Instead of recording, load runs previously saved under this
-    /// directory and replay + verify them from disk
-    /// (`--replay-from <dir>` / `RR_REPLAY_FROM`).
-    pub replay_from: Option<PathBuf>,
+    /// Save every recorded run as `.rrlog` files into this store — a
+    /// local directory or an `rr://host:port` log service
+    /// (`--save-logs <dir|rr://…>` / `RR_SAVE_LOGS`).
+    pub save_logs: Option<String>,
+    /// Instead of recording, load runs previously saved in this store
+    /// (a directory or an `rr://host:port[/run]` URL) and replay +
+    /// verify them (`--replay-from <dir|rr://…>` / `RR_REPLAY_FROM`).
+    pub replay_from: Option<String>,
     /// Replay executor for the `--replay-from` verification pass
     /// (`--replay-workers N` / `RR_REPLAY_WORKERS`; N ≥ 1 selects the
     /// multithreaded engine, 0 its host-parallel default). Sequential
@@ -105,12 +104,12 @@ impl ExperimentConfig {
         }
         if let Ok(d) = std::env::var("RR_SAVE_LOGS") {
             if !d.is_empty() {
-                cfg.save_logs = Some(PathBuf::from(d));
+                cfg.save_logs = Some(d);
             }
         }
         if let Ok(d) = std::env::var("RR_REPLAY_FROM") {
             if !d.is_empty() {
-                cfg.replay_from = Some(PathBuf::from(d));
+                cfg.replay_from = Some(d);
             }
         }
         if let Ok(l) = std::env::var("RR_TRACE") {
@@ -137,13 +136,13 @@ impl ExperimentConfig {
             } else if let Some(w) = a.strip_prefix("--workers=").and_then(|v| v.parse().ok()) {
                 cfg.workers = w;
             } else if a == "--save-logs" {
-                cfg.save_logs = args.next().map(PathBuf::from);
+                cfg.save_logs = args.next();
             } else if let Some(d) = a.strip_prefix("--save-logs=") {
-                cfg.save_logs = Some(PathBuf::from(d));
+                cfg.save_logs = Some(d.to_string());
             } else if a == "--replay-from" {
-                cfg.replay_from = args.next().map(PathBuf::from);
+                cfg.replay_from = args.next();
             } else if let Some(d) = a.strip_prefix("--replay-from=") {
-                cfg.replay_from = Some(PathBuf::from(d));
+                cfg.replay_from = Some(d.to_string());
             } else if a == "--replay-workers" {
                 if let Some(w) = args.next().and_then(|v| v.parse().ok()) {
                     cfg.replay_engine = ReplayEngine::Threaded { workers: w };
@@ -253,16 +252,25 @@ pub fn run_suite_timed(cfg: &ExperimentConfig) -> Result<SuiteRun, Error> {
     Ok(report_to_suite(report, &names))
 }
 
-/// Saves every run of a sweep under `cfg.save_logs` (no-op when unset).
+/// Saves every run of a sweep into the `cfg.save_logs` store — a local
+/// directory or a remote `rr://` log service (no-op when unset).
 fn save_report_logs(cfg: &ExperimentConfig, report: &SweepReport) -> Result<(), Error> {
-    if let Some(dir) = &cfg.save_logs {
+    if let Some(spec) = &cfg.save_logs {
+        let (store, run) =
+            rr_serve::parse_and_open(spec).map_err(|e| Error::from(e).context("--save-logs"))?;
+        if run.is_some() {
+            return Err(Error::msg(format!(
+                "--save-logs {spec}: name the store, not a single run \
+                 (runs are keyed by workload name)"
+            )));
+        }
         let bytes = report
-            .save_logs(dir)
+            .save_to(&*store)
             .map_err(|e| Error::from(e).context("--save-logs"))?;
         eprintln!(
-            "saved {} run(s), {bytes} .rrlog bytes, under {}",
+            "saved {} run(s), {bytes} .rrlog bytes, into {}",
             report.outputs.len(),
-            dir.display()
+            store.describe()
         );
     }
     Ok(())
@@ -394,12 +402,17 @@ pub struct ReplayFromSummary {
     pub variants: usize,
 }
 
-/// Replays every run saved under `dir` (by a prior `--save-logs`
-/// invocation), verifying each variant's replay against the on-disk
-/// ground truth. Programs and initial memory are regenerated by name
+/// Replays every run saved in `store` (by a prior `--save-logs`
+/// invocation — a local directory or a remote `rr://` log service),
+/// verifying each variant's replay against the stored ground truth.
+/// Programs and initial memory are regenerated by name
 /// (`rr_workloads::by_name`, which also resolves litmus and corpus
 /// shapes) — generators and the assembler are deterministic, so the
 /// `.rrlog` files plus `(threads, size)` fully determine the execution.
+///
+/// `only` restricts the pass to a single named run (what an
+/// `rr://host:port/run` URL means); `None` replays everything the
+/// store lists.
 ///
 /// Run names of the form `fft@16c` (the scalability sweep) override the
 /// configured thread count with the recorded one.
@@ -411,16 +424,23 @@ pub struct ReplayFromSummary {
 /// typed error preserved in its source chain.
 pub fn replay_suite_from(
     cfg: &ExperimentConfig,
-    dir: &std::path::Path,
+    store: &dyn rr_sim::RunStore,
+    only: Option<&str>,
 ) -> Result<ReplayFromSummary, Error> {
-    let names = rr_sim::list_runs(dir).map_err(|e| Error::from(e).context("listing saved runs"))?;
+    let names = match only {
+        Some(run) => vec![run.to_string()],
+        None => store
+            .list_runs()
+            .map_err(|e| Error::from(e).context("listing saved runs"))?,
+    };
     if names.is_empty() {
-        return Err(Error::msg(format!("no saved runs under {}", dir.display())));
+        return Err(Error::msg(format!("no saved runs in {}", store.describe())));
     }
     let mut variants = 0usize;
     for name in &names {
         // Per-core logs of a saved run decode on the parallel ingest pool.
-        let saved = rr_sim::load_run_with(dir, name, cfg.workers)
+        let saved = store
+            .load_run_with(name, cfg.workers)
             .map_err(|e| Error::from(e).context(name.clone()))?;
         let (base, threads) = match name.split_once('@') {
             Some((b, suffix)) => {
@@ -471,14 +491,17 @@ pub fn replay_suite_from(
 /// Returns the failure of any saved run to load, replay, or verify — the
 /// whole point of the flag is to prove the durable artifact is sound.
 pub fn handle_replay_from(cfg: &ExperimentConfig) -> Result<bool, Error> {
-    let Some(dir) = &cfg.replay_from else {
+    let Some(spec) = &cfg.replay_from else {
         return Ok(false);
     };
-    let summary = replay_suite_from(cfg, dir).map_err(|e| e.context("--replay-from"))?;
+    let (store, run) =
+        rr_serve::parse_and_open(spec).map_err(|e| Error::from(e).context("--replay-from"))?;
+    let summary =
+        replay_suite_from(cfg, &*store, run.as_deref()).map_err(|e| e.context("--replay-from"))?;
     println!(
         "replay-from {}: {} run(s), {} variant replay(s) verified against the recorded \
          ground truth [{}]",
-        dir.display(),
+        store.describe(),
         summary.runs,
         summary.variants,
         cfg.replay_engine.label()

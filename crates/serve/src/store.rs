@@ -1,0 +1,717 @@
+//! The content-addressed chunk store behind the rr-serve backend.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! objects/{crc32:08x}{rr_hash64:016x}.chunk   # one blob per distinct chunk payload
+//! runs/<name>/catalog.bin                     # RRCT v1: chunk refs + wire versions (CRC32)
+//! runs/<name>/truth.bin                       # ground-truth sidecar, verbatim
+//! runs/<name>/<label>.ordering                # interval partial order, verbatim
+//! runs/<name>/<label>.core<k>.rridx           # skip-index sidecar for the materialized log
+//! ```
+//!
+//! Chunks are keyed by `(crc32, rr_hash64)` of their payload, so the
+//! identical chunk appearing in two runs (or two cores, or two recorder
+//! variants) lands on disk exactly once; the catalogs reference it. Both
+//! halves of the key are verified on every read, so a damaged object
+//! surfaces as a typed [`RemoteFault::CorruptBlob`] — never a misparse
+//! downstream.
+//!
+//! Because wire v3 chunks are self-contained, a materialized `.rrlog` is
+//! purely `header ++ (len | payload | crc32)*` over the cataloged refs —
+//! byte-identical to what a local `--save-logs` writes for the same run,
+//! which is what the round-trip CI job diffs for.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use relaxreplay::wire::{crc32, read_varint, write_varint, MAGIC};
+use relaxreplay::{rr_hash64, SkipIndex};
+use rr_sim::logdir::check_name;
+use rr_sim::RemoteFault;
+
+use crate::proto::{BundleVariant, StatVariant};
+use crate::ServeError;
+
+/// Magic tag opening a `catalog.bin`.
+const CATALOG_MAGIC: &[u8; 4] = b"RRCT";
+/// Catalog format version.
+const CATALOG_VERSION: u16 = 1;
+
+/// The content-addressed identity of one chunk payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ChunkRef {
+    /// CRC32 of the payload (the same checksum the `.rrlog` frame carries).
+    pub crc: u32,
+    /// FNV-1a 64 of the payload.
+    pub hash: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+impl ChunkRef {
+    /// Computes the ref for a payload.
+    #[must_use]
+    pub fn of(payload: &[u8]) -> Self {
+        ChunkRef {
+            crc: crc32(payload),
+            hash: rr_hash64(payload),
+            len: payload.len() as u64,
+        }
+    }
+
+    /// The blob's object file name: `{crc:08x}{hash:016x}.chunk`.
+    #[must_use]
+    pub fn object_name(&self) -> String {
+        format!("{:08x}{:016x}.chunk", self.crc, self.hash)
+    }
+}
+
+/// One (variant, core) log in a catalog: its wire version and chunk refs
+/// in sequence order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatalogCore {
+    /// `.rrlog` wire version the chunks were encoded with.
+    pub wire_version: u16,
+    /// Chunk refs, sequence order.
+    pub chunks: Vec<ChunkRef>,
+}
+
+/// One recorder variant in a catalog.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatalogVariant {
+    /// The variant's label.
+    pub label: String,
+    /// Per-core logs, index = core id.
+    pub cores: Vec<CatalogCore>,
+    /// Whether an `ordering.bin` sidecar is stored alongside.
+    pub has_ordering: bool,
+}
+
+/// A sealed run's catalog: everything needed to rematerialize its
+/// `.rrlog` files from the object store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Catalog {
+    /// Recorded core count.
+    pub cores: u8,
+    /// Variants in sealed order.
+    pub variants: Vec<CatalogVariant>,
+}
+
+impl Catalog {
+    /// Total `.rrlog` bytes the catalog materializes to (headers and
+    /// chunk framing included).
+    #[must_use]
+    pub fn log_bytes(&self) -> u64 {
+        self.variants
+            .iter()
+            .flat_map(|v| &v.cores)
+            .map(|c| 7 + c.chunks.iter().map(|r| r.len + 8).sum::<u64>())
+            .sum()
+    }
+
+    /// Serializes the catalog (RRCT v1, CRC32-closed).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CATALOG_MAGIC);
+        out.extend_from_slice(&CATALOG_VERSION.to_le_bytes());
+        out.push(self.cores);
+        write_varint(&mut out, self.variants.len() as u64);
+        for v in &self.variants {
+            write_varint(&mut out, v.label.len() as u64);
+            out.extend_from_slice(v.label.as_bytes());
+            out.push(u8::from(v.has_ordering));
+            for c in &v.cores {
+                out.extend_from_slice(&c.wire_version.to_le_bytes());
+                write_varint(&mut out, c.chunks.len() as u64);
+                for r in &c.chunks {
+                    out.extend_from_slice(&r.crc.to_le_bytes());
+                    out.extend_from_slice(&r.hash.to_le_bytes());
+                    write_varint(&mut out, r.len);
+                }
+            }
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses a catalog written by [`Catalog::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoteFault::Catalog`] on any header, CRC, or
+    /// structural damage — never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ServeError> {
+        let bad = |d: &str| ServeError::new(RemoteFault::Catalog, d.to_string());
+        if bytes.len() < 11 || &bytes[..4] != CATALOG_MAGIC {
+            return Err(bad("bad catalog header"));
+        }
+        if u16::from_le_bytes([bytes[4], bytes[5]]) != CATALOG_VERSION {
+            return Err(bad("unsupported catalog version"));
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        if crc32(body) != stored {
+            return Err(bad("catalog CRC mismatch"));
+        }
+        let cores = body[6];
+        let mut pos = 7usize;
+        let varint = |pos: &mut usize| {
+            read_varint(body, pos).ok_or_else(|| {
+                ServeError::new(RemoteFault::Catalog, "catalog truncated".to_string())
+            })
+        };
+        let nv = varint(&mut pos)?;
+        let mut variants = Vec::new();
+        for _ in 0..nv {
+            let label_len = usize::try_from(varint(&mut pos)?)
+                .map_err(|_| bad("catalog label length overflow"))?;
+            let end = pos
+                .checked_add(label_len)
+                .filter(|&e| e < body.len())
+                .ok_or_else(|| bad("catalog truncated"))?;
+            let label = std::str::from_utf8(&body[pos..end])
+                .map_err(|_| bad("catalog label not UTF-8"))?
+                .to_string();
+            pos = end;
+            let has_ordering = match body[pos] {
+                0 => false,
+                1 => true,
+                _ => return Err(bad("catalog ordering flag not 0/1")),
+            };
+            pos += 1;
+            let mut catalog_cores = Vec::new();
+            for _ in 0..cores {
+                let wv = body
+                    .get(pos..pos + 2)
+                    .ok_or_else(|| bad("catalog truncated"))?;
+                let wire_version = u16::from_le_bytes(wv.try_into().expect("2 bytes"));
+                pos += 2;
+                let n = varint(&mut pos)?;
+                let mut chunks = Vec::new();
+                for _ in 0..n {
+                    let raw = body
+                        .get(pos..pos + 12)
+                        .ok_or_else(|| bad("catalog truncated"))?;
+                    let crc = u32::from_le_bytes(raw[..4].try_into().expect("4 bytes"));
+                    let hash = u64::from_le_bytes(raw[4..].try_into().expect("8 bytes"));
+                    pos += 12;
+                    chunks.push(ChunkRef {
+                        crc,
+                        hash,
+                        len: varint(&mut pos)?,
+                    });
+                }
+                catalog_cores.push(CatalogCore {
+                    wire_version,
+                    chunks,
+                });
+            }
+            variants.push(CatalogVariant {
+                label,
+                cores: catalog_cores,
+                has_ordering,
+            });
+        }
+        if pos != body.len() {
+            return Err(bad("catalog has trailing bytes"));
+        }
+        Ok(Catalog { cores, variants })
+    }
+}
+
+/// Counter making concurrent temp-file names unique within the process.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn io_err(path: &Path, e: &std::io::Error) -> ServeError {
+    ServeError::new(RemoteFault::Server, format!("{}: {e}", path.display()))
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync-free rename. Safe under concurrent writers producing identical
+/// content (the loser's rename just replaces equal bytes).
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
+    f.write_all(bytes).map_err(|e| io_err(&tmp, &e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| io_err(path, &e))?;
+    Ok(())
+}
+
+/// What [`ChunkStore::seal_run`] needs per variant: the staged refs in
+/// sequence order plus the opaque ordering sidecar.
+#[derive(Clone, Debug)]
+pub struct SealedVariant {
+    /// The variant's label.
+    pub label: String,
+    /// Per-core (wire version, chunk refs), index = core id.
+    pub cores: Vec<CatalogCore>,
+    /// The `ordering.bin` sidecar bytes, if recorded.
+    pub ordering: Option<Vec<u8>>,
+}
+
+/// The on-disk content-addressed store. All methods take `&self` and are
+/// safe under concurrent use from the server's worker threads: blob
+/// writes are idempotent (identical content, atomic rename) and runs
+/// become visible only when their catalog is renamed into place.
+#[derive(Clone, Debug)]
+pub struct ChunkStore {
+    root: PathBuf,
+}
+
+impl ChunkStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoteFault::Server`] if the directories cannot be
+    /// created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        let root = root.into();
+        for sub in ["objects", "runs"] {
+            let dir = root.join(sub);
+            fs::create_dir_all(&dir).map_err(|e| io_err(&dir, &e))?;
+        }
+        Ok(ChunkStore { root })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn object_path(&self, r: &ChunkRef) -> PathBuf {
+        self.root.join("objects").join(r.object_name())
+    }
+
+    fn run_dir(&self, run: &str) -> PathBuf {
+        self.root.join("runs").join(run)
+    }
+
+    /// Stores one chunk payload, deduplicating against existing blobs.
+    /// Returns the ref and whether an identical blob already existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoteFault::Server`] on filesystem failure.
+    pub fn put_chunk(&self, payload: &[u8]) -> Result<(ChunkRef, bool), ServeError> {
+        let r = ChunkRef::of(payload);
+        let path = self.object_path(&r);
+        if path.is_file() {
+            return Ok((r, true));
+        }
+        write_atomic(&path, payload)?;
+        Ok((r, false))
+    }
+
+    /// Reads one blob back, verifying length, CRC32, and content hash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoteFault::CorruptBlob`] if the object is missing or
+    /// fails any check — stored damage is always typed, never a panic
+    /// or a silent misparse.
+    pub fn get_blob(&self, r: &ChunkRef) -> Result<Vec<u8>, ServeError> {
+        let path = self.object_path(&r.clone());
+        let corrupt = |d: String| ServeError::new(RemoteFault::CorruptBlob, d);
+        let bytes = fs::read(&path)
+            .map_err(|e| corrupt(format!("object {} unreadable: {e}", r.object_name())))?;
+        if bytes.len() as u64 != r.len {
+            return Err(corrupt(format!(
+                "object {} is {} bytes, catalog says {}",
+                r.object_name(),
+                bytes.len(),
+                r.len
+            )));
+        }
+        if crc32(&bytes) != r.crc || rr_hash64(&bytes) != r.hash {
+            return Err(corrupt(format!(
+                "object {} content does not match its address",
+                r.object_name()
+            )));
+        }
+        Ok(bytes)
+    }
+
+    /// Publishes a staged run atomically: sidecars and skip-indexes
+    /// first, then the catalog rename that makes the run visible.
+    /// Re-sealing an identical run is idempotent; sealing a different
+    /// run under an existing name is a [`RemoteFault::Conflict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoteFault::BadName`] for unusable names,
+    /// [`RemoteFault::Conflict`] for divergent re-seals,
+    /// [`RemoteFault::CorruptBlob`] if a referenced blob fails
+    /// verification, and [`RemoteFault::Server`] on filesystem failure.
+    pub fn seal_run(
+        &self,
+        run: &str,
+        cores: u8,
+        variants: Vec<SealedVariant>,
+        truth: &[u8],
+    ) -> Result<u64, ServeError> {
+        check_name(run).map_err(|e| ServeError::new(RemoteFault::BadName, e.to_string()))?;
+        for v in &variants {
+            check_name(&v.label)
+                .map_err(|e| ServeError::new(RemoteFault::BadName, e.to_string()))?;
+            if v.cores.len() != usize::from(cores) {
+                return Err(ServeError::new(
+                    RemoteFault::Protocol,
+                    format!(
+                        "variant {:?} declares {} cores, run has {cores}",
+                        v.label,
+                        v.cores.len()
+                    ),
+                ));
+            }
+        }
+        let catalog = Catalog {
+            cores,
+            variants: variants
+                .iter()
+                .map(|v| CatalogVariant {
+                    label: v.label.clone(),
+                    cores: v.cores.clone(),
+                    has_ordering: v.ordering.is_some(),
+                })
+                .collect(),
+        };
+        let dir = self.run_dir(run);
+        let catalog_path = dir.join("catalog.bin");
+        let catalog_bytes = catalog.to_bytes();
+        if let Ok(existing) = fs::read(&catalog_path) {
+            if existing == catalog_bytes {
+                return Ok(catalog.log_bytes());
+            }
+            return Err(ServeError::new(
+                RemoteFault::Conflict,
+                format!("run {run:?} already sealed with different contents"),
+            ));
+        }
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, &e))?;
+        write_atomic(&dir.join("truth.bin"), truth)?;
+        for v in &variants {
+            if let Some(ordering) = &v.ordering {
+                write_atomic(&dir.join(format!("{}.ordering", v.label)), ordering)?;
+            }
+            // Build and persist the skip-index sidecars now, from the
+            // same materialized bytes GetRun will serve: replay clients
+            // get range-parallel decode without a first-touch rebuild.
+            for (k, core) in v.cores.iter().enumerate() {
+                let bytes = self.assemble_core(core, k as u8)?;
+                if let Ok(index) = SkipIndex::build(&bytes) {
+                    write_atomic(
+                        &dir.join(format!("{}.core{k}.rridx", v.label)),
+                        &index.to_bytes(),
+                    )?;
+                }
+            }
+        }
+        write_atomic(&catalog_path, &catalog_bytes)?;
+        Ok(catalog.log_bytes())
+    }
+
+    /// Loads a sealed run's catalog.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteFault::UnknownRun`] if the run was never sealed;
+    /// [`RemoteFault::Catalog`] if the catalog is damaged.
+    pub fn catalog(&self, run: &str) -> Result<Catalog, ServeError> {
+        check_name(run).map_err(|e| ServeError::new(RemoteFault::BadName, e.to_string()))?;
+        let path = self.run_dir(run).join("catalog.bin");
+        let bytes = fs::read(&path).map_err(|_| {
+            ServeError::new(RemoteFault::UnknownRun, format!("no sealed run {run:?}"))
+        })?;
+        Catalog::from_bytes(&bytes)
+    }
+
+    /// Materializes one (variant, core) `.rrlog` file from the object
+    /// store: header, then each cataloged chunk reframed as
+    /// `len | payload | crc32`.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteFault::CorruptBlob`] if any referenced blob fails
+    /// verification.
+    pub fn assemble_core(&self, core: &CatalogCore, core_id: u8) -> Result<Vec<u8>, ServeError> {
+        let total: u64 = 7 + core.chunks.iter().map(|r| r.len + 8).sum::<u64>();
+        let mut out = Vec::with_capacity(usize::try_from(total).unwrap_or(0));
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&core.wire_version.to_le_bytes());
+        out.push(core_id);
+        for r in &core.chunks {
+            let payload = self.get_blob(r)?;
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+            out.extend_from_slice(&r.crc.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Materializes a whole run as a [`BundleVariant`] list plus the
+    /// truth sidecar — the body of a `RunBundle` response.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChunkStore::catalog`] and [`ChunkStore::assemble_core`];
+    /// missing sidecars are [`RemoteFault::Catalog`].
+    pub fn assemble_run(&self, run: &str) -> Result<(u8, Vec<BundleVariant>, Vec<u8>), ServeError> {
+        let catalog = self.catalog(run)?;
+        let dir = self.run_dir(run);
+        let truth = fs::read(dir.join("truth.bin")).map_err(|e| {
+            ServeError::new(
+                RemoteFault::Catalog,
+                format!("run {run:?} truth sidecar unreadable: {e}"),
+            )
+        })?;
+        let mut variants = Vec::new();
+        for v in &catalog.variants {
+            let mut logs = Vec::new();
+            let mut indexes = Vec::new();
+            for (k, core) in v.cores.iter().enumerate() {
+                logs.push(self.assemble_core(core, k as u8)?);
+                indexes.push(
+                    fs::read(dir.join(format!("{}.core{k}.rridx", v.label))).unwrap_or_default(),
+                );
+            }
+            let ordering = if v.has_ordering {
+                Some(
+                    fs::read(dir.join(format!("{}.ordering", v.label))).map_err(|e| {
+                        ServeError::new(
+                            RemoteFault::Catalog,
+                            format!("run {run:?} ordering sidecar unreadable: {e}"),
+                        )
+                    })?,
+                )
+            } else {
+                None
+            };
+            variants.push(BundleVariant {
+                label: v.label.clone(),
+                logs,
+                indexes,
+                ordering,
+            });
+        }
+        Ok((catalog.cores, variants, truth))
+    }
+
+    /// Names of every sealed run, sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteFault::Server`] if the runs directory cannot be read.
+    pub fn list_runs(&self) -> Result<Vec<String>, ServeError> {
+        let dir = self.root.join("runs");
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&dir).map_err(|e| io_err(&dir, &e))? {
+            let entry = entry.map_err(|e| io_err(&dir, &e))?;
+            let path = entry.path();
+            if path.is_dir() && path.join("catalog.bin").is_file() {
+                if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Stats one run, verifying every blob it references (a damaged
+    /// object surfaces here as [`RemoteFault::CorruptBlob`] before any
+    /// replay is attempted).
+    ///
+    /// # Errors
+    ///
+    /// As [`ChunkStore::catalog`], plus [`RemoteFault::CorruptBlob`].
+    pub fn stat_run(&self, run: &str) -> Result<(u8, Vec<StatVariant>, u64), ServeError> {
+        let catalog = self.catalog(run)?;
+        let mut variants = Vec::new();
+        for v in &catalog.variants {
+            let mut chunks = 0u64;
+            let mut log_bytes = 0u64;
+            for core in &v.cores {
+                for r in &core.chunks {
+                    self.get_blob(r)?;
+                }
+                chunks += core.chunks.len() as u64;
+                log_bytes += 7 + core.chunks.iter().map(|r| r.len + 8).sum::<u64>();
+            }
+            variants.push(StatVariant {
+                label: v.label.clone(),
+                chunks,
+                log_bytes,
+                has_ordering: v.has_ordering,
+            });
+        }
+        let truth_bytes = fs::metadata(self.run_dir(run).join("truth.bin"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        Ok((catalog.cores, variants, truth_bytes))
+    }
+
+    /// Store-wide dedup accounting: distinct blobs on disk, the bytes
+    /// they occupy, and the chunk bytes all catalogs reference.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteFault::Server`] on filesystem failure,
+    /// [`RemoteFault::Catalog`] if any catalog is damaged.
+    pub fn dedup_stat(&self) -> Result<(u64, u64, u64), ServeError> {
+        let objects = self.root.join("objects");
+        let mut blobs = 0u64;
+        let mut blob_bytes = 0u64;
+        for entry in fs::read_dir(&objects).map_err(|e| io_err(&objects, &e))? {
+            let entry = entry.map_err(|e| io_err(&objects, &e))?;
+            let meta = entry.metadata().map_err(|e| io_err(&objects, &e))?;
+            if meta.is_file() && entry.path().extension().is_some_and(|e| e == "chunk") {
+                blobs += 1;
+                blob_bytes += meta.len();
+            }
+        }
+        let mut logical_bytes = 0u64;
+        for run in self.list_runs()? {
+            let catalog = self.catalog(&run)?;
+            logical_bytes += catalog
+                .variants
+                .iter()
+                .flat_map(|v| &v.cores)
+                .flat_map(|c| &c.chunks)
+                .map(|r| r.len)
+                .sum::<u64>();
+        }
+        Ok((blobs, blob_bytes, logical_bytes))
+    }
+
+    /// The distinct refs a run's catalog references (diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// As [`ChunkStore::catalog`].
+    pub fn run_refs(&self, run: &str) -> Result<BTreeSet<ChunkRef>, ServeError> {
+        let catalog = self.catalog(run)?;
+        Ok(catalog
+            .variants
+            .iter()
+            .flat_map(|v| &v.cores)
+            .flat_map(|c| &c.chunks)
+            .copied()
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rr_serve_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_dedups_and_get_verifies() {
+        let root = scratch("cas");
+        let store = ChunkStore::open(&root).expect("opens");
+        let (r1, existed1) = store.put_chunk(b"hello chunk").expect("puts");
+        assert!(!existed1);
+        let (r2, existed2) = store.put_chunk(b"hello chunk").expect("puts");
+        assert!(existed2);
+        assert_eq!(r1, r2);
+        assert_eq!(store.get_blob(&r1).expect("reads"), b"hello chunk");
+
+        // Damage the blob on disk: reads become a typed CorruptBlob.
+        let path = root.join("objects").join(r1.object_name());
+        fs::write(&path, b"hello chunk!").expect("overwrite");
+        let err = store.get_blob(&r1).expect_err("corrupt");
+        assert_eq!(err.kind, RemoteFault::CorruptBlob);
+        fs::write(&path, b"hellp chunk").expect("overwrite");
+        assert_eq!(
+            store.get_blob(&r1).expect_err("corrupt").kind,
+            RemoteFault::CorruptBlob
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn catalog_round_trips_and_detects_damage() {
+        let catalog = Catalog {
+            cores: 2,
+            variants: vec![CatalogVariant {
+                label: "Opt-4K".into(),
+                cores: vec![
+                    CatalogCore {
+                        wire_version: 3,
+                        chunks: vec![ChunkRef {
+                            crc: 0xdead_beef,
+                            hash: 0x0123_4567_89ab_cdef,
+                            len: 4096,
+                        }],
+                    },
+                    CatalogCore {
+                        wire_version: 3,
+                        chunks: vec![],
+                    },
+                ],
+                has_ordering: true,
+            }],
+        };
+        let bytes = catalog.to_bytes();
+        assert_eq!(Catalog::from_bytes(&bytes).expect("decodes"), catalog);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                Catalog::from_bytes(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        assert_eq!(catalog.log_bytes(), 7 + 4096 + 8 + 7);
+    }
+
+    #[test]
+    fn divergent_reseal_conflicts_identical_reseal_is_idempotent() {
+        let root = scratch("seal");
+        let store = ChunkStore::open(&root).expect("opens");
+        let (r, _) = store.put_chunk(b"payload").expect("puts");
+        let variants = vec![SealedVariant {
+            label: "Base".into(),
+            cores: vec![CatalogCore {
+                wire_version: 3,
+                chunks: vec![r],
+            }],
+            ordering: None,
+        }];
+        store
+            .seal_run("run-a", 1, variants.clone(), b"truth")
+            .expect("seals");
+        store
+            .seal_run("run-a", 1, variants.clone(), b"truth")
+            .expect("idempotent reseal");
+        let (r2, _) = store.put_chunk(b"other payload").expect("puts");
+        let divergent = vec![SealedVariant {
+            label: "Base".into(),
+            cores: vec![CatalogCore {
+                wire_version: 3,
+                chunks: vec![r2],
+            }],
+            ordering: None,
+        }];
+        let err = store
+            .seal_run("run-a", 1, divergent, b"truth")
+            .expect_err("conflict");
+        assert_eq!(err.kind, RemoteFault::Conflict);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -18,6 +18,7 @@ use rr_replay::{IngestError, PatchError, ReplayError, VerifyError};
 
 use crate::logdir::LogDirError;
 use crate::machine::SimError;
+use crate::store::StoreError;
 use crate::sweep::SweepError;
 
 /// Any failure of the record/replay pipeline, from the wire codec up to
@@ -30,6 +31,8 @@ pub enum Error {
     Wire(WireError),
     /// A saved-run directory was missing, malformed, or undecodable.
     LogDir(LogDirError),
+    /// A run store (local directory or remote rr-serve backend) failed.
+    Store(StoreError),
     /// Parallel `.rrlog` ingest failed.
     Ingest(IngestError),
     /// A sweep job failed.
@@ -78,6 +81,7 @@ impl fmt::Display for Error {
             Error::Sim(e) => write!(f, "{e}"),
             Error::Wire(e) => write!(f, "{e}"),
             Error::LogDir(e) => write!(f, "{e}"),
+            Error::Store(e) => write!(f, "{e}"),
             Error::Ingest(e) => write!(f, "{e}"),
             Error::Sweep(e) => write!(f, "{e}"),
             Error::Patch(e) => write!(f, "{e}"),
@@ -96,6 +100,7 @@ impl std::error::Error for Error {
             Error::Sim(e) => Some(e),
             Error::Wire(e) => Some(e),
             Error::LogDir(e) => Some(e),
+            Error::Store(e) => Some(e),
             Error::Ingest(e) => Some(e),
             Error::Sweep(e) => Some(e),
             Error::Patch(e) => Some(e),
@@ -122,6 +127,12 @@ impl From<WireError> for Error {
 impl From<LogDirError> for Error {
     fn from(e: LogDirError) -> Self {
         Error::LogDir(e)
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
     }
 }
 

@@ -43,6 +43,7 @@ pub mod logdir;
 mod machine;
 pub mod metrics;
 mod session;
+pub mod store;
 pub mod sweep;
 mod tracer;
 
@@ -52,9 +53,9 @@ pub use explore::{
     explore_one, explore_one_with, explore_sweep, explore_sweep_with, minimize_divergence,
     ExploreOutcome, ExploreReport, ExploreSpec, PressureMode,
 };
-pub use logdir::{
-    list_runs, load_run, load_run_with, save_run, LogDirError, SavedRun, SavedVariant,
-};
+#[allow(deprecated)]
+pub use logdir::{list_runs, load_run, load_run_with, save_run};
+pub use logdir::{LogDirError, SavedRun, SavedVariant};
 pub use machine::{
     replay_and_verify, replay_and_verify_forensic, replay_and_verify_forensic_with,
     replay_and_verify_with, PressureReport, PressureSpec, RunOptions, RunResult, ScheduleStrategy,
@@ -63,5 +64,8 @@ pub use machine::{
 pub use metrics::{MetricsRegistry, PhaseNanos};
 pub use rr_replay::ReplayEngine;
 pub use session::RecordSession;
+pub use store::{
+    DedupStat, LocalStore, RemoteFault, RunStat, RunStore, StoreError, StoreSpec, VariantStat,
+};
 pub use sweep::{run_sweep, JobOutput, ReplayPolicy, SweepError, SweepJob, SweepReport};
 pub use tracer::TraceCollector;

@@ -91,7 +91,15 @@ fn ingest_err(e: IngestError) -> LogDirError {
     }
 }
 
-fn check_name(name: &str) -> Result<(), LogDirError> {
+/// Validates a run or variant name as a safe path component (non-empty,
+/// ASCII alphanumerics plus `- _ . @`, not `.`/`..`). The same rule
+/// applies to local run directories and to remote store keys, so a run
+/// saved locally can always be streamed to an `rr-serve` backend and back.
+///
+/// # Errors
+///
+/// Returns [`LogDirError::BadName`] when the name is unusable.
+pub fn check_name(name: &str) -> Result<(), LogDirError> {
     let ok = !name.is_empty()
         && name != "."
         && name != ".."
@@ -144,7 +152,19 @@ impl SavedRun {
 /// # Errors
 ///
 /// Returns [`LogDirError`] on filesystem failure or unusable names.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LocalStore::new(dir)` and the `RunStore` trait instead"
+)]
 pub fn save_run(dir: &Path, name: &str, result: &RunResult) -> Result<u64, LogDirError> {
+    save_run_impl(dir, name, result)
+}
+
+pub(crate) fn save_run_impl(
+    dir: &Path,
+    name: &str,
+    result: &RunResult,
+) -> Result<u64, LogDirError> {
     check_name(name)?;
     let run_dir = dir.join(name);
     fs::create_dir_all(&run_dir).map_err(|e| io_err(&run_dir, &e))?;
@@ -200,8 +220,12 @@ pub fn save_run(dir: &Path, name: &str, result: &RunResult) -> Result<u64, LogDi
 /// Returns [`LogDirError`] if the directory is missing, the manifest or
 /// sidecar is malformed, or any `.rrlog` fails to decode (truncation and
 /// corruption surface as typed [`WireError`]s, never panics).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LocalStore::new(dir)` and the `RunStore` trait instead"
+)]
 pub fn load_run(dir: &Path, name: &str) -> Result<SavedRun, LogDirError> {
-    load_run_with(dir, name, 0)
+    load_run_impl(dir, name, 0)
 }
 
 /// As [`load_run`] with an explicit ingest worker count (0 = the host's
@@ -213,7 +237,19 @@ pub fn load_run(dir: &Path, name: &str) -> Result<SavedRun, LogDirError> {
 /// # Errors
 ///
 /// As [`load_run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LocalStore::new(dir)` and the `RunStore` trait instead"
+)]
 pub fn load_run_with(dir: &Path, name: &str, workers: usize) -> Result<SavedRun, LogDirError> {
+    load_run_impl(dir, name, workers)
+}
+
+pub(crate) fn load_run_impl(
+    dir: &Path,
+    name: &str,
+    workers: usize,
+) -> Result<SavedRun, LogDirError> {
     check_name(name)?;
     let run_dir = dir.join(name);
     let manifest_path = run_dir.join("manifest.txt");
@@ -287,7 +323,15 @@ pub fn load_run_with(dir: &Path, name: &str, workers: usize) -> Result<SavedRun,
 /// # Errors
 ///
 /// Returns [`LogDirError::Io`] if the directory cannot be read.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `LocalStore::new(dir)` and the `RunStore` trait instead"
+)]
 pub fn list_runs(dir: &Path) -> Result<Vec<String>, LogDirError> {
+    list_runs_impl(dir)
+}
+
+pub(crate) fn list_runs_impl(dir: &Path) -> Result<Vec<String>, LogDirError> {
     let mut names = Vec::new();
     let entries = fs::read_dir(dir).map_err(|e| io_err(dir, &e))?;
     for entry in entries {
@@ -306,7 +350,12 @@ pub fn list_runs(dir: &Path) -> Result<Vec<String>, LogDirError> {
 /// Serializes the ground truth: magic + version, varint-encoded final
 /// memory (sorted address/value pairs) and per-thread load traces, closed
 /// with a CRC32 over everything before it.
-fn encode_truth(recorded: &RecordedExecution) -> Vec<u8> {
+///
+/// Public because remote stores ship the same sidecar bytes over the wire:
+/// a run saved through `rr-serve` carries a `truth.bin` byte-identical to
+/// the local one.
+#[must_use]
+pub fn encode_truth(recorded: &RecordedExecution) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(TRUTH_MAGIC);
     out.extend_from_slice(&TRUTH_VERSION.to_le_bytes());
@@ -333,7 +382,12 @@ fn encode_truth(recorded: &RecordedExecution) -> Vec<u8> {
 /// Serializes the per-core interval partial order: magic + version, core
 /// count, then per core the interval count followed by each interval's
 /// timestamp, barrier flag and predecessor list; closed with a CRC32.
-fn encode_ordering(ordering: &[IntervalOrdering]) -> Vec<u8> {
+///
+/// Public for the same reason as [`encode_truth`]: the `ordering.bin`
+/// sidecar travels verbatim between local run directories and remote
+/// stores.
+#[must_use]
+pub fn encode_ordering(ordering: &[IntervalOrdering]) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(ORDER_MAGIC);
     out.extend_from_slice(&ORDER_VERSION.to_le_bytes());
@@ -358,7 +412,13 @@ fn encode_ordering(ordering: &[IntervalOrdering]) -> Vec<u8> {
     out
 }
 
-fn decode_ordering(bytes: &[u8]) -> Result<Vec<IntervalOrdering>, LogDirError> {
+/// Decodes an `ordering.bin` sidecar produced by [`encode_ordering`].
+///
+/// # Errors
+///
+/// Returns [`LogDirError::Malformed`] on any header, CRC, or structural
+/// damage — never panics.
+pub fn decode_ordering(bytes: &[u8]) -> Result<Vec<IntervalOrdering>, LogDirError> {
     const MALFORMED: LogDirError = LogDirError::Malformed("ordering sidecar truncated");
     if bytes.len() < 10 || &bytes[..4] != ORDER_MAGIC {
         return Err(LogDirError::Malformed("bad ordering sidecar header"));
@@ -411,7 +471,13 @@ fn decode_ordering(bytes: &[u8]) -> Result<Vec<IntervalOrdering>, LogDirError> {
     Ok(ordering)
 }
 
-fn decode_truth(bytes: &[u8]) -> Result<RecordedExecution, LogDirError> {
+/// Decodes a `truth.bin` sidecar produced by [`encode_truth`].
+///
+/// # Errors
+///
+/// Returns [`LogDirError::Malformed`] on any header, CRC, or structural
+/// damage — never panics.
+pub fn decode_truth(bytes: &[u8]) -> Result<RecordedExecution, LogDirError> {
     const MALFORMED: LogDirError = LogDirError::Malformed("truth sidecar truncated");
     if bytes.len() < 10 || &bytes[..4] != TRUTH_MAGIC {
         return Err(LogDirError::Malformed("bad truth sidecar header"));

@@ -156,7 +156,26 @@ impl SweepReport {
     pub fn save_logs(&self, dir: &std::path::Path) -> Result<u64, LogDirError> {
         let mut bytes = 0u64;
         for o in &self.outputs {
-            bytes += crate::logdir::save_run(dir, &o.name, &o.run)?;
+            bytes += crate::logdir::save_run_impl(dir, &o.name, &o.run)?;
+        }
+        Ok(bytes)
+    }
+
+    /// Saves every job's recorded run into `store` (local directory or
+    /// remote rr-serve backend), keyed by job name. Returns the total
+    /// logical `.rrlog` bytes encoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::store::StoreError`] on the first job that fails
+    /// to save.
+    pub fn save_to(
+        &self,
+        store: &dyn crate::store::RunStore,
+    ) -> Result<u64, crate::store::StoreError> {
+        let mut bytes = 0u64;
+        for o in &self.outputs {
+            bytes += store.save_run(&o.name, &o.run)?;
         }
         Ok(bytes)
     }

@@ -10,8 +10,8 @@ use std::path::PathBuf;
 
 use rr_replay::{patch, replay, verify, CostModel};
 use rr_sim::{
-    list_runs, load_run, replay_and_verify, save_run, LogDirError, MachineConfig, RecordSession,
-    RecorderSpec,
+    replay_and_verify, LocalStore, LogDirError, MachineConfig, RecordSession, RecorderSpec,
+    RunStore, StoreError,
 };
 use rr_workloads::suite;
 
@@ -40,6 +40,7 @@ fn every_workload_round_trips_through_disk() {
     let specs = RecorderSpec::paper_matrix();
     let scratch = ScratchDir::new("disk_replay");
 
+    let store = LocalStore::new(&scratch.0);
     let workloads = suite(threads, 1);
     let mut results = Vec::new();
     for w in &workloads {
@@ -48,19 +49,22 @@ fn every_workload_round_trips_through_disk() {
             .specs(&specs)
             .run()
             .unwrap_or_else(|e| panic!("{}: recording failed: {e}", w.name));
-        let bytes = save_run(&scratch.0, w.name, &result)
+        let bytes = store
+            .save_run(w.name, &result)
             .unwrap_or_else(|e| panic!("{}: save failed: {e}", w.name));
         assert!(bytes > 0, "{}: no .rrlog bytes written", w.name);
         results.push(result);
     }
 
-    let listed = list_runs(&scratch.0).expect("list runs");
+    let listed = store.list_runs().expect("list runs");
     let mut expected: Vec<String> = workloads.iter().map(|w| w.name.to_string()).collect();
     expected.sort();
     assert_eq!(listed, expected);
 
     for (w, result) in workloads.iter().zip(&results) {
-        let saved = load_run(&scratch.0, w.name).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let saved = store
+            .load_run(w.name)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
 
         // Lossless: every variant's loaded logs equal the in-memory logs
         // entry-for-entry.
@@ -112,6 +116,7 @@ fn corrupted_rrlog_fails_with_a_typed_error_not_a_panic() {
     let cfg = MachineConfig::splash_default(threads);
     let specs = RecorderSpec::paper_matrix();
     let scratch = ScratchDir::new("disk_corrupt");
+    let store = LocalStore::new(&scratch.0);
 
     let w = &suite(threads, 1)[0];
     let result = RecordSession::new(&w.programs, &w.initial_mem)
@@ -119,7 +124,7 @@ fn corrupted_rrlog_fails_with_a_typed_error_not_a_panic() {
         .specs(&specs)
         .run()
         .expect("records");
-    save_run(&scratch.0, w.name, &result).expect("saves");
+    store.save_run(w.name, &result).expect("saves");
 
     let label = specs[0].label();
     let victim = scratch.0.join(w.name).join(&label).join("core0.rrlog");
@@ -129,8 +134,8 @@ fn corrupted_rrlog_fails_with_a_typed_error_not_a_panic() {
     // Flip a byte inside the first chunk's payload.
     bytes[12] ^= 0xff;
     fs::write(&victim, &bytes).expect("write corrupted rrlog");
-    match load_run(&scratch.0, w.name) {
-        Err(LogDirError::Wire(e)) => {
+    match store.load_run(w.name) {
+        Err(StoreError::Local(LogDirError::Wire(e))) => {
             let msg = e.to_string();
             assert!(
                 msg.contains("chunk 0"),
@@ -143,9 +148,35 @@ fn corrupted_rrlog_fails_with_a_typed_error_not_a_panic() {
     // Truncate mid-stream instead: still a typed error, never a panic.
     fs::write(&victim, &bytes[..bytes.len() - 3]).expect("truncate rrlog");
     assert!(matches!(
-        load_run(&scratch.0, w.name),
-        Err(LogDirError::Wire(_))
+        store.load_run(w.name),
+        Err(StoreError::Local(LogDirError::Wire(_)))
     ));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_free_functions_still_work() {
+    // Compat shim: the pre-RunStore API must keep behaving identically.
+    let threads = 2;
+    let cfg = MachineConfig::splash_default(threads);
+    let specs = RecorderSpec::paper_matrix();
+    let scratch = ScratchDir::new("disk_compat");
+
+    let w = &suite(threads, 1)[0];
+    let result = RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&cfg)
+        .specs(&specs)
+        .run()
+        .expect("records");
+    let bytes = rr_sim::save_run(&scratch.0, w.name, &result).expect("saves");
+    assert!(bytes > 0);
+    assert_eq!(rr_sim::list_runs(&scratch.0).unwrap(), vec![w.name]);
+    let via_free = rr_sim::load_run(&scratch.0, w.name).expect("loads");
+    let via_store = LocalStore::new(&scratch.0).load_run(w.name).expect("loads");
+    assert_eq!(via_free.variants.len(), via_store.variants.len());
+    for (a, b) in via_free.variants.iter().zip(&via_store.variants) {
+        assert_eq!(a.logs, b.logs);
+    }
 }
 
 #[test]

@@ -7,7 +7,7 @@ use std::process::{Command, Output};
 
 use relaxreplay::trace::{TraceConfig, TraceLevel};
 use rr_isa::{MemImage, ProgramBuilder, Reg};
-use rr_sim::{save_run, MachineConfig, RecordSession, RecorderSpec};
+use rr_sim::{LocalStore, MachineConfig, RecordSession, RecorderSpec, RunStore};
 
 fn rr_inspect(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_rr-inspect"))
@@ -45,7 +45,9 @@ fn save_sample_run(root: &Path, name: &str) -> PathBuf {
         .specs(&RecorderSpec::paper_matrix())
         .run()
         .expect("records");
-    save_run(root, name, &result).expect("saves");
+    LocalStore::new(root)
+        .save_run(name, &result)
+        .expect("saves");
     root.join(name)
 }
 
@@ -347,7 +349,9 @@ fn prof_writes_blame_sidecar_and_worker_timeline_for_a_named_workload() {
         .specs(&RecorderSpec::paper_matrix())
         .run()
         .expect("records");
-    save_run(&root, "fft", &result).expect("saves");
+    LocalStore::new(&root)
+        .save_run("fft", &result)
+        .expect("saves");
 
     let out_dir = root.join("prof-out");
     let out = rr_inspect(&[

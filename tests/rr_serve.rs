@@ -1,0 +1,148 @@
+//! End-to-end integration of the experiments tooling with the `rr-serve`
+//! log service: `rr-inspect stat/check/dag` over `rr://` store URLs, the
+//! `rr-check verify` store-replay gate, and byte-identity between a run
+//! saved to a local `--save-logs` directory and the same run streamed
+//! through the service.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use rr_serve::{serve, RemoteStore, ServerConfig, ServerHandle};
+use rr_sim::{LocalStore, MachineConfig, RecordSession, RecorderSpec, RunResult, RunStore};
+
+fn rr_inspect(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rr-inspect"))
+        .args(args)
+        .output()
+        .expect("rr-inspect spawns")
+}
+
+fn rr_check(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rr-check"))
+        .args(args)
+        .output()
+        .expect("rr-check spawns")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rr_serve_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn start_server(tag: &str) -> ServerHandle {
+    serve("127.0.0.1:0", ServerConfig::new(temp_root(tag))).expect("server starts")
+}
+
+/// Records the `sb` litmus workload under the full paper recorder matrix.
+/// Litmus shapes regenerate by name alone, so `rr-check verify` can
+/// rebuild the programs when replaying the saved run.
+fn record_sb() -> RunResult {
+    let w = rr_workloads::by_name("sb", 2, 1).expect("sb litmus workload");
+    RecordSession::new(&w.programs, &w.initial_mem)
+        .config(&MachineConfig::splash_default(w.programs.len()))
+        .specs(&RecorderSpec::paper_matrix())
+        .run()
+        .expect("records")
+}
+
+#[test]
+fn inspect_stat_check_and_dag_operate_on_remote_stores() {
+    let server = start_server("inspect");
+    let url = server.url();
+    RemoteStore::new(server.addr().to_string())
+        .save_run("sb", &record_sb())
+        .expect("remote save");
+
+    // stat on the bare store URL enumerates runs and reports dedup.
+    let out = rr_inspect(&["stat", &url]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("sb:"), "{text}");
+    for label in ["Base-4K", "Opt-4K", "Base-INF", "Opt-INF"] {
+        assert!(text.contains(label), "{text}");
+    }
+    assert!(text.contains("dedup"), "{text}");
+
+    // check decodes every log and validates the truth sidecar remotely.
+    let out = rr_inspect(&["check", &format!("{url}/sb")]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("truth verified"), "{}", stdout(&out));
+
+    // dag builds the interval DAG from remotely fetched logs; fresh runs
+    // carry ordering sidecars, so the recorded partial order is used.
+    let out = rr_inspect(&["dag", &format!("{url}/sb")]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("interval DAG"), "{text}");
+    assert!(text.contains("partial"), "{text}");
+
+    // Unknown runs surface as typed errors with exit 1, not panics.
+    let out = rr_inspect(&["check", &format!("{url}/nope")]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown-run"), "{}", stderr(&out));
+
+    server.shutdown();
+}
+
+#[test]
+fn rr_check_verify_replays_a_remote_store_against_ground_truth() {
+    let server = start_server("verify");
+    let url = server.url();
+    RemoteStore::new(server.addr().to_string())
+        .save_run("sb", &record_sb())
+        .expect("remote save");
+
+    let out = rr_check(&["verify", &format!("{url}/sb")]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("verified against the recorded ground truth"),
+        "{}",
+        stdout(&out)
+    );
+
+    // A dead server is a typed transport error, not a hang or panic.
+    let dead = format!("rr://{}/sb", server.addr());
+    server.shutdown();
+    let out = rr_check(&["verify", &dead]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn remote_save_round_trips_byte_identical_to_the_local_store() {
+    let result = record_sb();
+
+    let local_root = temp_root("local_twin");
+    let local = LocalStore::new(&local_root);
+    let local_bytes = local.save_run("sb", &result).expect("local save");
+
+    let server = start_server("remote_twin");
+    let remote = RemoteStore::new(server.addr().to_string());
+    let remote_bytes = remote.save_run("sb", &result).expect("remote save");
+    assert_eq!(
+        local_bytes, remote_bytes,
+        "both stores must account the same logical .rrlog bytes"
+    );
+
+    let a = local.load_run("sb").expect("local load");
+    let b = remote.load_run("sb").expect("remote load");
+    assert_eq!(a.variants.len(), b.variants.len());
+    for (va, vb) in a.variants.iter().zip(&b.variants) {
+        assert_eq!(va.label, vb.label);
+        assert_eq!(va.logs, vb.logs, "{}: decoded logs must match", va.label);
+        assert_eq!(va.ordering, vb.ordering, "{}: ordering sidecar", va.label);
+    }
+    assert!(a.recorded.final_mem.contents_eq(&b.recorded.final_mem));
+    assert_eq!(a.recorded.load_traces, b.recorded.load_traces);
+
+    server.shutdown();
+}
